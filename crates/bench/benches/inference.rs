@@ -1,0 +1,47 @@
+//! Criterion benches for per-clip prediction cost — Table 4 in
+//! microbenchmark form: rigorous simulation vs the Ref \[12\] staged flow
+//! vs one LithoGAN forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use litho_sim::RigorousSim;
+use litho_tensor::Tensor;
+use lithogan::{LithoGan, NetConfig};
+use lithogan_bench::{dataset, Node, Scale};
+
+fn bench_inference(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let ds = dataset(Node::N10, &scale).expect("dataset");
+    let sample = &ds.samples[0];
+    let grid = ds.config.sim_grid;
+
+    // Rigorous golden flow per clip.
+    let sim = RigorousSim::new(&ds.config.process, grid, 2048.0 / grid as f64).expect("sim");
+    let mask_grid = sample.clip.to_mask_grid(grid);
+    c.bench_function("rigorous_per_clip", |b| {
+        b.iter(|| sim.simulate(&mask_grid).unwrap())
+    });
+
+    // LithoGAN forward per clip (untrained weights time identically).
+    let net = scale.net_config();
+    let mut model = LithoGan::new(&net, 0);
+    let mask = sample.mask.clone();
+    c.bench_function("lithogan_per_clip", |b| {
+        b.iter(|| model.predict(&mask).unwrap())
+    });
+
+    // Generator-only forward at the standard experiment scale.
+    let net64 = NetConfig::scaled(64);
+    let mut model64 = LithoGan::new(&net64, 0);
+    let mask64 = Tensor::zeros(&[3, 64, 64]);
+    c.bench_function("lithogan_per_clip_64px", |b| {
+        b.iter(|| model64.predict(&mask64).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches for the optical substrate: SOCS kernel construction
+//! and aerial-image computation at compact vs rigorous rank — the
+//! computational gap behind Table 4's rigorous-vs-ML runtime hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use litho_sim::{MaskGrid, OpticalModel, ProcessConfig, ResistModel, RigorousSim};
+
+fn contact_mask(size: usize, pitch: f64) -> MaskGrid {
+    let mut mask = MaskGrid::new(size, pitch);
+    let c = size as f64 * pitch / 2.0;
+    for (dx, dy) in [(0.0, 0.0), (120.0, 0.0), (0.0, 120.0), (-120.0, -120.0)] {
+        mask.fill_rect_nm(c + dx - 45.0, c + dy - 45.0, c + dx + 45.0, c + dy + 45.0, 1.0);
+    }
+    mask
+}
+
+fn bench_aerial(c: &mut Criterion) {
+    let process = ProcessConfig::n10();
+    let mut group = c.benchmark_group("aerial_image");
+    for &(size, kernels) in &[(128usize, 4usize), (256, 4), (256, 10)] {
+        let pitch = 2048.0 / size as f64;
+        let model = OpticalModel::with_settings(&process, size, pitch, 0.0, kernels).unwrap();
+        let mask = contact_mask(size, pitch);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}px_{kernels}k")),
+            &(),
+            |b, _| b.iter(|| model.aerial_image(&mask).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rigorous_vs_compact(c: &mut Criterion) {
+    let process = ProcessConfig::n10();
+    let size = 256;
+    let pitch = 2048.0 / size as f64;
+    let mask = contact_mask(size, pitch);
+
+    let compact = OpticalModel::new(&process, size, pitch).unwrap();
+    let resist = ResistModel::new(process.resist);
+    c.bench_function("compact_flow_256", |b| {
+        b.iter(|| {
+            let aerial = compact.aerial_image(&mask).unwrap();
+            resist.develop(&aerial)
+        })
+    });
+
+    let rigorous = RigorousSim::new(&process, size, pitch).unwrap();
+    c.bench_function("rigorous_flow_256", |b| {
+        b.iter(|| rigorous.simulate(&mask).unwrap())
+    });
+}
+
+fn bench_resist(c: &mut Criterion) {
+    let process = ProcessConfig::n10();
+    let size = 256;
+    let pitch = 2048.0 / size as f64;
+    let model = OpticalModel::new(&process, size, pitch).unwrap();
+    let mask = contact_mask(size, pitch);
+    let aerial = model.aerial_image(&mask).unwrap();
+    let resist = ResistModel::new(process.resist);
+    c.bench_function("resist_develop_256", |b| b.iter(|| resist.develop(&aerial)));
+    c.bench_function("contour_extract_256", |b| {
+        let excess = resist.excess_field(&aerial);
+        b.iter(|| litho_sim::extract_contours(&excess, size, pitch, 0.0).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aerial, bench_rigorous_vs_compact, bench_resist
+);
+criterion_main!(benches);

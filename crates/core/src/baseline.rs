@@ -1,0 +1,369 @@
+//! The Ref. \[12\] comparison flow: optical simulation + machine-learning
+//! threshold prediction + contour processing.
+//!
+//! Lin et al. (TCAD'18) — the paper's accuracy and runtime baseline —
+//! keep the optical model, replace the resist model by a CNN that
+//! predicts *four slicing thresholds* per clip, and finish with contour
+//! processing. This module rebuilds that flow on our substrates so that
+//! Table 3's "Ref \[12\]" rows and Table 4's stage timings can be measured:
+//!
+//! 1. **Optical sim** — compact SOCS imaging of the post-OPC clip.
+//! 2. **ML** — a Table-2-style CNN maps the aerial window to the four
+//!    thresholds (top/bottom/left/right).
+//! 3. **Contour** — the aerial window is sliced at the bilinearly
+//!    extrapolated threshold field and the centre component kept.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use litho_dataset::{field_window, keep_central_component, Sample};
+use litho_metrics::BoundingBox;
+use litho_nn::{mse_loss, Adam, Layer, Optimizer, Phase, Sequential};
+use litho_sim::{OpticalModel, ProcessConfig};
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::{NetConfig, TrainConfig};
+
+/// One baseline prediction with per-stage timing (Table 4 columns).
+#[derive(Debug, Clone)]
+pub struct BaselinePrediction {
+    /// The predicted resist window `[S, S]` in `{0, 1}`.
+    pub image: Tensor,
+    /// Predicted thresholds `[top, bottom, left, right]`.
+    pub thresholds: [f32; 4],
+    /// Optical-simulation stage time.
+    pub optical_time: Duration,
+    /// CNN threshold-prediction stage time.
+    pub ml_time: Duration,
+    /// Contour-processing stage time.
+    pub contour_time: Duration,
+}
+
+impl BaselinePrediction {
+    /// Total flow time.
+    pub fn total_time(&self) -> Duration {
+        self.optical_time + self.ml_time + self.contour_time
+    }
+}
+
+/// The threshold-prediction baseline model.
+#[derive(Debug)]
+pub struct ThresholdBaseline {
+    optical: OpticalModel,
+    cnn: Sequential,
+    opt: Adam,
+    image_size: usize,
+    sim_grid: usize,
+    window_nm: f64,
+    clip_extent_nm: f64,
+    /// Mean/std of the training thresholds: the CNN regresses
+    /// standardised residuals, so an untrained head already slices at the
+    /// train-set mean threshold instead of at zero.
+    target_mean: f32,
+    target_std: f32,
+}
+
+impl ThresholdBaseline {
+    /// Builds the baseline for a process: compact optics on a
+    /// `sim_grid × sim_grid` grid over 2 µm clips, CNN at `net.image_size`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optical-model construction errors.
+    pub fn new(
+        process: &ProcessConfig,
+        net: &NetConfig,
+        sim_grid: usize,
+        window_nm: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        let clip_extent_nm = 2048.0;
+        let cfg = TrainConfig::paper();
+        // The baseline's optical stage runs at *production* accuracy
+        // (the rigorous SOCS rank, best focus): Ref. [12] feeds its
+        // threshold CNN from full-accuracy aerial images — using the
+        // low-rank compact model that OPC iterations use would understate
+        // the flow's cost (Table 4) and its accuracy (Table 3).
+        let optical = OpticalModel::with_settings(
+            process,
+            sim_grid,
+            clip_extent_nm / sim_grid as f64,
+            0.0,
+            process.rigorous_kernel_count,
+        )?;
+        Ok(ThresholdBaseline {
+            optical,
+            cnn: net.build_regression_cnn(seed, 1, 4),
+            opt: Adam::new(cfg.learning_rate, cfg.beta1, cfg.beta2),
+            image_size: net.image_size,
+            sim_grid,
+            window_nm,
+            clip_extent_nm,
+            target_mean: 0.0,
+            target_std: 1.0,
+        })
+    }
+
+    /// Mutable access to the threshold CNN (weight (de)serialization).
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.cnn
+    }
+
+    /// The target standardisation statistics `(mean, std)` fitted by
+    /// [`ThresholdBaseline::train`].
+    pub fn target_stats(&self) -> (f32, f32) {
+        (self.target_mean, self.target_std)
+    }
+
+    /// Restores target statistics saved from a previous training run.
+    pub fn set_target_stats(&mut self, mean: f32, std: f32) {
+        self.target_mean = mean;
+        self.target_std = std.max(1e-4);
+    }
+
+    /// Stage 1: optical simulation of a sample's clip, returning the
+    /// aerial-intensity window `[S, S]` and the stage time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn aerial_window(&self, sample: &Sample) -> Result<(Tensor, Duration)> {
+        let t0 = Instant::now();
+        let mask = sample.clip.to_mask_grid(self.sim_grid);
+        let aerial = self.optical.aerial_image(&mask)?;
+        let window = field_window(
+            aerial.as_slice(),
+            self.sim_grid,
+            self.clip_extent_nm,
+            self.window_nm,
+            self.image_size,
+        )?;
+        Ok((window, t0.elapsed()))
+    }
+
+    /// Golden thresholds for one sample: the aerial intensity at the four
+    /// bounding-box edge midpoints of the golden pattern — the slicing
+    /// levels that reproduce the golden contour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the golden image is
+    /// empty.
+    pub fn golden_thresholds(aerial_window: &Tensor, golden: &Tensor) -> Result<[f32; 4]> {
+        let bb = BoundingBox::of(golden).ok_or_else(|| {
+            TensorError::InvalidArgument("golden image has no foreground".into())
+        })?;
+        let (cy, cx) = bb.center();
+        let at = |y: f64, x: f64| -> Result<f32> {
+            aerial_window.at(&[y.round() as usize, x.round() as usize])
+        };
+        Ok([
+            at(bb.y0 as f64, cx)?,
+            at(bb.y1 as f64, cx)?,
+            at(cy, bb.x0 as f64)?,
+            at(cy, bb.x1 as f64)?,
+        ])
+    }
+
+    /// Trains the threshold CNN on `(aerial_window, thresholds)` pairs
+    /// prepared by the caller, returning per-epoch MSE losses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors; `samples` must be non-empty.
+    pub fn train(
+        &mut self,
+        samples: &[(Tensor, [f32; 4])],
+        cfg: &TrainConfig,
+    ) -> Result<Vec<f32>> {
+        if samples.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "cannot train on an empty sample set".into(),
+            ));
+        }
+        // Standardise the regression targets.
+        let all: Vec<f32> = samples.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        let mean = all.iter().sum::<f32>() / all.len() as f32;
+        let var = all.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / all.len() as f32;
+        self.target_mean = mean;
+        self.target_std = var.sqrt().max(1e-4);
+
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let mut order: Vec<usize> = (0..samples.len()).collect();
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed.wrapping_add(0xBA5E).wrapping_add(epoch as u64));
+            order.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let xs: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| {
+                        let s = self.image_size;
+                        samples[i].0.reshape(&[1, s, s])
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let x = Tensor::stack(&xs)?;
+                let mut target = Tensor::zeros(&[chunk.len(), 4]);
+                for (row, &i) in chunk.iter().enumerate() {
+                    for (col, &t) in samples[i].1.iter().enumerate() {
+                        target.set(&[row, col], (t - self.target_mean) / self.target_std)?;
+                    }
+                }
+                self.cnn.zero_grad();
+                let pred = self.cnn.forward(&x, Phase::Train)?;
+                let loss = mse_loss(&pred, &target)?;
+                self.cnn.backward(&loss.grad)?;
+                self.opt.step(&mut self.cnn);
+                total += loss.loss as f64;
+                batches += 1;
+            }
+            losses.push((total / batches as f64) as f32);
+        }
+        Ok(losses)
+    }
+
+    /// Runs the full three-stage flow on one sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation/tensor errors.
+    pub fn predict(&mut self, sample: &Sample) -> Result<BaselinePrediction> {
+        let (window, optical_time) = self.aerial_window(sample)?;
+        let thresholds = {
+            let t0 = Instant::now();
+            let s = self.image_size;
+            let x = window.reshape(&[1, 1, s, s])?;
+            let out = self.cnn.forward(&x, Phase::Eval)?;
+            let denorm = |v: f32| self.target_mean + v * self.target_std;
+            let t = [
+                denorm(out.at(&[0, 0])?),
+                denorm(out.at(&[0, 1])?),
+                denorm(out.at(&[0, 2])?),
+                denorm(out.at(&[0, 3])?),
+            ];
+            (t, t0.elapsed())
+        };
+        let (t, ml_time) = thresholds;
+
+        let t0 = Instant::now();
+        let image = self.contour_process(&window, &t)?;
+        let contour_time = t0.elapsed();
+
+        Ok(BaselinePrediction {
+            image,
+            thresholds: t,
+            optical_time,
+            ml_time,
+            contour_time,
+        })
+    }
+
+    /// Stage 3: slices the aerial window at the bilinearly extrapolated
+    /// threshold field and keeps the centre component.
+    fn contour_process(&self, window: &Tensor, t: &[f32; 4]) -> Result<Tensor> {
+        let s = self.image_size;
+        let data = window.as_slice();
+        let mut out = vec![0.0f32; s * s];
+        let denom = (s - 1).max(1) as f32;
+        for y in 0..s {
+            let fy = y as f32 / denom;
+            let t_vert = (1.0 - fy) * t[0] + fy * t[1];
+            for x in 0..s {
+                let fx = x as f32 / denom;
+                let t_horiz = (1.0 - fx) * t[2] + fx * t[3];
+                let threshold = 0.5 * (t_vert + t_horiz);
+                if data[y * s + x] >= threshold {
+                    out[y * s + x] = 1.0;
+                }
+            }
+        }
+        keep_central_component(&Tensor::from_vec(out, &[s, s])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_window(size: usize, peak: f32, sigma: f32) -> Tensor {
+        let c = (size - 1) as f32 / 2.0;
+        let data = (0..size * size)
+            .map(|i| {
+                let y = (i / size) as f32 - c;
+                let x = (i % size) as f32 - c;
+                peak * (-(x * x + y * y) / (2.0 * sigma * sigma)).exp()
+            })
+            .collect();
+        Tensor::from_vec(data, &[size, size]).unwrap()
+    }
+
+    #[test]
+    fn golden_thresholds_match_slicing_level() {
+        let size = 32;
+        let window = gaussian_window(size, 0.4, 6.0);
+        // Golden = the window sliced at 0.2.
+        let golden = window.map(|v| if v >= 0.2 { 1.0 } else { 0.0 });
+        let t = ThresholdBaseline::golden_thresholds(&window, &golden).unwrap();
+        for edge in t {
+            assert!((edge - 0.2).abs() < 0.05, "edge threshold {edge}");
+        }
+    }
+
+    #[test]
+    fn golden_thresholds_need_foreground() {
+        let window = gaussian_window(16, 0.4, 4.0);
+        let empty = Tensor::zeros(&[16, 16]);
+        assert!(ThresholdBaseline::golden_thresholds(&window, &empty).is_err());
+    }
+
+    #[test]
+    fn contour_process_recovers_sliced_disk() {
+        let process = ProcessConfig::n10();
+        let net = NetConfig::scaled(32);
+        let baseline = ThresholdBaseline::new(&process, &net, 128, 128.0, 0).unwrap();
+        let window = gaussian_window(32, 0.4, 6.0);
+        let out = baseline.contour_process(&window, &[0.2; 4]).unwrap();
+        let golden = window.map(|v| if v >= 0.2 { 1.0 } else { 0.0 });
+        assert_eq!(out, golden);
+    }
+
+    #[test]
+    fn threshold_cnn_learns_constant_mapping() {
+        let process = ProcessConfig::n10();
+        let net = NetConfig::scaled(16);
+        let mut baseline = ThresholdBaseline::new(&process, &net, 128, 128.0, 1).unwrap();
+        // Windows with varying peaks; thresholds at 55% of peak.
+        let samples: Vec<(Tensor, [f32; 4])> = (0..12)
+            .map(|i| {
+                let peak = 0.2 + 0.02 * i as f32;
+                (gaussian_window(16, peak, 4.0), [peak * 0.55; 4])
+            })
+            .collect();
+        let cfg = TrainConfig {
+            epochs: 40,
+            learning_rate: 1e-3,
+            seed: 5,
+            ..TrainConfig::paper()
+        };
+        let losses = baseline.train(&samples, &cfg).unwrap();
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "losses {:?} .. {:?}",
+            &losses[..2],
+            &losses[losses.len() - 2..]
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let process = ProcessConfig::n10();
+        let net = NetConfig::scaled(16);
+        let mut baseline = ThresholdBaseline::new(&process, &net, 128, 128.0, 0).unwrap();
+        assert!(baseline.train(&[], &TrainConfig::paper()).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! `lithogan-cli` — dataset generation, training, evaluation and
+//! prediction from the command line.
+//!
+//! ```text
+//! lithogan-cli generate --node N10 --clips 140 --size 64 --out data.lgd
+//! lithogan-cli train    --data data.lgd --epochs 10 --out model.lgm
+//! lithogan-cli eval     --data data.lgd --model model.lgm
+//! lithogan-cli predict  --data data.lgd --model model.lgm --index 3 --out-dir out/
+//! ```
+
+use litho_dataset::{generate, load_dataset, save_dataset, DatasetConfig};
+use litho_layout::image::{overlay_panel, write_ppm};
+use litho_metrics::MetricAccumulator;
+use litho_sim::ProcessConfig;
+use litho_tensor::TensorError;
+use lithogan::{LithoGan, NetConfig, Result, TrainConfig};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Generate {
+        node: String,
+        clips: usize,
+        size: usize,
+        jitter_nm: f64,
+        out: String,
+    },
+    Train {
+        data: String,
+        epochs: usize,
+        seed: u64,
+        augment: bool,
+        out: String,
+    },
+    Eval {
+        data: String,
+        model: String,
+    },
+    Predict {
+        data: String,
+        model: String,
+        index: usize,
+        out_dir: String,
+    },
+    Help,
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     lithogan-cli generate --node <N10|N7> [--clips N] [--size S] [--jitter NM] --out FILE\n  \
+     lithogan-cli train    --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n  \
+     lithogan-cli eval     --data FILE --model FILE\n  \
+     lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR"
+        .into()
+}
+
+fn bad(msg: impl Into<String>) -> TensorError {
+    TensorError::InvalidArgument(msg.into())
+}
+
+/// Parses an argument vector (without the program name).
+fn parse(args: &[String]) -> Result<Command> {
+    let mut get = |flag: &str| -> Option<String> {
+        args.windows(2)
+            .find(|w| w[0] == flag)
+            .map(|w| w[1].clone())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    match args.first().map(String::as_str) {
+        Some("generate") => Ok(Command::Generate {
+            node: get("--node").unwrap_or_else(|| "N10".into()),
+            clips: get("--clips").map_or(Ok(140), |v| v.parse().map_err(|_| bad("--clips")))?,
+            size: get("--size").map_or(Ok(64), |v| v.parse().map_err(|_| bad("--size")))?,
+            jitter_nm: get("--jitter").map_or(Ok(3.0), |v| v.parse().map_err(|_| bad("--jitter")))?,
+            out: get("--out").ok_or_else(|| bad("generate requires --out"))?,
+        }),
+        Some("train") => Ok(Command::Train {
+            data: get("--data").ok_or_else(|| bad("train requires --data"))?,
+            epochs: get("--epochs").map_or(Ok(10), |v| v.parse().map_err(|_| bad("--epochs")))?,
+            seed: get("--seed").map_or(Ok(0), |v| v.parse().map_err(|_| bad("--seed")))?,
+            augment: has("--augment"),
+            out: get("--out").ok_or_else(|| bad("train requires --out"))?,
+        }),
+        Some("eval") => Ok(Command::Eval {
+            data: get("--data").ok_or_else(|| bad("eval requires --data"))?,
+            model: get("--model").ok_or_else(|| bad("eval requires --model"))?,
+        }),
+        Some("predict") => Ok(Command::Predict {
+            data: get("--data").ok_or_else(|| bad("predict requires --data"))?,
+            model: get("--model").ok_or_else(|| bad("predict requires --model"))?,
+            index: get("--index").map_or(Ok(0), |v| v.parse().map_err(|_| bad("--index")))?,
+            out_dir: get("--out-dir").unwrap_or_else(|| ".".into()),
+        }),
+        Some("help") | Some("--help") | None => Ok(Command::Help),
+        Some(other) => Err(bad(format!("unknown command {other:?}\n{}", usage()))),
+    }
+}
+
+fn net_for(size: usize) -> NetConfig {
+    if size == 256 {
+        NetConfig::paper()
+    } else {
+        NetConfig::scaled(size)
+    }
+}
+
+fn run(cmd: Command) -> Result<()> {
+    match cmd {
+        Command::Help => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Command::Generate {
+            node,
+            clips,
+            size,
+            jitter_nm,
+            out,
+        } => {
+            let process = match node.to_uppercase().as_str() {
+                "N10" => ProcessConfig::n10(),
+                "N7" => ProcessConfig::n7(),
+                other => return Err(bad(format!("unknown node {other:?} (N10 or N7)"))),
+            };
+            let mut config = DatasetConfig::scaled(process, clips, size);
+            config.mask_jitter_nm = jitter_nm;
+            let t0 = std::time::Instant::now();
+            let (ds, stats) = generate(&config)?;
+            save_dataset(&ds, &out)?;
+            println!(
+                "generated {} samples in {:.1?} ({} retries, {} OPC non-converged) -> {out}",
+                ds.len(),
+                t0.elapsed(),
+                stats.empty_golden_retries,
+                stats.opc_unconverged
+            );
+            Ok(())
+        }
+        Command::Train {
+            data,
+            epochs,
+            seed,
+            augment,
+            out,
+        } => {
+            let ds = load_dataset(&data)?;
+            let (train, _) = ds.split();
+            let cfg = TrainConfig {
+                epochs,
+                seed,
+                augment,
+                ..TrainConfig::paper()
+            };
+            let mut model = LithoGan::new(&net_for(ds.config.image_size), seed);
+            let t0 = std::time::Instant::now();
+            let history = model.train(&train, &cfg, |epoch, _| {
+                eprintln!("epoch {}/{epochs} done ({:.1?})", epoch + 1, t0.elapsed());
+            })?;
+            model.save_to_path(&out)?;
+            println!(
+                "trained on {} samples; generator loss {:.2} -> {:.2}; saved {out}",
+                train.len(),
+                history.g_loss.first().copied().unwrap_or(0.0),
+                history.g_loss.last().copied().unwrap_or(0.0)
+            );
+            Ok(())
+        }
+        Command::Eval { data, model } => {
+            let ds = load_dataset(&data)?;
+            let (_, test) = ds.split();
+            let mut m = LithoGan::load_from_path(&net_for(ds.config.image_size), &model)?;
+            let mut acc = MetricAccumulator::new(ds.config.golden_nm_per_px());
+            for s in &test {
+                acc.add(&m.predict(&s.mask)?, &s.golden)?;
+            }
+            let s = acc.summary();
+            println!(
+                "test samples {}\nEDE        {:.2} ± {:.2} nm\npixel acc  {:.4}\nclass acc  {:.4}\nmean IoU   {:.4}\ncentre err {:.2} nm",
+                s.samples, s.ede_mean_nm, s.ede_std_nm, s.pixel_accuracy, s.class_accuracy, s.mean_iou, s.center_error_nm
+            );
+            Ok(())
+        }
+        Command::Predict {
+            data,
+            model,
+            index,
+            out_dir,
+        } => {
+            let ds = load_dataset(&data)?;
+            let sample = ds
+                .samples
+                .get(index)
+                .ok_or_else(|| bad(format!("index {index} out of range ({})", ds.len())))?;
+            let mut m = LithoGan::load_from_path(&net_for(ds.config.image_size), &model)?;
+            let p = m.predict_detailed(&sample.mask)?;
+            std::fs::create_dir_all(&out_dir).map_err(|e| bad(e.to_string()))?;
+            let dir = std::path::Path::new(&out_dir);
+            write_ppm(&sample.mask, dir.join(format!("sample{index}_mask.ppm")))?;
+            let binary = p.adjusted.map(|v| if v >= 0.5 { 1.0 } else { 0.0 });
+            let panel = overlay_panel(&binary, &sample.golden)?;
+            write_ppm(&panel, dir.join(format!("sample{index}_prediction.ppm")))?;
+            println!(
+                "sample {index}: predicted centre ({:.1}, {:.1}) px, inference {:.2} ms; panels in {out_dir}",
+                p.center_px.0,
+                p.center_px.1,
+                p.elapsed.as_secs_f64() * 1e3
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args).and_then(run) {
+        Ok(()) => {}
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let cmd = parse(&strs(&["generate", "--out", "x.lgd"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                node: "N10".into(),
+                clips: 140,
+                size: 64,
+                jitter_nm: 3.0,
+                out: "x.lgd".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_train_flags() {
+        let cmd = parse(&strs(&[
+            "train", "--data", "d.lgd", "--epochs", "5", "--augment", "--out", "m.lgm",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Train {
+                data: "d.lgd".into(),
+                epochs: 5,
+                seed: 0,
+                augment: true,
+                out: "m.lgm".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&strs(&["generate"])).is_err());
+        assert!(parse(&strs(&["train", "--out", "m"])).is_err());
+        assert!(parse(&strs(&["eval", "--data", "d"])).is_err());
+        assert!(parse(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        assert!(parse(&strs(&["generate", "--clips", "abc", "--out", "x"])).is_err());
+        assert!(parse(&strs(&["predict", "--data", "d", "--model", "m", "--index", "x"])).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&strs(&["help"])).unwrap(), Command::Help);
+        assert!(usage().contains("generate"));
+    }
+}

@@ -1,0 +1,437 @@
+//! The conditional GAN and its training loop (paper §3.2, Eq. 1–3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use litho_nn::{bce_with_logits, l1_loss, mse_loss, Adam, Layer, Optimizer, Phase, Sequential};
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::NetConfig;
+
+/// Reconstruction-loss flavour of Eq. 2's pixel term (the paper uses ℓ1;
+/// ℓ2 is provided for the ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconLoss {
+    /// Mean absolute error (paper default — "less blurring").
+    L1,
+    /// Mean squared error (ablation).
+    L2,
+}
+
+/// GAN training hyper-parameters (paper §4: batch 4, 80 epochs, λ = 100,
+/// Adam lr 2e-4, momentum (0.5, 0.999)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// ℓ1 weight λ in Eq. 3.
+    pub lambda: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Adam β₁.
+    pub beta1: f32,
+    /// Adam β₂.
+    pub beta2: f32,
+    /// Reconstruction-loss flavour.
+    pub recon: ReconLoss,
+    /// Random horizontal/vertical flip augmentation of (input, target)
+    /// pairs. An extension beyond the paper (which reports no
+    /// augmentation); flips are geometrically valid because mask and
+    /// resist transform together under mirror symmetry.
+    pub augment: bool,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        TrainConfig {
+            epochs: 80,
+            batch_size: 4,
+            lambda: 100.0,
+            learning_rate: 2e-4,
+            beta1: 0.5,
+            beta2: 0.999,
+            recon: ReconLoss::L1,
+            augment: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch loss curves (paper Figure 9).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainHistory {
+    /// Mean generator loss per epoch (adversarial + λ·ℓ1 terms).
+    pub g_loss: Vec<f32>,
+    /// Mean discriminator loss per epoch.
+    pub d_loss: Vec<f32>,
+}
+
+/// One training pair in network representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainPair {
+    /// Mask image `[3, S, S]`, values in `[-1, 1]`.
+    pub input: Tensor,
+    /// Resist image `[1, S, S]`, values in `[-1, 1]`.
+    pub target: Tensor,
+}
+
+impl TrainPair {
+    /// Builds a pair from dataset-space images (mask `[3, S, S]` in
+    /// `[0, 1]`, resist `[S, S]` in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if shapes are not as described.
+    pub fn from_dataset(mask: &Tensor, resist: &Tensor) -> Result<Self> {
+        let md = mask.dims();
+        let rd = resist.dims();
+        if md.len() != 3 || rd.len() != 2 || md[1] != rd[0] || md[2] != rd[1] {
+            return Err(TensorError::InvalidArgument(format!(
+                "expected mask [3,S,S] and resist [S,S], got {md:?} and {rd:?}"
+            )));
+        }
+        let input = mask.map(|v| v * 2.0 - 1.0);
+        let target = resist.map(|v| v * 2.0 - 1.0).reshape(&[1, rd[0], rd[1]])?;
+        Ok(TrainPair { input, target })
+    }
+}
+
+/// The conditional GAN: generator, discriminator and their optimizers.
+#[derive(Debug)]
+pub struct Cgan {
+    net: NetConfig,
+    generator: Sequential,
+    discriminator: Sequential,
+    opt_g: Adam,
+    opt_d: Adam,
+}
+
+impl Cgan {
+    /// Builds a fresh CGAN with weights seeded by `seed`.
+    pub fn new(net: &NetConfig, seed: u64) -> Self {
+        let cfg = TrainConfig::paper();
+        Cgan::with_train_config(net, &cfg, seed)
+    }
+
+    /// Builds a CGAN whose optimizers use the given hyper-parameters.
+    pub fn with_train_config(net: &NetConfig, cfg: &TrainConfig, seed: u64) -> Self {
+        Cgan {
+            net: net.clone(),
+            generator: net.build_generator(seed),
+            discriminator: net.build_discriminator(seed.wrapping_add(1)),
+            opt_g: Adam::new(cfg.learning_rate, cfg.beta1, cfg.beta2),
+            opt_d: Adam::new(cfg.learning_rate, cfg.beta1, cfg.beta2),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn net_config(&self) -> &NetConfig {
+        &self.net
+    }
+
+    /// Mutable access to the generator (weight (de)serialization).
+    pub fn generator_mut(&mut self) -> &mut Sequential {
+        &mut self.generator
+    }
+
+    /// Mutable access to the discriminator (weight (de)serialization).
+    pub fn discriminator_mut(&mut self) -> &mut Sequential {
+        &mut self.discriminator
+    }
+
+    /// Runs one training epoch over `pairs`, returning the mean
+    /// `(generator, discriminator)` losses.
+    ///
+    /// The standard alternating schedule (paper §3.2: "one step of
+    /// optimizing D and one step of optimizing G") is applied per
+    /// mini-batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/shape errors; `pairs` must be non-empty.
+    pub fn train_epoch(
+        &mut self,
+        pairs: &[TrainPair],
+        cfg: &TrainConfig,
+        epoch: usize,
+    ) -> Result<(f32, f32)> {
+        if pairs.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "cannot train on an empty pair set".into(),
+            ));
+        }
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(epoch as u64));
+        order.shuffle(&mut rng);
+
+        let mut g_total = 0.0f64;
+        let mut d_total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let mut x = Tensor::stack(
+                &chunk.iter().map(|&i| pairs[i].input.clone()).collect::<Vec<_>>(),
+            )?;
+            let mut y = Tensor::stack(
+                &chunk.iter().map(|&i| pairs[i].target.clone()).collect::<Vec<_>>(),
+            )?;
+            if cfg.augment {
+                use rand::Rng;
+                if rng.gen_bool(0.5) {
+                    x = litho_tensor::ops::flip_horizontal(&x)?;
+                    y = litho_tensor::ops::flip_horizontal(&y)?;
+                }
+                if rng.gen_bool(0.5) {
+                    x = litho_tensor::ops::flip_vertical(&x)?;
+                    y = litho_tensor::ops::flip_vertical(&y)?;
+                }
+            }
+            let (g_loss, d_loss) = self.train_step(&x, &y, cfg)?;
+            g_total += g_loss as f64;
+            d_total += d_loss as f64;
+            batches += 1;
+        }
+        Ok((
+            (g_total / batches as f64) as f32,
+            (d_total / batches as f64) as f32,
+        ))
+    }
+
+    /// One alternating D/G update on a batch `x [n,3,S,S]`, `y [n,1,S,S]`.
+    fn train_step(&mut self, x: &Tensor, y: &Tensor, cfg: &TrainConfig) -> Result<(f32, f32)> {
+        let n = x.dims()[0];
+
+        // ---- Discriminator step (Eq. 1) -------------------------------
+        // Fake sample, detached (generator caches are discarded by the
+        // eval-mode forward... we need dropout active though, so run in
+        // train mode and simply never call backward on the generator).
+        let fake = self.generator.forward(x, Phase::Train)?;
+
+        self.discriminator.zero_grad();
+        let real_pair = Tensor::concat_channels(&[x, y])?;
+        let real_logits = self.discriminator.forward(&real_pair, Phase::Train)?;
+        let ones = Tensor::ones(&[n, 1]);
+        let real_loss = bce_with_logits(&real_logits, &ones)?;
+        self.discriminator.backward(&real_loss.grad)?;
+
+        let fake_pair = Tensor::concat_channels(&[x, &fake])?;
+        let fake_logits = self.discriminator.forward(&fake_pair, Phase::Train)?;
+        let zeros = Tensor::zeros(&[n, 1]);
+        let fake_loss = bce_with_logits(&fake_logits, &zeros)?;
+        self.discriminator.backward(&fake_loss.grad)?;
+        self.opt_d.step(&mut self.discriminator);
+        let d_loss = real_loss.loss + fake_loss.loss;
+
+        // ---- Generator step (Eq. 2) -----------------------------------
+        self.generator.zero_grad();
+        let fake = self.generator.forward(x, Phase::Train)?;
+        let fake_pair = Tensor::concat_channels(&[x, &fake])?;
+        let logits = self.discriminator.forward(&fake_pair, Phase::Train)?;
+        let adv = bce_with_logits(&logits, &ones)?;
+        // Backprop the adversarial term through D to get the gradient at
+        // D's input; D's own parameter gradients are polluted here but are
+        // zeroed at the start of the next D step.
+        let d_input_grad = self.discriminator.backward(&adv.grad)?;
+        let chans = self.net.in_channels;
+        let parts = d_input_grad.split_channels(&[chans, self.net.out_channels])?;
+        let mut g_output_grad = parts[1].clone();
+
+        let recon = match cfg.recon {
+            ReconLoss::L1 => l1_loss(&fake, y)?,
+            ReconLoss::L2 => mse_loss(&fake, y)?,
+        };
+        g_output_grad.add_scaled_assign(&recon.grad, cfg.lambda)?;
+        self.generator.backward(&g_output_grad)?;
+        self.opt_g.step(&mut self.generator);
+        let g_loss = adv.loss + cfg.lambda * recon.loss;
+
+        Ok((g_loss, d_loss))
+    }
+
+    /// Trains for `cfg.epochs`, invoking `on_epoch(epoch, &mut self)`
+    /// after each epoch (used by the Figure-8 snapshot bench).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cgan::train_epoch`] errors.
+    pub fn train<F>(
+        &mut self,
+        pairs: &[TrainPair],
+        cfg: &TrainConfig,
+        mut on_epoch: F,
+    ) -> Result<TrainHistory>
+    where
+        F: FnMut(usize, &mut Cgan),
+    {
+        let mut history = TrainHistory::default();
+        for epoch in 0..cfg.epochs {
+            let (g, d) = self.train_epoch(pairs, cfg, epoch)?;
+            history.g_loss.push(g);
+            history.d_loss.push(d);
+            on_epoch(epoch, self);
+        }
+        Ok(history)
+    }
+
+    /// Generates a resist image for one mask image `[3, S, S]` in
+    /// `[0, 1]`, returning `[S, S]` in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for wrong input shapes.
+    pub fn predict(&mut self, mask: &Tensor) -> Result<Tensor> {
+        let dims = mask.dims().to_vec();
+        if dims.len() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: dims.len(),
+            });
+        }
+        let x = mask
+            .map(|v| v * 2.0 - 1.0)
+            .reshape(&[1, dims[0], dims[1], dims[2]])?;
+        let y = self.generator.forward(&x, Phase::Eval)?;
+        y.map(|v| (v + 1.0) / 2.0).reshape(&[dims[1], dims[2]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_pairs(size: usize, n: usize) -> Vec<TrainPair> {
+        // Target = the green channel of the mask shifted into [-1,1]:
+        // an easy identity-ish mapping the GAN should learn quickly.
+        (0..n)
+            .map(|i| {
+                let mut mask = Tensor::zeros(&[3, size, size]);
+                let c = size / 2;
+                let r = 2 + i % 3;
+                for y in c - r..c + r {
+                    for x in c - r..c + r {
+                        mask.set(&[1, y, x], 1.0).unwrap();
+                    }
+                }
+                let resist = mask.split_channels_stub(size);
+                TrainPair::from_dataset(&mask, &resist).unwrap()
+            })
+            .collect()
+    }
+
+    trait GreenChannel {
+        fn split_channels_stub(&self, size: usize) -> Tensor;
+    }
+    impl GreenChannel for Tensor {
+        fn split_channels_stub(&self, size: usize) -> Tensor {
+            let data = self.as_slice()[size * size..2 * size * size].to_vec();
+            Tensor::from_vec(data, &[size, size]).unwrap()
+        }
+    }
+
+    #[test]
+    fn train_pair_validates_and_rescales() {
+        let mask = Tensor::full(&[3, 8, 8], 1.0);
+        let resist = Tensor::zeros(&[8, 8]);
+        let p = TrainPair::from_dataset(&mask, &resist).unwrap();
+        assert_eq!(p.input.max(), 1.0);
+        assert_eq!(p.target.min(), -1.0);
+        assert!(TrainPair::from_dataset(&mask, &Tensor::zeros(&[4, 4])).is_err());
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let net = NetConfig::scaled(16);
+        let mut cgan = Cgan::new(&net, 0);
+        assert!(cgan.train_epoch(&[], &TrainConfig::paper(), 0).is_err());
+    }
+
+    #[test]
+    fn one_epoch_runs_and_reports_losses() {
+        let net = NetConfig::scaled(16);
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::paper()
+        };
+        let mut cgan = Cgan::with_train_config(&net, &cfg, 0);
+        let pairs = toy_pairs(16, 6);
+        let (g, d) = cgan.train_epoch(&pairs, &cfg, 0).unwrap();
+        assert!(g.is_finite() && g > 0.0);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let net = NetConfig::scaled(16);
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 4,
+            seed: 3,
+            ..TrainConfig::paper()
+        };
+        let mut cgan = Cgan::with_train_config(&net, &cfg, 1);
+        let pairs = toy_pairs(16, 8);
+
+        let err = |cgan: &mut Cgan| -> f32 {
+            let mask = pairs[0].input.map(|v| (v + 1.0) / 2.0);
+            let pred = cgan.predict(&mask).unwrap();
+            let target = pairs[0].target.map(|v| (v + 1.0) / 2.0).reshape(&[16, 16]).unwrap();
+            pred.mean_abs_diff(&target).unwrap()
+        };
+        let before = err(&mut cgan);
+        let history = cgan.train(&pairs, &cfg, |_, _| {}).unwrap();
+        let after = err(&mut cgan);
+        assert!(
+            after < before,
+            "reconstruction error should improve: {before} -> {after}"
+        );
+        assert_eq!(history.g_loss.len(), 12);
+        // Generator loss should drop substantially as the L1 term shrinks.
+        assert!(history.g_loss.last().unwrap() < history.g_loss.first().unwrap());
+    }
+
+    #[test]
+    fn predict_output_is_unit_range() {
+        let net = NetConfig::scaled(16);
+        let mut cgan = Cgan::new(&net, 0);
+        let mask = Tensor::full(&[3, 16, 16], 0.5);
+        let out = cgan.predict(&mask).unwrap();
+        assert_eq!(out.dims(), &[16, 16]);
+        assert!(out.min() >= 0.0 && out.max() <= 1.0);
+        assert!(cgan.predict(&Tensor::zeros(&[16, 16])).is_err());
+    }
+
+    #[test]
+    fn augmented_training_runs_and_learns() {
+        let net = NetConfig::scaled(16);
+        let cfg = TrainConfig {
+            epochs: 6,
+            augment: true,
+            seed: 9,
+            ..TrainConfig::paper()
+        };
+        let mut cgan = Cgan::with_train_config(&net, &cfg, 2);
+        let pairs = toy_pairs(16, 8);
+        let history = cgan.train(&pairs, &cfg, |_, _| {}).unwrap();
+        assert!(history.g_loss.iter().all(|l| l.is_finite()));
+        assert!(history.g_loss.last().unwrap() < history.g_loss.first().unwrap());
+    }
+
+    #[test]
+    fn epoch_callback_fires() {
+        let net = NetConfig::scaled(16);
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::paper()
+        };
+        let mut cgan = Cgan::with_train_config(&net, &cfg, 0);
+        let pairs = toy_pairs(16, 4);
+        let mut seen = Vec::new();
+        cgan.train(&pairs, &cfg, |e, _| seen.push(e)).unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,109 @@
+use litho_sim::ProcessConfig;
+
+/// Configuration of one benchmark dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Process node (optics + resist + contact geometry).
+    pub process: ProcessConfig,
+    /// Number of clips to generate (982 for N10, 979 for N7 in the paper).
+    pub clip_count: usize,
+    /// Network image resolution (paper: 256; scaled configs use less).
+    pub image_size: usize,
+    /// Simulation grid resolution over the 2 µm clip (power of two).
+    pub sim_grid: usize,
+    /// Golden resist window edge, nm (128 in the paper).
+    pub golden_window_nm: f64,
+    /// Fraction of samples assigned to the training split (0.75).
+    pub train_fraction: f64,
+    /// RNG seed for clip generation and the split shuffle.
+    pub seed: u64,
+    /// Mask write / registration error: each post-OPC shape is translated
+    /// by an independent uniform offset in `[-j, +j]` nm per axis. This is
+    /// the physical mechanism that scatters printed-pattern centres away
+    /// from the drawn centre (edge-based OPC corrects systematic
+    /// asymmetry, but a write error applied after OPC cannot be
+    /// compensated) — the signal the paper's centre-prediction CNN
+    /// regresses.
+    pub mask_jitter_nm: f64,
+}
+
+impl DatasetConfig {
+    /// The paper's N10 benchmark: 982 clips at 256 × 256.
+    pub fn n10_paper() -> Self {
+        DatasetConfig {
+            process: ProcessConfig::n10(),
+            clip_count: 982,
+            image_size: 256,
+            sim_grid: 256,
+            golden_window_nm: 128.0,
+            train_fraction: 0.75,
+            seed: 10,
+            mask_jitter_nm: 3.0,
+        }
+    }
+
+    /// The paper's N7 benchmark: 979 clips at 256 × 256.
+    pub fn n7_paper() -> Self {
+        DatasetConfig {
+            process: ProcessConfig::n7(),
+            clip_count: 979,
+            image_size: 256,
+            sim_grid: 256,
+            golden_window_nm: 128.0,
+            train_fraction: 0.75,
+            seed: 7,
+            mask_jitter_nm: 3.0,
+        }
+    }
+
+    /// A CPU-budget variant: same pipeline, reduced image resolution and
+    /// clip count. Used by the experiment binaries so full training runs
+    /// fit a CPU time budget (see DESIGN.md's substitution table).
+    pub fn scaled(process: ProcessConfig, clip_count: usize, image_size: usize) -> Self {
+        let seed = if process.name == "N7" { 7 } else { 10 };
+        DatasetConfig {
+            process,
+            clip_count,
+            image_size,
+            sim_grid: 256,
+            golden_window_nm: 128.0,
+            train_fraction: 0.75,
+            seed,
+            mask_jitter_nm: 3.0,
+        }
+    }
+
+    /// Nanometres per pixel of the golden window images — the unit of the
+    /// EDE metric (0.5 nm/px in the paper's 128 nm → 256 px encoding).
+    pub fn golden_nm_per_px(&self) -> f64 {
+        self.golden_window_nm / self.image_size as f64
+    }
+
+    /// Nanometres per pixel of the mask (input) images over the 1 µm crop.
+    pub fn mask_nm_per_px(&self) -> f64 {
+        1024.0 / self.image_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_paper_cardinalities() {
+        let n10 = DatasetConfig::n10_paper();
+        assert_eq!(n10.clip_count, 982);
+        assert_eq!(n10.image_size, 256);
+        assert_eq!(n10.golden_nm_per_px(), 0.5);
+        assert_eq!(n10.mask_nm_per_px(), 4.0);
+        assert_eq!(DatasetConfig::n7_paper().clip_count, 979);
+    }
+
+    #[test]
+    fn scaled_config_keeps_physical_window() {
+        let c = DatasetConfig::scaled(ProcessConfig::n10(), 64, 64);
+        assert_eq!(c.golden_window_nm, 128.0);
+        assert_eq!(c.golden_nm_per_px(), 2.0);
+        assert_eq!(c.train_fraction, 0.75);
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic N10/N7 paired datasets for end-to-end lithography modeling.
+//!
+//! Reproduces the data-preparation pipeline of the paper's §3.1 on top of
+//! the [`litho-layout`] (SRAF + OPC) and [`litho-sim`] (golden rigorous
+//! simulation) substrates:
+//!
+//! 1. generate a 2 × 2 µm contact clip (one of three array families) with
+//!    the target contact at the centre;
+//! 2. insert SRAFs and run model-based OPC;
+//! 3. crop to the central 1 × 1 µm and rasterise to an RGB image — green
+//!    target / red neighbors / blue SRAFs;
+//! 4. run the rigorous simulator on the full clip, isolate the centre
+//!    contact's printed component, and cut a 128 × 128 nm golden window
+//!    scaled to the network resolution;
+//! 5. record the golden pattern's bounding-box centre and a re-centred
+//!    copy (the CGAN trains on re-centred targets; the centre coordinates
+//!    train the CNN — the paper's dual-learning split).
+//!
+//! The paper's datasets hold 982 (N10) and 979 (N7) clips with a 75/25
+//! train/test split; [`DatasetConfig::n10_paper`] and
+//! [`DatasetConfig::n7_paper`] reproduce those cardinalities, and
+//! [`DatasetConfig::scaled`] builds CPU-budget variants.
+//!
+//! [`litho-layout`]: https://docs.rs/litho-layout
+//! [`litho-sim`]: https://docs.rs/litho-sim
+
+mod builder;
+mod config;
+mod io;
+mod sample;
+mod window;
+
+pub use builder::{generate, GenerationStats};
+pub use config::DatasetConfig;
+pub use io::{load_dataset, save_dataset};
+pub use sample::{Dataset, Sample};
+pub use window::{field_window, golden_window, keep_central_component};
+
+pub use litho_tensor::{Result, TensorError};

@@ -1,0 +1,186 @@
+use litho_layout::{Clip, ClipFamily};
+use litho_tensor::{ops, Result, Tensor, TensorError};
+
+use crate::DatasetConfig;
+
+/// One paired training sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The post-OPC clip geometry (full 2 µm extent). Kept so baseline
+    /// flows that need optical simulation (the Ref. \[12\] comparison and
+    /// the Table 4 runtime study) can rebuild the mask.
+    pub clip: Clip,
+    /// Mask image `[3, S, S]`: R = neighbors, G = target, B = SRAFs.
+    pub mask: Tensor,
+    /// Golden resist window `[S, S]` at its true position.
+    pub golden: Tensor,
+    /// Golden window re-centred so the pattern's bounding-box centre sits
+    /// at the image centre — the CGAN's training target.
+    pub golden_centered: Tensor,
+    /// Golden bounding-box centre `(cy, cx)` in golden-window pixels —
+    /// the CNN's regression target.
+    pub center_px: (f32, f32),
+    /// Which contact-array family the source clip belongs to.
+    pub family: ClipFamily,
+}
+
+impl Sample {
+    /// Shifts a generated (centred) pattern to a predicted centre — the
+    /// final "post-adjustment" step of the LithoGAN flow (paper Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `image` is not rank 2.
+    pub fn recenter_to(image: &Tensor, center_px: (f32, f32)) -> Result<Tensor> {
+        let dims = image.dims();
+        if dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: dims.len(),
+            });
+        }
+        let (h, w) = (dims[0], dims[1]);
+        let mid = ((h as f32 - 1.0) / 2.0, (w as f32 - 1.0) / 2.0);
+        // Mirror the sub-half-pixel dead zone of the dataset's centering
+        // transform so recentring is its exact inverse.
+        let quant = |d: f32| if d.abs() <= 0.5 { 0 } else { d.round() as isize };
+        let dy = quant(center_px.0 - mid.0);
+        let dx = quant(center_px.1 - mid.1);
+        let nchw = image.reshape(&[1, 1, h, w])?;
+        ops::shift2d(&nchw, dy, dx, 0.0)?.reshape(&[h, w])
+    }
+}
+
+/// A generated dataset: samples plus the configuration that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The dataset configuration.
+    pub config: DatasetConfig,
+    /// All samples, in generation order.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Deterministic 75/25 train/test split (paper §4: "we randomly sample
+    /// 75% of the data for training … the remaining 25% … for testing").
+    ///
+    /// The shuffle is keyed by the dataset seed, so the split is stable
+    /// across runs.
+    pub fn split(&self) -> (Vec<&Sample>, Vec<&Sample>) {
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        // Deterministic Fisher–Yates keyed by a simple splitmix stream.
+        let mut state = self.config.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let train_len = (self.samples.len() as f64 * self.config.train_fraction).round() as usize;
+        let train = order[..train_len.min(order.len())]
+            .iter()
+            .map(|&i| &self.samples[i])
+            .collect();
+        let test = order[train_len.min(order.len())..]
+            .iter()
+            .map(|&i| &self.samples[i])
+            .collect();
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_sim::ProcessConfig;
+
+    fn dummy_sample(tag: f32) -> Sample {
+        Sample {
+            clip: Clip::new(2048.0, litho_layout::Rect::centered_square(1024.0, 1024.0, 60.0)),
+            mask: Tensor::full(&[3, 8, 8], tag),
+            golden: Tensor::zeros(&[8, 8]),
+            golden_centered: Tensor::zeros(&[8, 8]),
+            center_px: (4.0, 4.0),
+            family: ClipFamily::Isolated,
+        }
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset {
+            config: DatasetConfig::scaled(ProcessConfig::n10(), n, 8),
+            samples: (0..n).map(|i| dummy_sample(i as f32)).collect(),
+        }
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let ds = dataset(100);
+        let (train, test) = ds.split();
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+        // Disjoint by mask tag.
+        let train_tags: std::collections::HashSet<u32> =
+            train.iter().map(|s| s.mask.as_slice()[0] as u32).collect();
+        for s in &test {
+            assert!(!train_tags.contains(&(s.mask.as_slice()[0] as u32)));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = dataset(40);
+        let (a, _) = ds.split();
+        let (b, _) = ds.split();
+        let tags = |v: &[&Sample]| -> Vec<f32> { v.iter().map(|s| s.mask.as_slice()[0]).collect() };
+        assert_eq!(tags(&a), tags(&b));
+    }
+
+    #[test]
+    fn split_is_shuffled_not_prefix() {
+        let ds = dataset(100);
+        let (train, _) = ds.split();
+        let is_prefix = train
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.mask.as_slice()[0] as usize == i);
+        assert!(!is_prefix);
+    }
+
+    #[test]
+    fn recenter_moves_pattern() {
+        let mut img = Tensor::zeros(&[9, 9]);
+        // 3x3 blob centred at the image centre (4,4).
+        for y in 3..6 {
+            for x in 3..6 {
+                img.set(&[y, x], 1.0).unwrap();
+            }
+        }
+        let shifted = Sample::recenter_to(&img, (2.0, 6.0)).unwrap();
+        assert_eq!(shifted.at(&[2, 6]).unwrap(), 1.0);
+        assert_eq!(shifted.at(&[4, 4]).unwrap(), 0.0);
+        assert_eq!(shifted.sum(), 9.0);
+    }
+
+    #[test]
+    fn recenter_identity_when_target_is_center() {
+        let mut img = Tensor::zeros(&[8, 8]);
+        img.set(&[3, 3], 1.0).unwrap();
+        let same = Sample::recenter_to(&img, (3.5, 3.5)).unwrap();
+        assert_eq!(same, img);
+    }
+}

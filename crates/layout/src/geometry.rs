@@ -1,0 +1,157 @@
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in physical nanometres.
+///
+/// The invariant `x0 <= x1, y0 <= y1` is maintained by the constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge in nm.
+    pub x0: f64,
+    /// Top edge in nm.
+    pub y0: f64,
+    /// Right edge in nm.
+    pub x1: f64,
+    /// Bottom edge in nm.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalising the corner order.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// A square of edge `size` centred at `(cx, cy)`.
+    pub fn centered_square(cx: f64, cy: f64, size: f64) -> Self {
+        let h = size / 2.0;
+        Rect::new(cx - h, cy - h, cx + h, cy + h)
+    }
+
+    /// A rectangle of `width × height` centred at `(cx, cy)`.
+    pub fn centered(cx: f64, cy: f64, width: f64, height: f64) -> Self {
+        Rect::new(
+            cx - width / 2.0,
+            cy - height / 2.0,
+            cx + width / 2.0,
+            cy + height / 2.0,
+        )
+    }
+
+    /// Width in nm.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in nm.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point `(cx, cy)` in nm.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Grows (or shrinks, for negative values) each edge outward by the
+    /// given per-axis amounts; collapses to the centre point rather than
+    /// inverting.
+    pub fn inflated(&self, dx: f64, dy: f64) -> Rect {
+        let (cx, cy) = self.center();
+        let hw = (self.width() / 2.0 + dx).max(0.0);
+        let hh = (self.height() / 2.0 + dy).max(0.0);
+        Rect::new(cx - hw, cy - hh, cx + hw, cy + hh)
+    }
+
+    /// Whether two rectangles overlap (shared boundary counts).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Minimum edge-to-edge separation to another rectangle (0 when
+    /// overlapping).
+    pub fn separation(&self, other: &Rect) -> f64 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0.0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Whether a point lies inside (boundary inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Translated copy.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_normalizes_corners() {
+        let r = Rect::new(10.0, 20.0, 0.0, 5.0);
+        assert_eq!(r, Rect::new(0.0, 5.0, 10.0, 20.0));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 15.0);
+    }
+
+    #[test]
+    fn centered_square_geometry() {
+        let r = Rect::centered_square(100.0, 200.0, 60.0);
+        assert_eq!(r.center(), (100.0, 200.0));
+        assert_eq!(r.area(), 3600.0);
+    }
+
+    #[test]
+    fn inflate_and_collapse() {
+        let r = Rect::centered_square(0.0, 0.0, 10.0);
+        assert_eq!(r.inflated(5.0, 5.0).width(), 20.0);
+        // Over-shrinking collapses to a point, never inverts.
+        let collapsed = r.inflated(-100.0, -100.0);
+        assert_eq!(collapsed.width(), 0.0);
+        assert_eq!(collapsed.center(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn overlap_and_separation() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+        let c = Rect::new(13.0, 14.0, 20.0, 20.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.separation(&b), 0.0);
+        assert_eq!(a.separation(&c), 5.0); // 3-4-5 triangle
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(0.0, 0.0));
+        assert!(r.contains(10.0, 10.0));
+        assert!(!r.contains(10.1, 5.0));
+    }
+
+    #[test]
+    fn translation() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0).translated(5.0, -1.0);
+        assert_eq!(r.center(), (6.0, 0.0));
+    }
+}

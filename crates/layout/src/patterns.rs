@@ -1,0 +1,214 @@
+use rand::Rng;
+
+use litho_sim::ProcessConfig;
+
+use crate::{Clip, Rect};
+
+/// The three contact-array families of the benchmark datasets.
+///
+/// Per the paper (§4.1, citing \[12\]) the datasets contain three types of
+/// contact arrays; at least one sample of each appears in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClipFamily {
+    /// A single isolated contact (plus optional far-field contacts).
+    Isolated,
+    /// A 1-D chain of contacts at (jittered) regular pitch, horizontal or
+    /// vertical.
+    Chain1d,
+    /// A 2-D array of contacts with random omissions.
+    Array2d,
+}
+
+impl ClipFamily {
+    /// All families, for round-robin dataset generation.
+    pub const ALL: [ClipFamily; 3] = [
+        ClipFamily::Isolated,
+        ClipFamily::Chain1d,
+        ClipFamily::Array2d,
+    ];
+}
+
+/// Generates random contact-layer clips for a process node.
+///
+/// Clips are `2 × 2 µm` with the target contact exactly at the centre
+/// (paper §3.1). All geometry is jittered by the RNG but respects the
+/// process's minimum pitch, so generated clips are DRC-clean.
+#[derive(Debug, Clone)]
+pub struct ClipGenerator {
+    extent_nm: f64,
+    contact_nm: f64,
+    pitch_nm: f64,
+}
+
+impl ClipGenerator {
+    /// Creates a generator matching the node's contact geometry.
+    pub fn new(process: &ProcessConfig) -> Self {
+        ClipGenerator {
+            extent_nm: 2048.0,
+            contact_nm: process.contact_size_nm,
+            pitch_nm: process.contact_pitch_nm,
+        }
+    }
+
+    /// Clip extent per side, nm.
+    pub fn extent_nm(&self) -> f64 {
+        self.extent_nm
+    }
+
+    /// Generates one clip of the given family.
+    pub fn generate<R: Rng + ?Sized>(&self, family: ClipFamily, rng: &mut R) -> Clip {
+        let c = self.extent_nm / 2.0;
+        let target = Rect::centered_square(c, c, self.contact_nm);
+        let mut clip = Clip::new(self.extent_nm, target);
+        match family {
+            ClipFamily::Isolated => {
+                // Occasionally drop 1-2 distant contacts so "isolated" still
+                // has long-range context variation.
+                let extras = rng.gen_range(0..=2);
+                for _ in 0..extras {
+                    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let dist = rng.gen_range(4.0..7.0) * self.pitch_nm;
+                    let nx = c + dist * angle.cos();
+                    let ny = c + dist * angle.sin();
+                    let cand = Rect::centered_square(nx, ny, self.contact_nm);
+                    self.push_if_clean(&mut clip, cand);
+                }
+            }
+            ClipFamily::Chain1d => {
+                let horizontal = rng.gen_bool(0.5);
+                let count_each_side = rng.gen_range(1..=3);
+                let pitch = self.pitch_nm * rng.gen_range(1.0..1.8);
+                for i in 1..=count_each_side {
+                    for sign in [-1.0, 1.0] {
+                        let d = sign * i as f64 * pitch;
+                        let (nx, ny) = if horizontal { (c + d, c) } else { (c, c + d) };
+                        let cand = Rect::centered_square(nx, ny, self.contact_nm);
+                        self.push_if_clean(&mut clip, cand);
+                    }
+                }
+            }
+            ClipFamily::Array2d => {
+                let half = rng.gen_range(1..=2);
+                let pitch_x = self.pitch_nm * rng.gen_range(1.0..1.6);
+                let pitch_y = self.pitch_nm * rng.gen_range(1.0..1.6);
+                let omit_prob = rng.gen_range(0.0..0.35);
+                for gy in -(half as i32)..=(half as i32) {
+                    for gx in -(half as i32)..=(half as i32) {
+                        if gx == 0 && gy == 0 {
+                            continue;
+                        }
+                        if rng.gen_bool(omit_prob) {
+                            continue;
+                        }
+                        let cand = Rect::centered_square(
+                            c + gx as f64 * pitch_x,
+                            c + gy as f64 * pitch_y,
+                            self.contact_nm,
+                        );
+                        self.push_if_clean(&mut clip, cand);
+                    }
+                }
+            }
+        }
+        clip
+    }
+
+    /// Adds a neighbor if it stays inside the clip and respects minimum
+    /// spacing to every existing contact.
+    fn push_if_clean(&self, clip: &mut Clip, cand: Rect) {
+        let margin = self.contact_nm;
+        if cand.x0 < margin
+            || cand.y0 < margin
+            || cand.x1 > self.extent_nm - margin
+            || cand.y1 > self.extent_nm - margin
+        {
+            return;
+        }
+        let min_space = self.pitch_nm - self.contact_nm;
+        let clean = clip
+            .contacts()
+            .all(|r| cand.separation(r) >= min_space * 0.99);
+        if clean {
+            clip.neighbors.push(cand);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_sim::ProcessConfig;
+    use rand::SeedableRng;
+
+    fn generator() -> ClipGenerator {
+        ClipGenerator::new(&ProcessConfig::n10())
+    }
+
+    #[test]
+    fn target_is_always_centered() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for family in ClipFamily::ALL {
+            for _ in 0..20 {
+                let clip = generator().generate(family, &mut rng);
+                assert_eq!(clip.target.center(), (1024.0, 1024.0));
+                assert_eq!(clip.target.width(), 60.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_clips_are_drc_clean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for family in ClipFamily::ALL {
+            for _ in 0..50 {
+                let clip = generator().generate(family, &mut rng);
+                assert!(!clip.has_overlaps());
+                // Minimum spacing respected between all contact pairs.
+                let contacts: Vec<_> = clip.contacts().collect();
+                for i in 0..contacts.len() {
+                    for j in i + 1..contacts.len() {
+                        let sep = contacts[i].separation(contacts[j]);
+                        assert!(sep >= (120.0 - 60.0) * 0.99 - 1e-9, "sep {sep}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_collinear() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let clip = generator().generate(ClipFamily::Chain1d, &mut rng);
+        assert!(!clip.neighbors.is_empty());
+        let (cx, cy) = clip.target.center();
+        let all_on_row = clip.neighbors.iter().all(|r| r.center().1 == cy);
+        let all_on_col = clip.neighbors.iter().all(|r| r.center().0 == cx);
+        assert!(all_on_row || all_on_col);
+    }
+
+    #[test]
+    fn array_family_is_denser_than_isolated() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut iso_total = 0;
+        let mut arr_total = 0;
+        for _ in 0..20 {
+            iso_total += generator().generate(ClipFamily::Isolated, &mut rng).neighbors.len();
+            arr_total += generator().generate(ClipFamily::Array2d, &mut rng).neighbors.len();
+        }
+        assert!(arr_total > iso_total);
+    }
+
+    #[test]
+    fn shapes_stay_inside_clip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for family in ClipFamily::ALL {
+            for _ in 0..30 {
+                let clip = generator().generate(family, &mut rng);
+                for r in clip.contacts() {
+                    assert!(r.x0 >= 0.0 && r.y0 >= 0.0);
+                    assert!(r.x1 <= 2048.0 && r.y1 <= 2048.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Rasterisation of clips into the paper's RGB network input encoding.
+//!
+//! Paper §3.1: clips are cropped to the central 1 × 1 µm and rendered as
+//! 256 × 256 RGB images where the target contact occupies the green
+//! channel, neighbouring contacts the red channel, and SRAFs the blue
+//! channel — "this coloring scheme maps the different types of objects to
+//! different colors to help the model discriminate these objects".
+
+use litho_sim::MaskGrid;
+use litho_tensor::{Result, Tensor};
+
+use crate::{Clip, Rect};
+
+/// Rasterisation settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasterConfig {
+    /// Output image edge length in pixels (256 in the paper).
+    pub image_size: usize,
+    /// Physical window rendered, nm per side (1024 in the paper: the
+    /// central 1 × 1 µm crop of the 2 × 2 µm clip).
+    pub window_nm: u32,
+}
+
+impl RasterConfig {
+    /// The paper's configuration: 1 µm window → 256 × 256 px.
+    pub fn paper() -> Self {
+        RasterConfig {
+            image_size: 256,
+            window_nm: 1024,
+        }
+    }
+
+    /// A reduced-resolution configuration for CPU-budget experiments.
+    pub fn scaled(image_size: usize) -> Self {
+        RasterConfig {
+            image_size,
+            window_nm: 1024,
+        }
+    }
+}
+
+/// Renders one shape class into a single-channel grid with analytic area
+/// coverage (values in `[0, 1]`).
+fn render_channel(shapes: &[Rect], offset_nm: f64, window_nm: f64, size: usize) -> MaskGrid {
+    let pitch = window_nm / size as f64;
+    let mut grid = MaskGrid::new(size, pitch);
+    for r in shapes {
+        grid.fill_rect_nm(
+            r.x0 - offset_nm,
+            r.y0 - offset_nm,
+            r.x1 - offset_nm,
+            r.y1 - offset_nm,
+            1.0,
+        );
+    }
+    grid
+}
+
+/// Rasterises a clip into an RGB tensor of shape `[3, size, size]`
+/// (channel order R = neighbors, G = target, B = SRAFs) over the central
+/// window given by `config`.
+///
+/// # Errors
+///
+/// Returns a [`litho_tensor::TensorError`] only on internal shape
+/// inconsistencies (which would indicate a bug).
+pub fn rasterize_clip(clip: &Clip, config: &RasterConfig) -> Result<Tensor> {
+    let window = config.window_nm as f64;
+    let offset = (clip.extent_nm - window) / 2.0;
+    let size = config.image_size;
+
+    let red = render_channel(&clip.neighbors, offset, window, size);
+    let green = render_channel(std::slice::from_ref(&clip.target), offset, window, size);
+    let blue = render_channel(&clip.srafs, offset, window, size);
+
+    let mut data = Vec::with_capacity(3 * size * size);
+    for grid in [&red, &green, &blue] {
+        data.extend(grid.as_slice().iter().map(|&v| v as f32));
+    }
+    Tensor::from_vec(data, &[3, size, size])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_clip() -> Clip {
+        let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 64.0));
+        clip.neighbors
+            .push(Rect::centered_square(1152.0, 1024.0, 64.0));
+        clip.srafs
+            .push(Rect::centered(1024.0, 920.0, 96.0, 32.0));
+        clip
+    }
+
+    #[test]
+    fn channels_separate_object_classes() {
+        let clip = sample_clip();
+        let img = rasterize_clip(&clip, &RasterConfig::paper()).unwrap();
+        assert_eq!(img.dims(), &[3, 256, 256]);
+        // Center pixel: green only (target).
+        assert_eq!(img.at(&[1, 128, 128]).unwrap(), 1.0);
+        assert_eq!(img.at(&[0, 128, 128]).unwrap(), 0.0);
+        assert_eq!(img.at(&[2, 128, 128]).unwrap(), 0.0);
+        // Neighbor at +128nm in x = +32px: red only.
+        assert_eq!(img.at(&[0, 128, 160]).unwrap(), 1.0);
+        assert_eq!(img.at(&[1, 128, 160]).unwrap(), 0.0);
+        // SRAF at -104nm in y = -26px: blue only.
+        assert_eq!(img.at(&[2, 102, 128]).unwrap(), 1.0);
+        assert_eq!(img.at(&[1, 102, 128]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn area_is_preserved_per_channel() {
+        let clip = sample_clip();
+        let img = rasterize_clip(&clip, &RasterConfig::paper()).unwrap();
+        let px_area = (1024.0 / 256.0) * (1024.0 / 256.0);
+        let green_area: f32 = (0..256 * 256)
+            .map(|i| img.as_slice()[256 * 256 + i])
+            .sum();
+        assert!((green_area as f64 * px_area - 64.0 * 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_output() {
+        let clip = sample_clip();
+        let img = rasterize_clip(&clip, &RasterConfig::scaled(64)).unwrap();
+        assert_eq!(img.dims(), &[3, 64, 64]);
+        assert_eq!(img.at(&[1, 32, 32]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn out_of_window_shapes_are_clipped_away() {
+        let mut clip = sample_clip();
+        clip.neighbors
+            .push(Rect::centered_square(100.0, 100.0, 64.0)); // outside 1um window
+        let img = rasterize_clip(&clip, &RasterConfig::paper()).unwrap();
+        let red_area: f32 = img.as_slice()[..256 * 256].iter().sum();
+        let px_area = 16.0f32;
+        // Only the in-window neighbor contributes.
+        assert!((red_area * px_area - 64.0 * 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn values_stay_in_unit_range() {
+        let clip = sample_clip();
+        let img = rasterize_clip(&clip, &RasterConfig::paper()).unwrap();
+        assert!(img.max() <= 1.0 && img.min() >= 0.0);
+    }
+}

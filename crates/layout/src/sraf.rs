@@ -1,0 +1,177 @@
+//! Rule-based sub-resolution assist feature (SRAF) insertion.
+//!
+//! SRAFs are narrow scatter bars placed at a fixed distance from isolated
+//! contact edges. They redirect diffraction energy toward the main feature
+//! (improving its process window) while staying below the resolution limit
+//! so they never print themselves. This implements the rule-based flavour
+//! (the paper's dataset used Calibre; rule-based SRAF generation is the
+//! classic approach, cf. paper reference \[20\]).
+
+use litho_sim::ProcessConfig;
+
+use crate::{Clip, Rect};
+
+/// Geometric rules for scatter-bar placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrafRules {
+    /// Bar width in nm (must stay sub-resolution).
+    pub width_nm: f64,
+    /// Bar length in nm.
+    pub length_nm: f64,
+    /// Distance from a contact edge to the near bar edge, nm.
+    pub offset_nm: f64,
+    /// A bar is only placed on a side with no printing feature within this
+    /// distance, nm.
+    pub clear_distance_nm: f64,
+    /// Minimum spacing between an SRAF and any other shape, nm.
+    pub min_space_nm: f64,
+}
+
+impl SrafRules {
+    /// Default rules for a process node: bar width ≈ 40 % of the contact
+    /// size (sub-resolution), offset just inside the first diffraction
+    /// ring.
+    pub fn for_process(process: &ProcessConfig) -> Self {
+        SrafRules {
+            width_nm: (process.contact_size_nm * 0.4).round(),
+            length_nm: (process.contact_size_nm * 1.6).round(),
+            offset_nm: (process.rayleigh_nm() * 0.85).round(),
+            clear_distance_nm: process.contact_pitch_nm * 1.6,
+            min_space_nm: (process.contact_pitch_nm - process.contact_size_nm) * 0.5,
+        }
+    }
+}
+
+/// Candidate bar positions around one contact (top, bottom, left, right).
+fn candidate_bars(contact: &Rect, rules: &SrafRules) -> [Rect; 4] {
+    let (cx, cy) = contact.center();
+    let off = rules.offset_nm + rules.width_nm / 2.0;
+    [
+        Rect::centered(cx, contact.y0 - off, rules.length_nm, rules.width_nm), // top
+        Rect::centered(cx, contact.y1 + off, rules.length_nm, rules.width_nm), // bottom
+        Rect::centered(contact.x0 - off, cy, rules.width_nm, rules.length_nm), // left
+        Rect::centered(contact.x1 + off, cy, rules.width_nm, rules.length_nm), // right
+    ]
+}
+
+/// Inserts scatter bars into a clip according to the rules, mutating
+/// `clip.srafs`. Returns the number of bars placed.
+///
+/// A bar is placed on a contact side only when that side has no printing
+/// neighbour within `clear_distance_nm` (dense sides get their proximity
+/// support from the neighbour itself), the bar stays inside the clip, and
+/// it keeps `min_space_nm` to every existing shape.
+pub fn insert_srafs(clip: &mut Clip, rules: &SrafRules) -> usize {
+    let contacts: Vec<Rect> = clip.contacts().copied().collect();
+    let mut placed = 0usize;
+    for contact in &contacts {
+        let (cx, cy) = contact.center();
+        let bars = candidate_bars(contact, rules);
+        // Directional clearance tests: is there a contact roughly in this
+        // direction within clear_distance?
+        let side_blocked = |dir: usize| -> bool {
+            contacts.iter().any(|other| {
+                if other == contact {
+                    return false;
+                }
+                let (ox, oy) = other.center();
+                let (dx, dy) = (ox - cx, oy - cy);
+                if contact.separation(other) > rules.clear_distance_nm {
+                    return false;
+                }
+                match dir {
+                    0 => dy < 0.0 && dy.abs() >= dx.abs(), // contact above
+                    1 => dy > 0.0 && dy.abs() >= dx.abs(), // below
+                    2 => dx < 0.0 && dx.abs() >= dy.abs(), // left
+                    _ => dx > 0.0 && dx.abs() >= dy.abs(), // right
+                }
+            })
+        };
+        for (dir, bar) in bars.into_iter().enumerate() {
+            if side_blocked(dir) {
+                continue;
+            }
+            if bar.x0 < 0.0 || bar.y0 < 0.0 || bar.x1 > clip.extent_nm || bar.y1 > clip.extent_nm {
+                continue;
+            }
+            let clear = clip
+                .contacts()
+                .chain(clip.srafs.iter())
+                .all(|r| bar.separation(r) >= rules.min_space_nm);
+            if clear {
+                clip.srafs.push(bar);
+                placed += 1;
+            }
+        }
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_sim::ProcessConfig;
+
+    fn rules() -> SrafRules {
+        SrafRules::for_process(&ProcessConfig::n10())
+    }
+
+    #[test]
+    fn rules_are_subresolution() {
+        let p = ProcessConfig::n10();
+        let r = SrafRules::for_process(&p);
+        // Bars must be narrower than the printable limit.
+        assert!(r.width_nm < p.rayleigh_nm() / 2.0);
+        assert!(r.width_nm < p.contact_size_nm);
+    }
+
+    #[test]
+    fn isolated_contact_gets_four_bars() {
+        let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
+        let placed = insert_srafs(&mut clip, &rules());
+        assert_eq!(placed, 4);
+        assert_eq!(clip.srafs.len(), 4);
+        assert!(!clip.has_overlaps());
+    }
+
+    #[test]
+    fn dense_side_is_skipped() {
+        let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
+        // Neighbor to the right at minimum pitch.
+        clip.neighbors
+            .push(Rect::centered_square(1024.0 + 120.0, 1024.0, 60.0));
+        insert_srafs(&mut clip, &rules());
+        // No SRAF in the corridor between the two contacts.
+        let corridor = Rect::new(1054.0, 994.0, 1114.0, 1054.0);
+        assert!(
+            clip.srafs.iter().all(|s| !s.overlaps(&corridor)),
+            "srafs {:?}",
+            clip.srafs
+        );
+        assert!(!clip.has_overlaps());
+    }
+
+    #[test]
+    fn bars_respect_clip_boundary() {
+        // Contact near the clip edge: outward bars are dropped.
+        let mut clip = Clip::new(2048.0, Rect::centered_square(40.0, 1024.0, 60.0));
+        insert_srafs(&mut clip, &rules());
+        for s in &clip.srafs {
+            assert!(s.x0 >= 0.0 && s.y0 >= 0.0 && s.x1 <= 2048.0 && s.y1 <= 2048.0);
+        }
+    }
+
+    #[test]
+    fn srafs_never_touch_contacts() {
+        let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
+        clip.neighbors
+            .push(Rect::centered_square(1024.0, 1024.0 + 200.0, 60.0));
+        let r = rules();
+        insert_srafs(&mut clip, &r);
+        for s in &clip.srafs {
+            for c in clip.contacts() {
+                assert!(s.separation(c) >= r.min_space_nm - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! SVG clip rendering — human-viewable layout exports for documentation
+//! and debugging (the raster pipeline is for the networks; this is for
+//! people).
+
+use std::io::Write;
+use std::path::Path;
+
+use litho_tensor::{Result, TensorError};
+
+use crate::{Clip, Rect};
+
+fn io_err(err: std::io::Error) -> TensorError {
+    TensorError::InvalidArgument(format!("svg i/o: {err}"))
+}
+
+fn rect_element(r: &Rect, fill: &str, opacity: f64) -> String {
+    format!(
+        r##"  <rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{fill}" fill-opacity="{opacity}" stroke="black" stroke-width="1"/>"##,
+        r.x0,
+        r.y0,
+        r.width(),
+        r.height()
+    )
+}
+
+/// Serialises a clip to an SVG string (1 SVG unit = 1 nm), using the
+/// paper's colour taxonomy: green target, red neighbors, blue SRAFs.
+pub fn clip_to_svg(clip: &Clip) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {e} {e}" width="512" height="512">"##,
+        e = clip.extent_nm
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        r##"  <rect x="0" y="0" width="{e}" height="{e}" fill="#f8f8f8"/>"##,
+        e = clip.extent_nm
+    ));
+    out.push('\n');
+    for r in &clip.srafs {
+        out.push_str(&rect_element(r, "#3060d0", 0.8));
+        out.push('\n');
+    }
+    for r in &clip.neighbors {
+        out.push_str(&rect_element(r, "#d04030", 0.8));
+        out.push('\n');
+    }
+    out.push_str(&rect_element(&clip.target, "#30a040", 0.9));
+    out.push('\n');
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Writes a clip as an SVG file.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] on I/O failure.
+pub fn write_svg<P: AsRef<Path>>(clip: &Clip, path: P) -> Result<()> {
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(clip_to_svg(clip).as_bytes()).map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_clip() -> Clip {
+        let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
+        clip.neighbors.push(Rect::centered_square(1200.0, 1024.0, 60.0));
+        clip.srafs.push(Rect::centered(1024.0, 900.0, 96.0, 24.0));
+        clip
+    }
+
+    #[test]
+    fn svg_contains_all_shapes_with_class_colors() {
+        let svg = clip_to_svg(&sample_clip());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One green target, one red neighbor, one blue SRAF + background.
+        assert_eq!(svg.matches("#30a040").count(), 1);
+        assert_eq!(svg.matches("#d04030").count(), 1);
+        assert_eq!(svg.matches("#3060d0").count(), 1);
+        assert_eq!(svg.matches("<rect").count(), 4);
+        // Geometry in nm units.
+        assert!(svg.contains(r#"x="994.0""#));
+        assert!(svg.contains(r#"width="60.0""#));
+    }
+
+    #[test]
+    fn write_svg_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("lithogan_svg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clip.svg");
+        write_svg(&sample_clip(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, clip_to_svg(&sample_clip()));
+    }
+}

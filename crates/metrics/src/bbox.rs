@@ -1,0 +1,92 @@
+use litho_tensor::Tensor;
+
+/// The axis-aligned bounding box of the foreground (≥ 0.5) pixels of a
+/// monochrome image, in pixel coordinates (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundingBox {
+    /// First foreground row.
+    pub y0: usize,
+    /// First foreground column.
+    pub x0: usize,
+    /// Last foreground row (inclusive).
+    pub y1: usize,
+    /// Last foreground column (inclusive).
+    pub x1: usize,
+}
+
+impl BoundingBox {
+    /// Extracts the bounding box from a rank-2 tensor; `None` when no
+    /// pixel reaches the 0.5 class threshold (or the tensor is not rank 2).
+    pub fn of(image: &Tensor) -> Option<BoundingBox> {
+        let dims = image.dims();
+        if dims.len() != 2 {
+            return None;
+        }
+        let (h, w) = (dims[0], dims[1]);
+        let data = image.as_slice();
+        let mut bb: Option<BoundingBox> = None;
+        for y in 0..h {
+            for x in 0..w {
+                if data[y * w + x] >= 0.5 {
+                    bb = Some(match bb {
+                        None => BoundingBox { y0: y, x0: x, y1: y, x1: x },
+                        Some(b) => BoundingBox {
+                            y0: b.y0.min(y),
+                            x0: b.x0.min(x),
+                            y1: b.y1.max(y),
+                            x1: b.x1.max(x),
+                        },
+                    });
+                }
+            }
+        }
+        bb
+    }
+
+    /// Box width in pixels.
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Box height in pixels.
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0 + 1
+    }
+
+    /// Box centre `(cy, cx)` in fractional pixels.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.y0 + self.y1) as f64 / 2.0,
+            (self.x0 + self.x1) as f64 / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_tight_box() {
+        let mut img = Tensor::zeros(&[8, 8]);
+        img.set(&[2, 3], 1.0).unwrap();
+        img.set(&[5, 6], 0.7).unwrap();
+        img.set(&[4, 4], 0.4).unwrap(); // below threshold
+        let bb = BoundingBox::of(&img).unwrap();
+        assert_eq!(bb, BoundingBox { y0: 2, x0: 3, y1: 5, x1: 6 });
+        assert_eq!(bb.width(), 4);
+        assert_eq!(bb.height(), 4);
+        assert_eq!(bb.center(), (3.5, 4.5));
+    }
+
+    #[test]
+    fn empty_image_has_no_box() {
+        assert_eq!(BoundingBox::of(&Tensor::zeros(&[4, 4])), None);
+        assert_eq!(BoundingBox::of(&Tensor::full(&[4, 4], 0.49)), None);
+    }
+
+    #[test]
+    fn wrong_rank_is_none() {
+        assert_eq!(BoundingBox::of(&Tensor::ones(&[1, 4, 4])), None);
+    }
+}

@@ -1,0 +1,95 @@
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::{check_pair, BoundingBox};
+
+/// Foreground centre of mass `(cy, cx)` in fractional pixels, or `None`
+/// when no pixel reaches the 0.5 threshold.
+pub fn center_of_mass_px(image: &Tensor) -> Option<(f64, f64)> {
+    let dims = image.dims();
+    if dims.len() != 2 {
+        return None;
+    }
+    let (h, w) = (dims[0], dims[1]);
+    let data = image.as_slice();
+    let (mut sy, mut sx, mut n) = (0.0f64, 0.0f64, 0u64);
+    for y in 0..h {
+        for x in 0..w {
+            if data[y * w + x] >= 0.5 {
+                sy += y as f64;
+                sx += x as f64;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((sy / n as f64, sx / n as f64))
+    }
+}
+
+/// Euclidean distance in nm between the golden and predicted pattern
+/// centres (bounding-box centres, matching the paper's definition of the
+/// resist centre as "the center of the bounding box enclosing the resist
+/// pattern").
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when either image is empty,
+/// or shape errors for mismatched inputs.
+pub fn center_error_nm(prediction: &Tensor, golden: &Tensor, nm_per_px: f64) -> Result<f64> {
+    check_pair(prediction, golden)?;
+    let pb = BoundingBox::of(prediction).ok_or_else(|| {
+        TensorError::InvalidArgument("prediction has no foreground pixels".into())
+    })?;
+    let gb = BoundingBox::of(golden)
+        .ok_or_else(|| TensorError::InvalidArgument("golden image has no foreground pixels".into()))?;
+    let (py, px) = pb.center();
+    let (gy, gx) = gb.center();
+    Ok(((py - gy).powi(2) + (px - gx).powi(2)).sqrt() * nm_per_px)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(y0: usize, x0: usize, size: usize) -> Tensor {
+        let mut img = Tensor::zeros(&[32, 32]);
+        for y in y0..y0 + size {
+            for x in x0..x0 + size {
+                img.set(&[y, x], 1.0).unwrap();
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn zero_error_for_identical() {
+        let img = square(10, 10, 5);
+        assert_eq!(center_error_nm(&img, &img, 0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shift_gives_euclidean_distance() {
+        let golden = square(10, 10, 5);
+        let pred = square(13, 14, 5);
+        // Shift (3, 4) px → 5 px → 2.5 nm at 0.5 nm/px.
+        assert!((center_error_nm(&pred, &golden, 0.5).unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn center_of_mass_matches_square_center() {
+        let img = square(10, 12, 5);
+        let (cy, cx) = center_of_mass_px(&img).unwrap();
+        assert_eq!((cy, cx), (12.0, 14.0));
+        assert_eq!(center_of_mass_px(&Tensor::zeros(&[8, 8])), None);
+    }
+
+    #[test]
+    fn empty_inputs_are_errors() {
+        let img = square(10, 10, 5);
+        let empty = Tensor::zeros(&[32, 32]);
+        assert!(center_error_nm(&empty, &img, 0.5).is_err());
+        assert!(center_error_nm(&img, &empty, 0.5).is_err());
+    }
+}

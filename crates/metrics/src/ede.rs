@@ -1,0 +1,112 @@
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::{check_pair, BoundingBox};
+
+/// Edge displacement error of one sample (paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdeValue {
+    /// Displacement of the four bounding-box edges
+    /// `[top, bottom, left, right]` in nm.
+    pub edges_nm: [f64; 4],
+}
+
+impl EdeValue {
+    /// Mean displacement over the four edges, nm — the per-sample EDE the
+    /// paper reports (Table 3 averages this over the test set).
+    pub fn mean_nm(&self) -> f64 {
+        self.edges_nm.iter().sum::<f64>() / 4.0
+    }
+
+    /// Largest single-edge displacement, nm.
+    pub fn max_nm(&self) -> f64 {
+        self.edges_nm.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Computes the edge displacement error between a predicted and a golden
+/// resist image (rank-2, `[0, 1]`, class threshold 0.5).
+///
+/// Per Definition 1, the error of each edge is the distance between the
+/// golden bounding-box edge and the predicted one; `nm_per_px` converts
+/// pixel distances to nanometres (0.5 in the paper's 128 nm → 256 px
+/// encoding).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when either image has no
+/// foreground (no bounding box exists), or a shape error for mismatched
+/// inputs.
+pub fn ede(prediction: &Tensor, golden: &Tensor, nm_per_px: f64) -> Result<EdeValue> {
+    check_pair(prediction, golden)?;
+    let pb = BoundingBox::of(prediction).ok_or_else(|| {
+        TensorError::InvalidArgument("prediction has no foreground pixels".into())
+    })?;
+    let gb = BoundingBox::of(golden)
+        .ok_or_else(|| TensorError::InvalidArgument("golden image has no foreground pixels".into()))?;
+    let d = |a: usize, b: usize| (a as f64 - b as f64).abs() * nm_per_px;
+    Ok(EdeValue {
+        edges_nm: [
+            d(pb.y0, gb.y0),
+            d(pb.y1, gb.y1),
+            d(pb.x0, gb.x0),
+            d(pb.x1, gb.x1),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect_image(y0: usize, x0: usize, y1: usize, x1: usize) -> Tensor {
+        let mut img = Tensor::zeros(&[32, 32]);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                img.set(&[y, x], 1.0).unwrap();
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn identical_images_have_zero_ede() {
+        let img = rect_image(10, 10, 20, 20);
+        let v = ede(&img, &img, 0.5).unwrap();
+        assert_eq!(v.edges_nm, [0.0; 4]);
+        assert_eq!(v.mean_nm(), 0.0);
+    }
+
+    #[test]
+    fn pure_shift_moves_all_edges() {
+        let golden = rect_image(10, 10, 20, 20);
+        let pred = rect_image(12, 11, 22, 21);
+        let v = ede(&pred, &golden, 0.5).unwrap();
+        // Shift (2, 1) px at 0.5 nm/px: top/bottom 1nm, left/right 0.5nm.
+        assert_eq!(v.edges_nm, [1.0, 1.0, 0.5, 0.5]);
+        assert_eq!(v.mean_nm(), 0.75);
+        assert_eq!(v.max_nm(), 1.0);
+    }
+
+    #[test]
+    fn pure_dilation_moves_all_edges_outward() {
+        let golden = rect_image(10, 10, 20, 20);
+        let pred = rect_image(8, 8, 22, 22);
+        let v = ede(&pred, &golden, 1.0).unwrap();
+        assert_eq!(v.edges_nm, [2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_images_are_errors() {
+        let img = rect_image(10, 10, 20, 20);
+        let empty = Tensor::zeros(&[32, 32]);
+        assert!(ede(&empty, &img, 0.5).is_err());
+        assert!(ede(&img, &empty, 0.5).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = rect_image(1, 1, 2, 2);
+        let b = Tensor::ones(&[16, 16]);
+        assert!(ede(&a, &b, 0.5).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Edge placement error (EPE) — the industry-standard pattern-fidelity
+//! metric the paper contrasts its EDE with (§2: "EPE measures the
+//! Manhattan distances between the printed resist contours and the
+//! intended mask patterns at given measurement points").
+//!
+//! Unlike EDE (contour vs contour), EPE scores a contour against the
+//! *design target*. The reproduction exposes it so downstream users can
+//! evaluate predictions the way a fab would, even though the paper's
+//! tables only report EDE.
+
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::BoundingBox;
+
+/// EPE of a printed image against a rectangular design target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpeValue {
+    /// Signed placement error of the four edges
+    /// `[top, bottom, left, right]` in nm; positive = printed edge
+    /// outside the target.
+    pub edges_nm: [f64; 4],
+}
+
+impl EpeValue {
+    /// Mean absolute edge placement error, nm.
+    pub fn mean_abs_nm(&self) -> f64 {
+        self.edges_nm.iter().map(|e| e.abs()).sum::<f64>() / 4.0
+    }
+
+    /// Worst-case absolute edge placement error, nm.
+    pub fn max_abs_nm(&self) -> f64 {
+        self.edges_nm.iter().map(|e| e.abs()).fold(0.0, f64::max)
+    }
+
+    /// Whether all edges sit within `tolerance_nm` of the target — the
+    /// acceptance check of §4.2 uses 10 % of the contact half pitch.
+    pub fn within(&self, tolerance_nm: f64) -> bool {
+        self.max_abs_nm() <= tolerance_nm
+    }
+}
+
+/// Computes the EPE of a printed image (rank-2, `[0, 1]`, class threshold
+/// 0.5) against a rectangular design target given in *pixel* coordinates
+/// `(y0, x0, y1, x1)` (inclusive), with `nm_per_px` conversion.
+///
+/// Measurement points are the four edge midpoints of the target, per the
+/// conventional definition; with axis-aligned boxes the Manhattan distance
+/// at a midpoint reduces to the per-axis edge offset.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when the image has no
+/// foreground or the target box is degenerate.
+pub fn epe(
+    printed: &Tensor,
+    target_px: (usize, usize, usize, usize),
+    nm_per_px: f64,
+) -> Result<EpeValue> {
+    let (ty0, tx0, ty1, tx1) = target_px;
+    if ty1 < ty0 || tx1 < tx0 {
+        return Err(TensorError::InvalidArgument(
+            "degenerate design target box".into(),
+        ));
+    }
+    let bb = BoundingBox::of(printed).ok_or_else(|| {
+        TensorError::InvalidArgument("printed image has no foreground pixels".into())
+    })?;
+    // Signed: positive when the printed edge lies outside the target.
+    let d = |printed: usize, target: usize, outward_is_positive: bool| -> f64 {
+        let diff = printed as f64 - target as f64;
+        if outward_is_positive {
+            diff * nm_per_px
+        } else {
+            -diff * nm_per_px
+        }
+    };
+    Ok(EpeValue {
+        edges_nm: [
+            d(bb.y0, ty0, false), // top edge: printed above target = outside
+            d(bb.y1, ty1, true),
+            d(bb.x0, tx0, false),
+            d(bb.x1, tx1, true),
+        ],
+    })
+}
+
+/// Convenience: EPE against a centred square target of `target_px` pixels
+/// per side — the drawn contact at the centre of a golden window.
+///
+/// # Errors
+///
+/// Same conditions as [`epe`].
+pub fn epe_centered_square(
+    printed: &Tensor,
+    target_size_px: usize,
+    nm_per_px: f64,
+) -> Result<EpeValue> {
+    let dims = printed.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: dims.len(),
+        });
+    }
+    let (h, w) = (dims[0], dims[1]);
+    if target_size_px == 0 || target_size_px > h || target_size_px > w {
+        return Err(TensorError::InvalidArgument(
+            "target larger than the image".into(),
+        ));
+    }
+    let y0 = (h - target_size_px) / 2;
+    let x0 = (w - target_size_px) / 2;
+    epe(
+        printed,
+        (y0, x0, y0 + target_size_px - 1, x0 + target_size_px - 1),
+        nm_per_px,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(y0: usize, x0: usize, size: usize) -> Tensor {
+        let mut img = Tensor::zeros(&[32, 32]);
+        for y in y0..y0 + size {
+            for x in x0..x0 + size {
+                img.set(&[y, x], 1.0).unwrap();
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn exact_print_has_zero_epe() {
+        let img = square(10, 10, 8);
+        let v = epe(&img, (10, 10, 17, 17), 1.0).unwrap();
+        assert_eq!(v.edges_nm, [0.0; 4]);
+        assert!(v.within(0.0));
+    }
+
+    #[test]
+    fn oversized_print_is_positive_on_all_edges() {
+        let img = square(8, 8, 12); // extends 2px beyond a (10,10,17,17) target
+        let v = epe(&img, (10, 10, 17, 17), 0.5).unwrap();
+        assert_eq!(v.edges_nm, [1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(v.mean_abs_nm(), 1.0);
+        assert!(!v.within(0.5));
+        assert!(v.within(1.0));
+    }
+
+    #[test]
+    fn undersized_print_is_negative() {
+        let img = square(12, 12, 4);
+        let v = epe(&img, (10, 10, 17, 17), 1.0).unwrap();
+        assert_eq!(v.edges_nm, [-2.0, -2.0, -2.0, -2.0]);
+        assert_eq!(v.max_abs_nm(), 2.0);
+    }
+
+    #[test]
+    fn shifted_print_has_mixed_signs() {
+        let img = square(12, 10, 8); // shifted 2px down
+        let v = epe(&img, (10, 10, 17, 17), 1.0).unwrap();
+        assert_eq!(v.edges_nm, [-2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn centered_square_helper() {
+        // 8px target centered in 32px image: rows/cols 12..=19.
+        let img = square(12, 12, 8);
+        let v = epe_centered_square(&img, 8, 1.0).unwrap();
+        assert_eq!(v.edges_nm, [0.0; 4]);
+        assert!(epe_centered_square(&img, 64, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_image_is_error() {
+        let img = Tensor::zeros(&[32, 32]);
+        assert!(epe(&img, (10, 10, 17, 17), 1.0).is_err());
+        let sq = square(1, 1, 2);
+        assert!(epe(&sq, (5, 5, 4, 4), 1.0).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+use litho_tensor::{Result, TensorError};
+
+/// A fixed-bin histogram over `[min, max)` — used to reproduce the EDE
+/// distribution plot (paper Figure 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for zero bins or an empty
+    /// range.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self> {
+        if bins == 0 || !(max > min) {
+            return Err(TensorError::InvalidArgument(
+                "histogram needs bins > 0 and max > min".into(),
+            ));
+        }
+        Ok(Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        if value < self.min {
+            self.underflow += 1;
+        } else if value >= self.max {
+            self.overflow += 1;
+        } else {
+            let n = self.counts.len();
+            let bin = ((value - self.min) / (self.max - self.min) * n as f64) as usize;
+            self.counts[bin.min(n - 1)] += 1;
+        }
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Total observations including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow + self.underflow
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (self.min + i as f64 * width, self.min + (i + 1) as f64 * width)
+    }
+
+    /// Renders an ASCII bar chart (one row per bin) for terminal reports.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max_count as usize).min(width));
+            out.push_str(&format!("[{lo:5.1},{hi:5.1}) {c:5} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(0.0, 8.0, 8).unwrap();
+        h.extend([0.0, 0.5, 1.0, 7.99, 8.0, -0.1]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[7], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let h = Histogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 1.0));
+        assert_eq!(h.bin_edges(3), (3.0, 4.0));
+    }
+
+    #[test]
+    fn ascii_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.6, 1.5]);
+        let s = h.to_ascii(10);
+        assert!(s.contains("2"));
+        assert!(s.lines().count() == 2);
+    }
+}

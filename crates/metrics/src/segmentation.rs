@@ -1,0 +1,177 @@
+use litho_tensor::{Result, Tensor};
+
+use crate::check_pair;
+
+/// The 2 × 2 confusion matrix of a binary segmentation:
+/// `p[i][j]` = number of pixels of class `i` predicted as class `j`
+/// (paper notation `p_{i,j}`, with class = pixel color).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// `p[golden_class][predicted_class]`.
+    pub p: [[u64; 2]; 2],
+}
+
+impl Confusion {
+    /// Total pixels of golden class `i` (`t_i = Σ_j p_{i,j}`).
+    pub fn t(&self, i: usize) -> u64 {
+        self.p[i][0] + self.p[i][1]
+    }
+
+    /// Total pixel count.
+    pub fn total(&self) -> u64 {
+        self.t(0) + self.t(1)
+    }
+
+    /// Pixel accuracy (paper Definition 2): `Σ_i p_{i,i} / Σ_i t_i`.
+    pub fn pixel_accuracy(&self) -> f64 {
+        let correct = self.p[0][0] + self.p[1][1];
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Class accuracy (paper Definition 3):
+    /// `(1/2) Σ_i p_{i,i} / t_i`. A class absent from the golden image
+    /// contributes accuracy 1 when it is also absent from the prediction.
+    pub fn class_accuracy(&self) -> f64 {
+        let per_class = |i: usize| {
+            let ti = self.t(i);
+            if ti == 0 {
+                // Vacuously correct if the prediction also has none.
+                let predicted: u64 = self.p[0][i] + self.p[1][i];
+                if predicted == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                self.p[i][i] as f64 / ti as f64
+            }
+        };
+        (per_class(0) + per_class(1)) / 2.0
+    }
+
+    /// Mean IoU (paper Definition 4):
+    /// `(1/2) Σ_i p_{i,i} / (t_i - p_{i,i} + Σ_j p_{j,i})`.
+    pub fn mean_iou(&self) -> f64 {
+        let per_class = |i: usize| {
+            let inter = self.p[i][i];
+            let union = self.t(i) - inter + self.p[0][i] + self.p[1][i];
+            if union == 0 {
+                1.0
+            } else {
+                inter as f64 / union as f64
+            }
+        };
+        (per_class(0) + per_class(1)) / 2.0
+    }
+}
+
+/// Builds the confusion matrix of a prediction against a golden image
+/// (rank-2, `[0, 1]`, class threshold 0.5).
+///
+/// # Errors
+///
+/// Returns a shape error if the images disagree or are not rank 2.
+pub fn confusion(prediction: &Tensor, golden: &Tensor) -> Result<Confusion> {
+    check_pair(prediction, golden)?;
+    let mut p = [[0u64; 2]; 2];
+    for (&pv, &gv) in prediction.as_slice().iter().zip(golden.as_slice()) {
+        let pi = usize::from(pv >= 0.5);
+        let gi = usize::from(gv >= 0.5);
+        p[gi][pi] += 1;
+    }
+    Ok(Confusion { p })
+}
+
+/// Pixel accuracy (Definition 2). See [`Confusion::pixel_accuracy`].
+///
+/// # Errors
+///
+/// Same conditions as [`confusion`].
+pub fn pixel_accuracy(prediction: &Tensor, golden: &Tensor) -> Result<f64> {
+    Ok(confusion(prediction, golden)?.pixel_accuracy())
+}
+
+/// Class accuracy (Definition 3). See [`Confusion::class_accuracy`].
+///
+/// # Errors
+///
+/// Same conditions as [`confusion`].
+pub fn class_accuracy(prediction: &Tensor, golden: &Tensor) -> Result<f64> {
+    Ok(confusion(prediction, golden)?.class_accuracy())
+}
+
+/// Mean intersection-over-union (Definition 4). See
+/// [`Confusion::mean_iou`].
+///
+/// # Errors
+///
+/// Same conditions as [`confusion`].
+pub fn mean_iou(prediction: &Tensor, golden: &Tensor) -> Result<f64> {
+    Ok(confusion(prediction, golden)?.mean_iou())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(vals: &[f32], side: usize) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), &[side, side]).unwrap()
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let g = img(&[1.0, 0.0, 0.0, 1.0], 2);
+        assert_eq!(pixel_accuracy(&g, &g).unwrap(), 1.0);
+        assert_eq!(class_accuracy(&g, &g).unwrap(), 1.0);
+        assert_eq!(mean_iou(&g, &g).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_confusion() {
+        // golden: [1,1,0,0]; pred: [1,0,0,1]
+        let g = img(&[1.0, 1.0, 0.0, 0.0], 2);
+        let p = img(&[1.0, 0.0, 0.0, 1.0], 2);
+        let c = confusion(&p, &g).unwrap();
+        assert_eq!(c.p, [[1, 1], [1, 1]]);
+        assert_eq!(c.pixel_accuracy(), 0.5);
+        assert_eq!(c.class_accuracy(), 0.5);
+        // IoU class 0: 1/(2-1+2)=1/3; class 1: 1/3 → mean 1/3.
+        assert!((c.mean_iou() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_background_prediction_on_mixed_golden() {
+        let g = img(&[1.0, 1.0, 0.0, 0.0], 2);
+        let p = img(&[0.0, 0.0, 0.0, 0.0], 2);
+        let c = confusion(&p, &g).unwrap();
+        assert_eq!(c.pixel_accuracy(), 0.5);
+        // Class 0 fully correct, class 1 fully missed.
+        assert_eq!(c.class_accuracy(), 0.5);
+        // IoU class 0: 2/4; class 1: 0/2.
+        assert_eq!(c.mean_iou(), 0.25);
+    }
+
+    #[test]
+    fn absent_class_is_vacuously_correct() {
+        let g = img(&[0.0, 0.0, 0.0, 0.0], 2);
+        let p = img(&[0.0, 0.0, 0.0, 0.0], 2);
+        let c = confusion(&p, &g).unwrap();
+        assert_eq!(c.class_accuracy(), 1.0);
+        assert_eq!(c.mean_iou(), 1.0);
+    }
+
+    #[test]
+    fn threshold_at_half() {
+        let g = img(&[0.5, 0.49, 0.51, 0.0], 2);
+        let c = confusion(&g, &g).unwrap();
+        assert_eq!(c.t(1), 2); // 0.5 and 0.51 are foreground
+        assert_eq!(c.pixel_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(confusion(&a, &b).is_err());
+    }
+}

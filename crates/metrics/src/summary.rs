@@ -1,0 +1,196 @@
+use litho_tensor::{Result, Tensor};
+
+use crate::{center_error_nm, confusion, ede};
+
+/// Aggregated evaluation results over a test set — one row of the paper's
+/// Table 3 (EDE mean/std, pixel accuracy, class accuracy, mean IoU) plus
+/// the CNN centre-error statistic of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Number of samples accumulated.
+    pub samples: usize,
+    /// Mean per-sample EDE, nm.
+    pub ede_mean_nm: f64,
+    /// Standard deviation of per-sample EDE, nm.
+    pub ede_std_nm: f64,
+    /// Mean pixel accuracy (Definition 2).
+    pub pixel_accuracy: f64,
+    /// Mean class accuracy (Definition 3).
+    pub class_accuracy: f64,
+    /// Mean IoU (Definition 4).
+    pub mean_iou: f64,
+    /// Mean Euclidean centre error, nm.
+    pub center_error_nm: f64,
+}
+
+/// Streaming accumulator for [`MetricSummary`] over (prediction, golden)
+/// pairs.
+///
+/// # Example
+///
+/// ```
+/// use litho_metrics::MetricAccumulator;
+/// use litho_tensor::Tensor;
+///
+/// let mut acc = MetricAccumulator::new(0.5);
+/// let golden = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2])?;
+/// acc.add(&golden, &golden)?;
+/// let summary = acc.summary();
+/// assert_eq!(summary.samples, 1);
+/// assert_eq!(summary.ede_mean_nm, 0.0);
+/// # Ok::<(), litho_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricAccumulator {
+    nm_per_px: f64,
+    ede_values: Vec<f64>,
+    center_values: Vec<f64>,
+    pixel_acc_sum: f64,
+    class_acc_sum: f64,
+    iou_sum: f64,
+    samples: usize,
+    skipped: usize,
+}
+
+impl MetricAccumulator {
+    /// Creates an accumulator; `nm_per_px` converts pixel distances to nm.
+    pub fn new(nm_per_px: f64) -> Self {
+        MetricAccumulator {
+            nm_per_px,
+            ede_values: Vec::new(),
+            center_values: Vec::new(),
+            pixel_acc_sum: 0.0,
+            class_acc_sum: 0.0,
+            iou_sum: 0.0,
+            samples: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Accumulates one (prediction, golden) image pair.
+    ///
+    /// Pairs where either image is empty (no foreground) contribute to the
+    /// segmentation metrics but are counted as *skipped* for EDE and
+    /// centre error, since no bounding box exists; [`Self::skipped`]
+    /// exposes the count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the two images disagree.
+    pub fn add(&mut self, prediction: &Tensor, golden: &Tensor) -> Result<()> {
+        let c = confusion(prediction, golden)?;
+        self.pixel_acc_sum += c.pixel_accuracy();
+        self.class_acc_sum += c.class_accuracy();
+        self.iou_sum += c.mean_iou();
+        match (
+            ede(prediction, golden, self.nm_per_px),
+            center_error_nm(prediction, golden, self.nm_per_px),
+        ) {
+            (Ok(e), Ok(ce)) => {
+                self.ede_values.push(e.mean_nm());
+                self.center_values.push(ce);
+            }
+            _ => self.skipped += 1,
+        }
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// Per-sample EDE values accumulated so far (for Figure-7 histograms).
+    pub fn ede_values(&self) -> &[f64] {
+        &self.ede_values
+    }
+
+    /// Pairs skipped for box-based metrics because a side was empty.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Produces the aggregate summary. All-zero for an empty accumulator.
+    pub fn summary(&self) -> MetricSummary {
+        let n = self.samples.max(1) as f64;
+        let ne = self.ede_values.len().max(1) as f64;
+        let ede_mean = self.ede_values.iter().sum::<f64>() / ne;
+        let ede_var = self
+            .ede_values
+            .iter()
+            .map(|v| (v - ede_mean) * (v - ede_mean))
+            .sum::<f64>()
+            / ne;
+        MetricSummary {
+            samples: self.samples,
+            ede_mean_nm: if self.ede_values.is_empty() { 0.0 } else { ede_mean },
+            ede_std_nm: if self.ede_values.is_empty() { 0.0 } else { ede_var.sqrt() },
+            pixel_accuracy: self.pixel_acc_sum / n * if self.samples == 0 { 0.0 } else { 1.0 },
+            class_accuracy: self.class_acc_sum / n * if self.samples == 0 { 0.0 } else { 1.0 },
+            mean_iou: self.iou_sum / n * if self.samples == 0 { 0.0 } else { 1.0 },
+            center_error_nm: if self.center_values.is_empty() {
+                0.0
+            } else {
+                self.center_values.iter().sum::<f64>() / self.center_values.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(y0: usize, x0: usize, size: usize) -> Tensor {
+        let mut img = Tensor::zeros(&[16, 16]);
+        for y in y0..y0 + size {
+            for x in x0..x0 + size {
+                img.set(&[y, x], 1.0).unwrap();
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let mut acc = MetricAccumulator::new(0.5);
+        let g = square(4, 4, 6);
+        acc.add(&g, &g).unwrap();
+        acc.add(&g, &g).unwrap();
+        let s = acc.summary();
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.ede_mean_nm, 0.0);
+        assert_eq!(s.ede_std_nm, 0.0);
+        assert_eq!(s.pixel_accuracy, 1.0);
+        assert_eq!(s.mean_iou, 1.0);
+        assert_eq!(s.center_error_nm, 0.0);
+    }
+
+    #[test]
+    fn mixed_quality_statistics() {
+        let mut acc = MetricAccumulator::new(1.0);
+        let golden = square(4, 4, 6);
+        acc.add(&golden, &golden).unwrap(); // EDE 0
+        acc.add(&square(6, 4, 6), &golden).unwrap(); // shift 2px: EDE 1nm mean
+        let s = acc.summary();
+        assert!((s.ede_mean_nm - 0.5).abs() < 1e-9);
+        assert!((s.ede_std_nm - 0.5).abs() < 1e-9);
+        assert!(s.pixel_accuracy < 1.0);
+        assert_eq!(acc.ede_values(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_prediction_is_skipped_for_boxes() {
+        let mut acc = MetricAccumulator::new(1.0);
+        let golden = square(4, 4, 6);
+        acc.add(&Tensor::zeros(&[16, 16]), &golden).unwrap();
+        assert_eq!(acc.skipped(), 1);
+        let s = acc.summary();
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.ede_mean_nm, 0.0); // no EDE recorded
+        assert!(s.pixel_accuracy < 1.0); // segmentation still counted
+    }
+
+    #[test]
+    fn empty_accumulator_is_all_zero() {
+        let s = MetricAccumulator::new(1.0).summary();
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.pixel_accuracy, 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+
+use litho_metrics::{
+    center_error_nm, class_accuracy, ede, mean_iou, pixel_accuracy, BoundingBox, Histogram,
+    Tensor,
+};
+
+fn binary_image(side: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(prop::bool::ANY, side * side).prop_map(move |bits| {
+        Tensor::from_vec(
+            bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            &[side, side],
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn segmentation_metrics_are_probabilities(a in binary_image(8), b in binary_image(8)) {
+        for metric in [
+            pixel_accuracy(&a, &b).unwrap(),
+            class_accuracy(&a, &b).unwrap(),
+            mean_iou(&a, &b).unwrap(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&metric), "{metric}");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one(a in binary_image(8)) {
+        prop_assert_eq!(pixel_accuracy(&a, &a).unwrap(), 1.0);
+        prop_assert_eq!(class_accuracy(&a, &a).unwrap(), 1.0);
+        prop_assert_eq!(mean_iou(&a, &a).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn iou_lower_bounds_pixel_accuracy(a in binary_image(8), b in binary_image(8)) {
+        // Mean IoU is always <= pixel accuracy for binary maps... not a
+        // theorem in general, but IoU <= accuracy per class holds; check
+        // the weaker true invariant: mean IoU <= class accuracy.
+        let iou = mean_iou(&a, &b).unwrap();
+        let ca = class_accuracy(&a, &b).unwrap();
+        prop_assert!(iou <= ca + 1e-12, "iou {iou} vs class acc {ca}");
+    }
+
+    #[test]
+    fn ede_is_symmetric_and_nonnegative(a in binary_image(8), b in binary_image(8)) {
+        prop_assume!(a.sum() > 0.0 && b.sum() > 0.0);
+        let ab = ede(&a, &b, 0.5).unwrap();
+        let ba = ede(&b, &a, 0.5).unwrap();
+        prop_assert!((ab.mean_nm() - ba.mean_nm()).abs() < 1e-12);
+        prop_assert!(ab.mean_nm() >= 0.0);
+        prop_assert!(ab.max_nm() >= ab.mean_nm());
+    }
+
+    #[test]
+    fn ede_zero_iff_same_bounding_box(a in binary_image(8)) {
+        prop_assume!(a.sum() > 0.0);
+        prop_assert_eq!(ede(&a, &a, 1.0).unwrap().mean_nm(), 0.0);
+        prop_assert_eq!(center_error_nm(&a, &a, 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ede_scales_linearly_with_nm_per_px(a in binary_image(8), b in binary_image(8)) {
+        prop_assume!(a.sum() > 0.0 && b.sum() > 0.0);
+        let one = ede(&a, &b, 1.0).unwrap().mean_nm();
+        let two = ede(&a, &b, 2.0).unwrap().mean_nm();
+        prop_assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_foreground(a in binary_image(8)) {
+        if let Some(bb) = BoundingBox::of(&a) {
+            for y in 0..8 {
+                for x in 0..8 {
+                    if a.at(&[y, x]).unwrap() >= 0.5 {
+                        prop_assert!(y >= bb.y0 && y <= bb.y1);
+                        prop_assert!(x >= bb.x0 && x <= bb.x1);
+                    }
+                }
+            }
+            // Box edges touch foreground.
+            prop_assert!((bb.x0..=bb.x1).any(|x| a.at(&[bb.y0, x]).unwrap() >= 0.5));
+            prop_assert!((bb.y0..=bb.y1).any(|y| a.at(&[y, bb.x1]).unwrap() >= 0.5));
+        } else {
+            prop_assert_eq!(a.sum(), 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(values in proptest::collection::vec(-5.0f64..15.0, 0..200)) {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let in_range = values.iter().filter(|&&v| (0.0..10.0).contains(&v)).count() as u64;
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), in_range);
+    }
+}

@@ -1,0 +1,267 @@
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::layer::{Layer, Phase};
+
+macro_rules! no_cache_error {
+    ($name:literal) => {
+        TensorError::InvalidArgument(concat!($name, "::backward called before train forward").into())
+    };
+}
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Train {
+            self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| no_cache_error!("Relu"))?;
+        if mask.len() != grad_output.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: grad_output.len(),
+            });
+        }
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> String {
+        "ReLU".into()
+    }
+}
+
+/// Leaky rectified linear unit, `x` for `x > 0` and `slope * x` otherwise.
+///
+/// The GAN literature (and the paper's Table 1) uses `slope = 0.2`.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    slope: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    pub fn new(slope: f32) -> Self {
+        LeakyRelu { slope, mask: None }
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        LeakyRelu::new(0.2)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Train {
+            self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        let slope = self.slope;
+        Ok(input.map(|v| if v > 0.0 { v } else { slope * v }))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| no_cache_error!("LeakyRelu"))?;
+        if mask.len() != grad_output.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: grad_output.len(),
+            });
+        }
+        let slope = self.slope;
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { slope * g })
+            .collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> String {
+        format!("LeakyReLU({})", self.slope)
+    }
+}
+
+/// Hyperbolic tangent; the generator's output activation, mapping to
+/// `[-1, 1]` image space.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Tanh { output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        if phase == Phase::Train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self.output.take().ok_or_else(|| no_cache_error!("Tanh"))?;
+        if out.dims() != grad_output.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: out.dims().to_vec(),
+                right: grad_output.dims().to_vec(),
+            });
+        }
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> String {
+        "Tanh".into()
+    }
+}
+
+/// Logistic sigmoid, `1 / (1 + e^{-x})`.
+///
+/// Prefer [`crate::bce_with_logits`] for classification losses — it fuses
+/// the sigmoid for numerical stability; this layer exists for probability
+/// outputs consumed directly (e.g. visualisation).
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Sigmoid { output: None }
+    }
+}
+
+/// Numerically stable scalar sigmoid.
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        let out = input.map(sigmoid_scalar);
+        if phase == Phase::Train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self.output.take().ok_or_else(|| no_cache_error!("Sigmoid"))?;
+        if out.dims() != grad_output.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: out.dims().to_vec(),
+                right: grad_output.dims().to_vec(),
+            });
+        }
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> String {
+        "Sigmoid".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = relu.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = relu.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let mut lrelu = LeakyRelu::new(0.2);
+        let x = Tensor::from_vec(vec![-10.0, 10.0], &[2]).unwrap();
+        let y = lrelu.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, 10.0]);
+        let dx = lrelu.backward(&Tensor::ones(&[2])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.2, 1.0]);
+    }
+
+    #[test]
+    fn tanh_range_and_gradient() {
+        let mut tanh = Tanh::new();
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]).unwrap();
+        let y = tanh.forward(&x, Phase::Train).unwrap();
+        assert!((y.as_slice()[0] + 1.0).abs() < 1e-6);
+        assert_eq!(y.as_slice()[1], 0.0);
+        assert!((y.as_slice()[2] - 1.0).abs() < 1e-6);
+        let dx = tanh.backward(&Tensor::ones(&[3])).unwrap();
+        // Gradient is 1 at the origin and ~0 at saturation.
+        assert!(dx.as_slice()[0].abs() < 1e-6);
+        assert_eq!(dx.as_slice()[1], 1.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        let mut sig = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-1000.0, 0.0, 1000.0], &[3]).unwrap();
+        let y = sig.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert_eq!(y.as_slice()[1], 0.5);
+        assert_eq!(y.as_slice()[2], 1.0);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(Relu::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Tanh::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Sigmoid::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(LeakyRelu::default().backward(&Tensor::ones(&[1])).is_err());
+    }
+}

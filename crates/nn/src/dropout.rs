@@ -1,0 +1,147 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::layer::{Layer, Phase};
+
+/// Inverted dropout.
+///
+/// In [`Phase::Train`] each element is zeroed with probability `p` and the
+/// survivors are scaled by `1/(1-p)` so the expected activation is
+/// unchanged; in [`Phase::Eval`] the layer is the identity. The paper's
+/// decoder applies dropout after the first two deconvolution blocks
+/// (Table 1), following pix2pix.
+///
+/// The layer owns its RNG (seeded at construction) so that training runs
+/// are reproducible without threading an RNG through every forward call.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SmallRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` (clamped to
+    /// `[0, 0.95]`) and a deterministic seed.
+    pub fn new(p: f32, seed: u64) -> Self {
+        Dropout {
+            p: p.clamp(0.0, 0.95),
+            rng: SmallRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Eval || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        let out = Tensor::from_vec(data, input.dims())?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match self.mask.take() {
+            // Eval-mode or p=0 forward: identity gradient.
+            None => Ok(grad_output.clone()),
+            Some(mask) => {
+                if mask.len() != grad_output.len() {
+                    return Err(TensorError::LengthMismatch {
+                        expected: mask.len(),
+                        actual: grad_output.len(),
+                    });
+                }
+                let data = grad_output
+                    .as_slice()
+                    .iter()
+                    .zip(&mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad_output.dims())
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Dropout({})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::ones(&[10000]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        // E[y] = 1; tolerate sampling noise.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are scaled by 2.
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        let dx = d.backward(&Tensor::ones(&[64])).unwrap();
+        for (yv, dv) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(yv, dv);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Dropout::new(0.3, 99);
+        let mut b = Dropout::new(0.3, 99);
+        let x = Tensor::ones(&[256]);
+        assert_eq!(
+            a.forward(&x, Phase::Train).unwrap(),
+            b.forward(&x, Phase::Train).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Tensor::ones(&[16]);
+        assert_eq!(d.forward(&x, Phase::Train).unwrap(), x);
+        // And backward passes gradients through unchanged.
+        let g = Tensor::full(&[16], 3.0);
+        assert_eq!(d.backward(&g).unwrap(), g);
+    }
+}

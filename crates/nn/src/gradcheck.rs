@@ -1,0 +1,109 @@
+//! Numerical gradient checking for [`Layer`] implementations.
+//!
+//! Used throughout the layer test suites: analytic gradients from
+//! `backward` are compared against central finite differences of the
+//! forward pass. The scalar objective is `L = Σ y ⊙ r` for a fixed random
+//! `r`, whose gradient w.r.t. `y` is simply `r`.
+
+use rand::{Rng, SeedableRng};
+
+use litho_tensor::Tensor;
+
+use crate::layer::{Layer, Phase};
+
+/// Checks the input and parameter gradients of `layer` at a random input
+/// of shape `input_dims`.
+///
+/// `eps` is the finite-difference step; `tol` the allowed absolute error
+/// per coordinate (relative for large values). For cost reasons at most 64
+/// input coordinates and 64 coordinates per parameter are probed.
+///
+/// # Panics
+///
+/// Panics (via `assert!`) when a probed coordinate disagrees — this is a
+/// test helper, not production API.
+pub fn check_layer(mut layer: Box<dyn Layer>, input_dims: &[usize], eps: f32, tol: f32) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    let volume: usize = input_dims.iter().product();
+    let x = Tensor::from_vec(
+        (0..volume).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        input_dims,
+    )
+    .expect("input construction");
+
+    let y = layer.forward(&x, Phase::Train).expect("forward");
+    let r = Tensor::from_vec(
+        (0..y.len()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        y.dims(),
+    )
+    .expect("direction construction");
+
+    layer.zero_grad();
+    let dx = layer.backward(&r).expect("backward");
+
+    // Collect analytic parameter gradients.
+    let mut param_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p| param_grads.push(p.grad.as_slice().to_vec()));
+
+    let objective = |layer: &mut Box<dyn Layer>, x: &Tensor, r: &Tensor| -> f32 {
+        let y = layer.forward(x, Phase::Train).expect("forward");
+        y.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum()
+    };
+
+    // Input gradient probes.
+    let probes = pick_indices(volume, 64, &mut rng);
+    for idx in probes {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let lp = objective(&mut layer, &xp, &r);
+        xp.as_mut_slice()[idx] -= 2.0 * eps;
+        let lm = objective(&mut layer, &xp, &r);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = dx.as_slice()[idx];
+        let scale = 1.0f32.max(numeric.abs()).max(analytic.abs());
+        assert!(
+            (numeric - analytic).abs() / scale < tol,
+            "input grad mismatch at {idx}: numeric {numeric}, analytic {analytic}"
+        );
+    }
+
+    // Parameter gradient probes.
+    let mut param_count = 0;
+    layer.visit_params(&mut |_| param_count += 1);
+    for pi in 0..param_count {
+        let len = param_grads[pi].len();
+        let probes = pick_indices(len, 64, &mut rng);
+        for idx in probes {
+            perturb_param(&mut layer, pi, idx, eps);
+            let lp = objective(&mut layer, &x, &r);
+            perturb_param(&mut layer, pi, idx, -2.0 * eps);
+            let lm = objective(&mut layer, &x, &r);
+            perturb_param(&mut layer, pi, idx, eps); // restore
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = param_grads[pi][idx];
+            let scale = 1.0f32.max(numeric.abs()).max(analytic.abs());
+            assert!(
+                (numeric - analytic).abs() / scale < tol,
+                "param {pi} grad mismatch at {idx}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+}
+
+fn perturb_param(layer: &mut Box<dyn Layer>, target: usize, idx: usize, delta: f32) {
+    let mut i = 0;
+    layer.visit_params(&mut |p| {
+        if i == target {
+            p.value.as_mut_slice()[idx] += delta;
+        }
+        i += 1;
+    });
+}
+
+fn pick_indices<R: Rng>(len: usize, max: usize, rng: &mut R) -> Vec<usize> {
+    if len <= max {
+        (0..len).collect()
+    } else {
+        (0..max).map(|_| rng.gen_range(0..len)).collect()
+    }
+}

@@ -1,0 +1,102 @@
+use rand::Rng;
+
+use litho_tensor::Tensor;
+
+/// Weight initialisation schemes.
+///
+/// The paper follows the DCGAN/pix2pix convention of zero-mean Gaussian
+/// weights with a small standard deviation; Xavier and He variants are
+/// provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightInit {
+    /// `N(0, stddev²)` — DCGAN-style, paper default with `stddev = 0.02`.
+    Normal {
+        /// Standard deviation of the Gaussian.
+        stddev: f32,
+    },
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, 2 / fan_in)` — suited to ReLU trunks.
+    HeNormal,
+}
+
+impl Default for WeightInit {
+    fn default() -> Self {
+        WeightInit::Normal { stddev: 0.02 }
+    }
+}
+
+impl WeightInit {
+    /// Samples a weight tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` are the effective fan sizes (for a convolution,
+    /// `in_c * kh * kw` and `out_c * kh * kw`).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        dims: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut R,
+    ) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = match self {
+            WeightInit::Normal { stddev } => {
+                (0..n).map(|_| gaussian(rng) * stddev).collect()
+            }
+            WeightInit::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            WeightInit::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| gaussian(rng) * std).collect()
+            }
+        };
+        Tensor::from_vec(data, dims).expect("shape volume matches generated data")
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a distribution dependency).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z = mag * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_init_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = WeightInit::Normal { stddev: 0.02 }.sample(&[64, 64], 64, 64, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!(mean.abs() < 5e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 5e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = WeightInit::XavierUniform.sample(&[100], 10, 10, &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let narrow = WeightInit::HeNormal.sample(&[4096], 8, 8, &mut rng);
+        let wide = WeightInit::HeNormal.sample(&[4096], 512, 512, &mut rng);
+        assert!(narrow.sum_squares() > wide.sum_squares());
+    }
+}

@@ -1,0 +1,154 @@
+use litho_tensor::{Result, Tensor, TensorError};
+
+/// Whether a forward pass runs in training or inference mode.
+///
+/// [`crate::BatchNorm2d`] switches between batch and running statistics and
+/// [`crate::Dropout`] switches between masking and identity based on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Training: batch statistics, dropout active, caches retained.
+    Train,
+    /// Inference: running statistics, no dropout.
+    Eval,
+}
+
+/// A trainable parameter: its value and the gradient accumulated by the
+/// most recent backward pass(es).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+}
+
+/// A differentiable network module.
+///
+/// The contract mirrors classic layer-based frameworks:
+///
+/// 1. `forward(x, phase)` computes the output and, in [`Phase::Train`],
+///    caches activations needed by `backward`.
+/// 2. `backward(dy)` consumes the cache, **accumulates** parameter
+///    gradients (callers reset them with [`Layer::zero_grad`]) and returns
+///    the gradient with respect to the input.
+/// 3. `visit_params` exposes parameters in a stable order so optimizers can
+///    maintain per-parameter state and serializers can round-trip weights.
+///
+/// # Errors
+///
+/// `backward` before `forward` in train mode is a contract violation and
+/// returns [`TensorError::InvalidArgument`].
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] when the input shape is incompatible with
+    /// the layer configuration.
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor>;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if no forward cache exists or shapes
+    /// disagree with the cached forward pass.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter in a stable order.
+    ///
+    /// Stateless layers use the default empty implementation.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits non-trainable state vectors (batch-norm running statistics)
+    /// in a stable order, for serialization.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.as_mut_slice().fill(0.0));
+    }
+
+    /// Number of scalar trainable parameters.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.value.len());
+        count
+    }
+
+    /// A short human-readable layer description.
+    fn name(&self) -> String;
+}
+
+/// Flattens an NCHW tensor into `[n, c*h*w]` (and un-flattens gradients).
+///
+/// Used between the convolutional trunk and the fully connected head of
+/// the center-prediction CNN (paper Table 2).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _phase: Phase) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.is_empty() {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: 0,
+            });
+        }
+        self.cached_dims = Some(dims.to_vec());
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Flatten::backward called before forward".into())
+        })?;
+        grad_output.reshape(dims)
+    }
+
+    fn name(&self) -> String {
+        "Flatten".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut layer = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 5]);
+        let y = layer.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 60]);
+        let dx = layer.backward(&y).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn flatten_backward_requires_forward() {
+        let mut layer = Flatten::new();
+        assert!(layer.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+use rand::Rng;
+
+use litho_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Result, Tensor, TensorError};
+
+use crate::layer::{Layer, Param, Phase};
+use crate::WeightInit;
+
+/// Fully connected layer: `y = x · Wᵀ + b` for `x` of shape `[n, in]`.
+///
+/// Weight layout is `[out, in]`; bias is `[out]`. Used by the FC heads of
+/// the discriminator and the center-prediction CNN.
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with the default (paper) weight init.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Linear::with_init(in_features, out_features, WeightInit::default(), rng)
+    }
+
+    /// Creates a linear layer with an explicit weight init scheme.
+    pub fn with_init<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        init: WeightInit,
+        rng: &mut R,
+    ) -> Self {
+        let weight = init.sample(&[out_features, in_features], in_features, out_features, rng);
+        Linear {
+            in_features,
+            out_features,
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 2 || dims[1] != self.in_features {
+            return Err(TensorError::InvalidArgument(format!(
+                "Linear expects [n, {}], got {dims:?}",
+                self.in_features
+            )));
+        }
+        // y = x · Wᵀ : [n, in] x [out, in]ᵀ -> [n, out]
+        let mut y = matmul_transpose_b(input, &self.weight.value)?;
+        {
+            let n = dims[0];
+            let data = y.as_mut_slice();
+            let bias = self.bias.value.as_slice();
+            for row in 0..n {
+                for (o, &b) in bias.iter().enumerate() {
+                    data[row * self.out_features + o] += b;
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.take().ok_or_else(|| {
+            TensorError::InvalidArgument("Linear::backward called before train forward".into())
+        })?;
+        let n = input.dims()[0];
+        if grad_output.dims() != [n, self.out_features] {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_output.dims().to_vec(),
+                right: vec![n, self.out_features],
+            });
+        }
+        // dW = dyᵀ · x : [n, out]ᵀ x [n, in] -> [out, in]
+        let dw = matmul_transpose_a(grad_output, &input)?;
+        self.weight.grad.add_assign(&dw)?;
+        // db = column sums of dy.
+        {
+            let db = self.bias.grad.as_mut_slice();
+            let dy = grad_output.as_slice();
+            for row in 0..n {
+                for (o, acc) in db.iter_mut().enumerate() {
+                    *acc += dy[row * self.out_features + o];
+                }
+            }
+        }
+        // dx = dy · W : [n, out] x [out, in] -> [n, in]
+        matmul(grad_output, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> String {
+        format!("Linear({}→{})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_weight_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.visit_params(&mut |p| {
+            if p.value.len() == 4 {
+                p.value
+                    .as_mut_slice()
+                    .copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+            } else {
+                p.value.as_mut_slice().copy_from_slice(&[10.0, 20.0]);
+            }
+        });
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let y = lin.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(4, 2, &mut rng);
+        assert!(lin.forward(&Tensor::zeros(&[2, 3]), Phase::Eval).is_err());
+        assert!(lin.forward(&Tensor::zeros(&[4]), Phase::Eval).is_err());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let lin = Linear::new(5, 3, &mut rng);
+        crate::gradcheck::check_layer(Box::new(lin), &[4, 5], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(64, 2, &mut rng);
+        assert_eq!(lin.param_count(), 64 * 2 + 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Loss functions.
+//!
+//! Each loss returns a [`LossValue`]: the scalar loss plus the gradient
+//! with respect to the prediction, ready to feed into `Layer::backward`.
+//! Losses are mean-reduced over all elements, matching the conventions the
+//! paper's objective (Eq. 3) inherits from pix2pix.
+
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::activation::sigmoid_scalar;
+
+/// A scalar loss and the gradient of that loss w.r.t. the prediction.
+#[derive(Debug, Clone)]
+pub struct LossValue {
+    /// Mean-reduced scalar loss.
+    pub loss: f32,
+    /// `d loss / d prediction`, same shape as the prediction.
+    pub grad: Tensor,
+}
+
+fn check_pair(prediction: &Tensor, target: &Tensor) -> Result<()> {
+    if prediction.dims() != target.dims() {
+        return Err(TensorError::ShapeMismatch {
+            left: prediction.dims().to_vec(),
+            right: target.dims().to_vec(),
+        });
+    }
+    if prediction.is_empty() {
+        return Err(TensorError::InvalidArgument("empty loss input".into()));
+    }
+    Ok(())
+}
+
+/// Binary cross-entropy on raw logits (fused sigmoid for stability).
+///
+/// For logits `z` and targets `t ∈ [0, 1]`:
+/// `loss = mean( max(z,0) - z·t + ln(1 + e^{-|z|}) )`, the standard
+/// numerically stable form. This implements both GAN objective terms of
+/// Eq. 1/2: `log D(x,y)` with `t = 1` and `log(1 - D(x,G(x,z)))` with
+/// `t = 0`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if shapes differ or the inputs are empty.
+pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> Result<LossValue> {
+    check_pair(logits, target)?;
+    let n = logits.len() as f32;
+    let mut total = 0.0f64;
+    let grad_data: Vec<f32> = logits
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&z, &t)| {
+            let loss = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+            total += loss as f64;
+            (sigmoid_scalar(z) - t) / n
+        })
+        .collect();
+    Ok(LossValue {
+        loss: (total / n as f64) as f32,
+        grad: Tensor::from_vec(grad_data, logits.dims())?,
+    })
+}
+
+/// Mean absolute error — the ℓ1 reconstruction term of Eq. 2/3, which the
+/// paper weights by λ = 100 ("ℓ1 encourages less blurring than ℓ2").
+///
+/// The gradient at exactly zero difference is defined as 0.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if shapes differ or the inputs are empty.
+pub fn l1_loss(prediction: &Tensor, target: &Tensor) -> Result<LossValue> {
+    check_pair(prediction, target)?;
+    let n = prediction.len() as f32;
+    let mut total = 0.0f64;
+    let grad_data: Vec<f32> = prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            total += d.abs() as f64;
+            if d > 0.0 {
+                1.0 / n
+            } else if d < 0.0 {
+                -1.0 / n
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Ok(LossValue {
+        loss: (total / n as f64) as f32,
+        grad: Tensor::from_vec(grad_data, prediction.dims())?,
+    })
+}
+
+/// Mean squared error — used by the center-prediction CNN regression head
+/// and by the ℓ2 ablation of the reconstruction loss.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if shapes differ or the inputs are empty.
+pub fn mse_loss(prediction: &Tensor, target: &Tensor) -> Result<LossValue> {
+    check_pair(prediction, target)?;
+    let n = prediction.len() as f32;
+    let mut total = 0.0f64;
+    let grad_data: Vec<f32> = prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            total += (d * d) as f64;
+            2.0 * d / n
+        })
+        .collect();
+    Ok(LossValue {
+        loss: (total / n as f64) as f32,
+        grad: Tensor::from_vec(grad_data, prediction.dims())?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(vec![50.0, -50.0], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap();
+        let lv = bce_with_logits(&logits, &target).unwrap();
+        assert!(lv.loss < 1e-6);
+        assert!(lv.grad.as_slice().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn bce_at_zero_logit_is_ln2() {
+        let logits = Tensor::zeros(&[4]);
+        let target = Tensor::ones(&[4]);
+        let lv = bce_with_logits(&logits, &target).unwrap();
+        assert!((lv.loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_is_finite_at_extreme_logits() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let lv = bce_with_logits(&logits, &target).unwrap();
+        assert!(lv.loss.is_finite());
+        assert!(lv.grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn bce_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[3]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 0.0, 0.5], &[3]).unwrap();
+        let lv = bce_with_logits(&logits, &target).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let num = (bce_with_logits(&plus, &target).unwrap().loss
+                - bce_with_logits(&minus, &target).unwrap().loss)
+                / (2.0 * eps);
+            assert!((num - lv.grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l1_value_and_grad() {
+        let p = Tensor::from_vec(vec![1.0, -1.0, 0.5], &[3]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0, 0.5], &[3]).unwrap();
+        let lv = l1_loss(&p, &t).unwrap();
+        assert!((lv.loss - 2.0 / 3.0).abs() < 1e-6);
+        let g = lv.grad.as_slice();
+        assert!((g[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((g[1] + 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(g[2], 0.0);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let p = Tensor::from_vec(vec![2.0, 0.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let lv = mse_loss(&p, &t).unwrap();
+        assert!((lv.loss - 2.0).abs() < 1e-6);
+        assert!((lv.grad.as_slice()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(lv.grad.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn losses_reject_shape_mismatch_and_empty() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(bce_with_logits(&a, &b).is_err());
+        assert!(l1_loss(&a, &b).is_err());
+        assert!(mse_loss(&a, &b).is_err());
+        let e = Tensor::zeros(&[0]);
+        assert!(mse_loss(&e, &e).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! First-order optimizers.
+//!
+//! Optimizers hold per-parameter state keyed by the layer's stable
+//! parameter visitation order (see [`Layer::visit_params`]), so the same
+//! optimizer instance must always be stepped against the same network.
+
+use litho_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// `net`, then leaves the gradients untouched (call
+    /// [`Layer::zero_grad`] before the next backward pass).
+    fn step(&mut self, net: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer. `momentum = 0` is plain SGD.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.dims()));
+            }
+            let v = &mut velocity[idx];
+            debug_assert_eq!(v.dims(), p.value.dims(), "optimizer/network mismatch");
+            let vd = v.as_mut_slice();
+            let val = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..val.len() {
+                vd[i] = momentum * vd[i] - lr * grad[i];
+                val[i] += vd[i];
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, paper reference \[24\]).
+///
+/// The paper trains both networks with `lr = 2e-4`, `β₁ = 0.5`,
+/// `β₂ = 0.999` — the standard GAN configuration; [`Adam::paper`] builds
+/// exactly that.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The paper's training configuration: `lr = 2e-4`, β = (0.5, 0.999).
+    pub fn paper() -> Self {
+        Adam::new(2e-4, 0.5, 0.999)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let lr = self.lr;
+        let (b1, b2, eps, t) = (self.beta1, self.beta2, self.eps, self.t);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let mut idx = 0;
+        let m_state = &mut self.m;
+        let v_state = &mut self.v;
+        net.visit_params(&mut |p| {
+            if m_state.len() <= idx {
+                m_state.push(Tensor::zeros(p.value.dims()));
+                v_state.push(Tensor::zeros(p.value.dims()));
+            }
+            debug_assert_eq!(m_state[idx].dims(), p.value.dims(), "optimizer/network mismatch");
+            let m = m_state[idx].as_mut_slice();
+            let v = v_state[idx].as_mut_slice();
+            let val = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..val.len() {
+                let g = grad[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                val[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// A linear learning-rate decay schedule: holds the base rate for the
+/// first `hold_epochs`, then decays linearly to zero by `total_epochs`
+/// (the pix2pix convention; the LithoGAN paper trains at a fixed rate for
+/// its 80 epochs, so this is opt-in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearDecay {
+    base_lr: f32,
+    hold_epochs: usize,
+    total_epochs: usize,
+}
+
+impl LinearDecay {
+    /// Creates a schedule holding `base_lr` for `hold_epochs`, reaching
+    /// zero at `total_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs <= hold_epochs`.
+    pub fn new(base_lr: f32, hold_epochs: usize, total_epochs: usize) -> Self {
+        assert!(
+            total_epochs > hold_epochs,
+            "decay phase must be non-empty"
+        );
+        LinearDecay {
+            base_lr,
+            hold_epochs,
+            total_epochs,
+        }
+    }
+
+    /// The learning rate for a (0-based) epoch.
+    pub fn rate_at(&self, epoch: usize) -> f32 {
+        if epoch < self.hold_epochs {
+            self.base_lr
+        } else if epoch >= self.total_epochs {
+            0.0
+        } else {
+            let span = (self.total_epochs - self.hold_epochs) as f32;
+            let into = (epoch - self.hold_epochs) as f32;
+            self.base_lr * (1.0 - into / span)
+        }
+    }
+
+    /// Applies the epoch's rate to an optimizer.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, epoch: usize) {
+        optimizer.set_learning_rate(self.rate_at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{l1_loss, mse_loss, Layer, Linear, Phase, Sequential};
+    use litho_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn train_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimise ||W x - target||² for a fixed x: loss must go to ~0.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 2, &mut rng));
+        let x = Tensor::from_vec(vec![1.0, -0.5, 2.0], &[1, 3]).unwrap();
+        let target = Tensor::from_vec(vec![0.7, -0.3], &[1, 2]).unwrap();
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            net.zero_grad();
+            let y = net.forward(&x, Phase::Train).unwrap();
+            let lv = mse_loss(&y, &target).unwrap();
+            net.backward(&lv.grad).unwrap();
+            opt.step(&mut net);
+            last = lv.loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        assert!(train_quadratic(&mut opt, 200) < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05, 0.9, 0.999);
+        assert!(train_quadratic(&mut opt, 300) < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_l1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 1, &mut rng));
+        let mut opt = Adam::new(0.02, 0.9, 0.999);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let target = Tensor::from_vec(vec![5.0], &[1, 1]).unwrap();
+        let mut last = f32::INFINITY;
+        for _ in 0..2000 {
+            net.zero_grad();
+            let y = net.forward(&x, Phase::Train).unwrap();
+            let lv = l1_loss(&y, &target).unwrap();
+            net.backward(&lv.grad).unwrap();
+            opt.step(&mut net);
+            last = lv.loss;
+        }
+        assert!(last < 0.05, "l1 loss {last}");
+    }
+
+    #[test]
+    fn linear_decay_schedule() {
+        let sched = LinearDecay::new(1.0, 4, 8);
+        assert_eq!(sched.rate_at(0), 1.0);
+        assert_eq!(sched.rate_at(3), 1.0);
+        assert_eq!(sched.rate_at(4), 1.0);
+        assert_eq!(sched.rate_at(6), 0.5);
+        assert_eq!(sched.rate_at(8), 0.0);
+        assert_eq!(sched.rate_at(100), 0.0);
+        let mut opt = Adam::paper();
+        sched.apply(&mut opt, 6);
+        assert!((opt.learning_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay phase")]
+    fn linear_decay_rejects_empty_phase() {
+        LinearDecay::new(1.0, 8, 8);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::paper();
+        assert!((opt.learning_rate() - 2e-4).abs() < 1e-9);
+        opt.set_learning_rate(1e-3);
+        assert!((opt.learning_rate() - 1e-3).abs() < 1e-9);
+    }
+}

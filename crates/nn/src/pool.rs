@@ -1,0 +1,152 @@
+use litho_tensor::{Result, Tensor, TensorError};
+
+use crate::layer::{Layer, Phase};
+
+/// 2-D max pooling over NCHW tensors.
+///
+/// The center-prediction CNN (paper Table 2) pools with a 2×2 window and
+/// stride 2 after every convolution block.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug)]
+struct PoolCache {
+    argmax: Vec<usize>,
+    input_dims: [usize; 4],
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with square window `size` and `stride`.
+    pub fn new(size: usize, stride: usize) -> Self {
+        MaxPool2d {
+            size,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        if self.size == 0 || self.stride == 0 {
+            return Err(TensorError::InvalidArgument(
+                "pool size and stride must be nonzero".into(),
+            ));
+        }
+        let [n, c, h, w] = input.shape().as_nchw()?;
+        if h < self.size || w < self.size {
+            return Err(TensorError::InvalidArgument(format!(
+                "pool window {} exceeds input {h}x{w}",
+                self.size
+            )));
+        }
+        let oh = (h - self.size) / self.stride + 1;
+        let ow = (w - self.size) / self.stride + 1;
+        let src = input.as_slice();
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        {
+            let dst = out.as_mut_slice();
+            for plane in 0..n * c {
+                let base = plane * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let idx = base
+                                    + (oy * self.stride + ky) * w
+                                    + (ox * self.stride + kx);
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = plane * oh * ow + oy * ow + ox;
+                        dst[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cache = Some(PoolCache {
+                argmax,
+                input_dims: [n, c, h, w],
+            });
+        } else {
+            self.cache = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| {
+            TensorError::InvalidArgument("MaxPool2d::backward called before train forward".into())
+        })?;
+        if grad_output.len() != cache.argmax.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: cache.argmax.len(),
+                actual: grad_output.len(),
+            });
+        }
+        let [n, c, h, w] = cache.input_dims;
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let out = dx.as_mut_slice();
+        for (&g, &idx) in grad_output.as_slice().iter().zip(&cache.argmax) {
+            out[idx] += g;
+        }
+        Ok(dx)
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d({}x{}, s{})", self.size, self.size, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_maxima() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x, Phase::Train).unwrap();
+        let dx = pool.backward(&Tensor::full(&[1, 1, 1, 1], 10.0)).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn window_larger_than_input_rejected() {
+        let mut pool = MaxPool2d::new(3, 1);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Phase::Eval).is_err());
+    }
+
+    #[test]
+    fn negative_values_handled() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![-4.0, -3.0, -2.0, -1.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[-1.0]);
+    }
+}

@@ -1,0 +1,151 @@
+use litho_tensor::{Result, Tensor};
+
+use crate::layer::{Layer, Param, Phase};
+
+/// An ordered stack of layers executed front-to-back.
+///
+/// `backward` replays the stack in reverse. This is sufficient for the
+/// paper's networks, which are pure chains (no skip connections — the
+/// paper's generator is a plain encoder–decoder, *not* a U-Net; see
+/// Table 1, where decoder inputs are exactly the previous layer outputs).
+///
+/// # Example
+///
+/// ```
+/// use litho_nn::{Layer, Phase, Relu, Sequential};
+/// use litho_tensor::Tensor;
+///
+/// let mut net = Sequential::new();
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2])?, Phase::Eval)?;
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// # Ok::<(), litho_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names, for summaries and debugging.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, phase)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Sequential[{}]", self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::SeedableRng;
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 4, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(4, 2, &mut rng));
+        let x = Tensor::ones(&[2, 3]);
+        let y = net.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 2]);
+        let dx = net.backward(&Tensor::ones(&[2, 2])).unwrap();
+        assert_eq!(dx.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn param_visitation_order_is_stable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 3, &mut rng));
+        net.push(Linear::new(3, 1, &mut rng));
+        let mut sizes = Vec::new();
+        net.visit_params(&mut |p| sizes.push(p.value.len()));
+        assert_eq!(sizes, vec![6, 3, 3, 1]);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 2, &mut rng));
+        let x = Tensor::ones(&[1, 2]);
+        net.forward(&x, Phase::Train).unwrap();
+        net.backward(&Tensor::ones(&[1, 2])).unwrap();
+        let mut any_nonzero = false;
+        net.visit_params(&mut |p| any_nonzero |= p.grad.as_slice().iter().any(|&g| g != 0.0));
+        assert!(any_nonzero);
+        net.zero_grad();
+        let mut all_zero = true;
+        net.visit_params(&mut |p| all_zero &= p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn names_and_len() {
+        let mut net = Sequential::new();
+        assert!(net.is_empty());
+        net.push(Relu::new());
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.layer_names(), vec!["ReLU".to_string()]);
+    }
+}

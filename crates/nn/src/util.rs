@@ -1,0 +1,56 @@
+//! Internal layout helpers shared by convolution layers.
+
+use litho_tensor::{Result, Tensor};
+
+/// Reorders an NCHW tensor into a channel-major matrix `[c, n*h*w]` whose
+/// columns are ordered `(batch, y, x)` — the column convention produced by
+/// `im2col`.
+pub(crate) fn nchw_to_cm(input: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = input.shape().as_nchw()?;
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[c, n * plane]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for b in 0..n {
+        for ci in 0..c {
+            let src_off = (b * c + ci) * plane;
+            let dst_off = ci * n * plane + b * plane;
+            dst[dst_off..dst_off + plane].copy_from_slice(&src[src_off..src_off + plane]);
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`nchw_to_cm`]: reinterprets a `[c, n*h*w]` channel-major
+/// matrix as an NCHW tensor.
+pub(crate) fn cm_to_nchw(mat: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Tensor> {
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = mat.as_slice();
+    let dst = out.as_mut_slice();
+    for b in 0..n {
+        for ci in 0..c {
+            let src_off = ci * n * plane + b * plane;
+            let dst_off = (b * c + ci) * plane;
+            dst[dst_off..dst_off + plane].copy_from_slice(&src[src_off..src_off + plane]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_round_trip() {
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let cm = nchw_to_cm(&x).unwrap();
+        assert_eq!(cm.dims(), &[3, 8]);
+        // Channel 0 row holds batch 0's plane then batch 1's plane.
+        assert_eq!(&cm.as_slice()[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(&cm.as_slice()[4..8], &[12.0, 13.0, 14.0, 15.0]);
+        let back = cm_to_nchw(&cm, 2, 3, 2, 2).unwrap();
+        assert_eq!(back, x);
+    }
+}

@@ -1,0 +1,320 @@
+//! Marching-squares contour extraction.
+//!
+//! The last stage of the conventional flow in the paper's Figure 1
+//! ("contour processing"): turns a scalar field and an iso level into
+//! polyline contours in physical nm coordinates.
+
+use litho_tensor::{Result, TensorError};
+
+/// A contour polyline in physical nm coordinates `(x, y)`.
+///
+/// Closed contours repeat their first point at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    /// Polyline vertices, in nm.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Contour {
+    /// Whether the polyline is closed.
+    pub fn is_closed(&self) -> bool {
+        self.points.len() > 2 && self.points.first() == self.points.last()
+    }
+
+    /// Polyline length in nm.
+    pub fn length_nm(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt()
+            })
+            .sum()
+    }
+
+    /// Axis-aligned bounding box `(x_min, y_min, x_max, y_max)` in nm.
+    ///
+    /// Returns `None` for an empty contour.
+    pub fn bounding_box_nm(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut it = self.points.iter();
+        let &(x0, y0) = it.next()?;
+        let mut bb = (x0, y0, x0, y0);
+        for &(x, y) in it {
+            bb.0 = bb.0.min(x);
+            bb.1 = bb.1.min(y);
+            bb.2 = bb.2.max(x);
+            bb.3 = bb.3.max(y);
+        }
+        Some(bb)
+    }
+}
+
+/// Half-edge key for joining segments: quantised endpoint coordinates.
+fn key(p: (f64, f64)) -> (i64, i64) {
+    ((p.0 * 1024.0).round() as i64, (p.1 * 1024.0).round() as i64)
+}
+
+/// Extracts iso-contours of `field` (row-major, `size × size`, physical
+/// `pitch_nm`) at the given `level` using marching squares with linear
+/// interpolation. Segments are chained into polylines; contours fully
+/// inside the grid come back closed.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `field.len() != size²` and
+/// [`TensorError::InvalidArgument`] if `size < 2`.
+pub fn extract_contours(
+    field: &[f64],
+    size: usize,
+    pitch_nm: f64,
+    level: f64,
+) -> Result<Vec<Contour>> {
+    if field.len() != size * size {
+        return Err(TensorError::LengthMismatch {
+            expected: size * size,
+            actual: field.len(),
+        });
+    }
+    if size < 2 {
+        return Err(TensorError::InvalidArgument(
+            "contour grid must be at least 2x2".into(),
+        ));
+    }
+
+    // Interpolated crossing on an edge between two sample points.
+    let lerp = |pa: (f64, f64), va: f64, pb: (f64, f64), vb: f64| -> (f64, f64) {
+        let t = if (vb - va).abs() < 1e-300 {
+            0.5
+        } else {
+            ((level - va) / (vb - va)).clamp(0.0, 1.0)
+        };
+        (pa.0 + t * (pb.0 - pa.0), pa.1 + t * (pb.1 - pa.1))
+    };
+
+    let mut segments: Vec<((f64, f64), (f64, f64))> = Vec::new();
+    for cy in 0..size - 1 {
+        for cx in 0..size - 1 {
+            let v = [
+                field[cy * size + cx],           // top-left
+                field[cy * size + cx + 1],       // top-right
+                field[(cy + 1) * size + cx + 1], // bottom-right
+                field[(cy + 1) * size + cx],     // bottom-left
+            ];
+            let p = [
+                (cx as f64 * pitch_nm, cy as f64 * pitch_nm),
+                ((cx + 1) as f64 * pitch_nm, cy as f64 * pitch_nm),
+                ((cx + 1) as f64 * pitch_nm, (cy + 1) as f64 * pitch_nm),
+                (cx as f64 * pitch_nm, (cy + 1) as f64 * pitch_nm),
+            ];
+            let mut case = 0usize;
+            for (i, &vi) in v.iter().enumerate() {
+                if vi >= level {
+                    case |= 1 << i;
+                }
+            }
+            // Edge midpoints: 0=top, 1=right, 2=bottom, 3=left.
+            let edge = |e: usize| -> (f64, f64) {
+                match e {
+                    0 => lerp(p[0], v[0], p[1], v[1]),
+                    1 => lerp(p[1], v[1], p[2], v[2]),
+                    2 => lerp(p[3], v[3], p[2], v[2]),
+                    _ => lerp(p[0], v[0], p[3], v[3]),
+                }
+            };
+            // Standard marching-squares case table (ambiguous saddles
+            // resolved by the cell-average rule).
+            let emit = |a: usize, b: usize, segments: &mut Vec<((f64, f64), (f64, f64))>| {
+                segments.push((edge(a), edge(b)));
+            };
+            match case {
+                0 | 15 => {}
+                1 => emit(3, 0, &mut segments),
+                2 => emit(0, 1, &mut segments),
+                3 => emit(3, 1, &mut segments),
+                4 => emit(1, 2, &mut segments),
+                5 => {
+                    let avg = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if avg >= level {
+                        emit(3, 2, &mut segments);
+                        emit(0, 1, &mut segments);
+                    } else {
+                        emit(3, 0, &mut segments);
+                        emit(1, 2, &mut segments);
+                    }
+                }
+                6 => emit(0, 2, &mut segments),
+                7 => emit(3, 2, &mut segments),
+                8 => emit(2, 3, &mut segments),
+                9 => emit(2, 0, &mut segments),
+                10 => {
+                    let avg = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if avg >= level {
+                        emit(0, 3, &mut segments);
+                        emit(2, 1, &mut segments);
+                    } else {
+                        emit(0, 1, &mut segments);
+                        emit(2, 3, &mut segments);
+                    }
+                }
+                11 => emit(2, 1, &mut segments),
+                12 => emit(1, 3, &mut segments),
+                13 => emit(1, 0, &mut segments),
+                14 => emit(0, 3, &mut segments),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    // Chain segments into polylines by matching endpoints.
+    use std::collections::HashMap;
+    let mut adjacency: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, seg) in segments.iter().enumerate() {
+        adjacency.entry(key(seg.0)).or_default().push(i);
+        adjacency.entry(key(seg.1)).or_default().push(i);
+    }
+    let mut used = vec![false; segments.len()];
+    let mut contours = Vec::new();
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let mut points = vec![segments[start].0, segments[start].1];
+        // Extend forward from the tail.
+        loop {
+            let tail = *points.last().expect("non-empty polyline");
+            let candidates = adjacency.get(&key(tail));
+            let mut advanced = false;
+            if let Some(cands) = candidates {
+                for &si in cands {
+                    if used[si] {
+                        continue;
+                    }
+                    let (a, b) = segments[si];
+                    let next = if key(a) == key(tail) { b } else { a };
+                    used[si] = true;
+                    points.push(next);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+            if key(*points.last().expect("non-empty")) == key(points[0]) {
+                break;
+            }
+        }
+        // Extend backward from the head for open chains.
+        loop {
+            let head = points[0];
+            if key(head) == key(*points.last().expect("non-empty")) {
+                break;
+            }
+            let candidates = adjacency.get(&key(head));
+            let mut advanced = false;
+            if let Some(cands) = candidates {
+                for &si in cands {
+                    if used[si] {
+                        continue;
+                    }
+                    let (a, b) = segments[si];
+                    let prev = if key(a) == key(head) { b } else { a };
+                    used[si] = true;
+                    points.insert(0, prev);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        contours.push(Contour { points });
+    }
+    Ok(contours)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radial_field(size: usize, radius: f64) -> Vec<f64> {
+        let c = (size - 1) as f64 / 2.0;
+        (0..size * size)
+            .map(|i| {
+                let y = (i / size) as f64;
+                let x = (i % size) as f64;
+                radius - ((x - c).powi(2) + (y - c).powi(2)).sqrt()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(extract_contours(&[0.0; 5], 2, 1.0, 0.0).is_err());
+        assert!(extract_contours(&[0.0; 1], 1, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_field_has_no_contours() {
+        let contours = extract_contours(&vec![0.0; 64], 8, 1.0, 0.5).unwrap();
+        assert!(contours.is_empty());
+    }
+
+    #[test]
+    fn circle_contour_is_closed_with_correct_radius() {
+        let size = 64;
+        let radius = 20.0;
+        let field = radial_field(size, radius);
+        let contours = extract_contours(&field, size, 1.0, 0.0).unwrap();
+        assert_eq!(contours.len(), 1);
+        let c = &contours[0];
+        assert!(c.is_closed(), "contour should close");
+        // Perimeter ≈ 2πr.
+        let perimeter = c.length_nm();
+        assert!(
+            (perimeter - 2.0 * std::f64::consts::PI * radius).abs() < 2.0,
+            "perimeter {perimeter}"
+        );
+        // Every vertex lies near the circle.
+        let center = (size - 1) as f64 / 2.0;
+        for &(x, y) in &c.points {
+            let r = ((x - center).powi(2) + (y - center).powi(2)).sqrt();
+            assert!((r - radius).abs() < 0.75, "vertex radius {r}");
+        }
+    }
+
+    #[test]
+    fn bounding_box_of_circle() {
+        let size = 64;
+        let field = radial_field(size, 10.0);
+        let contours = extract_contours(&field, size, 2.0, 0.0).unwrap();
+        let (x0, y0, x1, y1) = contours[0].bounding_box_nm().unwrap();
+        // Radius 10 samples at pitch 2nm => 20nm radius, center 63nm.
+        assert!((x1 - x0 - 40.0).abs() < 2.0);
+        assert!((y1 - y0 - 40.0).abs() < 2.0);
+        assert!((x0 + (x1 - x0) / 2.0 - 63.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_islands_give_two_contours() {
+        let size = 32;
+        let mut field = vec![-1.0; size * size];
+        for (cy, cx) in [(8usize, 8usize), (24, 24)] {
+            for y in 0..size {
+                for x in 0..size {
+                    let d = (((x as f64 - cx as f64).powi(2) + (y as f64 - cy as f64).powi(2))
+                        as f64)
+                        .sqrt();
+                    if d < 4.0 {
+                        field[y * size + x] = 1.0;
+                    }
+                }
+            }
+        }
+        let contours = extract_contours(&field, size, 1.0, 0.0).unwrap();
+        assert_eq!(contours.len(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+use litho_tensor::{Result, TensorError};
+
+/// A rasterised mask transmission function on a square pixel grid.
+///
+/// The grid covers `size × size` pixels with a physical `pitch_nm`
+/// nanometres per pixel; transmission values are in `[0, 1]` (1 = clear,
+/// 0 = chrome for a bright-field contact mask the convention is inverted:
+/// contact openings are drawn with transmission 1 on a dark field).
+///
+/// Rectangles are filled with analytic area coverage on boundary pixels,
+/// so sub-pixel edge placement — which OPC relies on — is represented.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskGrid {
+    size: usize,
+    pitch_nm: f64,
+    data: Vec<f64>,
+}
+
+impl MaskGrid {
+    /// Creates an all-dark grid of `size × size` pixels with the given
+    /// physical pitch (nm per pixel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `pitch_nm` is not positive.
+    pub fn new(size: usize, pitch_nm: f64) -> Self {
+        assert!(size > 0, "grid size must be positive");
+        assert!(pitch_nm > 0.0, "pitch must be positive");
+        MaskGrid {
+            size,
+            pitch_nm,
+            data: vec![0.0; size * size],
+        }
+    }
+
+    /// Grid extent in pixels per side.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Physical pitch in nm per pixel.
+    pub fn pitch_nm(&self) -> f64 {
+        self.pitch_nm
+    }
+
+    /// Physical extent of the grid in nm per side.
+    pub fn extent_nm(&self) -> f64 {
+        self.size as f64 * self.pitch_nm
+    }
+
+    /// Transmission values, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable transmission values, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transmission at pixel `(y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn at(&self, y: usize, x: usize) -> f64 {
+        self.data[y * self.size + x]
+    }
+
+    /// Adds a rectangle in physical nm coordinates `(x0, y0)–(x1, y1)` with
+    /// the given transmission, using exact area coverage on boundary
+    /// pixels. Values saturate at 1.
+    ///
+    /// Coordinates outside the grid are clipped.
+    pub fn fill_rect_nm(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, transmission: f64) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        let extent = self.extent_nm();
+        let x0 = x0.clamp(0.0, extent);
+        let x1 = x1.clamp(0.0, extent);
+        let y0 = y0.clamp(0.0, extent);
+        let y1 = y1.clamp(0.0, extent);
+        if x1 <= x0 || y1 <= y0 {
+            return;
+        }
+        let p = self.pitch_nm;
+        let py0 = (y0 / p).floor() as usize;
+        let py1 = ((y1 / p).ceil() as usize).min(self.size);
+        let px0 = (x0 / p).floor() as usize;
+        let px1 = ((x1 / p).ceil() as usize).min(self.size);
+        for py in py0..py1 {
+            // Vertical coverage fraction of this pixel row.
+            let cell_y0 = py as f64 * p;
+            let cell_y1 = cell_y0 + p;
+            let cy = ((y1.min(cell_y1) - y0.max(cell_y0)) / p).clamp(0.0, 1.0);
+            for px in px0..px1 {
+                let cell_x0 = px as f64 * p;
+                let cell_x1 = cell_x0 + p;
+                let cx = ((x1.min(cell_x1) - x0.max(cell_x0)) / p).clamp(0.0, 1.0);
+                let v = &mut self.data[py * self.size + px];
+                *v = (*v + transmission * cx * cy).min(1.0);
+            }
+        }
+    }
+
+    /// Total transmitted area in nm² (sum of transmission × pixel area).
+    pub fn transmitted_area_nm2(&self) -> f64 {
+        self.data.iter().sum::<f64>() * self.pitch_nm * self.pitch_nm
+    }
+
+    /// Extracts a square sub-grid of `out_size` pixels centred at physical
+    /// position `(cx_nm, cy_nm)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the window exceeds the
+    /// grid bounds.
+    pub fn crop_centered_nm(&self, cx_nm: f64, cy_nm: f64, out_size: usize) -> Result<MaskGrid> {
+        let half = out_size as f64 / 2.0 * self.pitch_nm;
+        let x0 = ((cx_nm - half) / self.pitch_nm).round() as isize;
+        let y0 = ((cy_nm - half) / self.pitch_nm).round() as isize;
+        if x0 < 0
+            || y0 < 0
+            || x0 as usize + out_size > self.size
+            || y0 as usize + out_size > self.size
+        {
+            return Err(TensorError::InvalidArgument(format!(
+                "crop window {out_size}px at ({cx_nm},{cy_nm})nm exceeds grid"
+            )));
+        }
+        let mut out = MaskGrid::new(out_size, self.pitch_nm);
+        for y in 0..out_size {
+            for x in 0..out_size {
+                out.data[y * out_size + x] =
+                    self.data[(y0 as usize + y) * self.size + (x0 as usize + x)];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_aligned_rect_is_exact() {
+        let mut g = MaskGrid::new(16, 10.0);
+        g.fill_rect_nm(20.0, 30.0, 60.0, 70.0, 1.0);
+        // 40nm x 40nm at 10nm pitch = 16 fully covered pixels.
+        assert!((g.transmitted_area_nm2() - 1600.0).abs() < 1e-9);
+        assert_eq!(g.at(3, 2), 1.0);
+        assert_eq!(g.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn subpixel_rect_has_fractional_coverage() {
+        let mut g = MaskGrid::new(8, 10.0);
+        g.fill_rect_nm(12.0, 12.0, 18.0, 18.0, 1.0);
+        // 6x6 nm fully inside pixel (1,1): coverage 0.36.
+        assert!((g.at(1, 1) - 0.36).abs() < 1e-9);
+        assert!((g.transmitted_area_nm2() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_straddling_pixels_preserves_area() {
+        let mut g = MaskGrid::new(8, 10.0);
+        g.fill_rect_nm(15.0, 15.0, 35.0, 25.0, 1.0);
+        assert!((g.transmitted_area_nm2() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_bounds_rect_is_clipped() {
+        let mut g = MaskGrid::new(4, 10.0);
+        g.fill_rect_nm(-100.0, -100.0, 5.0, 5.0, 1.0);
+        assert!((g.transmitted_area_nm2() - 25.0).abs() < 1e-9);
+        // Fully outside: no-op.
+        let before = g.clone();
+        g.fill_rect_nm(100.0, 100.0, 200.0, 200.0, 1.0);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn transmission_saturates() {
+        let mut g = MaskGrid::new(4, 10.0);
+        g.fill_rect_nm(0.0, 0.0, 40.0, 40.0, 1.0);
+        g.fill_rect_nm(0.0, 0.0, 40.0, 40.0, 1.0);
+        assert!(g.as_slice().iter().all(|&v| v <= 1.0));
+    }
+
+    #[test]
+    fn crop_centered_round_trip() {
+        let mut g = MaskGrid::new(32, 4.0);
+        g.fill_rect_nm(60.0, 60.0, 68.0, 68.0, 1.0);
+        let crop = g.crop_centered_nm(64.0, 64.0, 8).unwrap();
+        assert_eq!(crop.size(), 8);
+        assert!((crop.transmitted_area_nm2() - 64.0).abs() < 1e-9);
+        assert!(g.crop_centered_nm(2.0, 2.0, 8).is_err());
+    }
+}

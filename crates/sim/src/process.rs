@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+/// Resist model calibration constants for the variable-threshold model.
+///
+/// The development threshold at a point is
+/// `T = base + env_coeff · I_env + slope_coeff · |∇I|`,
+/// where `I_env` is the local intensity envelope (max over a window) and
+/// `|∇I|` the image slope — the classic VTR form (paper reference \[9\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResistParams {
+    /// Base development threshold (fraction of clear-field intensity).
+    pub base_threshold: f64,
+    /// Sensitivity of the threshold to the local intensity envelope.
+    pub env_coeff: f64,
+    /// Sensitivity of the threshold to the local image slope (per nm).
+    pub slope_coeff: f64,
+    /// Acid diffusion length in nm (Gaussian blur sigma applied to the
+    /// aerial image before thresholding).
+    pub diffusion_nm: f64,
+    /// Half-width in nm of the window used for the intensity envelope.
+    pub env_window_nm: f64,
+}
+
+/// A lithography process configuration.
+///
+/// Combines the exposure-tool optics (ArF immersion: λ = 193 nm,
+/// NA = 1.35) with a resist calibration and the nominal contact geometry
+/// for a technology node. The [`ProcessConfig::n10`] and
+/// [`ProcessConfig::n7`] presets parallel the two benchmarks of the paper
+/// (982 and 979 clips at N10 and N7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessConfig {
+    /// Human-readable node name ("N10", "N7").
+    pub name: String,
+    /// Exposure wavelength in nm.
+    pub wavelength_nm: f64,
+    /// Numerical aperture of the projection lens.
+    pub numerical_aperture: f64,
+    /// Partial coherence factor σ of the illuminator (0 = coherent).
+    pub sigma: f64,
+    /// Number of SOCS kernels for compact (fast) imaging.
+    pub compact_kernel_count: usize,
+    /// Number of SOCS kernels for rigorous (golden) imaging.
+    pub rigorous_kernel_count: usize,
+    /// Defocus values (nm) of the rigorous focus stack; the compact model
+    /// images at best focus only.
+    pub focus_stack_nm: Vec<f64>,
+    /// Drawn contact edge length in nm (60 at N10 per the paper).
+    pub contact_size_nm: f64,
+    /// Minimum contact pitch in nm.
+    pub contact_pitch_nm: f64,
+    /// Resist calibration.
+    pub resist: ResistParams,
+}
+
+impl ProcessConfig {
+    /// The 10 nm-node benchmark process.
+    pub fn n10() -> Self {
+        ProcessConfig {
+            name: "N10".into(),
+            wavelength_nm: 193.0,
+            numerical_aperture: 1.35,
+            sigma: 0.8,
+            compact_kernel_count: 4,
+            rigorous_kernel_count: 10,
+            focus_stack_nm: vec![-40.0, -20.0, 0.0, 20.0, 40.0],
+            contact_size_nm: 60.0,
+            contact_pitch_nm: 120.0,
+            resist: ResistParams {
+                base_threshold: 0.06,
+                env_coeff: 0.55,
+                slope_coeff: 0.5,
+                diffusion_nm: 10.0,
+                env_window_nm: 48.0,
+            },
+        }
+    }
+
+    /// The 7 nm-node benchmark process: smaller contacts, tighter pitch,
+    /// slightly different resist calibration.
+    pub fn n7() -> Self {
+        ProcessConfig {
+            name: "N7".into(),
+            wavelength_nm: 193.0,
+            numerical_aperture: 1.35,
+            sigma: 0.85,
+            compact_kernel_count: 4,
+            rigorous_kernel_count: 10,
+            focus_stack_nm: vec![-30.0, -15.0, 0.0, 15.0, 30.0],
+            contact_size_nm: 48.0,
+            contact_pitch_nm: 96.0,
+            resist: ResistParams {
+                base_threshold: 0.055,
+                env_coeff: 0.53,
+                slope_coeff: 0.45,
+                diffusion_nm: 8.0,
+                env_window_nm: 40.0,
+            },
+        }
+    }
+
+    /// Rayleigh resolution `0.61 λ / NA` in nm — the physical width scale
+    /// of the imaging kernels.
+    pub fn rayleigh_nm(&self) -> f64 {
+        0.61 * self.wavelength_nm / self.numerical_aperture
+    }
+
+    /// Half pitch in nm; the paper's CD-error acceptance criterion is 10 %
+    /// of this value.
+    pub fn half_pitch_nm(&self) -> f64 {
+        self.contact_pitch_nm / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_nodes() {
+        let n10 = ProcessConfig::n10();
+        let n7 = ProcessConfig::n7();
+        assert!(n7.contact_size_nm < n10.contact_size_nm);
+        assert!(n7.contact_pitch_nm < n10.contact_pitch_nm);
+        assert_eq!(n10.wavelength_nm, 193.0);
+    }
+
+    #[test]
+    fn rayleigh_resolution_is_physical() {
+        let n10 = ProcessConfig::n10();
+        // 0.61 * 193 / 1.35 ≈ 87 nm.
+        assert!((n10.rayleigh_nm() - 87.2).abs() < 0.5);
+    }
+
+    #[test]
+    fn acceptance_criterion_scale() {
+        // 10% of half pitch: 6 nm at N10, 4.8 nm at N7 — the paper's
+        // LithoGAN CD errors (1.99 / 1.65 nm) sit comfortably inside.
+        assert!((ProcessConfig::n10().half_pitch_nm() * 0.1 - 6.0).abs() < 1e-9);
+        assert!((ProcessConfig::n7().half_pitch_nm() * 0.1 - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigorous_costs_more_than_compact() {
+        let p = ProcessConfig::n10();
+        assert!(p.rigorous_kernel_count > p.compact_kernel_count);
+        assert!(p.focus_stack_nm.len() > 1);
+    }
+}

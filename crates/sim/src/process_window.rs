@@ -1,0 +1,299 @@
+//! Process-window analysis: printed CD across a dose × defocus grid.
+//!
+//! The classic litho yield question the substrate must be able to answer:
+//! over what range of exposure dose and focus does a feature print within
+//! specification? This drives the SRAF efficacy checks (assist features
+//! exist to widen the process window) and gives downstream users the same
+//! analysis a commercial simulator offers.
+
+use litho_tensor::{Result, TensorError};
+
+use crate::{AerialImage, MaskGrid, OpticalModel, ProcessConfig, ResistModel};
+
+/// Grid specification for a process-window sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessWindowConfig {
+    /// Relative dose levels (1.0 = nominal exposure).
+    pub dose_levels: Vec<f64>,
+    /// Defocus levels in nm (0 = best focus).
+    pub defocus_levels_nm: Vec<f64>,
+    /// Target printed CD in nm.
+    pub target_cd_nm: f64,
+    /// Acceptance band as a fraction of the target (0.1 = ±10 %, the
+    /// paper's §4.2 criterion).
+    pub tolerance_frac: f64,
+}
+
+impl ProcessWindowConfig {
+    /// A standard 5 × 5 sweep around nominal conditions.
+    pub fn standard(target_cd_nm: f64) -> Self {
+        ProcessWindowConfig {
+            dose_levels: vec![0.9, 0.95, 1.0, 1.05, 1.1],
+            defocus_levels_nm: vec![-60.0, -30.0, 0.0, 30.0, 60.0],
+            target_cd_nm,
+            tolerance_frac: 0.1,
+        }
+    }
+}
+
+/// The measured process window: printed CD per (defocus, dose) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessWindow {
+    config: ProcessWindowConfig,
+    /// `cd_nm[defocus_idx][dose_idx]`; `None` when nothing printed.
+    cd_nm: Vec<Vec<Option<f64>>>,
+}
+
+impl ProcessWindow {
+    /// The sweep configuration.
+    pub fn config(&self) -> &ProcessWindowConfig {
+        &self.config
+    }
+
+    /// Printed CD at a grid cell, or `None` if nothing printed there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn cd_at(&self, defocus_idx: usize, dose_idx: usize) -> Option<f64> {
+        self.cd_nm[defocus_idx][dose_idx]
+    }
+
+    /// Whether a cell prints within the acceptance band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn in_spec(&self, defocus_idx: usize, dose_idx: usize) -> bool {
+        match self.cd_nm[defocus_idx][dose_idx] {
+            Some(cd) => {
+                (cd - self.config.target_cd_nm).abs()
+                    <= self.config.target_cd_nm * self.config.tolerance_frac
+            }
+            None => false,
+        }
+    }
+
+    /// Number of in-spec cells — a scalar process-window area proxy.
+    pub fn in_spec_cells(&self) -> usize {
+        (0..self.config.defocus_levels_nm.len())
+            .flat_map(|f| (0..self.config.dose_levels.len()).map(move |d| (f, d)))
+            .filter(|&(f, d)| self.in_spec(f, d))
+            .count()
+    }
+
+    /// Depth of focus at nominal dose: the span (nm) of contiguous
+    /// in-spec defocus levels around best focus. Zero when best focus is
+    /// out of spec (or absent from the grid).
+    pub fn depth_of_focus_nm(&self) -> f64 {
+        let dose_idx = match self
+            .config
+            .dose_levels
+            .iter()
+            .position(|&d| (d - 1.0).abs() < 1e-9)
+        {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        let focus_idx = match self
+            .config
+            .defocus_levels_nm
+            .iter()
+            .position(|&f| f.abs() < 1e-9)
+        {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        if !self.in_spec(focus_idx, dose_idx) {
+            return 0.0;
+        }
+        let mut lo = focus_idx;
+        while lo > 0 && self.in_spec(lo - 1, dose_idx) {
+            lo -= 1;
+        }
+        let mut hi = focus_idx;
+        while hi + 1 < self.config.defocus_levels_nm.len() && self.in_spec(hi + 1, dose_idx) {
+            hi += 1;
+        }
+        self.config.defocus_levels_nm[hi] - self.config.defocus_levels_nm[lo]
+    }
+
+    /// Exposure latitude at best focus: the relative dose span of
+    /// contiguous in-spec dose levels around nominal. Zero when nominal
+    /// dose is out of spec.
+    pub fn exposure_latitude(&self) -> f64 {
+        let focus_idx = match self
+            .config
+            .defocus_levels_nm
+            .iter()
+            .position(|&f| f.abs() < 1e-9)
+        {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        let dose_idx = match self
+            .config
+            .dose_levels
+            .iter()
+            .position(|&d| (d - 1.0).abs() < 1e-9)
+        {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        if !self.in_spec(focus_idx, dose_idx) {
+            return 0.0;
+        }
+        let mut lo = dose_idx;
+        while lo > 0 && self.in_spec(focus_idx, lo - 1) {
+            lo -= 1;
+        }
+        let mut hi = dose_idx;
+        while hi + 1 < self.config.dose_levels.len() && self.in_spec(focus_idx, hi + 1) {
+            hi += 1;
+        }
+        self.config.dose_levels[hi] - self.config.dose_levels[lo]
+    }
+}
+
+/// Sweeps the process window of a mask's centre feature.
+///
+/// Dose scales the aerial intensity linearly (exposure time); defocus is
+/// imaged with a dedicated compact optical model per level. The printed
+/// CD is measured on the centre component.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for an empty sweep grid and
+/// propagates simulation errors.
+pub fn analyze_process_window(
+    process: &ProcessConfig,
+    mask: &MaskGrid,
+    config: &ProcessWindowConfig,
+) -> Result<ProcessWindow> {
+    if config.dose_levels.is_empty() || config.defocus_levels_nm.is_empty() {
+        return Err(TensorError::InvalidArgument(
+            "process-window sweep grid must be non-empty".into(),
+        ));
+    }
+    let resist = ResistModel::new(process.resist);
+    let mut cd_nm = Vec::with_capacity(config.defocus_levels_nm.len());
+    for &defocus in &config.defocus_levels_nm {
+        let model = OpticalModel::with_settings(
+            process,
+            mask.size(),
+            mask.pitch_nm(),
+            defocus,
+            process.compact_kernel_count,
+        )?;
+        let aerial = model.aerial_image(mask)?;
+        let mut row = Vec::with_capacity(config.dose_levels.len());
+        for &dose in &config.dose_levels {
+            let dosed: Vec<f64> = aerial.as_slice().iter().map(|&v| v * dose).collect();
+            let dosed = AerialImage::from_raw(dosed, aerial.size(), aerial.pitch_nm())?;
+            let pattern = resist.develop(&dosed);
+            row.push(
+                pattern
+                    .center_component()
+                    .and_then(|c| c.cd_horizontal_nm())
+                    .filter(|&cd| cd > 0.0),
+            );
+        }
+        cd_nm.push(row);
+    }
+    Ok(ProcessWindow {
+        config: config.clone(),
+        cd_nm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased_contact_mask() -> MaskGrid {
+        // A mask contact sized so the nominal condition prints ~60 nm.
+        let mut mask = MaskGrid::new(128, 16.0);
+        let c = 1024.0;
+        mask.fill_rect_nm(c - 48.0, c - 48.0, c + 48.0, c + 48.0, 1.0);
+        mask
+    }
+
+    fn window() -> ProcessWindow {
+        let process = ProcessConfig::n10();
+        let mask = biased_contact_mask();
+        let nominal = analyze_process_window(
+            &process,
+            &mask,
+            &ProcessWindowConfig::standard(0.0),
+        )
+        .unwrap();
+        // Calibrate the target to the nominal print so the spec band is
+        // centred (the test probes window *structure*, not calibration).
+        let cd = nominal.cd_at(2, 2).expect("nominal condition must print");
+        analyze_process_window(&process, &mask, &ProcessWindowConfig::standard(cd)).unwrap()
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let process = ProcessConfig::n10();
+        let mask = biased_contact_mask();
+        let bad = ProcessWindowConfig {
+            dose_levels: vec![],
+            ..ProcessWindowConfig::standard(60.0)
+        };
+        assert!(analyze_process_window(&process, &mask, &bad).is_err());
+    }
+
+    #[test]
+    fn cd_is_monotone_in_dose() {
+        let w = window();
+        for f in 0..5 {
+            let mut prev = 0.0;
+            for d in 0..5 {
+                if let Some(cd) = w.cd_at(f, d) {
+                    assert!(cd >= prev - 1e-9, "CD not monotone at ({f},{d})");
+                    prev = cd;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_focus_prints_largest() {
+        let w = window();
+        let focus = w.cd_at(2, 2).unwrap();
+        for f in [0usize, 4] {
+            if let Some(defocused) = w.cd_at(f, 2) {
+                assert!(defocused <= focus + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_cell_is_in_spec_and_window_nonempty() {
+        let w = window();
+        assert!(w.in_spec(2, 2));
+        assert!(w.in_spec_cells() >= 1);
+        assert!(w.depth_of_focus_nm() >= 0.0);
+        assert!(w.exposure_latitude() >= 0.0);
+    }
+
+    #[test]
+    fn underdose_shrinks_or_kills_the_print() {
+        let process = ProcessConfig::n10();
+        let mask = biased_contact_mask();
+        let config = ProcessWindowConfig {
+            dose_levels: vec![0.3, 1.0],
+            defocus_levels_nm: vec![0.0],
+            target_cd_nm: 60.0,
+            tolerance_frac: 0.1,
+        };
+        let w = analyze_process_window(&process, &mask, &config).unwrap();
+        let low = w.cd_at(0, 0);
+        let nominal = w.cd_at(0, 1).unwrap();
+        match low {
+            None => {}
+            Some(cd) => assert!(cd < nominal),
+        }
+    }
+}

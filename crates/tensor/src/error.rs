@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible public function in this crate returns
+/// `Result<T, TensorError>`; shape mismatches are by far the most common
+/// failure mode when wiring networks, so the variants carry the offending
+/// shapes to make the message actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the data.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An operation expected a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// `[m, k]` of the left matrix.
+        left: [usize; 2],
+        /// `[k2, n]` of the right matrix.
+        right: [usize; 2],
+    },
+    /// An FFT was requested on a length that is not a power of two.
+    FftLengthNotPowerOfTwo(usize),
+    /// A parameter was outside its valid domain (e.g. stride of zero).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => write!(
+                f,
+                "matmul inner dimensions disagree: {left:?} x {right:?}"
+            ),
+            TensorError::FftLengthNotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a power of two")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(TensorError, &str)> = vec![
+            (
+                TensorError::LengthMismatch { expected: 4, actual: 3 },
+                "does not match shape volume",
+            ),
+            (
+                TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+                "shape mismatch",
+            ),
+            (
+                TensorError::RankMismatch { expected: 2, actual: 4 },
+                "expected rank 2",
+            ),
+            (
+                TensorError::MatmulDimMismatch { left: [2, 3], right: [4, 5] },
+                "inner dimensions disagree",
+            ),
+            (TensorError::FftLengthNotPowerOfTwo(12), "not a power of two"),
+            (
+                TensorError::InvalidArgument("stride".into()),
+                "invalid argument: stride",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            // std::error::Error object safety.
+            let _: &dyn Error = &err;
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! im2col / col2im lowering for convolution layers.
+//!
+//! `im2col` unrolls each receptive field of an NCHW image into one column of
+//! a matrix so that convolution becomes a single GEMM; `col2im` is its
+//! adjoint (scatter-add), used in the backward pass and in transposed
+//! convolution.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of an im2col lowering.
+///
+/// The same spec drives the forward lowering ([`im2col`]) and its adjoint
+/// ([`col2im`]); keeping it a value type makes layer code declarative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2ColSpec {
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Zero padding added to the top and bottom.
+    pub pad_h: usize,
+    /// Zero padding added to the left and right.
+    pub pad_w: usize,
+}
+
+impl Im2ColSpec {
+    /// A square kernel with equal stride and padding in both axes.
+    pub fn square(kernel: usize, stride: usize, pad: usize) -> Self {
+        Im2ColSpec {
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the stride is zero or the
+    /// padded input is smaller than the kernel.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride_h == 0 || self.stride_w == 0 {
+            return Err(TensorError::InvalidArgument("stride must be nonzero".into()));
+        }
+        let ph = h + 2 * self.pad_h;
+        let pw = w + 2 * self.pad_w;
+        if ph < self.kernel_h || pw < self.kernel_w {
+            return Err(TensorError::InvalidArgument(format!(
+                "padded input {ph}x{pw} smaller than kernel {}x{}",
+                self.kernel_h, self.kernel_w
+            )));
+        }
+        Ok((
+            (ph - self.kernel_h) / self.stride_h + 1,
+            (pw - self.kernel_w) / self.stride_w + 1,
+        ))
+    }
+}
+
+/// Lowers one NCHW image batch into a `[c*kh*kw, n*oh*ow]` matrix.
+///
+/// Row `(c, ky, kx)` and column `(b, oy, ox)` holds the input pixel at
+/// channel `c`, position `(oy*stride - pad + ky, ox*stride - pad + kx)` of
+/// batch item `b`, or zero when that position falls in the padding.
+///
+/// # Errors
+///
+/// Returns an error if `input` is not rank 4 or the geometry is invalid.
+pub fn im2col(input: &Tensor, spec: &Im2ColSpec) -> Result<Tensor> {
+    let [n, c, h, w] = input.shape().as_nchw()?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let cols = n * oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+
+    for ci in 0..c {
+        for ky in 0..spec.kernel_h {
+            for kx in 0..spec.kernel_w {
+                let row = (ci * spec.kernel_h + ky) * spec.kernel_w + kx;
+                let row_base = row * cols;
+                for b in 0..n {
+                    let src_plane = (b * c + ci) * h * w;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride_h + ky) as isize - spec.pad_h as isize;
+                        let col_base = row_base + (b * oh + oy) * ow;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src_row = src_plane + iy as usize * w;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride_w + kx) as isize - spec.pad_w as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[col_base + ox] = src[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a `[c*kh*kw, n*oh*ow]` matrix back
+/// into an NCHW image of shape `[n, c, h, w]`.
+///
+/// Overlapping receptive fields accumulate, which is exactly the gradient
+/// of the im2col gather (and the forward pass of transposed convolution).
+///
+/// # Errors
+///
+/// Returns an error if `cols` does not have the shape implied by the image
+/// dimensions and `spec`.
+pub fn col2im(
+    cols: &Tensor,
+    spec: &Im2ColSpec,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor> {
+    let (oh, ow) = spec.output_size(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let ncols = n * oh * ow;
+    if cols.dims() != [rows, ncols] {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.dims().to_vec(),
+            right: vec![rows, ncols],
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.as_slice();
+    let dst = out.as_mut_slice();
+
+    for ci in 0..c {
+        for ky in 0..spec.kernel_h {
+            for kx in 0..spec.kernel_w {
+                let row = (ci * spec.kernel_h + ky) * spec.kernel_w + kx;
+                let row_base = row * ncols;
+                for b in 0..n {
+                    let dst_plane = (b * c + ci) * h * w;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride_h + ky) as isize - spec.pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let col_base = row_base + (b * oh + oy) * ow;
+                        let dst_row = dst_plane + iy as usize * w;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride_w + kx) as isize - spec.pad_w as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[dst_row + ix as usize] += src[col_base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_basic() {
+        let spec = Im2ColSpec::square(5, 2, 2);
+        // The paper's conv layers: 256 -> 128 with 5x5 stride 2 pad 2.
+        assert_eq!(spec.output_size(256, 256).unwrap(), (128, 128));
+        assert_eq!(spec.output_size(2, 2).unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn output_size_rejects_zero_stride() {
+        let spec = Im2ColSpec::square(3, 0, 1);
+        assert!(spec.output_size(8, 8).is_err());
+    }
+
+    #[test]
+    fn identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is a reshape.
+        let input =
+            Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 3, 2, 2]).unwrap();
+        let spec = Im2ColSpec::square(1, 1, 0);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.dims(), &[3, 4]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn gather_positions() {
+        // Single channel 3x3 image, 2x2 kernel stride 1: 4 output positions.
+        let input =
+            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let spec = Im2ColSpec::square(2, 1, 0);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Row 0 = kernel position (0,0): the top-left pixel of each window.
+        assert_eq!(&cols.as_slice()[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Row 3 = kernel position (1,1): the bottom-right pixel of each window.
+        assert_eq!(&cols.as_slice()[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_zeros() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let spec = Im2ColSpec::square(3, 1, 1);
+        let cols = im2col(&input, &spec).unwrap();
+        // Center kernel tap never touches padding; corner taps often do.
+        let center_row = 4; // (ky=1, kx=1)
+        let sums: Vec<f32> = (0..9)
+            .map(|r| cols.as_slice()[r * 4..r * 4 + 4].iter().sum())
+            .collect();
+        assert_eq!(sums[center_row], 4.0);
+        assert!(sums[0] < 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is exactly what backprop needs.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (n, c, h, w) = (2, 3, 6, 5);
+        let spec = Im2ColSpec {
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 0,
+        };
+        let x = Tensor::from_vec(
+            (0..n * c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[n, c, h, w],
+        )
+        .unwrap();
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            cols.dims(),
+        )
+        .unwrap();
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, &spec, n, c, h, w).unwrap();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_shape_check() {
+        let spec = Im2ColSpec::square(2, 1, 0);
+        let bad = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&bad, &spec, 1, 1, 3, 3).is_err());
+    }
+}

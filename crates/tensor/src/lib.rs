@@ -1,0 +1,47 @@
+//! Dense `f32` tensor kernels for the LithoGAN reproduction.
+//!
+//! This crate is the numerical substrate shared by the neural-network stack
+//! ([`litho-nn`]) and the lithography simulator ([`litho-sim`]):
+//!
+//! * [`Tensor`] — a dense, row-major, NCHW-friendly `f32` tensor with shape
+//!   arithmetic, element-wise operations and reductions.
+//! * [`matmul`] — cache-blocked matrix multiplication, parallelised with
+//!   `crossbeam` scoped threads.
+//! * [`im2col`] — the im2col/col2im lowering used by convolution and
+//!   transposed convolution layers.
+//! * [`fft`] — radix-2 complex FFT (1-D and 2-D) used by the partially
+//!   coherent optical model for fast kernel convolution.
+//! * [`ops`] — spatial helpers (pad, crop, shift, flip, bilinear resize).
+//!
+//! # Example
+//!
+//! ```
+//! use litho_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+//! # Ok::<(), litho_tensor::TensorError>(())
+//! ```
+//!
+//! [`litho-nn`]: https://docs.rs/litho-nn
+//! [`litho-sim`]: https://docs.rs/litho-sim
+
+mod error;
+pub mod fft;
+mod im2col;
+mod matmul;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use fft::Complex;
+pub use im2col::{col2im, im2col, Im2ColSpec};
+pub use matmul::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,326 @@
+//! Cache-blocked, optionally multi-threaded matrix multiplication.
+//!
+//! The NN stack lowers convolutions onto GEMM via im2col, so this is the
+//! hottest kernel in the whole reproduction. The implementation is a
+//! classic i-k-j loop order with register blocking over `j`, parallelised
+//! over row bands with `crossbeam` scoped threads when the problem is big
+//! enough to amortise thread startup.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Minimum number of multiply-accumulates before threads are spawned.
+const PARALLEL_THRESHOLD: usize = 1 << 17;
+
+/// Multiply-accumulates each worker thread should own, at minimum —
+/// spawning 32 threads for a 256k-MAC product costs more than it saves.
+const WORK_PER_THREAD: usize = 1 << 17;
+
+fn dims_2d(t: &Tensor) -> Result<[usize; 2]> {
+    let d = t.dims();
+    if d.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: d.len(),
+        });
+    }
+    Ok([d[0], d[1]])
+}
+
+/// Computes `c = a * b` for 2-D tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either input is not rank 2 and
+/// [`TensorError::MatmulDimMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use litho_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &id)?, a);
+/// # Ok::<(), litho_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let [m, k] = dims_2d(a)?;
+    let [k2, n] = dims_2d(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: [m, k],
+            right: [k2, n],
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    Ok(out)
+}
+
+/// Computes `c = aᵀ * b` where `a` is `[k, m]` and `b` is `[k, n]`.
+///
+/// Used for weight gradients (`dW = xᵀ · dy` style products) without
+/// materialising the transpose.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let [k, m] = dims_2d(a)?;
+    let [k2, n] = dims_2d(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: [k, m],
+            right: [k2, n],
+        });
+    }
+    // Materialising the transpose keeps the inner loop contiguous; the cost
+    // is one pass over `a`, negligible next to the GEMM itself.
+    let mut at = vec![0.0f32; m * k];
+    let a_data = a.as_slice();
+    for row in 0..k {
+        for col in 0..m {
+            at[col * k + row] = a_data[row * m + col];
+        }
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(&at, b.as_slice(), out.as_mut_slice(), m, k, n);
+    Ok(out)
+}
+
+/// Computes `c = a * bᵀ` where `a` is `[m, k]` and `b` is `[n, k]`.
+///
+/// Used for input gradients (`dx = dy · Wᵀ` style products).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let [m, k] = dims_2d(a)?;
+    let [n, k2] = dims_2d(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: [m, k],
+            right: [n, k2],
+        });
+    }
+    let mut bt = vec![0.0f32; k * n];
+    let b_data = b.as_slice();
+    for row in 0..n {
+        for col in 0..k {
+            bt[col * n + row] = b_data[row * k + col];
+        }
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.as_slice(), &bt, out.as_mut_slice(), m, k, n);
+    Ok(out)
+}
+
+/// Raw GEMM on slices: `out[m x n] = a[m x k] * b[k x n]`.
+///
+/// `out` is fully overwritten. Parallelises over row bands when the work
+/// exceeds an internal threshold.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(out.len(), m * n, "output length");
+    out.fill(0.0);
+
+    let work = m * n * k;
+    let threads = available_threads().min((work / WORK_PER_THREAD).max(1));
+    if work < PARALLEL_THRESHOLD || threads <= 1 || m < 2 {
+        gemm_band(a, b, out, 0..m, k, n);
+        return;
+    }
+
+    let bands = threads.min(m);
+    let rows_per_band = m.div_ceil(bands);
+    // Split the output into disjoint row bands; each thread owns one band.
+    let band_chunks: Vec<&mut [f32]> = out.chunks_mut(rows_per_band * n).collect();
+    crossbeam::scope(|scope| {
+        for (band_idx, chunk) in band_chunks.into_iter().enumerate() {
+            let row_start = band_idx * rows_per_band;
+            let row_end = (row_start + chunk.len() / n).min(m);
+            scope.spawn(move |_| {
+                gemm_band_offset(a, b, chunk, row_start..row_end, k, n);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// GEMM over absolute output rows `rows`, writing into the full `out`.
+fn gemm_band(a: &[f32], b: &[f32], out: &mut [f32], rows: std::ops::Range<usize>, k: usize, n: usize) {
+    for i in rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+}
+
+/// GEMM where `chunk` is the slice of output rows starting at `rows.start`.
+fn gemm_band_offset(
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    let row_start = rows.start;
+    for i in rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let local = i - row_start;
+        let out_row = &mut chunk[local * n..(local + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_dim_check() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_rank_check() {
+        let a = Tensor::zeros(&[2, 3, 1]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_naive_large() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let (m, k, n) = (33, 47, 29);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expect = naive(&a, &b, m, k, n);
+        let ta = Tensor::from_vec(a, &[m, k]).unwrap();
+        let tb = Tensor::from_vec(b, &[k, n]).unwrap();
+        let c = matmul(&ta, &tb).unwrap();
+        for (got, want) in c.as_slice().iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // Big enough to cross PARALLEL_THRESHOLD (128*128*128 = 2M MACs).
+        let (m, k, n) = (128, 128, 128);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut parallel = vec![0.0; m * n];
+        matmul_into(&a, &b, &mut parallel, m, k, n);
+        let mut serial = vec![0.0; m * n];
+        gemm_band(&a, &b, &mut serial, 0..m, k, n);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert!((p - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_a_variant() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (k, m, n) = (13, 7, 9);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Explicit transpose as the oracle.
+        let mut at = vec![0.0; m * k];
+        for r in 0..k {
+            for c in 0..m {
+                at[c * k + r] = a[r * m + c];
+            }
+        }
+        let expect = naive(&at, &b, m, k, n);
+        let got = matmul_transpose_a(
+            &Tensor::from_vec(a, &[k, m]).unwrap(),
+            &Tensor::from_vec(b, &[k, n]).unwrap(),
+        )
+        .unwrap();
+        for (g, w) in got.as_slice().iter().zip(&expect) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_b_variant() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (m, k, n) = (6, 11, 8);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut bt = vec![0.0; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                bt[c * n + r] = b[r * k + c];
+            }
+        }
+        let expect = naive(&a, &bt, m, k, n);
+        let got = matmul_transpose_b(
+            &Tensor::from_vec(a, &[m, k]).unwrap(),
+            &Tensor::from_vec(b, &[n, k]).unwrap(),
+        )
+        .unwrap();
+        for (g, w) in got.as_slice().iter().zip(&expect) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+}

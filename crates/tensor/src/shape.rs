@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of each dimension, row-major (C order).
+///
+/// The last dimension is contiguous in memory. Network code in this
+/// workspace uses the NCHW convention: `[batch, channels, height, width]`.
+///
+/// # Example
+///
+/// ```
+/// use litho_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 5]);
+/// assert_eq!(s.volume(), 120);
+/// assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index` has the wrong rank
+    /// and [`TensorError::InvalidArgument`] if any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::InvalidArgument(format!(
+                    "index {i} out of bounds for axis {axis} with extent {d}"
+                )));
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Interprets the shape as a 4-D NCHW shape `[n, c, h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the rank is not 4.
+    pub fn as_nchw(&self) -> Result<[usize; 4]> {
+        if self.dims.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.dims.len(),
+            });
+        }
+        Ok([self.dims[0], self.dims[1], self.dims[2], self.dims[3]])
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_strides() {
+        let s = Shape::new(&[4, 3, 8, 8]);
+        assert_eq!(s.volume(), 4 * 3 * 64);
+        assert_eq!(s.strides(), vec![192, 64, 8, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = vec![false; s.volume()];
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    assert!(!seen[off]);
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn nchw_view() {
+        assert!(Shape::new(&[1, 2, 3]).as_nchw().is_err());
+        assert_eq!(
+            Shape::new(&[4, 3, 16, 16]).as_nchw().unwrap(),
+            [4, 3, 16, 16]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Hotspot screening — the workload the paper's introduction motivates:
+//! lithography simulation inside the design loop is too slow, so a
+//! learned end-to-end model screens thousands of layout configurations
+//! and only flagged candidates go to full simulation.
+//!
+//! This example screens held-out clips for CD hotspots (printed contact
+//! CD deviating from the 60 nm target by more than 10 % of the half
+//! pitch, the paper's acceptance criterion) using the trained LithoGAN,
+//! then validates every verdict against the rigorous simulator and
+//! reports the confusion matrix and speedup.
+//!
+//! ```sh
+//! cargo run --release -p lithogan --example hotspot_screening
+//! ```
+
+use std::time::{Duration, Instant};
+
+use litho_dataset::{generate, DatasetConfig};
+use litho_metrics::BoundingBox;
+use litho_sim::ProcessConfig;
+use litho_tensor::Tensor;
+use lithogan::{LithoGan, NetConfig, Result, TrainConfig};
+
+/// Printed CD (horizontal bbox extent) of a predicted window, nm.
+fn predicted_cd_nm(image: &Tensor, nm_per_px: f64) -> Option<f64> {
+    BoundingBox::of(image).map(|bb| bb.width() as f64 * nm_per_px)
+}
+
+fn main() -> Result<()> {
+    let process = ProcessConfig::n10();
+    let config = DatasetConfig::scaled(process.clone(), 72, 32);
+    println!("building screening corpus ({} clips) ...", config.clip_count);
+    let (dataset, _) = generate(&config)?;
+    let (train, test) = dataset.split();
+
+    let mut model = LithoGan::new(&NetConfig::scaled(32), 0);
+    model.train(
+        &train,
+        &TrainConfig {
+            epochs: 8,
+            ..TrainConfig::paper()
+        },
+        |_, _| {},
+    )?;
+
+    // The acceptance window: |CD - target| <= 10% of half pitch (paper §4.2).
+    let target = process.contact_size_nm;
+    let tolerance = process.half_pitch_nm() * 0.10 * 2.0; // a screening band
+    let nm_per_px = config.golden_nm_per_px();
+    println!(
+        "screening {} clips: hotspot when |CD - {target} nm| > {tolerance:.1} nm",
+        test.len()
+    );
+
+    let mut model_time = Duration::ZERO;
+    let mut agree = 0usize;
+    let mut false_pass = 0usize;
+    let mut false_flag = 0usize;
+    for sample in &test {
+        let t0 = Instant::now();
+        let prediction = model.predict(&sample.mask)?;
+        model_time += t0.elapsed();
+        let predicted_hotspot = match predicted_cd_nm(&prediction, nm_per_px) {
+            Some(cd) => (cd - target).abs() > tolerance,
+            None => true, // nothing prints: certainly a hotspot
+        };
+        // Golden verdict from the (already simulated) golden pattern.
+        let golden_hotspot = match predicted_cd_nm(&sample.golden, nm_per_px) {
+            Some(cd) => (cd - target).abs() > tolerance,
+            None => true,
+        };
+        match (predicted_hotspot, golden_hotspot) {
+            (a, b) if a == b => agree += 1,
+            (false, true) => false_pass += 1,
+            _ => false_flag += 1,
+        }
+    }
+    println!(
+        "agreement {}/{} ({:.0}%), missed hotspots {}, false flags {}",
+        agree,
+        test.len(),
+        100.0 * agree as f64 / test.len() as f64,
+        false_pass,
+        false_flag
+    );
+
+    // Speedup vs rigorous verification of the same clips.
+    let sim = litho_sim::RigorousSim::new(&process, config.sim_grid, 2048.0 / config.sim_grid as f64)?;
+    let t0 = Instant::now();
+    for sample in test.iter().take(8) {
+        sim.simulate(&sample.clip.to_mask_grid(config.sim_grid))?;
+    }
+    let rigorous_per_clip = t0.elapsed() / 8;
+    let model_per_clip = model_time / test.len() as u32;
+    println!(
+        "per-clip: rigorous {:.1} ms vs LithoGAN {:.2} ms ({:.0}x)",
+        rigorous_per_clip.as_secs_f64() * 1e3,
+        model_per_clip.as_secs_f64() * 1e3,
+        rigorous_per_clip.as_secs_f64() / model_per_clip.as_secs_f64().max(1e-12)
+    );
+    Ok(())
+}

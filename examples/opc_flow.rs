@@ -1,0 +1,56 @@
+//! Resolution-enhancement flow on a single clip: draw a contact pattern,
+//! insert SRAFs, run model-based OPC, and show how the printed contact
+//! improves — the data-preparation substrate behind every LithoGAN
+//! training sample.
+//!
+//! ```sh
+//! cargo run --release -p lithogan --example opc_flow
+//! ```
+
+use litho_layout::{insert_srafs, Clip, OpcConfig, OpcEngine, Rect, SrafRules};
+use litho_sim::{ProcessConfig, RigorousSim};
+use lithogan::Result;
+
+fn print_cd(label: &str, sim: &RigorousSim, clip: &Clip, grid: usize) -> Result<()> {
+    let golden = sim.golden_center_pattern(&clip.to_mask_grid(grid))?;
+    match golden.and_then(|g| g.cd_horizontal_nm()) {
+        Some(cd) => println!("  {label:<28} printed CD = {cd:.0} nm"),
+        None => println!("  {label:<28} does not print"),
+    }
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let process = ProcessConfig::n10();
+    let grid = 256;
+    let sim = RigorousSim::new(&process, grid, 2048.0 / grid as f64)?;
+
+    // A 60 nm contact with one diagonal neighbor — drawn size is far below
+    // the ~87 nm diffraction limit, so it cannot print as drawn.
+    let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
+    clip.neighbors.push(Rect::centered_square(1144.0, 1144.0, 60.0));
+
+    println!("target contact: 60 nm drawn (λ=193 nm, NA=1.35, Rayleigh ≈ 87 nm)");
+    print_cd("drawn mask (no RET)", &sim, &clip, grid)?;
+
+    // Step 1: rule-based SRAFs.
+    let placed = insert_srafs(&mut clip, &SrafRules::for_process(&process));
+    println!("  inserted {placed} SRAFs");
+    print_cd("with SRAFs", &sim, &clip, grid)?;
+
+    // Step 2: model-based OPC.
+    let engine = OpcEngine::new(&process, 2048.0, OpcConfig::default())?;
+    let result = engine.correct(&clip)?;
+    println!(
+        "  OPC: {} iterations, residual edge error {:.1} nm, converged = {}",
+        result.iterations, result.max_error_nm, result.converged
+    );
+    println!(
+        "  mask bias: target drawn 60 nm -> {:.0} x {:.0} nm on mask",
+        result.clip.target.width(),
+        result.clip.target.height()
+    );
+    print_cd("with SRAFs + OPC", &sim, &result.clip, grid)?;
+    println!("\n(OPC drives the printed CD to the 60 nm design intent — the paper's\n dataset is built from exactly such post-RET clips.)");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a small synthetic N10 dataset, train LithoGAN for
+//! a few epochs, and evaluate it on the held-out split.
+//!
+//! ```sh
+//! cargo run --release -p lithogan --example quickstart
+//! ```
+
+use litho_dataset::{generate, DatasetConfig};
+use litho_metrics::MetricAccumulator;
+use litho_sim::ProcessConfig;
+use lithogan::{LithoGan, NetConfig, Result, TrainConfig};
+
+fn main() -> Result<()> {
+    // 1. Data: 48 contact clips at a CPU-friendly 32x32 resolution.
+    //    (The paper uses 982 clips at 256x256; see DESIGN.md.)
+    let config = DatasetConfig::scaled(ProcessConfig::n10(), 48, 32);
+    println!("generating {} clips ...", config.clip_count);
+    let (dataset, stats) = generate(&config)?;
+    println!(
+        "  {} samples ({} golden retries, {} OPC non-converged)",
+        dataset.len(),
+        stats.empty_golden_retries,
+        stats.opc_unconverged
+    );
+    let (train, test) = dataset.split();
+
+    // 2. Model: the paper's architecture scaled to 32x32.
+    let net = NetConfig::scaled(32);
+    let cfg = TrainConfig {
+        epochs: 6,
+        ..TrainConfig::paper()
+    };
+    let mut model = LithoGan::new(&net, 0);
+    println!("training on {} samples for {} epochs ...", train.len(), cfg.epochs);
+    let history = model.train(&train, &cfg, |epoch, _| {
+        println!("  epoch {} done", epoch + 1);
+    })?;
+    println!(
+        "generator loss {:.1} -> {:.1}",
+        history.g_loss.first().copied().unwrap_or(0.0),
+        history.g_loss.last().copied().unwrap_or(0.0)
+    );
+
+    // 3. Evaluate on the test split with the paper's metrics.
+    let mut acc = MetricAccumulator::new(config.golden_nm_per_px());
+    for sample in &test {
+        let prediction = model.predict(&sample.mask)?;
+        acc.add(&prediction, &sample.golden)?;
+    }
+    let summary = acc.summary();
+    println!(
+        "\ntest set ({} samples):\n  EDE        {:.2} ± {:.2} nm\n  pixel acc  {:.4}\n  class acc  {:.4}\n  mean IoU   {:.4}",
+        summary.samples,
+        summary.ede_mean_nm,
+        summary.ede_std_nm,
+        summary.pixel_accuracy,
+        summary.class_accuracy,
+        summary.mean_iou
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the dataset pipeline: determinism, persistence
+//! round trips, encoding invariants, and the centre-scatter mechanism
+//! that makes the dual-learning comparison meaningful.
+
+use litho_dataset::{generate, load_dataset, save_dataset, DatasetConfig};
+use litho_sim::ProcessConfig;
+
+fn tiny_config() -> DatasetConfig {
+    let mut c = DatasetConfig::scaled(ProcessConfig::n10(), 9, 32);
+    c.sim_grid = 128;
+    c
+}
+
+#[test]
+fn dataset_round_trips_through_disk() {
+    let (ds, _) = generate(&tiny_config()).unwrap();
+    let dir = std::env::temp_dir().join("lithogan_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round_trip.lgd");
+    save_dataset(&ds, &path).unwrap();
+    let loaded = load_dataset(&path).unwrap();
+    assert_eq!(loaded.config, ds.config);
+    assert_eq!(loaded.samples.len(), ds.samples.len());
+    for (a, b) in loaded.samples.iter().zip(&ds.samples) {
+        // Goldens are bit-exact (stored as packed bits).
+        assert_eq!(a.golden, b.golden);
+        assert_eq!(a.golden_centered, b.golden_centered);
+        assert_eq!(a.center_px, b.center_px);
+        assert_eq!(a.clip, b.clip);
+        // Masks within u8 quantisation.
+        for (x, y) in a.mask.as_slice().iter().zip(b.mask.as_slice()) {
+            assert!((x - y).abs() <= 1.0 / 255.0 + 1e-6);
+        }
+    }
+}
+
+#[test]
+fn mask_jitter_perturbs_clip_geometry() {
+    // The jitter mechanism itself: with jitter enabled, the persisted
+    // post-OPC target rect is displaced from its zero-jitter counterpart.
+    // (Print centres scatter from *two* physical sources — this jitter
+    // and residual per-edge OPC asymmetry — so the geometric effect is
+    // asserted directly.)
+    let mut with = tiny_config();
+    with.clip_count = 6;
+    with.mask_jitter_nm = 4.0;
+    let mut without = with.clone();
+    without.mask_jitter_nm = 0.0;
+
+    let (ds_with, _) = generate(&with).unwrap();
+    let (ds_without, _) = generate(&without).unwrap();
+    assert_eq!(ds_with.len(), ds_without.len());
+    let mut displaced = 0usize;
+    for (a, b) in ds_with.samples.iter().zip(&ds_without.samples) {
+        let (ax, ay) = a.clip.target.center();
+        let (bx, by) = b.clip.target.center();
+        let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        assert!(d <= 4.0 * std::f64::consts::SQRT_2 + 1e-9, "jitter bound violated: {d}");
+        if d > 0.1 {
+            displaced += 1;
+        }
+    }
+    assert!(
+        displaced >= ds_with.len() / 2,
+        "only {displaced}/{} targets displaced",
+        ds_with.len()
+    );
+}
+
+#[test]
+fn golden_centers_scatter_for_the_cnn_to_learn() {
+    // The localisation task must be non-degenerate: printed centres
+    // deviate from the window centre by a measurable amount on average.
+    let mut config = tiny_config();
+    config.clip_count = 12;
+    let (ds, _) = generate(&config).unwrap();
+    let mid = (config.image_size as f32 - 1.0) / 2.0;
+    let scatter = ds
+        .samples
+        .iter()
+        .map(|s| (((s.center_px.0 - mid).powi(2) + (s.center_px.1 - mid).powi(2)) as f64).sqrt())
+        .sum::<f64>()
+        / ds.samples.len() as f64;
+    assert!(scatter > 0.4, "centre scatter {scatter:.2} px too small");
+}
+
+#[test]
+fn mask_encoding_respects_object_taxonomy() {
+    let (ds, _) = generate(&tiny_config()).unwrap();
+    for s in &ds.samples {
+        let dims = s.mask.dims();
+        let plane = dims[1] * dims[2];
+        let data = s.mask.as_slice();
+        let channel_sum = |c: usize| data[c * plane..(c + 1) * plane].iter().sum::<f32>();
+        // Green (target) always present.
+        assert!(channel_sum(1) > 0.0);
+        // If the clip has SRAFs in the 1 µm window, blue must be non-empty.
+        let offset = (s.clip.extent_nm - 1024.0) / 2.0;
+        let window =
+            litho_layout::Rect::new(offset, offset, offset + 1024.0, offset + 1024.0);
+        if s.clip.srafs.iter().any(|r| r.overlaps(&window)) {
+            assert!(channel_sum(2) > 0.0, "SRAFs in window but blue empty");
+        }
+        // Exclusivity: no pixel belongs fully to two classes.
+        for i in 0..plane {
+            let classes = (0..3).filter(|&c| data[c * plane + i] > 0.99).count();
+            assert!(classes <= 1, "pixel {i} saturated in {classes} channels");
+        }
+    }
+}
+
+#[test]
+fn golden_centered_recentres_within_half_pixel() {
+    let (ds, _) = generate(&tiny_config()).unwrap();
+    let mid = (32.0 - 1.0) / 2.0;
+    for s in &ds.samples {
+        let bb = litho_metrics::BoundingBox::of(&s.golden_centered).unwrap();
+        let (cy, cx) = bb.center();
+        assert!(
+            (cy - mid as f64).abs() <= 1.0 && (cx - mid as f64).abs() <= 1.0,
+            "centered golden bbox at ({cy}, {cx})"
+        );
+    }
+}
+
+#[test]
+fn split_is_stable_across_loads() {
+    let (ds, _) = generate(&tiny_config()).unwrap();
+    let dir = std::env::temp_dir().join("lithogan_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("split_stability.lgd");
+    save_dataset(&ds, &path).unwrap();
+    let loaded = load_dataset(&path).unwrap();
+    let ids = |d: &litho_dataset::Dataset| -> Vec<f32> {
+        d.split().0.iter().map(|s| s.center_px.0 + s.center_px.1).collect()
+    };
+    assert_eq!(ids(&ds), ids(&loaded));
+}

@@ -1,0 +1,121 @@
+//! Integration tests across the full stack: dataset generation →
+//! training → inference → metrics → weight persistence.
+
+use litho_dataset::{generate, DatasetConfig};
+use litho_metrics::MetricAccumulator;
+use litho_nn::serialize::{load_weights, save_weights};
+use litho_sim::ProcessConfig;
+use lithogan::{Cgan, LithoGan, NetConfig, TrainConfig, TrainPair};
+
+fn tiny_dataset() -> litho_dataset::Dataset {
+    let mut config = DatasetConfig::scaled(ProcessConfig::n10(), 9, 32);
+    config.sim_grid = 128;
+    generate(&config).expect("dataset generation").0
+}
+
+fn tiny_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        seed: 7,
+        ..TrainConfig::paper()
+    }
+}
+
+#[test]
+fn full_pipeline_produces_scoreable_predictions() {
+    let ds = tiny_dataset();
+    assert!(ds.len() >= 8, "generated {}", ds.len());
+    let (train, test) = ds.split();
+    assert!(!test.is_empty());
+
+    let net = NetConfig::scaled(32);
+    let mut model = LithoGan::new(&net, 0);
+    let history = model.train(&train, &tiny_cfg(2), |_, _| {}).unwrap();
+    assert_eq!(history.g_loss.len(), 2);
+    assert!(history.g_loss.iter().all(|l| l.is_finite()));
+
+    let mut acc = MetricAccumulator::new(ds.config.golden_nm_per_px());
+    for s in &test {
+        let pred = model.predict(&s.mask).unwrap();
+        assert_eq!(pred.dims(), &[32, 32]);
+        assert!(pred.min() >= 0.0 && pred.max() <= 1.0);
+        acc.add(&pred, &s.golden).unwrap();
+    }
+    let summary = acc.summary();
+    assert_eq!(summary.samples, test.len());
+    // Even a 2-epoch model must beat coin-flip pixel accuracy by miles
+    // (background dominates).
+    assert!(summary.pixel_accuracy > 0.5, "{summary:?}");
+}
+
+#[test]
+fn generator_weights_round_trip_through_serialization() {
+    let ds = tiny_dataset();
+    let (train, test) = ds.split();
+    let net = NetConfig::scaled(32);
+
+    let cfg = tiny_cfg(1);
+    let mut a = Cgan::with_train_config(&net, &cfg, 1);
+    let pairs: Vec<TrainPair> = train
+        .iter()
+        .map(|s| TrainPair::from_dataset(&s.mask, &s.golden_centered).unwrap())
+        .collect();
+    a.train(&pairs, &cfg, |_, _| {}).unwrap();
+
+    let mut bytes = Vec::new();
+    save_weights(a.generator_mut(), &mut bytes).unwrap();
+
+    let mut b = Cgan::with_train_config(&net, &cfg, 99);
+    let sample = test[0];
+    assert_ne!(
+        a.predict(&sample.mask).unwrap(),
+        b.predict(&sample.mask).unwrap(),
+        "different seeds must differ before loading"
+    );
+    load_weights(b.generator_mut(), bytes.as_slice()).unwrap();
+    assert_eq!(
+        a.predict(&sample.mask).unwrap(),
+        b.predict(&sample.mask).unwrap(),
+        "loaded weights must reproduce predictions exactly"
+    );
+}
+
+#[test]
+fn training_is_deterministic_in_seed() {
+    let ds = tiny_dataset();
+    let (train, test) = ds.split();
+    let net = NetConfig::scaled(32);
+    let cfg = tiny_cfg(1);
+
+    let run = || {
+        let mut m = LithoGan::new(&net, 5);
+        m.train(&train, &cfg, |_, _| {}).unwrap();
+        m.predict(&test[0].mask).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn lithogan_recenters_toward_cnn_prediction() {
+    // Structural property of the framework: the adjusted output's centre
+    // tracks the CNN prediction, independent of training quality.
+    let ds = tiny_dataset();
+    let (train, test) = ds.split();
+    let net = NetConfig::scaled(32);
+    let mut model = LithoGan::new(&net, 3);
+    model.train(&train, &tiny_cfg(2), |_, _| {}).unwrap();
+
+    for s in test.iter().take(3) {
+        let p = model.predict_detailed(&s.mask).unwrap();
+        let binary = p.adjusted.map(|v| if v >= 0.5 { 1.0 } else { 0.0 });
+        if let Some(bb) = litho_metrics::BoundingBox::of(&binary) {
+            let (cy, cx) = bb.center();
+            let err = ((cy - p.center_px.0 as f64).powi(2)
+                + (cx - p.center_px.1 as f64).powi(2))
+            .sqrt();
+            // Shifted output centre within a couple of pixels of the CNN
+            // prediction (rounding + shape asymmetry allowance).
+            assert!(err < 3.0, "adjusted centre {err} px from CNN prediction");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-crate physical-consistency tests: the layout RET flow and the
+//! simulation substrate must compose into physically sensible behaviour.
+
+use litho_layout::{insert_srafs, Clip, OpcConfig, OpcEngine, Rect, SrafRules};
+use litho_sim::{MaskGrid, OpticalModel, ProcessConfig, ResistModel, RigorousSim};
+
+const GRID: usize = 128;
+const PITCH: f64 = 2048.0 / GRID as f64;
+
+fn isolated_clip(contact_nm: f64) -> Clip {
+    Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, contact_nm))
+}
+
+#[test]
+fn opc_brings_printed_cd_to_target_on_both_nodes() {
+    for process in [ProcessConfig::n10(), ProcessConfig::n7()] {
+        let sim = RigorousSim::new(&process, GRID, PITCH).unwrap();
+        let engine = OpcEngine::new(&process, 2048.0, OpcConfig::default()).unwrap();
+        let mut clip = isolated_clip(process.contact_size_nm);
+        insert_srafs(&mut clip, &SrafRules::for_process(&process));
+        let corrected = engine.correct(&clip).unwrap().clip;
+        let golden = sim
+            .golden_center_pattern(&corrected.to_mask_grid(GRID))
+            .unwrap()
+            .expect("OPC'd contact must print");
+        let cd = golden.cd_horizontal_nm().unwrap();
+        let err = (cd - process.contact_size_nm).abs();
+        // Within the coarse grid quantisation (one pixel = 16 nm).
+        assert!(
+            err <= PITCH + 1e-9,
+            "{}: printed CD {cd} vs target {} (err {err})",
+            process.name,
+            process.contact_size_nm
+        );
+    }
+}
+
+#[test]
+fn srafs_improve_defocus_stability() {
+    // The point of SRAFs: the printed image degrades less through focus.
+    let process = ProcessConfig::n10();
+    let engine = OpcEngine::new(&process, 2048.0, OpcConfig::default()).unwrap();
+
+    let peak_through_focus = |clip: &Clip, defocus: f64| -> f64 {
+        let model =
+            OpticalModel::with_settings(&process, GRID, PITCH, defocus, 4).unwrap();
+        model
+            .aerial_image(&clip.to_mask_grid(GRID))
+            .unwrap()
+            .max_intensity()
+    };
+
+    let bare = engine.correct(&isolated_clip(60.0)).unwrap().clip;
+    let mut with_srafs = isolated_clip(60.0);
+    insert_srafs(&mut with_srafs, &SrafRules::for_process(&process));
+    let with_srafs = engine.correct(&with_srafs).unwrap().clip;
+
+    let loss_bare = 1.0 - peak_through_focus(&bare, 60.0) / peak_through_focus(&bare, 0.0);
+    let loss_sraf =
+        1.0 - peak_through_focus(&with_srafs, 60.0) / peak_through_focus(&with_srafs, 0.0);
+    assert!(
+        loss_sraf < loss_bare,
+        "SRAFs should reduce through-focus intensity loss: {loss_sraf:.4} vs {loss_bare:.4}"
+    );
+}
+
+#[test]
+fn srafs_do_not_print() {
+    let process = ProcessConfig::n10();
+    let sim = RigorousSim::new(&process, GRID, PITCH).unwrap();
+    let engine = OpcEngine::new(&process, 2048.0, OpcConfig::default()).unwrap();
+    let mut clip = isolated_clip(60.0);
+    let placed = insert_srafs(&mut clip, &SrafRules::for_process(&process));
+    assert!(placed > 0);
+    let corrected = engine.correct(&clip).unwrap().clip;
+    let (pattern, _) = sim.simulate(&corrected.to_mask_grid(GRID)).unwrap();
+    // Any printed pixel must lie near the contact, not at SRAF locations.
+    for sraf in &corrected.srafs {
+        let (cx, cy) = sraf.center();
+        let px = (cx / PITCH) as usize;
+        let py = (cy / PITCH) as usize;
+        assert!(
+            !pattern.at(py, px),
+            "SRAF at ({cx:.0},{cy:.0}) nm printed — it must stay sub-resolution"
+        );
+    }
+}
+
+#[test]
+fn proximity_monotonicity_dense_prints_differently() {
+    // A dense environment changes the optimal OPC bias: the corrected
+    // dense mask must differ from the corrected isolated mask.
+    let process = ProcessConfig::n10();
+    let engine = OpcEngine::new(&process, 2048.0, OpcConfig::default()).unwrap();
+    let iso = engine.correct(&isolated_clip(60.0)).unwrap().clip;
+
+    let mut dense = isolated_clip(60.0);
+    for dx in [-120.0f64, 120.0] {
+        dense
+            .neighbors
+            .push(Rect::centered_square(1024.0 + dx, 1024.0, 60.0));
+    }
+    let dense = engine.correct(&dense).unwrap().clip;
+    let diff = (iso.target.width() - dense.target.width()).abs()
+        + (iso.target.height() - dense.target.height()).abs();
+    assert!(
+        diff > 0.5,
+        "dense OPC bias should differ from isolated: {:?} vs {:?}",
+        iso.target,
+        dense.target
+    );
+}
+
+#[test]
+fn resist_pattern_matches_contour_zero_level() {
+    // The binary develop() output and the marching-squares contours are
+    // two views of the same excess field: every contour vertex must lie
+    // on the print boundary (within a pixel).
+    let process = ProcessConfig::n10();
+    let model = OpticalModel::new(&process, GRID, PITCH).unwrap();
+    let resist = ResistModel::new(process.resist);
+    let mut mask = MaskGrid::new(GRID, PITCH);
+    mask.fill_rect_nm(980.0, 980.0, 1080.0, 1080.0, 1.0);
+    let aerial = model.aerial_image(&mask).unwrap();
+    let pattern = resist.develop(&aerial);
+    let excess = resist.excess_field(&aerial);
+    let contours = litho_sim::extract_contours(&excess, GRID, PITCH, 0.0).unwrap();
+    assert!(!contours.is_empty());
+    for contour in &contours {
+        for &(x, y) in &contour.points {
+            let px = ((x / PITCH) as usize).min(GRID - 1);
+            let py = ((y / PITCH) as usize).min(GRID - 1);
+            // At least one pixel in the 3x3 neighbourhood printed and one
+            // did not (i.e. the vertex is on the boundary).
+            let mut printed = false;
+            let mut unprinted = false;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (ny, nx) = (
+                        (py as i64 + dy).clamp(0, GRID as i64 - 1) as usize,
+                        (px as i64 + dx).clamp(0, GRID as i64 - 1) as usize,
+                    );
+                    if pattern.at(ny, nx) {
+                        printed = true;
+                    } else {
+                        unprinted = true;
+                    }
+                }
+            }
+            assert!(
+                printed && unprinted,
+                "contour vertex ({x:.0},{y:.0}) nm not on the print boundary"
+            );
+        }
+    }
+}
+
+#[test]
+fn n7_prints_smaller_contacts_than_n10() {
+    // Same mask, two processes: the N7 resist calibration develops a
+    // different (well-defined) CD — the nodes are genuinely distinct.
+    let mask = {
+        let mut m = MaskGrid::new(GRID, PITCH);
+        m.fill_rect_nm(974.0, 974.0, 1074.0, 1074.0, 1.0);
+        m
+    };
+    let cd = |process: &ProcessConfig| -> f64 {
+        let model = OpticalModel::new(process, GRID, PITCH).unwrap();
+        let resist = ResistModel::new(process.resist);
+        resist
+            .develop(&model.aerial_image(&mask).unwrap())
+            .cd_horizontal_nm()
+            .unwrap_or(0.0)
+    };
+    let n10 = cd(&ProcessConfig::n10());
+    let n7 = cd(&ProcessConfig::n7());
+    assert!(n10 > 0.0 && n7 > 0.0);
+    assert_ne!(n10, n7, "processes must be distinguishable");
+}
