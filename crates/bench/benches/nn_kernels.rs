@@ -1,75 +1,71 @@
-//! Criterion benches for the NN substrate: GEMM, im2col convolution
+//! Microbenches for the NN substrate: GEMM, im2col convolution
 //! forward/backward, and the FFT used by the optical model.
+//!
+//! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`, `--trace`,
+//! `--metrics-out FILE`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{Rng, SeedableRng};
+use litho_tensor::rng::{Rng, SeedableRng};
 
 use litho_nn::{Conv2d, ConvTranspose2d, Layer, Phase};
 use litho_tensor::fft::{fft2_in_place, FftDirection};
 use litho_tensor::{matmul, Complex, Tensor};
+use lithogan_bench::microbench::MicroBench;
 
 fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = litho_tensor::rng::StdRng::seed_from_u64(seed);
     let n: usize = dims.iter().product();
     Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims).unwrap()
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(mb: &MicroBench) {
     for &n in &[64usize, 256, 512] {
         let a = random_tensor(&[n, n], 1);
         let b = random_tensor(&[n, n], 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |bench, _| {
-            bench.iter(|| matmul(&a, &b).unwrap())
-        });
+        mb.run(&format!("matmul_{n}"), || matmul(&a, &b).unwrap());
     }
-    group.finish();
 }
 
-fn bench_conv(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+fn bench_conv(mb: &MicroBench) {
+    let mut rng = litho_tensor::rng::StdRng::seed_from_u64(3);
     // The paper's first generator layer at scaled resolution: 3->64, 5x5/2.
     let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
     let x = random_tensor(&[4, 3, 64, 64], 4);
-    c.bench_function("conv_fwd_4x3x64x64", |b| {
-        b.iter(|| conv.forward(&x, Phase::Eval).unwrap())
-    });
-    c.bench_function("conv_fwd_bwd_4x3x64x64", |b| {
-        b.iter(|| {
-            let y = conv.forward(&x, Phase::Train).unwrap();
-            conv.zero_grad();
-            conv.backward(&y).unwrap()
-        })
+    mb.run("conv_fwd_4x3x64x64", || conv.forward(&x, Phase::Eval).unwrap());
+    mb.run("conv_fwd_bwd_4x3x64x64", || {
+        let y = conv.forward(&x, Phase::Train).unwrap();
+        conv.zero_grad();
+        conv.backward(&y).unwrap()
     });
 
     let mut deconv = ConvTranspose2d::new(64, 32, 5, 2, 2, 1, &mut rng);
     let z = random_tensor(&[4, 64, 16, 16], 5);
-    c.bench_function("deconv_fwd_4x64x16x16", |b| {
-        b.iter(|| deconv.forward(&z, Phase::Eval).unwrap())
+    mb.run("deconv_fwd_4x64x16x16", || {
+        deconv.forward(&z, Phase::Eval).unwrap()
     });
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft2");
+fn bench_fft(mb: &MicroBench) {
     for &n in &[128usize, 256, 512] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(6);
         let data: Vec<Complex> = (0..n * n)
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |bench, _| {
-            bench.iter(|| {
-                let mut buf = data.clone();
-                fft2_in_place(&mut buf, n, n, FftDirection::Forward).unwrap();
-                buf
-            })
+        mb.run(&format!("fft2_{n}"), || {
+            let mut buf = data.clone();
+            fft2_in_place(&mut buf, n, n, FftDirection::Forward).unwrap();
+            buf
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv, bench_fft
-);
-criterion_main!(benches);
+fn main() {
+    lithogan_bench::init_telemetry_from_args(&[(
+        "bench",
+        litho_telemetry::Value::Str("nn_kernels".into()),
+    )]);
+    let mb = MicroBench::from_args();
+    bench_matmul(&mb);
+    bench_conv(&mb);
+    bench_fft(&mb);
+    lithogan_bench::finish_telemetry();
+}

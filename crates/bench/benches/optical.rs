@@ -1,10 +1,12 @@
-//! Criterion benches for the optical substrate: SOCS kernel construction
-//! and aerial-image computation at compact vs rigorous rank — the
+//! Microbenches for the optical substrate: SOCS kernel construction and
+//! aerial-image computation at compact vs rigorous rank — the
 //! computational gap behind Table 4's rigorous-vs-ML runtime hierarchy.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`, `--trace`,
+//! `--metrics-out FILE`.
 
 use litho_sim::{MaskGrid, OpticalModel, ProcessConfig, ResistModel, RigorousSim};
+use lithogan_bench::microbench::MicroBench;
 
 fn contact_mask(size: usize, pitch: f64) -> MaskGrid {
     let mut mask = MaskGrid::new(size, pitch);
@@ -15,23 +17,19 @@ fn contact_mask(size: usize, pitch: f64) -> MaskGrid {
     mask
 }
 
-fn bench_aerial(c: &mut Criterion) {
+fn bench_aerial(mb: &MicroBench) {
     let process = ProcessConfig::n10();
-    let mut group = c.benchmark_group("aerial_image");
     for &(size, kernels) in &[(128usize, 4usize), (256, 4), (256, 10)] {
         let pitch = 2048.0 / size as f64;
         let model = OpticalModel::with_settings(&process, size, pitch, 0.0, kernels).unwrap();
         let mask = contact_mask(size, pitch);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{size}px_{kernels}k")),
-            &(),
-            |b, _| b.iter(|| model.aerial_image(&mask).unwrap()),
-        );
+        mb.run(&format!("aerial_image_{size}px_{kernels}k"), || {
+            model.aerial_image(&mask).unwrap()
+        });
     }
-    group.finish();
 }
 
-fn bench_rigorous_vs_compact(c: &mut Criterion) {
+fn bench_rigorous_vs_compact(mb: &MicroBench) {
     let process = ProcessConfig::n10();
     let size = 256;
     let pitch = 2048.0 / size as f64;
@@ -39,20 +37,16 @@ fn bench_rigorous_vs_compact(c: &mut Criterion) {
 
     let compact = OpticalModel::new(&process, size, pitch).unwrap();
     let resist = ResistModel::new(process.resist);
-    c.bench_function("compact_flow_256", |b| {
-        b.iter(|| {
-            let aerial = compact.aerial_image(&mask).unwrap();
-            resist.develop(&aerial)
-        })
+    mb.run("compact_flow_256", || {
+        let aerial = compact.aerial_image(&mask).unwrap();
+        resist.develop(&aerial)
     });
 
     let rigorous = RigorousSim::new(&process, size, pitch).unwrap();
-    c.bench_function("rigorous_flow_256", |b| {
-        b.iter(|| rigorous.simulate(&mask).unwrap())
-    });
+    mb.run("rigorous_flow_256", || rigorous.simulate(&mask).unwrap());
 }
 
-fn bench_resist(c: &mut Criterion) {
+fn bench_resist(mb: &MicroBench) {
     let process = ProcessConfig::n10();
     let size = 256;
     let pitch = 2048.0 / size as f64;
@@ -60,16 +54,21 @@ fn bench_resist(c: &mut Criterion) {
     let mask = contact_mask(size, pitch);
     let aerial = model.aerial_image(&mask).unwrap();
     let resist = ResistModel::new(process.resist);
-    c.bench_function("resist_develop_256", |b| b.iter(|| resist.develop(&aerial)));
-    c.bench_function("contour_extract_256", |b| {
-        let excess = resist.excess_field(&aerial);
-        b.iter(|| litho_sim::extract_contours(&excess, size, pitch, 0.0).unwrap())
+    mb.run("resist_develop_256", || resist.develop(&aerial));
+    let excess = resist.excess_field(&aerial);
+    mb.run("contour_extract_256", || {
+        litho_sim::extract_contours(&excess, size, pitch, 0.0).unwrap()
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_aerial, bench_rigorous_vs_compact, bench_resist
-);
-criterion_main!(benches);
+fn main() {
+    lithogan_bench::init_telemetry_from_args(&[(
+        "bench",
+        litho_telemetry::Value::Str("optical".into()),
+    )]);
+    let mb = MicroBench::from_args();
+    bench_aerial(&mb);
+    bench_rigorous_vs_compact(&mb);
+    bench_resist(&mb);
+    lithogan_bench::finish_telemetry();
+}

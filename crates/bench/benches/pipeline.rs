@@ -1,50 +1,52 @@
-//! Criterion benches for the data-preparation pipeline: clip generation,
-//! SRAF insertion, model-based OPC and rasterisation (the Mentor-Calibre
+//! Microbenches for the data-preparation pipeline: clip generation, SRAF
+//! insertion, model-based OPC and rasterisation (the Mentor-Calibre
 //! substitute of DESIGN.md's inventory).
+//!
+//! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`, `--trace`,
+//! `--metrics-out FILE`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
+use litho_tensor::rng::SeedableRng;
 
 use litho_layout::{
     insert_srafs, rasterize_clip, ClipFamily, ClipGenerator, OpcConfig, OpcEngine, RasterConfig,
     SrafRules,
 };
 use litho_sim::ProcessConfig;
+use lithogan_bench::microbench::MicroBench;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
+    lithogan_bench::init_telemetry_from_args(&[(
+        "bench",
+        litho_telemetry::Value::Str("pipeline".into()),
+    )]);
+    let mb = MicroBench::from_args();
+
     let process = ProcessConfig::n10();
     let generator = ClipGenerator::new(&process);
     let rules = SrafRules::for_process(&process);
     let opc = OpcEngine::new(&process, 2048.0, OpcConfig::default()).unwrap();
 
-    c.bench_function("clip_generate", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        b.iter(|| generator.generate(ClipFamily::Array2d, &mut rng))
+    let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
+    mb.run("clip_generate", || {
+        generator.generate(ClipFamily::Array2d, &mut rng)
     });
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = litho_tensor::rng::StdRng::seed_from_u64(1);
     let clip = generator.generate(ClipFamily::Array2d, &mut rng);
 
-    c.bench_function("sraf_insert", |b| {
-        b.iter(|| {
-            let mut work = clip.clone();
-            insert_srafs(&mut work, &rules)
-        })
+    mb.run("sraf_insert", || {
+        let mut work = clip.clone();
+        insert_srafs(&mut work, &rules)
     });
 
     let mut with_srafs = clip.clone();
     insert_srafs(&mut with_srafs, &rules);
-    c.bench_function("opc_correct", |b| b.iter(|| opc.correct(&with_srafs).unwrap()));
+    mb.run("opc_correct", || opc.correct(&with_srafs).unwrap());
 
     let corrected = opc.correct(&with_srafs).unwrap().clip;
-    c.bench_function("rasterize_256px", |b| {
-        b.iter(|| rasterize_clip(&corrected, &RasterConfig::paper()).unwrap())
+    mb.run("rasterize_256px", || {
+        rasterize_clip(&corrected, &RasterConfig::paper()).unwrap()
     });
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_pipeline
-);
-criterion_main!(benches);
+    lithogan_bench::finish_telemetry();
+}

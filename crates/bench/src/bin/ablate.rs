@@ -119,5 +119,6 @@ fn main() -> Result<()> {
         println!("CGAN:     EDE {:.2} nm, centre error {:.2} nm", cg.ede_mean_nm, cg.center_error_nm);
         println!("LithoGAN: EDE {:.2} nm, centre error {:.2} nm", lg.ede_mean_nm, lg.center_error_nm);
     }
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

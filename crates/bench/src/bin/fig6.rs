@@ -65,5 +65,6 @@ fn main() -> Result<()> {
         );
     }
     println!("wrote {} panels to {}", picks.len() * 3, dir.display());
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

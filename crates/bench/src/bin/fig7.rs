@@ -59,5 +59,6 @@ fn main() -> Result<()> {
             .map_err(|e| litho_tensor::TensorError::InvalidArgument(e.to_string()))?;
     }
     println!("wrote {}", csv.display());
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

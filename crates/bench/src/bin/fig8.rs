@@ -68,5 +68,6 @@ fn main() -> Result<()> {
         write_ppm(&s.mask, dir.join(format!("row{row}_input.ppm")))?;
     }
     println!("wrote snapshots for {} samples to {}", samples.len(), dir.display());
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

@@ -49,5 +49,6 @@ fn main() -> Result<()> {
     }
     println!("wrote {}", csv.display());
     println!("(paper: generator loss decays and flattens after ~50/80 epochs; discriminator stays low)");
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

@@ -70,5 +70,6 @@ fn main() -> Result<()> {
     println!("Paper Table 3 (for shape comparison):");
     println!("  N10  Ref[12] 0.67/0.55 0.98 0.99 0.98 | CGAN 1.52/0.95 0.96 0.97 0.94 | LithoGAN 1.08/0.88 0.97 0.98 0.96");
     println!("  N7   Ref[12] 0.55/0.53 0.99 0.99 0.98 | CGAN 1.21/0.77 0.98 0.98 0.96 | LithoGAN 0.88/0.67 0.99 0.99 0.97");
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

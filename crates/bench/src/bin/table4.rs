@@ -85,5 +85,6 @@ fn main() -> Result<()> {
     }
     println!();
     println!("Paper Table 4: rigorous >15 h (~1800x), Ref[12] 80m+8s+15m (~190x), LithoGAN 30 s (1x)");
+    lithogan_bench::finish_telemetry();
     Ok(())
 }

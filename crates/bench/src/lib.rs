@@ -12,7 +12,10 @@
 //!   baseline, CGAN, LithoGAN) trained on the same split.
 //! * [`evaluate`] — [`MetricAccumulator`]-based scoring of a method.
 
+pub mod microbench;
+
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig, Sample};
 use litho_metrics::{MetricAccumulator, MetricSummary};
@@ -116,7 +119,10 @@ impl Scale {
 
     /// Parses `--quick` / `--paper` / `--seeds=N` / `--epochs=N` /
     /// `--clips=N` from the process arguments; default is
-    /// [`Scale::standard`].
+    /// [`Scale::standard`]. Also honours the observability flags
+    /// (`--trace`, `--metrics-out FILE`) via [`init_telemetry_from_args`]
+    /// so every experiment binary gets them for free — pair with a
+    /// [`finish_telemetry`] call at the end of `main`.
     pub fn from_args() -> Self {
         let mut scale = Scale::standard();
         for arg in std::env::args().skip(1) {
@@ -134,6 +140,7 @@ impl Scale {
                 }
             }
         }
+        init_telemetry_from_args(&[("scale", litho_telemetry::Value::Str(scale.label.clone()))]);
         scale
     }
 
@@ -159,6 +166,42 @@ impl Scale {
             seed,
             ..TrainConfig::paper()
         }
+    }
+}
+
+static TRACE_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Enables telemetry when `--trace` or `--metrics-out FILE` appear in the
+/// process arguments, wiring a JSONL sink for the latter, and emits the
+/// run-metadata event (binary name, platform, thread count, `extra`).
+/// A no-op when neither flag is given.
+pub fn init_telemetry_from_args(extra: &[(&str, litho_telemetry::Value)]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let metrics_out = args
+        .windows(2)
+        .find(|w| w[0] == "--metrics-out")
+        .map(|w| w[1].clone());
+    if !trace && metrics_out.is_none() {
+        return;
+    }
+    if let Some(path) = metrics_out {
+        match litho_telemetry::JsonlSink::create(std::path::Path::new(&path)) {
+            Ok(sink) => litho_telemetry::set_sink(Some(Box::new(sink))),
+            Err(e) => eprintln!("[telemetry] cannot open {path}: {e}"),
+        }
+    }
+    TRACE_REQUESTED.store(trace, Ordering::Relaxed);
+    litho_telemetry::enable();
+    litho_telemetry::emit_run_metadata(extra);
+}
+
+/// Flushes telemetry sinks and, when `--trace` was given, prints the
+/// span/metric report to stderr. Call at the end of `main`.
+pub fn finish_telemetry() {
+    litho_telemetry::flush();
+    if litho_telemetry::is_enabled() && TRACE_REQUESTED.load(Ordering::Relaxed) {
+        litho_telemetry::print_report();
     }
 }
 

@@ -1,0 +1,170 @@
+//! A small self-contained microbenchmark harness.
+//!
+//! The sanctioned dependency list has no criterion, so the `benches/`
+//! targets (all `harness = false`) use this instead: warm-up, iteration
+//! calibration against a minimum sample duration, and a median/mean/min
+//! summary over a fixed number of samples. Every result is also recorded
+//! in the telemetry registry (`bench.<name>` histograms), so running a
+//! bench with `--metrics-out` produces a machine-readable JSONL stream.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Summary statistics of one benchmark, all per-iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations batched into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Population standard deviation over samples.
+    pub stddev: Duration,
+}
+
+/// Harness configuration: sample count and the minimum wall-clock time
+/// one timed sample should cover (fast closures are batched until they
+/// do, so timer granularity never dominates).
+#[derive(Debug, Clone)]
+pub struct MicroBench {
+    samples: usize,
+    min_sample: Duration,
+}
+
+impl Default for MicroBench {
+    fn default() -> Self {
+        MicroBench {
+            samples: 15,
+            min_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+impl MicroBench {
+    /// Default configuration overridden by `--samples=N` and
+    /// `--min-sample-ms=N` process arguments (`--quick` halves both).
+    pub fn from_args() -> Self {
+        let mut mb = MicroBench::default();
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--samples=") {
+                mb.samples = v.parse().expect("--samples=N");
+            } else if let Some(v) = arg.strip_prefix("--min-sample-ms=") {
+                mb.min_sample = Duration::from_millis(v.parse().expect("--min-sample-ms=N"));
+            } else if arg == "--quick" {
+                mb.samples = (mb.samples / 2).max(5);
+                mb.min_sample /= 2;
+            }
+        }
+        mb
+    }
+
+    /// Times `f`, prints one aligned result line and records the
+    /// per-iteration sample durations as a `bench.<name>` histogram.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> BenchStats {
+        // Warm-up doubles as calibration: batch enough iterations that
+        // one sample spans at least `min_sample`.
+        let t = Instant::now();
+        black_box(f());
+        let first = t.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.min_sample.as_secs_f64() / first.as_secs_f64())
+            .ceil()
+            .clamp(1.0, 1e6) as u64;
+
+        let mut secs: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples.max(1) {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            secs.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        secs.sort_by(f64::total_cmp);
+        let n = secs.len();
+        let mean = secs.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            secs[n / 2]
+        } else {
+            (secs[n / 2 - 1] + secs[n / 2]) / 2.0
+        };
+        let var = secs.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+
+        if litho_telemetry::is_enabled() {
+            for &s in &secs {
+                litho_telemetry::observe(&format!("bench.{name}"), s);
+            }
+        }
+
+        let stats = BenchStats {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: n,
+            min: Duration::from_secs_f64(secs[0]),
+            median: Duration::from_secs_f64(median),
+            mean: Duration::from_secs_f64(mean),
+            stddev: Duration::from_secs_f64(var.sqrt()),
+        };
+        println!(
+            "{:<32} {:>10}/iter  (min {}, mean {} ± {}, {}×{} iters)",
+            stats.name,
+            fmt_duration(stats.median),
+            fmt_duration(stats.min),
+            fmt_duration(stats.mean),
+            fmt_duration(stats.stddev),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        stats
+    }
+}
+
+/// Formats a duration with an auto-selected unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_reports_sane_statistics() {
+        let mb = MicroBench {
+            samples: 7,
+            min_sample: Duration::from_micros(200),
+        };
+        let mut count = 0u64;
+        let stats = mb.run("spin", || {
+            count += 1;
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert_eq!(stats.samples, 7);
+        assert!(stats.iters_per_sample >= 1);
+        // Warm-up + samples×iters calls happened.
+        assert_eq!(count, 1 + 7 * stats.iters_per_sample);
+        assert!(stats.min <= stats.median && stats.median <= stats.mean * 2);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.000 µs");
+        assert_eq!(fmt_duration(Duration::from_nanos(90)), "90.0 ns");
+    }
+}

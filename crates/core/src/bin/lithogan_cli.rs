@@ -7,6 +7,10 @@
 //! lithogan-cli eval     --data data.lgd --model model.lgm
 //! lithogan-cli predict  --data data.lgd --model model.lgm --index 3 --out-dir out/
 //! ```
+//!
+//! Every command additionally accepts the observability flags
+//! `--trace` (print a nested span/metric report to stderr on exit) and
+//! `--metrics-out FILE` (stream telemetry events as JSONL).
 
 use litho_dataset::{generate, load_dataset, save_dataset, DatasetConfig};
 use litho_layout::image::{overlay_panel, write_ppm};
@@ -50,8 +54,64 @@ fn usage() -> String {
      lithogan-cli generate --node <N10|N7> [--clips N] [--size S] [--jitter NM] --out FILE\n  \
      lithogan-cli train    --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n  \
      lithogan-cli eval     --data FILE --model FILE\n  \
-     lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR"
+     lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR\n\
+     global flags: --trace (span report on stderr), --metrics-out FILE (JSONL event stream)"
         .into()
+}
+
+/// Observability flags, accepted by every command.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TelemetryOpts {
+    trace: bool,
+    metrics_out: Option<String>,
+}
+
+/// Strips `--trace` / `--metrics-out FILE` out of `args` so subcommand
+/// parsing never sees them, and returns the telemetry configuration.
+///
+/// # Errors
+///
+/// Returns an error for `--metrics-out` without a following path (the
+/// subcommand parsers ignore flags they don't know, so it can't be left
+/// for them to reject).
+fn split_telemetry_args(args: &[String]) -> Result<(Vec<String>, TelemetryOpts)> {
+    let mut opts = TelemetryOpts::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => opts.trace = true,
+            "--metrics-out" => {
+                if i + 1 >= args.len() {
+                    return Err(bad("--metrics-out requires a file path"));
+                }
+                opts.metrics_out = Some(args[i + 1].clone());
+                i += 1;
+            }
+            _ => rest.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok((rest, opts))
+}
+
+/// Turns telemetry on per `opts`. Returns an error for an unwritable
+/// `--metrics-out` path.
+fn init_telemetry(opts: &TelemetryOpts, command: &str) -> Result<()> {
+    if !opts.trace && opts.metrics_out.is_none() {
+        return Ok(());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let sink = litho_telemetry::JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| bad(format!("--metrics-out {path}: {e}")))?;
+        litho_telemetry::set_sink(Some(Box::new(sink)));
+    }
+    litho_telemetry::enable();
+    litho_telemetry::emit_run_metadata(&[(
+        "command",
+        litho_telemetry::Value::Str(command.to_string()),
+    )]);
+    Ok(())
 }
 
 fn bad(msg: impl Into<String>) -> TensorError {
@@ -60,7 +120,7 @@ fn bad(msg: impl Into<String>) -> TensorError {
 
 /// Parses an argument vector (without the program name).
 fn parse(args: &[String]) -> Result<Command> {
-    let mut get = |flag: &str| -> Option<String> {
+    let get = |flag: &str| -> Option<String> {
         args.windows(2)
             .find(|w| w[0] == flag)
             .map(|w| w[1].clone())
@@ -211,8 +271,23 @@ fn run(cmd: Command) -> Result<()> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&args).and_then(run) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, telemetry) = match split_telemetry_args(&raw) {
+        Ok(split) => split,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    let command = args.first().cloned().unwrap_or_default();
+    let outcome = init_telemetry(&telemetry, &command)
+        .and_then(|()| parse(&args))
+        .and_then(run);
+    litho_telemetry::flush();
+    if telemetry.trace && litho_telemetry::is_enabled() {
+        litho_telemetry::print_report();
+    }
+    match outcome {
         Ok(()) => {}
         Err(err) => {
             eprintln!("error: {err}");
@@ -274,6 +349,27 @@ mod tests {
     fn bad_numbers_error() {
         assert!(parse(&strs(&["generate", "--clips", "abc", "--out", "x"])).is_err());
         assert!(parse(&strs(&["predict", "--data", "d", "--model", "m", "--index", "x"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_are_stripped_anywhere() {
+        let (rest, t) = split_telemetry_args(&strs(&[
+            "--trace", "train", "--data", "d.lgd", "--metrics-out", "run.jsonl", "--out", "m.lgm",
+        ]))
+        .unwrap();
+        assert_eq!(rest, strs(&["train", "--data", "d.lgd", "--out", "m.lgm"]));
+        assert!(t.trace);
+        assert_eq!(t.metrics_out.as_deref(), Some("run.jsonl"));
+
+        let (rest, t) = split_telemetry_args(&strs(&["eval", "--data", "d", "--model", "m"]))
+            .unwrap();
+        assert_eq!(rest.len(), 5);
+        assert_eq!(t, TelemetryOpts::default());
+    }
+
+    #[test]
+    fn trailing_metrics_out_without_value_is_an_error() {
+        assert!(split_telemetry_args(&strs(&["eval", "--metrics-out"])).is_err());
     }
 
     #[test]

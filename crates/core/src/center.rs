@@ -1,8 +1,8 @@
 //! The centre-prediction CNN (paper Table 2 / §3.3).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use litho_tensor::rng::StdRng;
+use litho_tensor::rng::SliceRandom;
+use litho_tensor::rng::SeedableRng;
 
 use litho_nn::{mse_loss, Adam, Layer, Optimizer, Phase, Sequential};
 use litho_tensor::{Result, Tensor, TensorError};
@@ -73,6 +73,8 @@ impl CenterCnn {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xCE17).wrapping_add(epoch as u64));
         order.shuffle(&mut rng);
 
+        let _span = litho_telemetry::span("train/center_epoch");
+        let epoch_start = std::time::Instant::now();
         let mut total = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
@@ -95,7 +97,26 @@ impl CenterCnn {
             total += loss.loss as f64;
             batches += 1;
         }
-        Ok((total / batches as f64) as f32)
+        let mean = (total / batches as f64) as f32;
+        if litho_telemetry::is_enabled() {
+            use litho_telemetry::Value;
+            let elapsed = epoch_start.elapsed().as_secs_f64();
+            litho_telemetry::event(
+                "center_epoch",
+                &[
+                    ("epoch", Value::U64(epoch as u64)),
+                    ("mse_loss", Value::F64(mean as f64)),
+                    ("grad_norm", Value::F64(crate::cgan::grad_norm(&mut self.net))),
+                    (
+                        "samples_per_sec",
+                        Value::F64(samples.len() as f64 / elapsed.max(1e-12)),
+                    ),
+                ],
+            );
+            litho_telemetry::gauge_set("train.center_loss", mean as f64);
+            litho_telemetry::counter_add("train.center_epochs", 1);
+        }
+        Ok(mean)
     }
 
     /// Trains for `cfg.epochs` epochs, returning per-epoch losses.
@@ -149,7 +170,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         (0..n)
             .map(|_| {
-                use rand::Rng;
+                use litho_tensor::rng::Rng;
                 let cy = rng.gen_range(4..size - 4);
                 let cx = rng.gen_range(4..size - 4);
                 let mut mask = Tensor::zeros(&[3, size, size]);

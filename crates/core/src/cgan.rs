@@ -1,8 +1,8 @@
 //! The conditional GAN and its training loop (paper §3.2, Eq. 1–3).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use litho_tensor::rng::StdRng;
+use litho_tensor::rng::SliceRandom;
+use litho_tensor::rng::SeedableRng;
 
 use litho_nn::{bce_with_logits, l1_loss, mse_loss, Adam, Layer, Optimizer, Phase, Sequential};
 use litho_tensor::{Result, Tensor, TensorError};
@@ -102,6 +102,25 @@ impl TrainPair {
     }
 }
 
+/// Loss components of one alternating D/G update.
+struct StepLosses {
+    g_loss: f32,
+    d_loss: f32,
+    recon_loss: f32,
+}
+
+/// ℓ2 norm of all parameter gradients currently stored in `net`,
+/// computed only when telemetry is enabled.
+pub(crate) fn grad_norm(net: &mut Sequential) -> f64 {
+    let mut sum_sq = 0.0f64;
+    net.visit_params(&mut |p| {
+        for &g in p.grad.as_slice() {
+            sum_sq += (g as f64) * (g as f64);
+        }
+    });
+    sum_sq.sqrt()
+}
+
 /// The conditional GAN: generator, discriminator and their optimizers.
 #[derive(Debug)]
 pub struct Cgan {
@@ -170,8 +189,11 @@ impl Cgan {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(epoch as u64));
         order.shuffle(&mut rng);
 
+        let _span = litho_telemetry::span("train/epoch");
+        let epoch_start = std::time::Instant::now();
         let mut g_total = 0.0f64;
         let mut d_total = 0.0f64;
+        let mut recon_total = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let mut x = Tensor::stack(
@@ -181,7 +203,7 @@ impl Cgan {
                 &chunk.iter().map(|&i| pairs[i].target.clone()).collect::<Vec<_>>(),
             )?;
             if cfg.augment {
-                use rand::Rng;
+                use litho_tensor::rng::Rng;
                 if rng.gen_bool(0.5) {
                     x = litho_tensor::ops::flip_horizontal(&x)?;
                     y = litho_tensor::ops::flip_horizontal(&y)?;
@@ -191,19 +213,42 @@ impl Cgan {
                     y = litho_tensor::ops::flip_vertical(&y)?;
                 }
             }
-            let (g_loss, d_loss) = self.train_step(&x, &y, cfg)?;
-            g_total += g_loss as f64;
-            d_total += d_loss as f64;
+            let step = self.train_step(&x, &y, cfg)?;
+            g_total += step.g_loss as f64;
+            d_total += step.d_loss as f64;
+            recon_total += step.recon_loss as f64;
             batches += 1;
         }
-        Ok((
-            (g_total / batches as f64) as f32,
-            (d_total / batches as f64) as f32,
-        ))
+        let g_mean = (g_total / batches as f64) as f32;
+        let d_mean = (d_total / batches as f64) as f32;
+
+        if litho_telemetry::is_enabled() {
+            use litho_telemetry::Value;
+            let elapsed = epoch_start.elapsed().as_secs_f64();
+            let samples_per_sec = pairs.len() as f64 / elapsed.max(1e-12);
+            litho_telemetry::event(
+                "train_epoch",
+                &[
+                    ("epoch", Value::U64(epoch as u64)),
+                    ("g_loss", Value::F64(g_mean as f64)),
+                    ("d_loss", Value::F64(d_mean as f64)),
+                    ("recon_loss", Value::F64((recon_total / batches as f64) as f32 as f64)),
+                    ("g_grad_norm", Value::F64(grad_norm(&mut self.generator))),
+                    ("d_grad_norm", Value::F64(grad_norm(&mut self.discriminator))),
+                    ("samples_per_sec", Value::F64(samples_per_sec)),
+                ],
+            );
+            litho_telemetry::gauge_set("train.g_loss", g_mean as f64);
+            litho_telemetry::gauge_set("train.d_loss", d_mean as f64);
+            litho_telemetry::observe("train.epoch_seconds", elapsed);
+            litho_telemetry::counter_add("train.epochs", 1);
+            litho_telemetry::counter_add("train.samples", pairs.len() as u64);
+        }
+        Ok((g_mean, d_mean))
     }
 
     /// One alternating D/G update on a batch `x [n,3,S,S]`, `y [n,1,S,S]`.
-    fn train_step(&mut self, x: &Tensor, y: &Tensor, cfg: &TrainConfig) -> Result<(f32, f32)> {
+    fn train_step(&mut self, x: &Tensor, y: &Tensor, cfg: &TrainConfig) -> Result<StepLosses> {
         let n = x.dims()[0];
 
         // ---- Discriminator step (Eq. 1) -------------------------------
@@ -250,7 +295,11 @@ impl Cgan {
         self.opt_g.step(&mut self.generator);
         let g_loss = adv.loss + cfg.lambda * recon.loss;
 
-        Ok((g_loss, d_loss))
+        Ok(StepLosses {
+            g_loss,
+            d_loss,
+            recon_loss: recon.loss,
+        })
     }
 
     /// Trains for `cfg.epochs`, invoking `on_epoch(epoch, &mut self)`

@@ -17,7 +17,13 @@ pub struct LithoGanPrediction {
     pub center_px: (f32, f32),
     /// Final re-centred output ("post-adjustment"), `[S, S]` in `[0, 1]`.
     pub adjusted: Tensor,
-    /// Wall-clock inference time (generator + CNN + shift).
+    /// Wall-clock time of the generator forward pass.
+    pub generator_time: Duration,
+    /// Wall-clock time of the centre-CNN forward pass.
+    pub center_time: Duration,
+    /// Wall-clock time of the re-centring shift.
+    pub shift_time: Duration,
+    /// Total wall-clock inference time (generator + CNN + shift).
     pub elapsed: Duration,
 }
 
@@ -87,14 +93,35 @@ impl LithoGan {
     ///
     /// Returns tensor errors for wrong input shapes.
     pub fn predict_detailed(&mut self, mask: &Tensor) -> Result<LithoGanPrediction> {
+        let outer = litho_telemetry::span("predict");
         let t0 = Instant::now();
+
+        let span = litho_telemetry::span("generator");
         let pre_adjustment = self.cgan.predict(mask)?;
+        let generator_time = t0.elapsed();
+        drop(span);
+
+        let t1 = Instant::now();
+        let span = litho_telemetry::span("center");
         let center_px = self.center.predict(mask)?;
+        let center_time = t1.elapsed();
+        drop(span);
+
+        let t2 = Instant::now();
+        let span = litho_telemetry::span("shift");
         let adjusted = Sample::recenter_to(&pre_adjustment, center_px)?;
+        let shift_time = t2.elapsed();
+        drop(span);
+        drop(outer);
+        litho_telemetry::counter_add("predict.calls", 1);
+
         Ok(LithoGanPrediction {
             pre_adjustment,
             center_px,
             adjusted,
+            generator_time,
+            center_time,
+            shift_time,
             elapsed: t0.elapsed(),
         })
     }
@@ -117,11 +144,11 @@ impl LithoGan {
     pub fn save_to_path<P: AsRef<std::path::Path>>(&mut self, path: P) -> Result<()> {
         use litho_nn::serialize::save_weights;
         let file = std::fs::File::create(path)
-            .map_err(|e| litho_tensor::TensorError::InvalidArgument(format!("model i/o: {e}")))?;
+            .map_err(|e| litho_tensor::TensorError::io(format!("model i/o: {e}")))?;
         let mut w = std::io::BufWriter::new(file);
         use std::io::Write;
         w.write_all(b"LGM1")
-            .map_err(|e| litho_tensor::TensorError::InvalidArgument(format!("model i/o: {e}")))?;
+            .map_err(|e| litho_tensor::TensorError::io(format!("model i/o: {e}")))?;
         save_weights(self.cgan.generator_mut(), &mut w)?;
         save_weights(self.cgan.discriminator_mut(), &mut w)?;
         save_weights(self.center.network_mut(), &mut w)?;
@@ -139,12 +166,12 @@ impl LithoGan {
     pub fn load_from_path<P: AsRef<std::path::Path>>(net: &NetConfig, path: P) -> Result<Self> {
         use litho_nn::serialize::load_weights;
         let file = std::fs::File::open(path)
-            .map_err(|e| litho_tensor::TensorError::InvalidArgument(format!("model i/o: {e}")))?;
+            .map_err(|e| litho_tensor::TensorError::io(format!("model i/o: {e}")))?;
         let mut r = std::io::BufReader::new(file);
         use std::io::Read;
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)
-            .map_err(|e| litho_tensor::TensorError::InvalidArgument(format!("model i/o: {e}")))?;
+            .map_err(|e| litho_tensor::TensorError::io(format!("model i/o: {e}")))?;
         if &magic != b"LGM1" {
             return Err(litho_tensor::TensorError::InvalidArgument(
                 "not a LGM1 model file".into(),
@@ -218,6 +245,7 @@ mod tests {
         assert_eq!(p.pre_adjustment.dims(), &[size, size]);
         assert_eq!(p.adjusted.dims(), &[size, size]);
         assert!(p.elapsed.as_nanos() > 0);
+        assert!(p.generator_time + p.center_time + p.shift_time <= p.elapsed);
         // The predicted centre should be inside the image.
         assert!(p.center_px.0 >= 0.0 && p.center_px.0 < size as f32);
         assert!(p.center_px.1 >= 0.0 && p.center_px.1 < size as f32);

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use litho_tensor::rng::StdRng;
+use litho_tensor::rng::SeedableRng;
 
 use litho_nn::{
     BatchNorm2d, Conv2d, ConvTranspose2d, Dropout, Flatten, LeakyRelu, Linear, MaxPool2d, Relu,

@@ -10,8 +10,8 @@
 //! correspondence U-Nets exploit. This module provides the U-Net so that
 //! claim is testable on our data.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use litho_tensor::rng::StdRng;
+use litho_tensor::rng::SeedableRng;
 
 use litho_nn::{
     BatchNorm2d, Conv2d, ConvTranspose2d, Dropout, Layer, LeakyRelu, Param, Phase, Relu,
@@ -253,7 +253,7 @@ mod tests {
         // at this depth). A *directional* derivative over all parameters
         // jointly averages that curvature noise out and still exercises
         // the skip-gradient plumbing end to end.
-        use rand::Rng;
+        use litho_tensor::rng::Rng;
         let net = NetConfig {
             image_size: 8,
             base_channels: 4,

@@ -1,7 +1,7 @@
 //! Dataset generation: the full §3.1 pipeline, parallelised over clips.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use litho_tensor::rng::StdRng;
+use litho_tensor::rng::SeedableRng;
 
 use litho_layout::{
     insert_srafs, rasterize_clip, ClipFamily, ClipGenerator, OpcConfig, OpcEngine, RasterConfig,
@@ -127,7 +127,7 @@ impl Worker {
 /// axis. Applied *after* OPC, so (unlike systematic proximity asymmetry,
 /// which the edge-based OPC corrects) it displaces the printed pattern
 /// centre — the physical signal behind the paper's centre-prediction CNN.
-fn apply_mask_jitter<R: rand::Rng + ?Sized>(clip: &mut litho_layout::Clip, jitter_nm: f64, rng: &mut R) {
+fn apply_mask_jitter<R: litho_tensor::rng::Rng + ?Sized>(clip: &mut litho_layout::Clip, jitter_nm: f64, rng: &mut R) {
     if jitter_nm <= 0.0 {
         return;
     }
@@ -172,6 +172,9 @@ fn center_golden(golden: &Tensor) -> Result<(Tensor, (f32, f32))> {
     Ok((centered, (cy, cx)))
 }
 
+/// Output of one worker thread: indexed samples plus that shard's stats.
+type WorkerResult = Result<(Vec<(usize, Sample)>, GenerationStats)>;
+
 /// Generates a dataset according to `config`, parallelised across CPU
 /// cores. Generation is deterministic in `config.seed` regardless of the
 /// thread count.
@@ -180,13 +183,14 @@ fn center_golden(golden: &Tensor) -> Result<(Tensor, (f32, f32))> {
 ///
 /// Propagates simulator construction/simulation errors.
 pub fn generate(config: &DatasetConfig) -> Result<(Dataset, GenerationStats)> {
+    let _span = litho_telemetry::span("dataset/generate");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(config.clip_count.max(1));
 
     let chunk = config.clip_count.div_ceil(threads.max(1));
-    let mut results: Vec<Result<(Vec<(usize, Sample)>, GenerationStats)>> = Vec::new();
+    let mut results: Vec<WorkerResult> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -202,6 +206,9 @@ pub fn generate(config: &DatasetConfig) -> Result<(Dataset, GenerationStats)> {
                 for i in start..end {
                     if let Some(sample) = worker.generate_sample(config, i, &mut stats)? {
                         out.push((i, sample));
+                        litho_telemetry::counter_add("dataset.clips_generated", 1);
+                    } else {
+                        litho_telemetry::counter_add("dataset.clips_failed", 1);
                     }
                 }
                 Ok((out, stats))
@@ -225,6 +232,21 @@ pub fn generate(config: &DatasetConfig) -> Result<(Dataset, GenerationStats)> {
     }
     indexed.sort_by_key(|(i, _)| *i);
     stats.generated = indexed.len();
+    if litho_telemetry::is_enabled() {
+        use litho_telemetry::Value;
+        litho_telemetry::counter_add("dataset.empty_golden_retries", stats.empty_golden_retries as u64);
+        litho_telemetry::counter_add("dataset.opc_unconverged", stats.opc_unconverged as u64);
+        litho_telemetry::event(
+            "dataset_generated",
+            &[
+                ("requested", Value::U64(stats.requested as u64)),
+                ("generated", Value::U64(stats.generated as u64)),
+                ("empty_golden_retries", Value::U64(stats.empty_golden_retries as u64)),
+                ("opc_unconverged", Value::U64(stats.opc_unconverged as u64)),
+                ("threads", Value::U64(threads as u64)),
+            ],
+        );
+    }
     Ok((
         Dataset {
             config: config.clone(),

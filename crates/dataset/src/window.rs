@@ -222,12 +222,12 @@ mod tests {
         // Second blob near the window corner (center +55nm in x/y).
         let pitch = extent / sim as f64;
         let c = extent / 2.0 + 55.0;
-        for i in 0..sim * sim {
+        for (i, e) in excess.iter_mut().enumerate().take(sim * sim) {
             let y = ((i / sim) as f64 + 0.5) * pitch;
             let x = ((i % sim) as f64 + 0.5) * pitch;
             let d = 12.0 - ((x - c).powi(2) + (y - c).powi(2)).sqrt();
-            if d > excess[i] {
-                excess[i] = d;
+            if d > *e {
+                *e = d;
             }
         }
         let img = golden_window(&excess, sim, extent, 128.0, 64).unwrap();

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 use litho_sim::MaskGrid;
 
@@ -11,7 +10,7 @@ use crate::Rect;
 /// *SRAFs* (blue). Geometry is in physical nm with the origin at the clip's
 /// top-left corner; the drawn clip extent is `extent_nm` per side
 /// (2 µm in the paper, §3.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Clip {
     /// Clip edge length in nm.
     pub extent_nm: f64,

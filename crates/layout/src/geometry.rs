@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle in physical nanometres.
 ///
 /// The invariant `x0 <= x1, y0 <= y1` is maintained by the constructor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Left edge in nm.
     pub x0: f64,

@@ -94,9 +94,12 @@ pub fn overlay_panel(prediction: &Tensor, golden: &Tensor) -> Result<Tensor> {
         let mut edge = false;
         for (dy, dx) in [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)] {
             let (ny, nx) = (y as isize + dy, x as isize + dx);
-            if ny < 0 || nx < 0 || ny >= h as isize || nx >= w as isize {
-                edge = true;
-            } else if data[ny as usize * w + nx as usize] < 0.5 {
+            if ny < 0
+                || nx < 0
+                || ny >= h as isize
+                || nx >= w as isize
+                || data[ny as usize * w + nx as usize] < 0.5
+            {
                 edge = true;
             }
         }

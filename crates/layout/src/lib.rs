@@ -14,10 +14,10 @@
 //! ```
 //! use litho_layout::{ClipFamily, ClipGenerator};
 //! use litho_sim::ProcessConfig;
-//! use rand::SeedableRng;
+//! use litho_tensor::rng::SeedableRng;
 //!
 //! let process = ProcessConfig::n10();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = litho_tensor::rng::StdRng::seed_from_u64(7);
 //! let clip = ClipGenerator::new(&process).generate(ClipFamily::Array2d, &mut rng);
 //! assert!(!clip.neighbors.is_empty());
 //! ```

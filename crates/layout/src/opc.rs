@@ -184,13 +184,13 @@ impl OpcEngine {
                     None => {
                         // Not printing at all: kick all edges outward.
                         max_error = max_error.max(contact.width());
-                        for e in 0..4 {
-                            bias[i][e] += 6.0;
+                        for b in bias[i].iter_mut() {
+                            *b += 6.0;
                         }
                     }
                 }
-                for e in 0..4 {
-                    bias[i][e] = bias[i][e].clamp(-10.0, self.config.max_bias_nm);
+                for b in bias[i].iter_mut() {
+                    *b = b.clamp(-10.0, self.config.max_bias_nm);
                 }
             }
             if max_error <= self.config.tolerance_nm {

@@ -1,4 +1,4 @@
-use rand::Rng;
+use litho_tensor::rng::Rng;
 
 use litho_sim::ProcessConfig;
 
@@ -88,12 +88,12 @@ impl ClipGenerator {
                 }
             }
             ClipFamily::Array2d => {
-                let half = rng.gen_range(1..=2);
+                let half: i32 = rng.gen_range(1..=2);
                 let pitch_x = self.pitch_nm * rng.gen_range(1.0..1.6);
                 let pitch_y = self.pitch_nm * rng.gen_range(1.0..1.6);
                 let omit_prob = rng.gen_range(0.0..0.35);
-                for gy in -(half as i32)..=(half as i32) {
-                    for gx in -(half as i32)..=(half as i32) {
+                for gy in -half..=half {
+                    for gx in -half..=half {
                         if gx == 0 && gy == 0 {
                             continue;
                         }
@@ -138,7 +138,7 @@ impl ClipGenerator {
 mod tests {
     use super::*;
     use litho_sim::ProcessConfig;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     fn generator() -> ClipGenerator {
         ClipGenerator::new(&ProcessConfig::n10())
@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn target_is_always_centered() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(1);
         for family in ClipFamily::ALL {
             for _ in 0..20 {
                 let clip = generator().generate(family, &mut rng);
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn generated_clips_are_drc_clean() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(2);
         for family in ClipFamily::ALL {
             for _ in 0..50 {
                 let clip = generator().generate(family, &mut rng);
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn chain_is_collinear() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(3);
         let clip = generator().generate(ClipFamily::Chain1d, &mut rng);
         assert!(!clip.neighbors.is_empty());
         let (cx, cy) = clip.target.center();
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn array_family_is_denser_than_isolated() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(4);
         let mut iso_total = 0;
         let mut arr_total = 0;
         for _ in 0..20 {
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn shapes_stay_inside_clip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(5);
         for family in ClipFamily::ALL {
             for _ in 0..30 {
                 let clip = generator().generate(family, &mut rng);

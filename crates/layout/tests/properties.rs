@@ -1,85 +1,124 @@
-//! Property-based tests for the layout substrate: geometry algebra,
+//! Property-style tests for the layout substrate: geometry algebra,
 //! clip generation invariants and rasterisation conservation laws.
+//! Deterministic seeded loops replace proptest so the suite runs offline.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
 
 use litho_layout::{rasterize_clip, Clip, ClipFamily, ClipGenerator, RasterConfig, Rect};
 use litho_sim::ProcessConfig;
 
-fn rect() -> impl Strategy<Value = Rect> {
-    (0.0f64..1800.0, 0.0f64..1800.0, 10.0f64..200.0, 10.0f64..200.0)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+const CASES: usize = 64;
+
+fn rect(rng: &mut StdRng) -> Rect {
+    let x = rng.gen_range(0.0f64..1800.0);
+    let y = rng.gen_range(0.0f64..1800.0);
+    let w = rng.gen_range(10.0f64..200.0);
+    let h = rng.gen_range(10.0f64..200.0);
+    Rect::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn overlap_is_symmetric_and_implies_zero_separation(a in rect(), b in rect()) {
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-        prop_assert!((a.separation(&b) - b.separation(&a)).abs() < 1e-9);
+#[test]
+fn overlap_is_symmetric_and_implies_zero_separation() {
+    let mut rng = StdRng::seed_from_u64(0x1A17_0001);
+    for _ in 0..CASES {
+        let a = rect(&mut rng);
+        let b = rect(&mut rng);
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert!((a.separation(&b) - b.separation(&a)).abs() < 1e-9);
         if a.overlaps(&b) {
-            prop_assert_eq!(a.separation(&b), 0.0);
+            assert_eq!(a.separation(&b), 0.0);
         } else {
-            prop_assert!(a.separation(&b) > 0.0);
+            assert!(a.separation(&b) > 0.0);
         }
     }
+}
 
-    #[test]
-    fn inflate_preserves_center_and_grows_area(r in rect(), d in 0.0f64..50.0) {
+#[test]
+fn inflate_preserves_center_and_grows_area() {
+    let mut rng = StdRng::seed_from_u64(0x1A17_0002);
+    for _ in 0..CASES {
+        let r = rect(&mut rng);
+        let d = rng.gen_range(0.0f64..50.0);
         let grown = r.inflated(d, d);
         let (cx, cy) = r.center();
         let (gx, gy) = grown.center();
-        prop_assert!((cx - gx).abs() < 1e-9 && (cy - gy).abs() < 1e-9);
-        prop_assert!(grown.area() >= r.area());
-        prop_assert!(grown.contains(r.x0, r.y0));
+        assert!((cx - gx).abs() < 1e-9 && (cy - gy).abs() < 1e-9);
+        assert!(grown.area() >= r.area());
+        assert!(grown.contains(r.x0, r.y0));
     }
+}
 
-    #[test]
-    fn translation_preserves_shape(r in rect(), dx in -100.0f64..100.0, dy in -100.0f64..100.0) {
+#[test]
+fn translation_preserves_shape() {
+    let mut rng = StdRng::seed_from_u64(0x1A17_0003);
+    for _ in 0..CASES {
+        let r = rect(&mut rng);
+        let dx = rng.gen_range(-100.0f64..100.0);
+        let dy = rng.gen_range(-100.0f64..100.0);
         let t = r.translated(dx, dy);
-        prop_assert!((t.width() - r.width()).abs() < 1e-9);
-        prop_assert!((t.height() - r.height()).abs() < 1e-9);
-        prop_assert!((t.area() - r.area()).abs() < 1e-6);
+        assert!((t.width() - r.width()).abs() < 1e-9);
+        assert!((t.height() - r.height()).abs() < 1e-9);
+        assert!((t.area() - r.area()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn generated_clips_are_always_drc_clean(seed in 0u64..500, family_idx in 0usize..3) {
-        let generator = ClipGenerator::new(&ProcessConfig::n10());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn generated_clips_are_always_drc_clean() {
+    let generator = ClipGenerator::new(&ProcessConfig::n10());
+    let mut seed_rng = StdRng::seed_from_u64(0x1A17_0004);
+    for _ in 0..CASES {
+        let seed = seed_rng.gen_range(0u64..500);
+        let family_idx = seed_rng.gen_range(0usize..3);
+        let mut rng = StdRng::seed_from_u64(seed);
         let clip = generator.generate(ClipFamily::ALL[family_idx], &mut rng);
-        prop_assert!(!clip.has_overlaps());
-        prop_assert_eq!(clip.target.center(), (1024.0, 1024.0));
+        assert!(!clip.has_overlaps());
+        assert_eq!(clip.target.center(), (1024.0, 1024.0));
         for r in clip.contacts() {
-            prop_assert!(r.x0 >= 0.0 && r.y0 >= 0.0 && r.x1 <= 2048.0 && r.y1 <= 2048.0);
+            assert!(r.x0 >= 0.0 && r.y0 >= 0.0 && r.x1 <= 2048.0 && r.y1 <= 2048.0);
         }
     }
+}
 
-    #[test]
-    fn rasterization_conserves_in_window_area(cx in 300.0f64..700.0, cy in 300.0f64..700.0, size in 20.0f64..120.0) {
+#[test]
+fn rasterization_conserves_in_window_area() {
+    let mut rng = StdRng::seed_from_u64(0x1A17_0005);
+    for _ in 0..CASES {
         // A neighbor fully inside the 1 µm window: red-channel area equals
         // the drawn area within sub-pixel tolerance.
+        let cx = rng.gen_range(300.0f64..700.0);
+        let cy = rng.gen_range(300.0f64..700.0);
+        let size = rng.gen_range(20.0f64..120.0);
         let mut clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
         clip.neighbors
             .push(Rect::centered_square(512.0 + cx, 512.0 + cy, size));
-        let img = rasterize_clip(&clip, &RasterConfig { image_size: 128, window_nm: 1024 }).unwrap();
+        let img = rasterize_clip(
+            &clip,
+            &RasterConfig {
+                image_size: 128,
+                window_nm: 1024,
+            },
+        )
+        .unwrap();
         let px_area = (1024.0f64 / 128.0) * (1024.0 / 128.0);
         let red: f32 = img.as_slice()[..128 * 128].iter().sum();
         let drawn = size * size;
-        prop_assert!(
+        assert!(
             ((red as f64) * px_area - drawn).abs() < drawn * 0.02 + px_area,
             "raster area {} vs drawn {drawn}",
             red as f64 * px_area
         );
     }
+}
 
-    #[test]
-    fn center_crop_never_moves_the_target(crop in 512.0f64..2048.0) {
+#[test]
+fn center_crop_never_moves_the_target() {
+    let mut rng = StdRng::seed_from_u64(0x1A17_0006);
+    for _ in 0..CASES {
+        let crop = rng.gen_range(512.0f64..2048.0);
         let clip = Clip::new(2048.0, Rect::centered_square(1024.0, 1024.0, 60.0));
         let cropped = clip.cropped_center(crop);
         let (cx, cy) = cropped.target.center();
-        prop_assert!((cx - crop / 2.0).abs() < 1e-9);
-        prop_assert!((cy - crop / 2.0).abs() < 1e-9);
+        assert!((cx - crop / 2.0).abs() < 1e-9);
+        assert!((cy - crop / 2.0).abs() < 1e-9);
     }
 }

@@ -19,7 +19,7 @@ impl Histogram {
     /// Returns [`TensorError::InvalidArgument`] for zero bins or an empty
     /// range.
     pub fn new(min: f64, max: f64, bins: usize) -> Result<Self> {
-        if bins == 0 || !(max > min) {
+        if bins == 0 || min.partial_cmp(&max) != Some(std::cmp::Ordering::Less) {
             return Err(TensorError::InvalidArgument(
                 "histogram needs bins > 0 and max > min".into(),
             ));

@@ -1,103 +1,140 @@
-//! Property-based tests for the evaluation metrics.
-
-use proptest::prelude::*;
+//! Property-style tests for the evaluation metrics, run as deterministic
+//! seeded loops over the vendored PRNG.
 
 use litho_metrics::{
     center_error_nm, class_accuracy, ede, mean_iou, pixel_accuracy, BoundingBox, Histogram,
     Tensor,
 };
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
 
-fn binary_image(side: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(prop::bool::ANY, side * side).prop_map(move |bits| {
-        Tensor::from_vec(
-            bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
-            &[side, side],
-        )
-        .unwrap()
-    })
+const CASES: usize = 64;
+
+fn binary_image(rng: &mut StdRng, side: usize) -> Tensor {
+    let data: Vec<f32> = (0..side * side)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, &[side, side]).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A binary image guaranteed to have at least one foreground pixel.
+fn nonempty_image(rng: &mut StdRng, side: usize) -> Tensor {
+    loop {
+        let img = binary_image(rng, side);
+        if img.sum() > 0.0 {
+            return img;
+        }
+    }
+}
 
-    #[test]
-    fn segmentation_metrics_are_probabilities(a in binary_image(8), b in binary_image(8)) {
+#[test]
+fn segmentation_metrics_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0001);
+    for _ in 0..CASES {
+        let a = binary_image(&mut rng, 8);
+        let b = binary_image(&mut rng, 8);
         for metric in [
             pixel_accuracy(&a, &b).unwrap(),
             class_accuracy(&a, &b).unwrap(),
             mean_iou(&a, &b).unwrap(),
         ] {
-            prop_assert!((0.0..=1.0).contains(&metric), "{metric}");
+            assert!((0.0..=1.0).contains(&metric), "{metric}");
         }
     }
+}
 
-    #[test]
-    fn perfect_prediction_scores_one(a in binary_image(8)) {
-        prop_assert_eq!(pixel_accuracy(&a, &a).unwrap(), 1.0);
-        prop_assert_eq!(class_accuracy(&a, &a).unwrap(), 1.0);
-        prop_assert_eq!(mean_iou(&a, &a).unwrap(), 1.0);
+#[test]
+fn perfect_prediction_scores_one() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0002);
+    for _ in 0..CASES {
+        let a = binary_image(&mut rng, 8);
+        assert_eq!(pixel_accuracy(&a, &a).unwrap(), 1.0);
+        assert_eq!(class_accuracy(&a, &a).unwrap(), 1.0);
+        assert_eq!(mean_iou(&a, &a).unwrap(), 1.0);
     }
+}
 
-    #[test]
-    fn iou_lower_bounds_pixel_accuracy(a in binary_image(8), b in binary_image(8)) {
-        // Mean IoU is always <= pixel accuracy for binary maps... not a
-        // theorem in general, but IoU <= accuracy per class holds; check
-        // the weaker true invariant: mean IoU <= class accuracy.
+#[test]
+fn iou_lower_bounds_class_accuracy() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0003);
+    for _ in 0..CASES {
+        let a = binary_image(&mut rng, 8);
+        let b = binary_image(&mut rng, 8);
+        // IoU <= accuracy per class, so mean IoU <= class accuracy.
         let iou = mean_iou(&a, &b).unwrap();
         let ca = class_accuracy(&a, &b).unwrap();
-        prop_assert!(iou <= ca + 1e-12, "iou {iou} vs class acc {ca}");
+        assert!(iou <= ca + 1e-12, "iou {iou} vs class acc {ca}");
     }
+}
 
-    #[test]
-    fn ede_is_symmetric_and_nonnegative(a in binary_image(8), b in binary_image(8)) {
-        prop_assume!(a.sum() > 0.0 && b.sum() > 0.0);
+#[test]
+fn ede_is_symmetric_and_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0004);
+    for _ in 0..CASES {
+        let a = nonempty_image(&mut rng, 8);
+        let b = nonempty_image(&mut rng, 8);
         let ab = ede(&a, &b, 0.5).unwrap();
         let ba = ede(&b, &a, 0.5).unwrap();
-        prop_assert!((ab.mean_nm() - ba.mean_nm()).abs() < 1e-12);
-        prop_assert!(ab.mean_nm() >= 0.0);
-        prop_assert!(ab.max_nm() >= ab.mean_nm());
+        assert!((ab.mean_nm() - ba.mean_nm()).abs() < 1e-12);
+        assert!(ab.mean_nm() >= 0.0);
+        assert!(ab.max_nm() >= ab.mean_nm());
     }
+}
 
-    #[test]
-    fn ede_zero_iff_same_bounding_box(a in binary_image(8)) {
-        prop_assume!(a.sum() > 0.0);
-        prop_assert_eq!(ede(&a, &a, 1.0).unwrap().mean_nm(), 0.0);
-        prop_assert_eq!(center_error_nm(&a, &a, 1.0).unwrap(), 0.0);
+#[test]
+fn ede_zero_iff_same_bounding_box() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0005);
+    for _ in 0..CASES {
+        let a = nonempty_image(&mut rng, 8);
+        assert_eq!(ede(&a, &a, 1.0).unwrap().mean_nm(), 0.0);
+        assert_eq!(center_error_nm(&a, &a, 1.0).unwrap(), 0.0);
     }
+}
 
-    #[test]
-    fn ede_scales_linearly_with_nm_per_px(a in binary_image(8), b in binary_image(8)) {
-        prop_assume!(a.sum() > 0.0 && b.sum() > 0.0);
+#[test]
+fn ede_scales_linearly_with_nm_per_px() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0006);
+    for _ in 0..CASES {
+        let a = nonempty_image(&mut rng, 8);
+        let b = nonempty_image(&mut rng, 8);
         let one = ede(&a, &b, 1.0).unwrap().mean_nm();
         let two = ede(&a, &b, 2.0).unwrap().mean_nm();
-        prop_assert!((two - 2.0 * one).abs() < 1e-9);
+        assert!((two - 2.0 * one).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn bounding_box_contains_all_foreground(a in binary_image(8)) {
+#[test]
+fn bounding_box_contains_all_foreground() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0007);
+    for _ in 0..CASES {
+        let a = binary_image(&mut rng, 8);
         if let Some(bb) = BoundingBox::of(&a) {
             for y in 0..8 {
                 for x in 0..8 {
                     if a.at(&[y, x]).unwrap() >= 0.5 {
-                        prop_assert!(y >= bb.y0 && y <= bb.y1);
-                        prop_assert!(x >= bb.x0 && x <= bb.x1);
+                        assert!(y >= bb.y0 && y <= bb.y1);
+                        assert!(x >= bb.x0 && x <= bb.x1);
                     }
                 }
             }
             // Box edges touch foreground.
-            prop_assert!((bb.x0..=bb.x1).any(|x| a.at(&[bb.y0, x]).unwrap() >= 0.5));
-            prop_assert!((bb.y0..=bb.y1).any(|y| a.at(&[y, bb.x1]).unwrap() >= 0.5));
+            assert!((bb.x0..=bb.x1).any(|x| a.at(&[bb.y0, x]).unwrap() >= 0.5));
+            assert!((bb.y0..=bb.y1).any(|y| a.at(&[y, bb.x1]).unwrap() >= 0.5));
         } else {
-            prop_assert_eq!(a.sum(), 0.0);
+            assert_eq!(a.sum(), 0.0);
         }
     }
+}
 
-    #[test]
-    fn histogram_conserves_observations(values in proptest::collection::vec(-5.0f64..15.0, 0..200)) {
+#[test]
+fn histogram_conserves_observations() {
+    let mut rng = StdRng::seed_from_u64(0x3E71_0008);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..200);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0f64..15.0)).collect();
         let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
         h.extend(values.iter().copied());
-        prop_assert_eq!(h.total(), values.len() as u64);
+        assert_eq!(h.total(), values.len() as u64);
         let in_range = values.iter().filter(|&&v| (0.0..10.0).contains(&v)).count() as u64;
-        prop_assert_eq!(h.counts().iter().sum::<u64>(), in_range);
+        assert_eq!(h.counts().iter().sum::<u64>(), in_range);
     }
 }

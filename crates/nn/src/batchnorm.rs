@@ -91,13 +91,13 @@ impl Layer for BatchNorm2d {
         let (mean, var) = if phase == Phase::Train {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
-            for ci in 0..c {
+            for (ci, m) in mean.iter_mut().enumerate() {
                 let mut sum = 0.0f64;
                 for b in 0..n {
                     let off = (b * c + ci) * plane;
                     sum += src[off..off + plane].iter().map(|&v| v as f64).sum::<f64>();
                 }
-                mean[ci] = (sum / count as f64) as f32;
+                *m = (sum / count as f64) as f32;
             }
             for ci in 0..c {
                 let m = mean[ci] as f64;
@@ -229,11 +229,11 @@ impl Layer for BatchNorm2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use litho_tensor::rng::{Rng, SeedableRng};
 
     #[test]
     fn train_output_is_normalized() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut bn = BatchNorm2d::new(2);
         let data: Vec<f32> = (0..2 * 2 * 4 * 4).map(|_| rng.gen_range(-3.0..5.0)).collect();
         let x = Tensor::from_vec(data, &[2, 2, 4, 4]).unwrap();
@@ -268,9 +268,9 @@ mod tests {
 
     #[test]
     fn running_stats_move_toward_batch_stats() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(1);
         let mut bn = BatchNorm2d::new(1);
-        let data: Vec<f32> = (0..64).map(|_| 10.0 + rng.gen_range(-0.1..0.1)).collect();
+        let data: Vec<f32> = (0..64).map(|_| 10.0 + rng.gen_range(-0.1f32..0.1)).collect();
         let x = Tensor::from_vec(data, &[4, 1, 4, 4]).unwrap();
         for _ in 0..50 {
             bn.forward(&x, Phase::Train).unwrap();
@@ -286,7 +286,7 @@ mod tests {
 
     #[test]
     fn gradient_check() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(5);
         let bn = BatchNorm2d::new(3);
         let _ = &mut rng;
         crate::gradcheck::check_layer(Box::new(bn), &[2, 3, 3, 3], 1e-2, 2e-2);

@@ -1,4 +1,4 @@
-use rand::Rng;
+use litho_tensor::rng::Rng;
 
 use litho_tensor::{
     col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, Im2ColSpec, Result, Tensor,
@@ -20,9 +20,9 @@ use crate::WeightInit;
 /// ```
 /// use litho_nn::{Conv2d, Layer, Phase};
 /// use litho_tensor::Tensor;
-/// use rand::SeedableRng;
+/// use litho_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
 /// let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
 /// let x = Tensor::zeros(&[1, 3, 32, 32]);
 /// let y = conv.forward(&x, Phase::Eval)?;
@@ -193,11 +193,11 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     #[test]
     fn forward_shape_halves_with_stride_two() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(3, 8, 5, 2, 2, &mut rng);
         let x = Tensor::zeros(&[2, 3, 16, 16]);
         let y = conv.forward(&x, Phase::Eval).unwrap();
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_channel_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
         assert!(conv.forward(&Tensor::zeros(&[1, 4, 8, 8]), Phase::Eval).is_err());
     }
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn known_convolution_values() {
         // 1 input channel, 1 output channel, 3x3 averaging kernel.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
         conv.visit_params(&mut |p| {
             if p.value.len() == 9 {
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn backward_requires_train_forward() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
         let x = Tensor::ones(&[1, 1, 4, 4]);
         conv.forward(&x, Phase::Eval).unwrap();
@@ -242,14 +242,14 @@ mod tests {
 
     #[test]
     fn gradient_check() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(7);
         let conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
         crate::gradcheck::check_layer(Box::new(conv), &[2, 2, 5, 5], 1e-2, 2e-2);
     }
 
     #[test]
     fn param_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
         assert_eq!(conv.param_count(), 64 * 3 * 25 + 64);
     }

@@ -1,4 +1,4 @@
-use rand::Rng;
+use litho_tensor::rng::Rng;
 
 use litho_tensor::{
     col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, Im2ColSpec, Result, Tensor,
@@ -23,9 +23,9 @@ use crate::WeightInit;
 /// ```
 /// use litho_nn::{ConvTranspose2d, Layer, Phase};
 /// use litho_tensor::Tensor;
-/// use rand::SeedableRng;
+/// use litho_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
 /// let mut deconv = ConvTranspose2d::new(8, 4, 5, 2, 2, 1, &mut rng);
 /// let x = Tensor::zeros(&[1, 8, 16, 16]);
 /// let y = deconv.forward(&x, Phase::Eval)?;
@@ -222,11 +222,11 @@ impl Layer for ConvTranspose2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     #[test]
     fn doubles_spatial_size_with_paper_geometry() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut deconv = ConvTranspose2d::new(4, 2, 5, 2, 2, 1, &mut rng);
         let x = Tensor::zeros(&[3, 4, 8, 8]);
         let y = deconv.forward(&x, Phase::Eval).unwrap();
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn one_by_one_to_two_by_two() {
         // The paper's first decoder layer: 1x1x512 -> 2x2x512.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut deconv = ConvTranspose2d::new(8, 8, 5, 2, 2, 1, &mut rng);
         let x = Tensor::zeros(&[1, 8, 1, 1]);
         let y = deconv.forward(&x, Phase::Eval).unwrap();
@@ -248,8 +248,8 @@ mod tests {
         // <deconv(x), y> == <x, conv(y)> when deconv and conv share weights
         // (zero bias): transposed convolution is literally the adjoint map.
         use crate::Conv2d;
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use litho_tensor::rng::Rng;
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(9);
         let mut deconv = ConvTranspose2d::new(2, 3, 3, 2, 1, 1, &mut rng);
         let mut conv = Conv2d::new(3, 2, 3, 2, 1, &mut rng);
         // Copy deconv's [in_c=2, out_c*k*k=27] weights into conv's
@@ -287,14 +287,14 @@ mod tests {
 
     #[test]
     fn gradient_check() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(3);
         let deconv = ConvTranspose2d::new(3, 2, 3, 2, 1, 1, &mut rng);
         crate::gradcheck::check_layer(Box::new(deconv), &[2, 3, 4, 4], 1e-2, 2e-2);
     }
 
     #[test]
     fn backward_requires_train_forward() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut deconv = ConvTranspose2d::new(1, 1, 3, 1, 1, 0, &mut rng);
         assert!(deconv.backward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
     }

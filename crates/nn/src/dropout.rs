@@ -1,5 +1,5 @@
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use litho_tensor::rng::SmallRng;
+use litho_tensor::rng::{RngCore, SeedableRng};
 
 use litho_tensor::{Result, Tensor, TensorError};
 
@@ -48,7 +48,7 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
             .collect();
         let data = input
             .as_slice()

@@ -5,7 +5,7 @@
 //! forward pass. The scalar objective is `L = Σ y ⊙ r` for a fixed random
 //! `r`, whose gradient w.r.t. `y` is simply `r`.
 
-use rand::{Rng, SeedableRng};
+use litho_tensor::rng::{Rng, SeedableRng};
 
 use litho_tensor::Tensor;
 
@@ -23,7 +23,7 @@ use crate::layer::{Layer, Phase};
 /// Panics (via `assert!`) when a probed coordinate disagrees — this is a
 /// test helper, not production API.
 pub fn check_layer(mut layer: Box<dyn Layer>, input_dims: &[usize], eps: f32, tol: f32) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0xC0FFEE);
     let volume: usize = input_dims.iter().product();
     let x = Tensor::from_vec(
         (0..volume).map(|_| rng.gen_range(-1.0..1.0)).collect(),
@@ -70,9 +70,8 @@ pub fn check_layer(mut layer: Box<dyn Layer>, input_dims: &[usize], eps: f32, to
     // Parameter gradient probes.
     let mut param_count = 0;
     layer.visit_params(&mut |_| param_count += 1);
-    for pi in 0..param_count {
-        let len = param_grads[pi].len();
-        let probes = pick_indices(len, 64, &mut rng);
+    for (pi, grads) in param_grads.iter().enumerate().take(param_count) {
+        let probes = pick_indices(grads.len(), 64, &mut rng);
         for idx in probes {
             perturb_param(&mut layer, pi, idx, eps);
             let lp = objective(&mut layer, &x, &r);
@@ -80,7 +79,7 @@ pub fn check_layer(mut layer: Box<dyn Layer>, input_dims: &[usize], eps: f32, to
             let lm = objective(&mut layer, &x, &r);
             perturb_param(&mut layer, pi, idx, eps); // restore
             let numeric = (lp - lm) / (2.0 * eps);
-            let analytic = param_grads[pi][idx];
+            let analytic = grads[idx];
             let scale = 1.0f32.max(numeric.abs()).max(analytic.abs());
             assert!(
                 (numeric - analytic).abs() / scale < tol,

@@ -1,4 +1,4 @@
-use rand::Rng;
+use litho_tensor::rng::Rng;
 
 use litho_tensor::Tensor;
 
@@ -72,11 +72,11 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     #[test]
     fn normal_init_statistics() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let t = WeightInit::Normal { stddev: 0.02 }.sample(&[64, 64], 64, 64, &mut rng);
         let mean = t.mean();
         let var = t.map(|v| (v - mean) * (v - mean)).mean();
@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn xavier_bounds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(1);
         let t = WeightInit::XavierUniform.sample(&[100], 10, 10, &mut rng);
         let a = (6.0f32 / 20.0).sqrt();
         assert!(t.max() <= a && t.min() >= -a);
@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn he_scales_with_fan_in() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(2);
         let narrow = WeightInit::HeNormal.sample(&[4096], 8, 8, &mut rng);
         let wide = WeightInit::HeNormal.sample(&[4096], 512, 512, &mut rng);
         assert!(narrow.sum_squares() > wide.sum_squares());

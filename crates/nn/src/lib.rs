@@ -22,9 +22,9 @@
 //! ```
 //! use litho_nn::{Layer, Linear, Phase, Relu, Sequential};
 //! use litho_tensor::Tensor;
-//! use rand::SeedableRng;
+//! use litho_tensor::rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
 //! let mut net = Sequential::new();
 //! net.push(Linear::new(4, 8, &mut rng));
 //! net.push(Relu::new());

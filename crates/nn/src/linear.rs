@@ -1,4 +1,4 @@
-use rand::Rng;
+use litho_tensor::rng::Rng;
 
 use litho_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Result, Tensor, TensorError};
 
@@ -122,11 +122,11 @@ impl Layer for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     #[test]
     fn identity_weight_forward() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut lin = Linear::new(2, 2, &mut rng);
         lin.visit_params(&mut |p| {
             if p.value.len() == 4 {
@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_input_shape() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut lin = Linear::new(4, 2, &mut rng);
         assert!(lin.forward(&Tensor::zeros(&[2, 3]), Phase::Eval).is_err());
         assert!(lin.forward(&Tensor::zeros(&[4]), Phase::Eval).is_err());
@@ -152,14 +152,14 @@ mod tests {
 
     #[test]
     fn gradient_check() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(1);
         let lin = Linear::new(5, 3, &mut rng);
         crate::gradcheck::check_layer(Box::new(lin), &[4, 5], 1e-2, 2e-2);
     }
 
     #[test]
     fn param_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut lin = Linear::new(64, 2, &mut rng);
         assert_eq!(lin.param_count(), 64 * 2 + 2);
     }

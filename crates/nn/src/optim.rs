@@ -204,11 +204,11 @@ mod tests {
     use super::*;
     use crate::{l1_loss, mse_loss, Layer, Linear, Phase, Sequential};
     use litho_tensor::Tensor;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     fn train_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
         // Minimise ||W x - target||² for a fixed x: loss must go to ~0.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut net = Sequential::new();
         net.push(Linear::new(3, 2, &mut rng));
         let x = Tensor::from_vec(vec![1.0, -0.5, 2.0], &[1, 3]).unwrap();
@@ -239,7 +239,7 @@ mod tests {
 
     #[test]
     fn adam_converges_on_l1() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(1);
         let mut net = Sequential::new();
         net.push(Linear::new(2, 1, &mut rng));
         let mut opt = Adam::new(0.02, 0.9, 0.999);

@@ -61,16 +61,42 @@ impl Sequential {
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, phase)?;
+        // Per-layer timing is gated on the enabled flag so the untraced
+        // path stays a single branch per forward call.
+        if litho_telemetry::is_enabled() {
+            for (i, layer) in self.layers.iter_mut().enumerate() {
+                let t0 = std::time::Instant::now();
+                x = layer.forward(&x, phase)?;
+                litho_telemetry::observe_duration(
+                    &format!("nn.forward.{i:02}.{}", layer.name()),
+                    t0.elapsed(),
+                );
+            }
+        } else {
+            for layer in &mut self.layers {
+                x = layer.forward(&x, phase)?;
+            }
         }
         Ok(x)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
+        if litho_telemetry::is_enabled() {
+            let last = self.layers.len().saturating_sub(1);
+            for (rev_i, layer) in self.layers.iter_mut().rev().enumerate() {
+                let i = last - rev_i;
+                let t0 = std::time::Instant::now();
+                g = layer.backward(&g)?;
+                litho_telemetry::observe_duration(
+                    &format!("nn.backward.{i:02}.{}", layer.name()),
+                    t0.elapsed(),
+                );
+            }
+        } else {
+            for layer in self.layers.iter_mut().rev() {
+                g = layer.backward(&g)?;
+            }
         }
         Ok(g)
     }
@@ -96,11 +122,11 @@ impl Layer for Sequential {
 mod tests {
     use super::*;
     use crate::{Linear, Relu};
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     #[test]
     fn chains_forward_and_backward() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut net = Sequential::new();
         net.push(Linear::new(3, 4, &mut rng));
         net.push(Relu::new());
@@ -114,7 +140,7 @@ mod tests {
 
     #[test]
     fn param_visitation_order_is_stable() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut net = Sequential::new();
         net.push(Linear::new(2, 3, &mut rng));
         net.push(Linear::new(3, 1, &mut rng));
@@ -125,7 +151,7 @@ mod tests {
 
     #[test]
     fn zero_grad_clears_all() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut net = Sequential::new();
         net.push(Linear::new(2, 2, &mut rng));
         let x = Tensor::ones(&[1, 2]);

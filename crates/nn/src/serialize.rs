@@ -24,7 +24,7 @@ use crate::layer::Layer;
 const MAGIC: &[u8; 4] = b"LGW1";
 
 fn io_err(err: std::io::Error) -> TensorError {
-    TensorError::InvalidArgument(format!("weight i/o: {err}"))
+    TensorError::io(format!("weight i/o: {err}"))
 }
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
@@ -62,7 +62,7 @@ fn read_f32s<R: Read>(r: &mut R, n: usize) -> Result<Vec<f32>> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::InvalidArgument`] wrapping any I/O failure.
+/// Returns [`TensorError::Io`] wrapping any I/O failure.
 pub fn save_weights<W: Write>(net: &mut dyn Layer, writer: W) -> Result<()> {
     let mut w = writer;
     w.write_all(MAGIC).map_err(io_err)?;
@@ -92,7 +92,7 @@ pub fn save_weights<W: Write>(net: &mut dyn Layer, writer: W) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::InvalidArgument`] on I/O failure, magic
+/// Returns [`TensorError::Io`] on I/O failure and [`TensorError::InvalidArgument`] on magic
 /// mismatch, or any shape disagreement with the target network.
 pub fn load_weights<R: Read>(net: &mut dyn Layer, reader: R) -> Result<()> {
     let mut r = reader;
@@ -207,10 +207,10 @@ mod tests {
     use super::*;
     use crate::{BatchNorm2d, Layer, Linear, Phase, Sequential};
     use litho_tensor::Tensor;
-    use rand::SeedableRng;
+    use litho_tensor::rng::SeedableRng;
 
     fn small_net(seed: u64) -> Sequential {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(seed);
         let mut net = Sequential::new();
         net.push(Linear::new(3, 4, &mut rng));
         net.push(Linear::new(4, 2, &mut rng));
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn batchnorm_buffers_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(3);
         let mut a = Sequential::new();
         a.push(crate::Conv2d::new(1, 2, 3, 1, 1, &mut rng));
         a.push(BatchNorm2d::new(2));
@@ -245,7 +245,7 @@ mod tests {
         let mut bytes = Vec::new();
         save_weights(&mut a, &mut bytes).unwrap();
 
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng2 = litho_tensor::rng::StdRng::seed_from_u64(99);
         let mut b = Sequential::new();
         b.push(crate::Conv2d::new(1, 2, 3, 1, 1, &mut rng2));
         b.push(BatchNorm2d::new(2));
@@ -268,7 +268,7 @@ mod tests {
         let mut bytes = Vec::new();
         save_weights(&mut a, &mut bytes).unwrap();
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
         let mut different = Sequential::new();
         different.push(Linear::new(3, 5, &mut rng));
         different.push(Linear::new(5, 2, &mut rng));

@@ -1,8 +1,8 @@
-//! Property-based tests for the NN stack: losses, layer algebra and
-//! weight persistence.
+//! Property-style tests for the NN stack: losses, layer algebra and
+//! weight persistence. Deterministic seeded loops replace proptest so the
+//! suite runs with no external dependencies.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
 
 use litho_nn::{
     bce_with_logits, l1_loss, mse_loss, serialize, Conv2d, Layer, LeakyRelu, Linear, Phase, Relu,
@@ -10,51 +10,63 @@ use litho_nn::{
 };
 use litho_tensor::Tensor;
 
-fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-5.0f32..5.0, n)
+const CASES: usize = 48;
+
+fn vals(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-5.0f32..5.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn losses_are_nonnegative_and_finite(p in vals(16), t in proptest::collection::vec(0.0f32..1.0, 16)) {
-        let pred = Tensor::from_vec(p, &[16]).unwrap();
+#[test]
+fn losses_are_nonnegative_and_finite() {
+    let mut rng = StdRng::seed_from_u64(0x17E5_0001);
+    for _ in 0..CASES {
+        let pred = Tensor::from_vec(vals(&mut rng, 16), &[16]).unwrap();
+        let t: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0f32..1.0)).collect();
         let target = Tensor::from_vec(t, &[16]).unwrap();
         for lv in [
             bce_with_logits(&pred, &target).unwrap(),
             l1_loss(&pred, &target).unwrap(),
             mse_loss(&pred, &target).unwrap(),
         ] {
-            prop_assert!(lv.loss >= 0.0 && lv.loss.is_finite());
-            prop_assert!(lv.grad.as_slice().iter().all(|g| g.is_finite()));
+            assert!(lv.loss >= 0.0 && lv.loss.is_finite());
+            assert!(lv.grad.as_slice().iter().all(|g| g.is_finite()));
         }
     }
+}
 
-    #[test]
-    fn loss_gradients_point_downhill(p in vals(8), t in vals(8)) {
-        // Moving against the gradient must not increase the loss
-        // (first-order check with a tiny step).
-        let pred = Tensor::from_vec(p, &[8]).unwrap();
-        let target = Tensor::from_vec(t, &[8]).unwrap();
+#[test]
+fn loss_gradients_point_downhill() {
+    // Moving against the gradient must not increase the loss
+    // (first-order check with a tiny step).
+    let mut rng = StdRng::seed_from_u64(0x17E5_0002);
+    for _ in 0..CASES {
+        let pred = Tensor::from_vec(vals(&mut rng, 8), &[8]).unwrap();
+        let target = Tensor::from_vec(vals(&mut rng, 8), &[8]).unwrap();
         for loss_fn in [l1_loss, mse_loss] {
             let lv = loss_fn(&pred, &target).unwrap();
             let stepped = pred.add(&lv.grad.scale(-1e-3)).unwrap();
             let lv2 = loss_fn(&stepped, &target).unwrap();
-            prop_assert!(lv2.loss <= lv.loss + 1e-6, "{} -> {}", lv.loss, lv2.loss);
+            assert!(lv2.loss <= lv.loss + 1e-6, "{} -> {}", lv.loss, lv2.loss);
         }
     }
+}
 
-    #[test]
-    fn mse_is_symmetric_l1_is_symmetric(a in vals(12), b in vals(12)) {
-        let x = Tensor::from_vec(a, &[12]).unwrap();
-        let y = Tensor::from_vec(b, &[12]).unwrap();
-        prop_assert!((mse_loss(&x, &y).unwrap().loss - mse_loss(&y, &x).unwrap().loss).abs() < 1e-5);
-        prop_assert!((l1_loss(&x, &y).unwrap().loss - l1_loss(&y, &x).unwrap().loss).abs() < 1e-5);
+#[test]
+fn mse_is_symmetric_l1_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x17E5_0003);
+    for _ in 0..CASES {
+        let x = Tensor::from_vec(vals(&mut rng, 12), &[12]).unwrap();
+        let y = Tensor::from_vec(vals(&mut rng, 12), &[12]).unwrap();
+        assert!((mse_loss(&x, &y).unwrap().loss - mse_loss(&y, &x).unwrap().loss).abs() < 1e-5);
+        assert!((l1_loss(&x, &y).unwrap().loss - l1_loss(&y, &x).unwrap().loss).abs() < 1e-5);
     }
+}
 
-    #[test]
-    fn activations_preserve_shape_and_are_monotone(v in vals(32)) {
+#[test]
+fn activations_preserve_shape_and_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x17E5_0004);
+    for _ in 0..CASES {
+        let v = vals(&mut rng, 32);
         let x = Tensor::from_vec(v.clone(), &[32]).unwrap();
         let mut sorted = v;
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -66,18 +78,23 @@ proptest! {
             Box::new(Sigmoid::new()),
         ] {
             let y = layer.forward(&x, Phase::Eval).unwrap();
-            prop_assert_eq!(y.dims(), x.dims());
+            assert_eq!(y.dims(), x.dims());
             // Monotone: sorted input gives sorted output.
             let ys = layer.forward(&xs, Phase::Eval).unwrap();
             let s = ys.as_slice();
-            prop_assert!(s.windows(2).all(|w| w[0] <= w[1] + 1e-6));
+            assert!(s.windows(2).all(|w| w[0] <= w[1] + 1e-6));
         }
     }
+}
 
-    #[test]
-    fn linear_layer_is_affine(v in vals(6), alpha in -2.0f32..2.0) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let mut lin = Linear::new(3, 4, &mut rng);
+#[test]
+fn linear_layer_is_affine() {
+    let mut rng = StdRng::seed_from_u64(0x17E5_0005);
+    for _ in 0..CASES {
+        let v = vals(&mut rng, 6);
+        let alpha = rng.gen_range(-2.0f32..2.0);
+        let mut wrng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(3, 4, &mut wrng);
         let x = Tensor::from_vec(v[..3].to_vec(), &[1, 3]).unwrap();
         let z = Tensor::zeros(&[1, 3]);
         let bias = lin.forward(&z, Phase::Eval).unwrap();
@@ -87,34 +104,42 @@ proptest! {
         for i in 0..4 {
             let lhs = y2.as_slice()[i] - bias.as_slice()[i];
             let rhs = alpha * (y1.as_slice()[i] - bias.as_slice()[i]);
-            prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+            assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
         }
     }
+}
 
-    #[test]
-    fn conv_is_translation_equivariant_in_the_interior(dy in 0usize..3, dx in 0usize..3) {
-        // Shifting the input shifts the (stride-1) output, away from
-        // padding borders.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
-        let mut x = Tensor::zeros(&[1, 1, 12, 12]);
-        x.set(&[0, 0, 4, 4], 1.0).unwrap();
-        let y1 = conv.forward(&x, Phase::Eval).unwrap();
-        let mut x2 = Tensor::zeros(&[1, 1, 12, 12]);
-        x2.set(&[0, 0, 4 + dy, 4 + dx], 1.0).unwrap();
-        let y2 = conv.forward(&x2, Phase::Eval).unwrap();
-        for yy in 2..9 {
-            for xx in 2..9 {
-                let a = y1.at(&[0, 0, yy, xx]).unwrap();
-                let b = y2.at(&[0, 0, yy + dy, xx + dx]).unwrap();
-                prop_assert!((a - b).abs() < 1e-5);
+#[test]
+fn conv_is_translation_equivariant_in_the_interior() {
+    // Shifting the input shifts the (stride-1) output, away from
+    // padding borders.
+    let mut wrng = StdRng::seed_from_u64(2);
+    let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut wrng);
+    for dy in 0usize..3 {
+        for dx in 0usize..3 {
+            let mut x = Tensor::zeros(&[1, 1, 12, 12]);
+            x.set(&[0, 0, 4, 4], 1.0).unwrap();
+            let y1 = conv.forward(&x, Phase::Eval).unwrap();
+            let mut x2 = Tensor::zeros(&[1, 1, 12, 12]);
+            x2.set(&[0, 0, 4 + dy, 4 + dx], 1.0).unwrap();
+            let y2 = conv.forward(&x2, Phase::Eval).unwrap();
+            for yy in 2..9 {
+                for xx in 2..9 {
+                    let a = y1.at(&[0, 0, yy, xx]).unwrap();
+                    let b = y2.at(&[0, 0, yy + dy, xx + dx]).unwrap();
+                    assert!((a - b).abs() < 1e-5);
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn weight_serialization_round_trips_random_nets(seed in 0u64..1000) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn weight_serialization_round_trips_random_nets() {
+    let mut seed_rng = StdRng::seed_from_u64(0x17E5_0006);
+    for _ in 0..CASES {
+        let seed = seed_rng.gen_range(0u64..1000);
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut net = Sequential::new();
         net.push(Linear::new(4, 6, &mut rng));
         net.push(Relu::new());
@@ -123,7 +148,7 @@ proptest! {
         let mut bytes = Vec::new();
         serialize::save_weights(&mut net, &mut bytes).unwrap();
 
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
         let mut other = Sequential::new();
         other.push(Linear::new(4, 6, &mut rng2));
         other.push(Relu::new());
@@ -131,7 +156,7 @@ proptest! {
         serialize::load_weights(&mut other, bytes.as_slice()).unwrap();
 
         let x = Tensor::ones(&[2, 4]);
-        prop_assert_eq!(
+        assert_eq!(
             net.forward(&x, Phase::Eval).unwrap(),
             other.forward(&x, Phase::Eval).unwrap()
         );

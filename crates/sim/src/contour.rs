@@ -55,6 +55,9 @@ fn key(p: (f64, f64)) -> (i64, i64) {
     ((p.0 * 1024.0).round() as i64, (p.1 * 1024.0).round() as i64)
 }
 
+/// One marching-squares line segment, endpoint to endpoint in nm.
+type Segment = ((f64, f64), (f64, f64));
+
 /// Extracts iso-contours of `field` (row-major, `size × size`, physical
 /// `pitch_nm`) at the given `level` using marching squares with linear
 /// interpolation. Segments are chained into polylines; contours fully
@@ -92,7 +95,7 @@ pub fn extract_contours(
         (pa.0 + t * (pb.0 - pa.0), pa.1 + t * (pb.1 - pa.1))
     };
 
-    let mut segments: Vec<((f64, f64), (f64, f64))> = Vec::new();
+    let mut segments: Vec<Segment> = Vec::new();
     for cy in 0..size - 1 {
         for cx in 0..size - 1 {
             let v = [
@@ -124,7 +127,7 @@ pub fn extract_contours(
             };
             // Standard marching-squares case table (ambiguous saddles
             // resolved by the cell-average rule).
-            let emit = |a: usize, b: usize, segments: &mut Vec<((f64, f64), (f64, f64))>| {
+            let emit = |a: usize, b: usize, segments: &mut Vec<Segment>| {
                 segments.push((edge(a), edge(b)));
             };
             match case {
@@ -305,8 +308,7 @@ mod tests {
         for (cy, cx) in [(8usize, 8usize), (24, 24)] {
             for y in 0..size {
                 for x in 0..size {
-                    let d = (((x as f64 - cx as f64).powi(2) + (y as f64 - cy as f64).powi(2))
-                        as f64)
+                    let d = ((x as f64 - cx as f64).powi(2) + (y as f64 - cy as f64).powi(2))
                         .sqrt();
                     if d < 4.0 {
                         field[y * size + x] = 1.0;

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// Resist model calibration constants for the variable-threshold model.
 ///
@@ -6,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// `T = base + env_coeff · I_env + slope_coeff · |∇I|`,
 /// where `I_env` is the local intensity envelope (max over a window) and
 /// `|∇I|` the image slope — the classic VTR form (paper reference \[9\]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResistParams {
     /// Base development threshold (fraction of clear-field intensity).
     pub base_threshold: f64,
@@ -28,7 +27,7 @@ pub struct ResistParams {
 /// for a technology node. The [`ProcessConfig::n10`] and
 /// [`ProcessConfig::n7`] presets parallel the two benchmarks of the paper
 /// (982 and 979 clips at N10 and N7).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessConfig {
     /// Human-readable node name ("N10", "N7").
     pub name: String,

@@ -314,7 +314,7 @@ mod tests {
     fn center_component_prefers_central_island() {
         let mut printed = vec![false; 16 * 16];
         printed[8 * 16 + 8] = true; // center
-        printed[1 * 16 + 1] = true; // far corner
+        printed[16 + 1] = true; // far corner
         let p = ResistPattern::from_raw(printed, 16, 1.0).unwrap();
         let c = p.center_component().unwrap();
         assert!(c.at(8, 8));

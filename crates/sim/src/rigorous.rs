@@ -82,23 +82,36 @@ impl RigorousSim {
     /// Returns an error if the mask geometry does not match the simulator
     /// grid.
     pub fn simulate(&self, mask: &MaskGrid) -> Result<(ResistPattern, SimReport)> {
+        let sim_span = litho_telemetry::span("sim");
+
         let t0 = Instant::now();
+        let span = litho_telemetry::span("optical");
         let stack: Vec<AerialImage> = self
             .models
             .iter()
             .map(|m| m.aerial_image(mask))
             .collect::<Result<Vec<_>>>()?;
+        drop(span);
+        let span = litho_telemetry::span("aerial");
         let aerial = AerialImage::average(&stack)?;
+        drop(span);
         let optical_time = t0.elapsed();
 
         let t1 = Instant::now();
+        let span = litho_telemetry::span("resist");
         let pattern = self.resist.develop(&aerial);
+        drop(span);
         // Contour processing: the zero level set of the development excess
         // field, mirroring the paper's "threshold + extrapolation" stage.
+        let span = litho_telemetry::span("contour");
         let excess = self.resist.excess_field(&aerial);
         let contours =
             crate::contour::extract_contours(&excess, aerial.size(), aerial.pitch_nm(), 0.0)?;
+        drop(span);
         let resist_time = t1.elapsed();
+
+        drop(sim_span);
+        litho_telemetry::counter_add("sim.runs", 1);
 
         Ok((
             pattern,

@@ -1,12 +1,13 @@
-//! Property-based tests for the simulation substrate: imaging linearity
+//! Property-style tests for the simulation substrate: imaging linearity
 //! limits, resist monotonicity and contour/pattern consistency.
-
-use proptest::prelude::*;
+//! Deterministic seeded loops replace proptest so the suite runs offline.
 
 use litho_sim::{extract_contours, MaskGrid, OpticalModel, ProcessConfig, ResistModel};
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
 
 const GRID: usize = 64;
 const PITCH: f64 = 8.0;
+const CASES: usize = 24;
 
 fn centered_mask(contact_nm: f64) -> MaskGrid {
     let mut g = MaskGrid::new(GRID, PITCH);
@@ -16,64 +17,91 @@ fn centered_mask(contact_nm: f64) -> MaskGrid {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn mask_area_matches_analytic(x0 in 50.0f64..300.0, y0 in 50.0f64..300.0, w in 5.0f64..150.0, h in 5.0f64..150.0) {
+#[test]
+fn mask_area_matches_analytic() {
+    let mut rng = StdRng::seed_from_u64(0x51A1_0001);
+    for _ in 0..CASES {
+        let x0 = rng.gen_range(50.0f64..300.0);
+        let y0 = rng.gen_range(50.0f64..300.0);
+        let w = rng.gen_range(5.0f64..150.0);
+        let h = rng.gen_range(5.0f64..150.0);
         let mut g = MaskGrid::new(GRID, PITCH);
         g.fill_rect_nm(x0, y0, x0 + w, y0 + h, 1.0);
-        prop_assert!((g.transmitted_area_nm2() - w * h).abs() < 1e-6);
+        assert!((g.transmitted_area_nm2() - w * h).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn aerial_intensity_is_nonnegative_and_bounded(contact in 40.0f64..200.0) {
-        let p = ProcessConfig::n10();
-        let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+#[test]
+fn aerial_intensity_is_nonnegative_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x51A1_0002);
+    let p = ProcessConfig::n10();
+    let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+    for _ in 0..CASES {
+        let contact = rng.gen_range(40.0f64..200.0);
         let img = model.aerial_image(&centered_mask(contact)).unwrap();
-        prop_assert!(img.min_intensity() >= -1e-12);
+        assert!(img.min_intensity() >= -1e-12);
         // Sub-clear-field for any finite feature (normalised to clear = 1,
         // with a small allowance for constructive proximity ripple).
-        prop_assert!(img.max_intensity() <= 1.2, "peak {}", img.max_intensity());
+        assert!(img.max_intensity() <= 1.2, "peak {}", img.max_intensity());
     }
+}
 
-    #[test]
-    fn peak_intensity_is_monotone_in_feature_size(a in 40.0f64..120.0, delta in 8.0f64..60.0) {
-        let p = ProcessConfig::n10();
-        let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+#[test]
+fn peak_intensity_is_monotone_in_feature_size() {
+    let mut rng = StdRng::seed_from_u64(0x51A1_0003);
+    let p = ProcessConfig::n10();
+    let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+    for _ in 0..CASES {
+        let a = rng.gen_range(40.0f64..120.0);
+        let delta = rng.gen_range(8.0f64..60.0);
         let small = model.aerial_image(&centered_mask(a)).unwrap().max_intensity();
-        let large = model.aerial_image(&centered_mask(a + delta)).unwrap().max_intensity();
-        prop_assert!(large > small, "{large} vs {small} at {a}+{delta}");
+        let large = model
+            .aerial_image(&centered_mask(a + delta))
+            .unwrap()
+            .max_intensity();
+        assert!(large > small, "{large} vs {small} at {a}+{delta}");
     }
+}
 
-    #[test]
-    fn printed_area_is_monotone_in_dose(contact in 90.0f64..160.0, dose in 1.05f64..1.5) {
-        // Scaling the mask transmission (dose) can only grow the print.
-        let p = ProcessConfig::n10();
-        let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
-        let resist = ResistModel::new(p.resist);
+#[test]
+fn printed_area_is_monotone_in_dose() {
+    // Scaling the mask transmission (dose) can only grow the print.
+    let mut rng = StdRng::seed_from_u64(0x51A1_0004);
+    let p = ProcessConfig::n10();
+    let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+    let resist = ResistModel::new(p.resist);
+    for _ in 0..CASES {
+        let contact = rng.gen_range(90.0f64..160.0);
+        let dose = rng.gen_range(1.05f64..1.5);
         let nominal = model.aerial_image(&centered_mask(contact)).unwrap();
         let boosted_data: Vec<f64> = nominal.as_slice().iter().map(|&v| v * dose).collect();
-        let boosted =
-            litho_sim::AerialImage::from_raw(boosted_data, GRID, PITCH).unwrap();
+        let boosted = litho_sim::AerialImage::from_raw(boosted_data, GRID, PITCH).unwrap();
         let area_nominal = resist.develop(&nominal).printed_area_nm2();
         let area_boosted = resist.develop(&boosted).printed_area_nm2();
         // The envelope term tracks dose, so growth is sub-linear but the
         // print must never shrink.
-        prop_assert!(area_boosted >= area_nominal, "{area_boosted} < {area_nominal}");
+        assert!(area_boosted >= area_nominal, "{area_boosted} < {area_nominal}");
     }
+}
 
-    #[test]
-    fn contours_enclose_the_printed_area(contact in 95.0f64..180.0) {
-        let p = ProcessConfig::n10();
-        let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
-        let resist = ResistModel::new(p.resist);
+#[test]
+fn contours_enclose_the_printed_area() {
+    let mut rng = StdRng::seed_from_u64(0x51A1_0005);
+    let p = ProcessConfig::n10();
+    let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+    let resist = ResistModel::new(p.resist);
+    let mut checked = 0;
+    while checked < CASES {
+        let contact = rng.gen_range(95.0f64..180.0);
         let aerial = model.aerial_image(&centered_mask(contact)).unwrap();
         let pattern = resist.develop(&aerial);
-        prop_assume!(pattern.printed_area_nm2() > 0.0);
+        if pattern.printed_area_nm2() <= 0.0 {
+            continue;
+        }
+        checked += 1;
         let excess = resist.excess_field(&aerial);
         let contours = extract_contours(&excess, GRID, PITCH, 0.0).unwrap();
-        prop_assert!(!contours.is_empty());
+        assert!(!contours.is_empty());
         // The main contour's bbox encloses the pattern's bbox (within a
         // pixel of interpolation slack).
         let (py0, px0, py1, px1) = pattern.bounding_box().unwrap();
@@ -82,18 +110,22 @@ proptest! {
             .max_by(|a, b| a.length_nm().partial_cmp(&b.length_nm()).unwrap())
             .unwrap();
         let (bx0, by0, bx1, by1) = main.bounding_box_nm().unwrap();
-        prop_assert!(bx0 <= (px0 as f64 + 1.0) * PITCH);
-        prop_assert!(by0 <= (py0 as f64 + 1.0) * PITCH);
-        prop_assert!(bx1 >= (px1 as f64 - 1.0) * PITCH);
-        prop_assert!(by1 >= (py1 as f64 - 1.0) * PITCH);
+        assert!(bx0 <= (px0 as f64 + 1.0) * PITCH);
+        assert!(by0 <= (py0 as f64 + 1.0) * PITCH);
+        assert!(bx1 >= (px1 as f64 - 1.0) * PITCH);
+        assert!(by1 >= (py1 as f64 - 1.0) * PITCH);
     }
+}
 
-    #[test]
-    fn develop_is_deterministic(contact in 80.0f64..160.0) {
-        let p = ProcessConfig::n7();
-        let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
-        let resist = ResistModel::new(p.resist);
+#[test]
+fn develop_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x51A1_0006);
+    let p = ProcessConfig::n7();
+    let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+    let resist = ResistModel::new(p.resist);
+    for _ in 0..CASES {
+        let contact = rng.gen_range(80.0f64..160.0);
         let aerial = model.aerial_image(&centered_mask(contact)).unwrap();
-        prop_assert_eq!(resist.develop(&aerial), resist.develop(&aerial));
+        assert_eq!(resist.develop(&aerial), resist.develop(&aerial));
     }
 }

@@ -1,0 +1,160 @@
+//! Log-scale histogram with cheap fixed storage and quantile extraction.
+
+/// Buckets per decade. The relative width of one bucket is
+/// `10^(1/16) ≈ 1.155`, so quantile estimates carry at most ~15.5%
+/// relative error — plenty for runtime distributions spanning ns to s.
+const BUCKETS_PER_DECADE: f64 = 16.0;
+/// Smallest representable value (1 ns when observing seconds).
+const MIN_VALUE: f64 = 1e-9;
+/// Total bucket count: covers `[1e-9, 1e7)` — sixteen decades.
+const NUM_BUCKETS: usize = 256;
+
+/// Fixed-size log-scale histogram. Also tracks exact min/max/sum/count so
+/// means and extrema do not suffer bucketing error.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= MIN_VALUE {
+        return 0;
+    }
+    let idx = ((value / MIN_VALUE).log10() * BUCKETS_PER_DECADE).floor() as isize;
+    idx.clamp(0, NUM_BUCKETS as isize - 1) as usize
+}
+
+/// Geometric midpoint of bucket `i`.
+fn bucket_mid(i: usize) -> f64 {
+    MIN_VALUE * 10f64.powf((i as f64 + 0.5) / BUCKETS_PER_DECADE)
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let v = value.max(0.0);
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`). Returns the geometric
+    /// midpoint of the bucket containing the target rank, clamped to the
+    /// exact observed `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based ceil like classical
+        // nearest-rank quantiles.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = Histogram::default();
+        h.record(0.125);
+        // Clamped to [min, max] == [0.125, 0.125].
+        assert_eq!(h.p50(), 0.125);
+        assert_eq!(h.p99(), 0.125);
+        assert_eq!(h.max(), 0.125);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        let mut v = 1e-9;
+        while v < 1e6 {
+            let i = bucket_index(v);
+            assert!(i >= prev);
+            prev = i;
+            v *= 1.31;
+        }
+    }
+}

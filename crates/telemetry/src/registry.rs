@@ -1,0 +1,153 @@
+//! Global aggregation: counters, gauges, histograms and per-path span
+//! statistics, all behind one `std::sync::Mutex`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::histogram::Histogram;
+
+/// Aggregated statistics for one span path.
+#[derive(Default, Clone)]
+pub(crate) struct SpanStat {
+    pub count: u64,
+    pub total: Duration,
+    pub hist: Histogram,
+}
+
+/// The mutable core; `BTreeMap` keeps report ordering stable and groups
+/// span paths with their children lexicographically.
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+impl Registry {
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    pub fn record_span(&mut self, path: &str, dur: Duration) {
+        let stat = self.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total += dur;
+        stat.hist.record(dur.as_secs_f64());
+    }
+
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+        self.spans.clear();
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone().into_iter().collect(),
+            gauges: self.gauges.clone().into_iter().collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::from(h)))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        SpanStatSnapshot {
+                            count: s.count,
+                            total: s.total,
+                            p50: Duration::from_secs_f64(s.hist.p50()),
+                            p95: Duration::from_secs_f64(s.hist.p95()),
+                            p99: Duration::from_secs_f64(s.hist.p99()),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Read-only copy of one histogram's summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl From<&Histogram> for HistogramSnapshot {
+    fn from(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+}
+
+/// Read-only copy of one span path's aggregate timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStatSnapshot {
+    pub count: u64,
+    pub total: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+}
+
+/// A point-in-time copy of everything the registry has aggregated.
+/// Entries are sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub spans: Vec<(String, SpanStatSnapshot)>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    pub fn span(&self, path: &str) -> Option<&SpanStatSnapshot> {
+        self.spans.iter().find(|(n, _)| n == path).map(|(_, s)| s)
+    }
+}

@@ -1,0 +1,148 @@
+//! Human-readable summary table over a registry [`Snapshot`].
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::registry::Snapshot;
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{}ns", d.as_nanos())
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Render counters, gauges, histograms and the nested span tree. Span
+/// nesting is recovered from the `/`-separated paths (already sorted so
+/// children follow their parent).
+pub fn report_to_string(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry report ==");
+
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let w = snap.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<w$}  {v}");
+        }
+    }
+
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        let w = snap.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<w$}  {}", fmt_value(*v));
+        }
+    }
+
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        let w = snap
+            .histograms
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count,
+                fmt_value(h.mean),
+                fmt_value(h.p50),
+                fmt_value(h.p95),
+                fmt_value(h.p99),
+                fmt_value(h.max),
+            );
+        }
+    }
+
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "spans:");
+        // Indent by depth; show only the leaf segment at depth > 0.
+        let rows: Vec<(String, &str, usize)> = snap
+            .spans
+            .iter()
+            .map(|(path, _)| {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                (format!("{}{}", "  ".repeat(depth), leaf), path.as_str(), depth)
+            })
+            .collect();
+        let w = rows.iter().map(|(label, _, _)| label.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "path", "count", "total", "mean", "p50", "p95"
+        );
+        for (label, path, _) in &rows {
+            let stat = snap.span(path).expect("span path from snapshot");
+            let mean = if stat.count == 0 {
+                Duration::ZERO
+            } else {
+                stat.total / stat.count as u32
+            };
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10}",
+                label,
+                stat.count,
+                fmt_duration(stat.total),
+                fmt_duration(mean),
+                fmt_duration(stat.p50),
+                fmt_duration(stat.p95),
+            );
+        }
+    }
+
+    if snap.counters.is_empty()
+        && snap.gauges.is_empty()
+        && snap.histograms.is_empty()
+        && snap.spans.is_empty()
+    {
+        let _ = writeln!(out, "  (no data collected)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_reports_no_data() {
+        let s = report_to_string(&Snapshot::default());
+        assert!(s.contains("no data collected"));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.000us");
+        assert_eq!(fmt_duration(Duration::from_nanos(30)), "30ns");
+    }
+}

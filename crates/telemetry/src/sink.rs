@@ -1,0 +1,182 @@
+//! Pluggable event sinks: human-readable stderr lines and machine-readable
+//! JSONL streams.
+
+use std::io::Write;
+
+use crate::json;
+
+/// A loosely-typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => json::write_str(out, s),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => json::write_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+
+    fn write_human(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => out.push_str(s),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => out.push_str(&format!("{v:.6}")),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+/// Classifies an event for downstream consumers; serialized as the `kind`
+/// JSON field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    Span,
+    Counter,
+    Gauge,
+    Event,
+    Meta,
+}
+
+impl EventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Event => "event",
+            EventKind::Meta => "meta",
+        }
+    }
+}
+
+/// One telemetry event, borrowed from the call site.
+pub struct Event<'a> {
+    /// Microseconds since the process' first telemetry touch.
+    pub ts_us: u64,
+    pub kind: EventKind,
+    /// Span path (`a/b/c`) or metric/event name.
+    pub name: &'a str,
+    pub fields: &'a [(&'a str, Value)],
+}
+
+impl Event<'_> {
+    /// Render as one JSONL line (no trailing newline):
+    /// `{"ts_us":12,"kind":"span","name":"sim/optical","dur_us":42.5}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        json::write_str(&mut out, self.name);
+        for (k, v) in self.fields {
+            out.push(',');
+            json::write_str(&mut out, k);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Receives telemetry events as they are recorded.
+pub trait Sink {
+    fn emit(&mut self, event: &Event);
+    fn flush(&mut self) {}
+}
+
+/// Human-readable sink: one aligned line per event on stderr.
+#[derive(Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&mut self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        line.push_str(&format!(
+            "[{:>10.3}ms] {:<7} {}",
+            event.ts_us as f64 / 1e3,
+            event.kind.as_str(),
+            event.name
+        ));
+        for (k, v) in event.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            v.write_human(&mut line);
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Machine-readable sink: one JSON object per line into any writer.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Consume the sink, returning the writer (used by tests to inspect
+    /// what was written).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Open (create/truncate) `path` for JSONL output.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        // An unwritable sink should never take down the instrumented
+        // program; drop the line instead.
+        let _ = writeln!(self.writer, "{}", event.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_line_shape() {
+        let ev = Event {
+            ts_us: 7,
+            kind: EventKind::Event,
+            name: "train_epoch",
+            fields: &[
+                ("epoch", Value::U64(3)),
+                ("g_loss", Value::F64(1.25)),
+                ("note", Value::Str("a\"b".into())),
+            ],
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"ts_us\":7,\"kind\":\"event\",\"name\":\"train_epoch\",\"epoch\":3,\"g_loss\":1.25,\"note\":\"a\\\"b\"}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! RAII timing scopes with thread-local nesting.
+//!
+//! Each thread keeps a stack of the currently-open span paths; a span
+//! opened while another is open gets the parent's path as a `/`-separated
+//! prefix, so aggregation and the report's tree view fall out of plain
+//! lexicographic ordering.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Full paths of the spans currently open on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A running timing scope. Created via [`crate::span`]; records itself on
+/// [`Span::finish`] or on drop, whichever comes first.
+pub struct Span {
+    start: Option<Instant>,
+    /// Full `/`-separated path; empty for inert (disabled) spans.
+    path: String,
+    depth: usize,
+}
+
+impl Span {
+    /// An inert span: no timing, no allocation beyond the empty struct.
+    pub(crate) fn noop() -> Span {
+        Span {
+            start: None,
+            path: String::new(),
+            depth: 0,
+        }
+    }
+
+    pub(crate) fn start(name: Cow<'static, str>) -> Span {
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => {
+                    let mut p = String::with_capacity(parent.len() + 1 + name.len());
+                    p.push_str(parent);
+                    p.push('/');
+                    p.push_str(&name);
+                    p
+                }
+                None => name.into_owned(),
+            };
+            stack.push(path.clone());
+            (path, stack.len() - 1)
+        });
+        Span {
+            start: Some(Instant::now()),
+            path,
+            depth,
+        }
+    }
+
+    /// Is this span actually recording? False when telemetry was disabled
+    /// at creation time.
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Time elapsed so far (zero for inert spans).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Stop the span now, record it, and return its duration. Inert spans
+    /// return zero.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let Some(start) = self.start.take() else {
+            return Duration::ZERO;
+        };
+        let dur = start.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // RAII spans close in reverse order of creation; search from
+            // the end so an out-of-order drop still removes its own entry.
+            if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
+                stack.remove(pos);
+            }
+        });
+        crate::record_span(&self.path, self.depth, dur);
+        dur
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.start.is_some() {
+            self.close();
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Disabled-mode cost: with telemetry off, the instrumentation entry
+//! points must not allocate. A counting global allocator makes the claim
+//! checkable; counting is scoped to the measuring thread so the libtest
+//! harness's own threads cannot perturb the result, and the test lives in
+//! its own binary so nothing else flips the global enabled flag.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.with(Cell::get) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_telemetry_does_not_allocate() {
+    assert!(!litho_telemetry::is_enabled());
+    // Warm up lazily-initialised global state outside the measured window.
+    litho_telemetry::counter_add("warmup", 1);
+    drop(litho_telemetry::span("warmup"));
+
+    TRACKING.with(|t| t.set(true));
+    for i in 0..10_000u64 {
+        litho_telemetry::counter_add("disabled.counter", i);
+        litho_telemetry::gauge_set("disabled.gauge", i as f64);
+        litho_telemetry::observe("disabled.histogram", i as f64);
+        litho_telemetry::observe_duration(
+            "disabled.duration",
+            std::time::Duration::from_nanos(i),
+        );
+        litho_telemetry::event("disabled.event", &[]);
+        let span = litho_telemetry::span("disabled.span");
+        assert!(!span.is_active());
+        drop(span);
+    }
+    TRACKING.with(|t| t.set(false));
+    let counted = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(counted, 0, "disabled telemetry must be allocation-free");
+
+    // Nothing was recorded either.
+    let snap = litho_telemetry::snapshot();
+    assert!(snap.counter("disabled.counter").is_none());
+    assert!(snap.span("disabled.span").is_none());
+}

@@ -1,0 +1,61 @@
+//! Quantile accuracy of the log-scale histogram on known distributions.
+//! The bucket layout (16 per decade) bounds relative quantile error at
+//! roughly ±8% (geometric bucket midpoint), which these tests pin down.
+
+use litho_telemetry::Histogram;
+
+fn rel_err(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs() / truth
+}
+
+#[test]
+fn quantiles_of_a_uniform_grid() {
+    let mut h = Histogram::default();
+    for i in 1..=10_000 {
+        h.record(i as f64 / 100.0); // 0.01 .. 100.0
+    }
+    assert_eq!(h.count(), 10_000);
+    assert!(rel_err(h.quantile(0.5), 50.0) < 0.10, "p50 {}", h.quantile(0.5));
+    assert!(rel_err(h.p95(), 95.0) < 0.10, "p95 {}", h.p95());
+    assert!(rel_err(h.p99(), 99.0) < 0.10, "p99 {}", h.p99());
+    // Exact extremes are tracked outside the buckets.
+    assert_eq!(h.min(), 0.01);
+    assert_eq!(h.max(), 100.0);
+    assert!(rel_err(h.mean(), 50.005) < 1e-9);
+}
+
+#[test]
+fn constant_distribution_collapses_all_quantiles() {
+    let mut h = Histogram::default();
+    for _ in 0..1000 {
+        h.record(3.5e-3);
+    }
+    for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+        // Clamped to the exact observed min/max.
+        assert!(rel_err(h.quantile(q), 3.5e-3) < 1e-9, "q{q} {}", h.quantile(q));
+    }
+}
+
+#[test]
+fn heavy_tail_separates_p50_from_p99() {
+    let mut h = Histogram::default();
+    // 49 fast operations for every slow one, three decades apart: the
+    // slow 2% tail owns the p99 rank outright.
+    for i in 0..10_000 {
+        h.record(if i % 50 == 49 { 1.0 } else { 1e-3 });
+    }
+    assert!(rel_err(h.p50(), 1e-3) < 0.10);
+    assert!(rel_err(h.p99(), 1.0) < 0.10);
+    assert!(h.p99() / h.p50() > 500.0);
+}
+
+#[test]
+fn out_of_range_values_clamp_but_count() {
+    let mut h = Histogram::default();
+    h.record(0.0); // below MIN_VALUE: lands in the first bucket
+    h.record(-5.0); // negative durations cannot happen but must not panic
+    h.record(1e30); // beyond the top bucket
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.max(), 1e30);
+    assert!(h.quantile(0.0) <= h.quantile(1.0));
+}

@@ -1,0 +1,93 @@
+//! End-to-end JSONL stream shape: events recorded through the public API
+//! come out of a [`JsonlSink`] as one well-formed JSON object per line
+//! with the documented schema. Single test — the sink slot is global.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use litho_telemetry::{JsonlSink, Value};
+
+/// `Vec<u8>` writer that stays readable after the sink takes ownership.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn stream_covers_all_event_kinds_with_valid_lines() {
+    let buf = SharedBuf::default();
+    litho_telemetry::set_sink(Some(Box::new(JsonlSink::new(buf.clone()))));
+    litho_telemetry::enable();
+
+    litho_telemetry::emit_run_metadata(&[("scale", Value::Str("test".into()))]);
+    {
+        let _outer = litho_telemetry::span("stream_pipeline");
+        let _inner = litho_telemetry::span("stage");
+    }
+    litho_telemetry::counter_add("stream.clips", 3);
+    litho_telemetry::gauge_set("stream.loss", 0.25);
+    litho_telemetry::event(
+        "train_epoch",
+        &[
+            ("epoch", Value::U64(1)),
+            ("g_loss", Value::F64(1.5)),
+            ("done", Value::Bool(false)),
+            ("note", Value::Str("a \"quoted\" name".into())),
+        ],
+    );
+    litho_telemetry::flush();
+    litho_telemetry::set_sink(None);
+    litho_telemetry::reset();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("stream is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6, "one line per event:\n{text}");
+
+    // Every line is one `{...}` object with the common envelope fields.
+    for line in &lines {
+        assert!(line.starts_with("{\"ts_us\":"), "envelope: {line}");
+        assert!(line.ends_with('}') && !line.contains('\n'));
+        assert!(line.contains("\"kind\":"), "kind field: {line}");
+        assert!(line.contains("\"name\":"), "name field: {line}");
+    }
+
+    assert!(lines[0].contains("\"kind\":\"meta\"") && lines[0].contains("\"name\":\"run_meta\""));
+    assert!(lines[0].contains("\"scale\":\"test\"") && lines[0].contains("\"os\":"));
+
+    // Spans close inner-first and carry duration + depth.
+    assert!(lines[1].contains("\"name\":\"stream_pipeline/stage\""));
+    assert!(lines[1].contains("\"kind\":\"span\"") && lines[1].contains("\"depth\":1"));
+    assert!(lines[2].contains("\"name\":\"stream_pipeline\"") && lines[2].contains("\"depth\":0"));
+    assert!(lines[2].contains("\"dur_us\":"));
+
+    assert!(lines[3].contains("\"kind\":\"counter\"") && lines[3].contains("\"delta\":3"));
+    assert!(lines[4].contains("\"kind\":\"gauge\"") && lines[4].contains("\"value\":0.25"));
+
+    assert!(lines[5].contains("\"kind\":\"event\"") && lines[5].contains("\"name\":\"train_epoch\""));
+    assert!(lines[5].contains("\"epoch\":1") && lines[5].contains("\"g_loss\":1.5"));
+    assert!(lines[5].contains("\"done\":false"));
+    assert!(lines[5].contains(r#""note":"a \"quoted\" name""#), "escaping: {}", lines[5]);
+
+    // Timestamps are monotone non-decreasing.
+    let ts: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            l.trim_start_matches("{\"ts_us\":")
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+}

@@ -1,0 +1,94 @@
+//! Span nesting and ordering: paths aggregate parent/child structure and
+//! the thread-local stack keeps concurrent threads independent.
+
+#[test]
+fn nested_spans_aggregate_under_slash_paths() {
+    litho_telemetry::enable();
+    {
+        let _outer = litho_telemetry::span("nest_pipeline");
+        {
+            let _mid = litho_telemetry::span("optical");
+            let _inner = litho_telemetry::span("fft");
+        }
+        let _sibling = litho_telemetry::span("resist");
+    }
+    let snap = litho_telemetry::snapshot();
+    for path in [
+        "nest_pipeline",
+        "nest_pipeline/optical",
+        "nest_pipeline/optical/fft",
+        "nest_pipeline/resist",
+    ] {
+        let stat = snap.span(path).unwrap_or_else(|| panic!("missing span {path}"));
+        assert_eq!(stat.count, 1, "{path}");
+    }
+    // A parent's total covers its children.
+    let outer = snap.span("nest_pipeline").unwrap();
+    let inner = snap.span("nest_pipeline/optical/fft").unwrap();
+    assert!(outer.total >= inner.total);
+}
+
+#[test]
+fn repeated_spans_accumulate_counts() {
+    litho_telemetry::enable();
+    for _ in 0..5 {
+        let span = litho_telemetry::span("nest_repeat");
+        assert!(span.is_active());
+        span.finish();
+    }
+    let snap = litho_telemetry::snapshot();
+    let stat = snap.span("nest_repeat").unwrap();
+    assert_eq!(stat.count, 5);
+    assert!(stat.p95 >= stat.p50);
+}
+
+#[test]
+fn sibling_order_does_not_create_false_nesting() {
+    litho_telemetry::enable();
+    {
+        let first = litho_telemetry::span("nest_a");
+        first.finish();
+        let second = litho_telemetry::span("nest_b");
+        second.finish();
+    }
+    let snap = litho_telemetry::snapshot();
+    assert!(snap.span("nest_a").is_some());
+    assert!(snap.span("nest_b").is_some(), "b must be a root span");
+    assert!(snap.span("nest_a/nest_b").is_none(), "b must not nest under finished a");
+}
+
+#[test]
+fn threads_have_independent_span_stacks() {
+    litho_telemetry::enable();
+    let _outer = litho_telemetry::span("nest_main_thread");
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                let _s = litho_telemetry::span(format!("nest_worker_{t}"));
+            });
+        }
+    });
+    let snap = litho_telemetry::snapshot();
+    for t in 0..4 {
+        // Worker spans are roots: the main thread's open span is invisible
+        // to other threads.
+        assert!(snap.span(&format!("nest_worker_{t}")).is_some());
+        assert!(snap.span(&format!("nest_main_thread/nest_worker_{t}")).is_none());
+    }
+}
+
+#[test]
+fn drop_and_finish_record_exactly_once() {
+    litho_telemetry::enable();
+    {
+        let span = litho_telemetry::span("nest_once");
+        let dur = span.finish();
+        assert!(dur > std::time::Duration::ZERO);
+    }
+    {
+        let _span = litho_telemetry::span("nest_once"); // recorded on drop
+    }
+    let snap = litho_telemetry::snapshot();
+    let stat = snap.span("nest_once").unwrap();
+    assert_eq!(stat.count, 2);
+}

@@ -41,6 +41,24 @@ pub enum TensorError {
     FftLengthNotPowerOfTwo(usize),
     /// A parameter was outside its valid domain (e.g. stride of zero).
     InvalidArgument(String),
+    /// An underlying I/O operation failed (weight/model persistence).
+    ///
+    /// Carries the rendered `std::io::Error` message so the enum can stay
+    /// `Clone + PartialEq + Eq`.
+    Io(String),
+}
+
+impl TensorError {
+    /// Wrap an `std::io::Error` (or anything displayable) as [`TensorError::Io`].
+    pub fn io<E: fmt::Display>(err: E) -> Self {
+        TensorError::Io(err.to_string())
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(err: std::io::Error) -> Self {
+        TensorError::io(err)
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -64,6 +82,7 @@ impl fmt::Display for TensorError {
                 write!(f, "fft length {n} is not a power of two")
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TensorError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -98,6 +117,7 @@ mod tests {
                 TensorError::InvalidArgument("stride".into()),
                 "invalid argument: stride",
             ),
+            (TensorError::Io("permission denied".into()), "i/o error"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -7,15 +7,13 @@
 //! Cooley–Tukey transform with precomputed bit-reversal — no external FFT
 //! dependency.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, TensorError};
 
 /// A complex number over `f64`.
 ///
 /// Optics code runs in `f64`; only the final aerial image is narrowed to
 /// `f32` for consumption by the NN stack.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -127,7 +125,7 @@ pub fn fft_in_place(data: &mut [Complex], direction: FftDirection) -> Result<()>
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -293,8 +291,8 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(1);
         let mut data: Vec<Complex> = (0..32)
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
@@ -308,8 +306,8 @@ mod tests {
 
     #[test]
     fn forward_inverse_round_trip() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(2);
         let original: Vec<Complex> = (0..128)
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
@@ -324,8 +322,8 @@ mod tests {
 
     #[test]
     fn fft2_round_trip() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(3);
         let (h, w) = (16, 8);
         let original: Vec<Complex> = (0..h * w)
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
@@ -340,8 +338,8 @@ mod tests {
 
     #[test]
     fn convolution_with_delta_is_identity() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(4);
         let (h, w) = (8, 8);
         let img: Vec<f64> = (0..h * w).map(|_| rng.gen_range(0.0..1.0)).collect();
         let mut delta = vec![0.0; h * w];
@@ -354,8 +352,8 @@ mod tests {
 
     #[test]
     fn convolution_matches_naive_cyclic() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(5);
         let (h, w) = (4, 8);
         let a: Vec<f64> = (0..h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f64> = (0..h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -387,8 +385,8 @@ mod tests {
 
     #[test]
     fn parseval_energy_preserved() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(6);
         let original: Vec<Complex> = (0..64)
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();

@@ -233,8 +233,8 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
         // property of an adjoint pair, which is exactly what backprop needs.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(42);
         let (n, c, h, w) = (2, 3, 6, 5);
         let spec = Im2ColSpec {
             kernel_h: 3,

@@ -6,12 +6,14 @@
 //! * [`Tensor`] — a dense, row-major, NCHW-friendly `f32` tensor with shape
 //!   arithmetic, element-wise operations and reductions.
 //! * [`matmul`] — cache-blocked matrix multiplication, parallelised with
-//!   `crossbeam` scoped threads.
+//!   `std::thread` scoped threads.
 //! * [`im2col`] — the im2col/col2im lowering used by convolution and
 //!   transposed convolution layers.
 //! * [`fft`] — radix-2 complex FFT (1-D and 2-D) used by the partially
 //!   coherent optical model for fast kernel convolution.
 //! * [`ops`] — spatial helpers (pad, crop, shift, flip, bilinear resize).
+//! * [`rng`] — vendored deterministic PRNGs (SplitMix64, xoshiro256++) so
+//!   the workspace builds with no external dependencies.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@ pub mod fft;
 mod im2col;
 mod matmul;
 pub mod ops;
+pub mod rng;
 mod shape;
 mod tensor;
 

@@ -3,7 +3,7 @@
 //! The NN stack lowers convolutions onto GEMM via im2col, so this is the
 //! hottest kernel in the whole reproduction. The implementation is a
 //! classic i-k-j loop order with register blocking over `j`, parallelised
-//! over row bands with `crossbeam` scoped threads when the problem is big
+//! over row bands with `std::thread` scoped threads when the problem is big
 //! enough to amortise thread startup.
 
 use crate::{Result, Tensor, TensorError};
@@ -141,16 +141,15 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     let rows_per_band = m.div_ceil(bands);
     // Split the output into disjoint row bands; each thread owns one band.
     let band_chunks: Vec<&mut [f32]> = out.chunks_mut(rows_per_band * n).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (band_idx, chunk) in band_chunks.into_iter().enumerate() {
             let row_start = band_idx * rows_per_band;
             let row_end = (row_start + chunk.len() / n).min(m);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 gemm_band_offset(a, b, chunk, row_start..row_end, k, n);
             });
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 fn available_threads() -> usize {
@@ -244,8 +243,8 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive_large() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(7);
         let (m, k, n) = (33, 47, 29);
         let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -260,8 +259,8 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_serial() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(11);
         // Big enough to cross PARALLEL_THRESHOLD (128*128*128 = 2M MACs).
         let (m, k, n) = (128, 128, 128);
         let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -277,8 +276,8 @@ mod tests {
 
     #[test]
     fn transpose_a_variant() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(3);
         let (k, m, n) = (13, 7, 9);
         let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -302,8 +301,8 @@ mod tests {
 
     #[test]
     fn transpose_b_variant() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(5);
         let (m, k, n) = (6, 11, 8);
         let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 use crate::{Result, TensorError};
 
@@ -16,7 +15,7 @@ use crate::{Result, TensorError};
 /// assert_eq!(s.volume(), 120);
 /// assert_eq!(s.strides(), vec![60, 20, 5, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }

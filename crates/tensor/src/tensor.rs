@@ -1,6 +1,5 @@
-use rand::distributions::Distribution;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::Distribution;
+use crate::rng::Rng;
 
 use crate::{Result, Shape, TensorError};
 
@@ -19,7 +18,7 @@ use crate::{Result, Shape, TensorError};
 /// let y = x.scale(0.5);
 /// assert_eq!(y.sum(), 6.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,

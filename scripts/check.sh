@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate, identical to CI: release build, tests, strict clippy.
+# The workspace has no external dependencies, so everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> all checks passed"

@@ -117,7 +117,7 @@ fn golden_centered_recentres_within_half_pixel() {
         let bb = litho_metrics::BoundingBox::of(&s.golden_centered).unwrap();
         let (cy, cx) = bb.center();
         assert!(
-            (cy - mid as f64).abs() <= 1.0 && (cx - mid as f64).abs() <= 1.0,
+            (cy - mid).abs() <= 1.0 && (cx - mid).abs() <= 1.0,
             "centered golden bbox at ({cy}, {cx})"
         );
     }
