@@ -15,6 +15,15 @@ fn mean_summary(list: &[MetricSummary]) -> MetricSummary {
         samples: list.first().map(|s| s.samples).unwrap_or(0),
         ede_mean_nm: list.iter().map(|s| s.ede_mean_nm).sum::<f64>() / n,
         ede_std_nm: list.iter().map(|s| s.ede_std_nm).sum::<f64>() / n,
+        ede_edge_mean_nm: {
+            let mut edges = [0.0; 4];
+            for s in list {
+                for (acc, e) in edges.iter_mut().zip(s.ede_edge_mean_nm) {
+                    *acc += e / n;
+                }
+            }
+            edges
+        },
         pixel_accuracy: list.iter().map(|s| s.pixel_accuracy).sum::<f64>() / n,
         class_accuracy: list.iter().map(|s| s.class_accuracy).sum::<f64>() / n,
         mean_iou: list.iter().map(|s| s.mean_iou).sum::<f64>() / n,

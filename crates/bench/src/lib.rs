@@ -14,10 +14,12 @@
 
 pub mod microbench;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig, Sample};
+use litho_ledger::{fingerprint_file, DatasetInfo, RunLedger};
 use litho_metrics::{MetricAccumulator, MetricSummary};
 use litho_sim::ProcessConfig;
 use litho_tensor::{Result, Tensor};
@@ -119,16 +121,21 @@ impl Scale {
 
     /// Parses `--quick` / `--paper` / `--seeds=N` / `--epochs=N` /
     /// `--clips=N` from the process arguments; default is
-    /// [`Scale::standard`]. Also honours the observability flags
-    /// (`--trace`, `--metrics-out FILE`) via [`init_telemetry_from_args`]
-    /// so every experiment binary gets them for free — pair with a
-    /// [`finish_telemetry`] call at the end of `main`.
+    /// [`Scale::standard`]. Also opens a run ledger under `runs/` (opt
+    /// out with `--no-run`, relocate with `--runs-root=DIR`) and honours
+    /// the observability flags (`--trace`, `--metrics-out FILE`) via
+    /// [`init_telemetry_from_args`], so every experiment binary gets them
+    /// for free — pair with a [`finish_telemetry`] call at the end of
+    /// `main`.
     pub fn from_args() -> Self {
         let mut scale = Scale::standard();
+        let mut runs_root = "runs".to_string();
+        let mut no_run = false;
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--quick" => scale = Scale::quick(),
                 "--paper" => scale = Scale::paper(),
+                "--no-run" => no_run = true,
                 other => {
                     if let Some(v) = other.strip_prefix("--seeds=") {
                         scale.seeds = v.parse().expect("--seeds=N");
@@ -136,9 +143,14 @@ impl Scale {
                         scale.epochs = v.parse().expect("--epochs=N");
                     } else if let Some(v) = other.strip_prefix("--clips=") {
                         scale.clip_count = Some(v.parse().expect("--clips=N"));
+                    } else if let Some(v) = other.strip_prefix("--runs-root=") {
+                        runs_root = v.to_string();
                     }
                 }
             }
+        }
+        if !no_run {
+            open_run_ledger(&runs_root, &scale);
         }
         init_telemetry_from_args(&[("scale", litho_telemetry::Value::Str(scale.label.clone()))]);
         scale
@@ -170,11 +182,53 @@ impl Scale {
 }
 
 static TRACE_REQUESTED: AtomicBool = AtomicBool::new(false);
+static RUN_LEDGER: Mutex<Option<RunLedger>> = Mutex::new(None);
 
-/// Enables telemetry when `--trace` or `--metrics-out FILE` appear in the
-/// process arguments, wiring a JSONL sink for the latter, and emits the
+/// The experiment's run ledger, opened by [`Scale::from_args`] (absent
+/// under `--no-run` or if creation failed). Binaries may lock it to
+/// attach dataset identity or append per-sample records.
+pub fn run_ledger() -> &'static Mutex<Option<RunLedger>> {
+    &RUN_LEDGER
+}
+
+/// Opens the run ledger for this bench invocation: manifest under
+/// `<root>/<bin>-<unix>-<pid>/` with the scale as config. Failure is
+/// non-fatal (benches still run without a ledger).
+fn open_run_ledger(root: &str, scale: &Scale) {
+    let bin = std::env::args()
+        .next()
+        .as_deref()
+        .map(Path::new)
+        .and_then(Path::file_stem)
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    let config = vec![
+        ("scale".to_string(), scale.label.clone()),
+        (
+            "clips".to_string(),
+            scale
+                .clip_count
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "paper".to_string()),
+        ),
+        ("size".to_string(), scale.image_size.to_string()),
+        ("epochs".to_string(), scale.epochs.to_string()),
+        ("seeds".to_string(), scale.seeds.to_string()),
+    ];
+    match RunLedger::create(Path::new(root), &bin, None, config, None) {
+        Ok(ledger) => {
+            eprintln!("[run] {}", ledger.dir().display());
+            *RUN_LEDGER.lock().unwrap() = Some(ledger);
+        }
+        Err(e) => eprintln!("[run] ledger disabled: {e}"),
+    }
+}
+
+/// Enables telemetry when `--trace` / `--metrics-out FILE` appear in the
+/// process arguments or a run ledger is active, wiring a JSONL sink
+/// (`--metrics-out` path, else the run's `trace.jsonl`), and emits the
 /// run-metadata event (binary name, platform, thread count, `extra`).
-/// A no-op when neither flag is given.
+/// A no-op when neither flags nor ledger are present.
 pub fn init_telemetry_from_args(extra: &[(&str, litho_telemetry::Value)]) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace = args.iter().any(|a| a == "--trace");
@@ -182,24 +236,45 @@ pub fn init_telemetry_from_args(extra: &[(&str, litho_telemetry::Value)]) {
         .windows(2)
         .find(|w| w[0] == "--metrics-out")
         .map(|w| w[1].clone());
-    if !trace && metrics_out.is_none() {
+    let mut guard = RUN_LEDGER.lock().unwrap();
+    if !trace && metrics_out.is_none() && guard.is_none() {
         return;
     }
-    if let Some(path) = metrics_out {
-        match litho_telemetry::JsonlSink::create(std::path::Path::new(&path)) {
+    let sink_path = metrics_out
+        .clone()
+        .map(PathBuf::from)
+        .or_else(|| guard.as_ref().map(RunLedger::default_trace_path));
+    if let Some(path) = sink_path {
+        match litho_telemetry::JsonlSink::create(&path) {
             Ok(sink) => litho_telemetry::set_sink(Some(Box::new(sink))),
-            Err(e) => eprintln!("[telemetry] cannot open {path}: {e}"),
+            Err(e) => eprintln!("[telemetry] cannot open {}: {e}", path.display()),
         }
     }
+    if let Some(ledger) = guard.as_mut() {
+        // An explicit --metrics-out path lives outside the run dir;
+        // record it as given so `report` still finds the stream.
+        let trace_path = metrics_out.unwrap_or_else(|| "trace.jsonl".to_string());
+        if let Err(e) = ledger.set_trace_path(&trace_path) {
+            eprintln!("[run] cannot record trace path: {e}");
+        }
+        litho_telemetry::set_run_id(Some(ledger.run_id()));
+    }
+    drop(guard);
     TRACE_REQUESTED.store(trace, Ordering::Relaxed);
     litho_telemetry::enable();
     litho_telemetry::emit_run_metadata(extra);
 }
 
-/// Flushes telemetry sinks and, when `--trace` was given, prints the
-/// span/metric report to stderr. Call at the end of `main`.
+/// Flushes telemetry sinks, finalizes the run ledger (status `ok`) and,
+/// when `--trace` was given, prints the span/metric report to stderr.
+/// Call at the end of `main`.
 pub fn finish_telemetry() {
     litho_telemetry::flush();
+    if let Some(ledger) = RUN_LEDGER.lock().unwrap().as_mut() {
+        if let Err(e) = ledger.finalize(true) {
+            eprintln!("[run] cannot finalize ledger: {e}");
+        }
+    }
     if litho_telemetry::is_enabled() && TRACE_REQUESTED.load(Ordering::Relaxed) {
         litho_telemetry::print_report();
     }
@@ -229,6 +304,7 @@ pub fn dataset(node: Node, scale: &Scale) -> Result<Dataset> {
     if cache.exists() {
         if let Ok(ds) = load_dataset(&cache) {
             if ds.config == config {
+                attach_dataset_to_ledger(&cache, &ds);
                 return Ok(ds);
             }
         }
@@ -244,7 +320,32 @@ pub fn dataset(node: Node, scale: &Scale) -> Result<Dataset> {
         stats.opc_unconverged
     );
     save_dataset(&ds, &cache)?;
+    attach_dataset_to_ledger(&cache, &ds);
     Ok(ds)
+}
+
+/// Records dataset identity in the run manifest (best effort; the first
+/// dataset wins for multi-node experiments — per-node identity lives in
+/// the trace/config).
+fn attach_dataset_to_ledger(path: &Path, ds: &Dataset) {
+    let mut guard = RUN_LEDGER.lock().unwrap();
+    let Some(ledger) = guard.as_mut() else { return };
+    if ledger.manifest().dataset.is_some() {
+        return;
+    }
+    let Ok((fingerprint, bytes)) = fingerprint_file(path) else { return };
+    let info = DatasetInfo {
+        path: path.to_string_lossy().into_owned(),
+        fingerprint,
+        bytes,
+        samples: ds.len(),
+        image_size: ds.config.image_size,
+        node: ds.config.process.name.clone(),
+        nm_per_px: ds.config.golden_nm_per_px(),
+    };
+    if let Err(e) = ledger.set_dataset(info) {
+        eprintln!("[run] cannot record dataset: {e}");
+    }
 }
 
 /// The three models of Table 3, trained on one split with one seed.

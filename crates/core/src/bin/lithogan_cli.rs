@@ -1,23 +1,32 @@
-//! `lithogan-cli` — dataset generation, training, evaluation and
-//! prediction from the command line.
+//! `lithogan-cli` — dataset generation, training, evaluation, prediction
+//! and run analysis from the command line.
 //!
 //! ```text
 //! lithogan-cli generate --node N10 --clips 140 --size 64 --out data.lgd
 //! lithogan-cli train    --data data.lgd --epochs 10 --out model.lgm
 //! lithogan-cli eval     --data data.lgd --model model.lgm
 //! lithogan-cli predict  --data data.lgd --model model.lgm --index 3 --out-dir out/
+//! lithogan-cli report   <run-id|run-dir>
+//! lithogan-cli compare  <run-a> <run-b>
+//! lithogan-cli compare  <run> --gate baseline.json [--tol-pct N]
 //! ```
 //!
-//! Every command additionally accepts the observability flags
-//! `--trace` (print a nested span/metric report to stderr on exit) and
-//! `--metrics-out FILE` (stream telemetry events as JSONL).
+//! Every workload command records itself into `runs/<id>/` (manifest,
+//! per-sample metric records, telemetry trace) unless `--no-run` is
+//! given; `report` and `compare` read those directories back. See
+//! `lithogan-cli help <command>` for per-command flags.
 
-use litho_dataset::{generate, load_dataset, save_dataset, DatasetConfig};
+use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig};
 use litho_layout::image::{overlay_panel, write_ppm};
+use litho_ledger::{
+    dashboard_svg, fingerprint_file, gate, load_run, render_compare, render_report, Baseline,
+    DatasetInfo, RunData, RunLedger,
+};
 use litho_metrics::MetricAccumulator;
 use litho_sim::ProcessConfig;
 use litho_tensor::TensorError;
 use lithogan::{LithoGan, NetConfig, Result, TrainConfig};
+use std::path::{Path, PathBuf};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,46 +55,154 @@ enum Command {
         index: usize,
         out_dir: String,
     },
+    Report {
+        run: String,
+    },
+    Compare {
+        a: String,
+        b: Option<String>,
+        gate: Option<String>,
+        tol_pct: Option<f64>,
+        write_baseline: Option<String>,
+    },
     Help,
+    HelpFor(String),
 }
+
+const GLOBAL_FLAGS_HELP: &str = "\
+global flags (accepted by every command):\n  \
+  --trace             print a nested span/metric report to stderr on exit\n  \
+  --metrics-out FILE  stream telemetry events as JSONL to FILE\n                      \
+(default: runs/<id>/trace.jsonl when a run ledger is active)\n  \
+  --runs-root DIR     where run ledgers are created/resolved (default: runs)\n  \
+  --no-run            do not record this invocation under runs/";
 
 fn usage() -> String {
-    "usage:\n  \
-     lithogan-cli generate --node <N10|N7> [--clips N] [--size S] [--jitter NM] --out FILE\n  \
-     lithogan-cli train    --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n  \
-     lithogan-cli eval     --data FILE --model FILE\n  \
-     lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR\n\
-     global flags: --trace (span report on stderr), --metrics-out FILE (JSONL event stream)"
-        .into()
+    format!(
+        "usage:\n  \
+         lithogan-cli generate --node <N10|N7> [--clips N] [--size S] [--jitter NM] --out FILE\n  \
+         lithogan-cli train    --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n  \
+         lithogan-cli eval     --data FILE --model FILE\n  \
+         lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR\n  \
+         lithogan-cli report   <run-id|run-dir>\n  \
+         lithogan-cli compare  <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n  \
+         lithogan-cli help     [command]\n\
+         {GLOBAL_FLAGS_HELP}"
+    )
 }
 
-/// Observability flags, accepted by every command.
-#[derive(Debug, Clone, Default, PartialEq)]
-struct TelemetryOpts {
+/// Detailed per-command help (satisfies `help <cmd>` and `<cmd> --help`).
+fn command_help(cmd: &str) -> String {
+    let body = match cmd {
+        "generate" => {
+            "lithogan-cli generate --node <N10|N7> [--clips N] [--size S] [--jitter NM] --out FILE\n\n\
+             Synthesizes a mask/aerial/resist dataset with the in-tree lithography\n\
+             simulator and writes it to FILE.\n\n  \
+             --node N10|N7   process node preset (default N10)\n  \
+             --clips N       number of layout clips (default 140)\n  \
+             --size S        image resolution in pixels (default 64)\n  \
+             --jitter NM     mask corner jitter in nm (default 3.0)\n  \
+             --out FILE      output dataset path (required)"
+        }
+        "train" => {
+            "lithogan-cli train --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n\n\
+             Trains LithoGAN on the 75% train split, saves the model, then\n\
+             evaluates the 25% test split; per-sample metrics land in the run's\n\
+             samples.jsonl and the loss curve in its trace.\n\n  \
+             --data FILE     dataset from `generate` (required)\n  \
+             --epochs N      training epochs (default 10)\n  \
+             --seed N        RNG seed (default 0)\n  \
+             --augment       enable flip/rotate augmentation\n  \
+             --out FILE      model output path (required)"
+        }
+        "eval" => {
+            "lithogan-cli eval --data FILE --model FILE\n\n\
+             Evaluates a trained model on the test split: EDE, pixel/class\n\
+             accuracy, mean IoU and centre error, with one record per sample\n\
+             appended to the run ledger.\n\n  \
+             --data FILE     dataset from `generate` (required)\n  \
+             --model FILE    model from `train` (required)"
+        }
+        "predict" => {
+            "lithogan-cli predict --data FILE --model FILE --index I --out-dir DIR\n\n\
+             Runs inference on one sample, writes mask/prediction panels as PPM\n\
+             and records that sample's metrics in the run ledger.\n\n  \
+             --data FILE     dataset from `generate` (required)\n  \
+             --model FILE    model from `train` (required)\n  \
+             --index I       sample index (default 0)\n  \
+             --out-dir DIR   where to write panels (default .)"
+        }
+        "report" => {
+            "lithogan-cli report <run-id|run-dir>\n\n\
+             Renders one recorded run: manifest, aggregated per-sample metrics,\n\
+             span timing table with exact p50/p95/p99, critical path and\n\
+             counters. Also writes runs/<id>/dashboard.svg (loss curves, EDE\n\
+             histogram, stage latency). The argument is a directory path or a\n\
+             run id resolved under --runs-root."
+        }
+        "compare" => {
+            "lithogan-cli compare <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n\n\
+             With two runs: aligned metric/latency delta table.\n\
+             With --gate: checks <run-a> against a baseline JSON\n\
+             ({\"tol_pct\": N, \"metrics\": {...}}) and exits nonzero when any\n\
+             metric regressed beyond tolerance — the CI regression gate.\n\n  \
+             --gate FILE           baseline to gate against\n  \
+             --tol-pct N           tolerance override in percent\n  \
+             --write-baseline FILE regenerate a baseline from <run-a>'s metrics"
+        }
+        _ => return usage(),
+    };
+    format!("{body}\n\n{GLOBAL_FLAGS_HELP}")
+}
+
+/// Global flags, accepted by every command.
+#[derive(Debug, Clone, PartialEq)]
+struct GlobalOpts {
     trace: bool,
     metrics_out: Option<String>,
+    runs_root: String,
+    no_run: bool,
 }
 
-/// Strips `--trace` / `--metrics-out FILE` out of `args` so subcommand
-/// parsing never sees them, and returns the telemetry configuration.
+impl Default for GlobalOpts {
+    fn default() -> Self {
+        GlobalOpts {
+            trace: false,
+            metrics_out: None,
+            runs_root: "runs".to_string(),
+            no_run: false,
+        }
+    }
+}
+
+/// Strips the global flags out of `args` so subcommand parsing never sees
+/// them, and returns them parsed.
 ///
 /// # Errors
 ///
-/// Returns an error for `--metrics-out` without a following path (the
+/// Returns an error for a value-taking flag without its value (the
 /// subcommand parsers ignore flags they don't know, so it can't be left
 /// for them to reject).
-fn split_telemetry_args(args: &[String]) -> Result<(Vec<String>, TelemetryOpts)> {
-    let mut opts = TelemetryOpts::default();
+fn split_global_args(args: &[String]) -> Result<(Vec<String>, GlobalOpts)> {
+    let mut opts = GlobalOpts::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace" => opts.trace = true,
+            "--no-run" => opts.no_run = true,
             "--metrics-out" => {
                 if i + 1 >= args.len() {
                     return Err(bad("--metrics-out requires a file path"));
                 }
                 opts.metrics_out = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--runs-root" => {
+                if i + 1 >= args.len() {
+                    return Err(bad("--runs-root requires a directory path"));
+                }
+                opts.runs_root = args[i + 1].clone();
                 i += 1;
             }
             _ => rest.push(args[i].clone()),
@@ -95,30 +212,15 @@ fn split_telemetry_args(args: &[String]) -> Result<(Vec<String>, TelemetryOpts)>
     Ok((rest, opts))
 }
 
-/// Turns telemetry on per `opts`. Returns an error for an unwritable
-/// `--metrics-out` path.
-fn init_telemetry(opts: &TelemetryOpts, command: &str) -> Result<()> {
-    if !opts.trace && opts.metrics_out.is_none() {
-        return Ok(());
-    }
-    if let Some(path) = &opts.metrics_out {
-        let sink = litho_telemetry::JsonlSink::create(std::path::Path::new(path))
-            .map_err(|e| bad(format!("--metrics-out {path}: {e}")))?;
-        litho_telemetry::set_sink(Some(Box::new(sink)));
-    }
-    litho_telemetry::enable();
-    litho_telemetry::emit_run_metadata(&[(
-        "command",
-        litho_telemetry::Value::Str(command.to_string()),
-    )]);
-    Ok(())
-}
-
 fn bad(msg: impl Into<String>) -> TensorError {
     TensorError::InvalidArgument(msg.into())
 }
 
-/// Parses an argument vector (without the program name).
+fn io_err(e: std::io::Error) -> TensorError {
+    bad(e.to_string())
+}
+
+/// Parses an argument vector (without the program name or global flags).
 fn parse(args: &[String]) -> Result<Command> {
     let get = |flag: &str| -> Option<String> {
         args.windows(2)
@@ -126,7 +228,31 @@ fn parse(args: &[String]) -> Result<Command> {
             .map(|w| w[1].clone())
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
-    match args.first().map(String::as_str) {
+    // Positional operands: everything that is not a flag or a flag value.
+    let positionals = || -> Vec<String> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &args[1..] {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(stripped) = a.strip_prefix("--") {
+                skip = !matches!(stripped, "augment" | "help");
+                continue;
+            }
+            out.push(a.clone());
+        }
+        out
+    };
+    let command = args.first().map(String::as_str);
+    if has("--help") {
+        return Ok(match command {
+            Some(cmd) => Command::HelpFor(cmd.to_string()),
+            None => Command::Help,
+        });
+    }
+    match command {
         Some("generate") => Ok(Command::Generate {
             node: get("--node").unwrap_or_else(|| "N10".into()),
             clips: get("--clips").map_or(Ok(140), |v| v.parse().map_err(|_| bad("--clips")))?,
@@ -151,9 +277,161 @@ fn parse(args: &[String]) -> Result<Command> {
             index: get("--index").map_or(Ok(0), |v| v.parse().map_err(|_| bad("--index")))?,
             out_dir: get("--out-dir").unwrap_or_else(|| ".".into()),
         }),
-        Some("help") | Some("--help") | None => Ok(Command::Help),
+        Some("report") => {
+            let pos = positionals();
+            match pos.as_slice() {
+                [run] => Ok(Command::Report { run: run.clone() }),
+                _ => Err(bad("report takes exactly one <run-id|run-dir>")),
+            }
+        }
+        Some("compare") => {
+            let pos = positionals();
+            let (a, b) = match pos.as_slice() {
+                [a] => (a.clone(), None),
+                [a, b] => (a.clone(), Some(b.clone())),
+                _ => return Err(bad("compare takes <run-a> [<run-b>]")),
+            };
+            let gate = get("--gate");
+            let write_baseline = get("--write-baseline");
+            if b.is_none() && gate.is_none() && write_baseline.is_none() {
+                return Err(bad("compare needs a second run, --gate or --write-baseline"));
+            }
+            Ok(Command::Compare {
+                a,
+                b,
+                gate,
+                tol_pct: get("--tol-pct")
+                    .map(|v| v.parse().map_err(|_| bad("--tol-pct")))
+                    .transpose()?,
+                write_baseline,
+            })
+        }
+        Some("help") => Ok(match args.get(1) {
+            Some(cmd) => Command::HelpFor(cmd.clone()),
+            None => Command::Help,
+        }),
+        None => Ok(Command::Help),
         Some(other) => Err(bad(format!("unknown command {other:?}\n{}", usage()))),
     }
+}
+
+impl Command {
+    fn name(&self) -> &'static str {
+        match self {
+            Command::Generate { .. } => "generate",
+            Command::Train { .. } => "train",
+            Command::Eval { .. } => "eval",
+            Command::Predict { .. } => "predict",
+            Command::Report { .. } => "report",
+            Command::Compare { .. } => "compare",
+            Command::Help | Command::HelpFor(_) => "help",
+        }
+    }
+
+    /// Should this invocation open a run ledger?
+    fn records_run(&self) -> bool {
+        matches!(
+            self,
+            Command::Generate { .. }
+                | Command::Train { .. }
+                | Command::Eval { .. }
+                | Command::Predict { .. }
+        )
+    }
+
+    fn seed(&self) -> Option<u64> {
+        match self {
+            Command::Train { seed, .. } => Some(*seed),
+            _ => None,
+        }
+    }
+
+    /// Flat key/value pairs for the run manifest.
+    fn config_pairs(&self) -> Vec<(String, String)> {
+        let kv = |k: &str, v: String| (k.to_string(), v);
+        match self {
+            Command::Generate {
+                node,
+                clips,
+                size,
+                jitter_nm,
+                out,
+            } => vec![
+                kv("node", node.clone()),
+                kv("clips", clips.to_string()),
+                kv("size", size.to_string()),
+                kv("jitter_nm", jitter_nm.to_string()),
+                kv("out", out.clone()),
+            ],
+            Command::Train {
+                data,
+                epochs,
+                seed,
+                augment,
+                out,
+            } => vec![
+                kv("data", data.clone()),
+                kv("epochs", epochs.to_string()),
+                kv("seed", seed.to_string()),
+                kv("augment", augment.to_string()),
+                kv("out", out.clone()),
+            ],
+            Command::Eval { data, model } => {
+                vec![kv("data", data.clone()), kv("model", model.clone())]
+            }
+            Command::Predict {
+                data,
+                model,
+                index,
+                out_dir,
+            } => vec![
+                kv("data", data.clone()),
+                kv("model", model.clone()),
+                kv("index", index.to_string()),
+                kv("out_dir", out_dir.clone()),
+            ],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Turns telemetry on. A JSONL sink goes to `--metrics-out` when given,
+/// else to the active run's `trace.jsonl`; with a ledger present,
+/// telemetry is always enabled so every run carries its trace.
+fn init_telemetry(
+    opts: &GlobalOpts,
+    command: &str,
+    ledger: Option<&mut RunLedger>,
+) -> Result<()> {
+    let has_ledger = ledger.is_some();
+    if !opts.trace && opts.metrics_out.is_none() && !has_ledger {
+        return Ok(());
+    }
+    let sink_path: Option<PathBuf> = match (&opts.metrics_out, &ledger) {
+        (Some(path), _) => Some(PathBuf::from(path)),
+        (None, Some(ledger)) => Some(ledger.default_trace_path()),
+        (None, None) => None,
+    };
+    if let Some(path) = &sink_path {
+        let sink = litho_telemetry::JsonlSink::create(path)
+            .map_err(|e| bad(format!("--metrics-out {}: {e}", path.display())))?;
+        litho_telemetry::set_sink(Some(Box::new(sink)));
+    }
+    if let Some(ledger) = ledger {
+        let trace = match &opts.metrics_out {
+            // An explicit path lives outside the run dir; record it as given.
+            Some(path) => path.clone(),
+            None => "trace.jsonl".to_string(),
+        };
+        ledger.set_trace_path(&trace).map_err(io_err)?;
+        litho_telemetry::set_run_id(Some(ledger.run_id()));
+    }
+    litho_telemetry::enable();
+    litho_telemetry::emit_run_metadata(&[(
+        "command",
+        litho_telemetry::Value::Str(command.to_string()),
+    )]);
+    Ok(())
 }
 
 fn net_for(size: usize) -> NetConfig {
@@ -164,10 +442,61 @@ fn net_for(size: usize) -> NetConfig {
     }
 }
 
-fn run(cmd: Command) -> Result<()> {
+/// Dataset identity for the manifest: path, content fingerprint and shape.
+fn dataset_info(path: &str, ds: &Dataset) -> Result<DatasetInfo> {
+    let (fingerprint, bytes) = fingerprint_file(Path::new(path)).map_err(io_err)?;
+    Ok(DatasetInfo {
+        path: path.to_string(),
+        fingerprint,
+        bytes,
+        samples: ds.len(),
+        image_size: ds.config.image_size,
+        node: ds.config.process.name.clone(),
+        nm_per_px: ds.config.golden_nm_per_px(),
+    })
+}
+
+/// Resolves a `report`/`compare` operand: a run directory path, or a run
+/// id under the runs root.
+fn resolve_run(arg: &str, runs_root: &str) -> Result<RunData> {
+    let direct = Path::new(arg);
+    let dir = if direct.join("manifest.json").exists() {
+        direct.to_path_buf()
+    } else {
+        Path::new(runs_root).join(arg)
+    };
+    load_run(&dir).map_err(|e| bad(format!("run {arg:?}: {e}")))
+}
+
+/// Evaluates `samples` and appends one record per sample to the ledger.
+/// Returns the accumulator for summary printing.
+fn eval_into_ledger(
+    model: &mut LithoGan,
+    samples: &[&litho_dataset::Sample],
+    nm_per_px: f64,
+    ledger: &mut Option<RunLedger>,
+) -> Result<MetricAccumulator> {
+    let mut acc = MetricAccumulator::new(nm_per_px);
+    for (i, s) in samples.iter().enumerate() {
+        litho_telemetry::set_sample_id(Some(i as u64));
+        let prediction = model.predict(&s.mask)?;
+        let record = acc.add_pair(&prediction, &s.golden)?;
+        if let Some(ledger) = ledger {
+            ledger.append_record(&record).map_err(io_err)?;
+        }
+    }
+    litho_telemetry::set_sample_id(None);
+    Ok(acc)
+}
+
+fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Result<()> {
     match cmd {
         Command::Help => {
             println!("{}", usage());
+            Ok(())
+        }
+        Command::HelpFor(cmd) => {
+            println!("{}", command_help(&cmd));
             Ok(())
         }
         Command::Generate {
@@ -187,6 +516,9 @@ fn run(cmd: Command) -> Result<()> {
             let t0 = std::time::Instant::now();
             let (ds, stats) = generate(&config)?;
             save_dataset(&ds, &out)?;
+            if let Some(ledger) = ledger {
+                ledger.set_dataset(dataset_info(&out, &ds)?).map_err(io_err)?;
+            }
             println!(
                 "generated {} samples in {:.1?} ({} retries, {} OPC non-converged) -> {out}",
                 ds.len(),
@@ -204,7 +536,10 @@ fn run(cmd: Command) -> Result<()> {
             out,
         } => {
             let ds = load_dataset(&data)?;
-            let (train, _) = ds.split();
+            if let Some(ledger) = ledger {
+                ledger.set_dataset(dataset_info(&data, &ds)?).map_err(io_err)?;
+            }
+            let (train, test) = ds.split();
             let cfg = TrainConfig {
                 epochs,
                 seed,
@@ -223,16 +558,27 @@ fn run(cmd: Command) -> Result<()> {
                 history.g_loss.first().copied().unwrap_or(0.0),
                 history.g_loss.last().copied().unwrap_or(0.0)
             );
+            // Post-training evaluation on the held-out split feeds the run
+            // ledger, so `report`/`compare --gate` see quality, not just loss.
+            if !test.is_empty() {
+                let acc =
+                    eval_into_ledger(&mut model, &test, ds.config.golden_nm_per_px(), ledger)?;
+                let s = acc.summary();
+                println!(
+                    "test split  {} samples: EDE {:.2} nm, pixel acc {:.4}, mIoU {:.4}",
+                    s.samples, s.ede_mean_nm, s.pixel_accuracy, s.mean_iou
+                );
+            }
             Ok(())
         }
         Command::Eval { data, model } => {
             let ds = load_dataset(&data)?;
+            if let Some(ledger) = ledger {
+                ledger.set_dataset(dataset_info(&data, &ds)?).map_err(io_err)?;
+            }
             let (_, test) = ds.split();
             let mut m = LithoGan::load_from_path(&net_for(ds.config.image_size), &model)?;
-            let mut acc = MetricAccumulator::new(ds.config.golden_nm_per_px());
-            for s in &test {
-                acc.add(&m.predict(&s.mask)?, &s.golden)?;
-            }
+            let acc = eval_into_ledger(&mut m, &test, ds.config.golden_nm_per_px(), ledger)?;
             let s = acc.summary();
             println!(
                 "test samples {}\nEDE        {:.2} ± {:.2} nm\npixel acc  {:.4}\nclass acc  {:.4}\nmean IoU   {:.4}\ncentre err {:.2} nm",
@@ -247,14 +593,24 @@ fn run(cmd: Command) -> Result<()> {
             out_dir,
         } => {
             let ds = load_dataset(&data)?;
+            if let Some(ledger) = ledger {
+                ledger.set_dataset(dataset_info(&data, &ds)?).map_err(io_err)?;
+            }
             let sample = ds
                 .samples
                 .get(index)
                 .ok_or_else(|| bad(format!("index {index} out of range ({})", ds.len())))?;
             let mut m = LithoGan::load_from_path(&net_for(ds.config.image_size), &model)?;
+            litho_telemetry::set_sample_id(Some(index as u64));
             let p = m.predict_detailed(&sample.mask)?;
-            std::fs::create_dir_all(&out_dir).map_err(|e| bad(e.to_string()))?;
-            let dir = std::path::Path::new(&out_dir);
+            litho_telemetry::set_sample_id(None);
+            if let Some(ledger) = ledger {
+                let mut acc = MetricAccumulator::new(ds.config.golden_nm_per_px());
+                let record = acc.add_pair(&p.adjusted, &sample.golden)?;
+                ledger.append_record(&record).map_err(io_err)?;
+            }
+            std::fs::create_dir_all(&out_dir).map_err(io_err)?;
+            let dir = Path::new(&out_dir);
             write_ppm(&sample.mask, dir.join(format!("sample{index}_mask.ppm")))?;
             let binary = p.adjusted.map(|v| if v >= 0.5 { 1.0 } else { 0.0 });
             let panel = overlay_panel(&binary, &sample.golden)?;
@@ -267,24 +623,95 @@ fn run(cmd: Command) -> Result<()> {
             );
             Ok(())
         }
+        Command::Report { run } => {
+            let data = resolve_run(&run, &opts.runs_root)?;
+            print!("{}", render_report(&data));
+            let svg_path = data.dir.join("dashboard.svg");
+            std::fs::write(&svg_path, dashboard_svg(&data)).map_err(io_err)?;
+            println!("dashboard:  {}", svg_path.display());
+            Ok(())
+        }
+        Command::Compare {
+            a,
+            b,
+            gate: gate_path,
+            tol_pct,
+            write_baseline,
+        } => {
+            let run_a = resolve_run(&a, &opts.runs_root)?;
+            if let Some(b) = b {
+                let run_b = resolve_run(&b, &opts.runs_root)?;
+                print!("{}", render_compare(&run_a, &run_b));
+            }
+            if let Some(path) = write_baseline {
+                let keys = [
+                    "ede_mean_nm",
+                    "pixel_accuracy",
+                    "class_accuracy",
+                    "mean_iou",
+                ];
+                let baseline = Baseline::from_run(&run_a, tol_pct.unwrap_or(25.0), &keys);
+                std::fs::write(&path, baseline.to_json_string()).map_err(io_err)?;
+                println!("baseline written to {path}");
+            }
+            if let Some(path) = gate_path {
+                let baseline = Baseline::load(Path::new(&path))
+                    .map_err(|e| bad(format!("--gate {path}: {e}")))?;
+                let outcome = gate(&run_a, &baseline, tol_pct);
+                print!("{}", outcome.render());
+                if !outcome.passed() {
+                    let failed: Vec<String> =
+                        outcome.failures().map(|c| c.metric.clone()).collect();
+                    return Err(bad(format!("regression gate failed: {}", failed.join(", "))));
+                }
+            }
+            Ok(())
+        }
     }
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, telemetry) = match split_telemetry_args(&raw) {
-        Ok(split) => split,
+    let parsed = split_global_args(&raw).and_then(|(args, opts)| {
+        let cmd = parse(&args)?;
+        Ok((cmd, opts))
+    });
+    let (cmd, opts) = match parsed {
+        Ok(v) => v,
         Err(err) => {
             eprintln!("error: {err}");
             std::process::exit(1);
         }
     };
-    let command = args.first().cloned().unwrap_or_default();
-    let outcome = init_telemetry(&telemetry, &command)
-        .and_then(|()| parse(&args))
-        .and_then(run);
+    let mut ledger = if cmd.records_run() && !opts.no_run {
+        match RunLedger::create(
+            Path::new(&opts.runs_root),
+            cmd.name(),
+            cmd.seed(),
+            cmd.config_pairs(),
+            None,
+        ) {
+            Ok(ledger) => {
+                eprintln!("run: {}", ledger.dir().display());
+                Some(ledger)
+            }
+            Err(err) => {
+                eprintln!("error: cannot create run ledger: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let outcome = init_telemetry(&opts, cmd.name(), ledger.as_mut()).and_then(|()| {
+        let result = run(cmd, &opts, &mut ledger);
+        if let Some(ledger) = &mut ledger {
+            ledger.finalize(result.is_ok()).map_err(io_err)?;
+        }
+        result
+    });
     litho_telemetry::flush();
-    if telemetry.trace && litho_telemetry::is_enabled() {
+    if opts.trace && litho_telemetry::is_enabled() {
         litho_telemetry::print_report();
     }
     match outcome {
@@ -335,6 +762,50 @@ mod tests {
                 out: "m.lgm".into()
             }
         );
+        assert_eq!(cmd.seed(), Some(0));
+        assert!(cmd.records_run());
+        assert!(cmd
+            .config_pairs()
+            .contains(&("epochs".to_string(), "5".to_string())));
+    }
+
+    #[test]
+    fn parses_report_and_compare() {
+        assert_eq!(
+            parse(&strs(&["report", "train-1-2"])).unwrap(),
+            Command::Report {
+                run: "train-1-2".into()
+            }
+        );
+        assert_eq!(
+            parse(&strs(&["compare", "a", "b"])).unwrap(),
+            Command::Compare {
+                a: "a".into(),
+                b: Some("b".into()),
+                gate: None,
+                tol_pct: None,
+                write_baseline: None,
+            }
+        );
+        let gated = parse(&strs(&[
+            "compare", "a", "--gate", "base.json", "--tol-pct", "12.5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            gated,
+            Command::Compare {
+                a: "a".into(),
+                b: None,
+                gate: Some("base.json".into()),
+                tol_pct: Some(12.5),
+                write_baseline: None,
+            }
+        );
+        assert!(!gated.records_run());
+        // One run and no gate/baseline is a user error.
+        assert!(parse(&strs(&["compare", "a"])).is_err());
+        assert!(parse(&strs(&["report"])).is_err());
+        assert!(parse(&strs(&["report", "a", "b"])).is_err());
     }
 
     #[test]
@@ -352,30 +823,56 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_flags_are_stripped_anywhere() {
-        let (rest, t) = split_telemetry_args(&strs(&[
-            "--trace", "train", "--data", "d.lgd", "--metrics-out", "run.jsonl", "--out", "m.lgm",
+    fn global_flags_are_stripped_anywhere() {
+        let (rest, t) = split_global_args(&strs(&[
+            "--trace", "train", "--data", "d.lgd", "--metrics-out", "run.jsonl", "--no-run",
+            "--runs-root", "elsewhere", "--out", "m.lgm",
         ]))
         .unwrap();
         assert_eq!(rest, strs(&["train", "--data", "d.lgd", "--out", "m.lgm"]));
         assert!(t.trace);
+        assert!(t.no_run);
         assert_eq!(t.metrics_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(t.runs_root, "elsewhere");
 
-        let (rest, t) = split_telemetry_args(&strs(&["eval", "--data", "d", "--model", "m"]))
+        let (rest, t) = split_global_args(&strs(&["eval", "--data", "d", "--model", "m"]))
             .unwrap();
         assert_eq!(rest.len(), 5);
-        assert_eq!(t, TelemetryOpts::default());
+        assert_eq!(t, GlobalOpts::default());
+        assert_eq!(t.runs_root, "runs");
     }
 
     #[test]
-    fn trailing_metrics_out_without_value_is_an_error() {
-        assert!(split_telemetry_args(&strs(&["eval", "--metrics-out"])).is_err());
+    fn trailing_value_flags_without_value_error() {
+        assert!(split_global_args(&strs(&["eval", "--metrics-out"])).is_err());
+        assert!(split_global_args(&strs(&["eval", "--runs-root"])).is_err());
     }
 
     #[test]
     fn help_paths() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&strs(&["help"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse(&strs(&["help", "train"])).unwrap(),
+            Command::HelpFor("train".into())
+        );
+        assert_eq!(
+            parse(&strs(&["compare", "--help"])).unwrap(),
+            Command::HelpFor("compare".into())
+        );
         assert!(usage().contains("generate"));
+        assert!(usage().contains("--runs-root"));
+        // Every per-command help mentions the global observability flags.
+        for cmd in ["generate", "train", "eval", "predict", "report", "compare"] {
+            let text = command_help(cmd);
+            assert!(text.contains("--trace"), "{cmd} help lacks --trace");
+            assert!(
+                text.contains("--metrics-out"),
+                "{cmd} help lacks --metrics-out"
+            );
+            assert!(text.contains(cmd), "{cmd} help lacks its own name");
+        }
+        // Unknown command help falls back to usage.
+        assert!(command_help("nope").contains("usage:"));
     }
 }

@@ -1,0 +1,45 @@
+//! Run ledger and trace analysis for the LithoGAN reproduction.
+//!
+//! Every `lithogan_cli` / bench invocation records itself under
+//! `runs/<id>/`:
+//!
+//! * `manifest.json` — command, config, seed, dataset fingerprint,
+//!   status and wall clock ([`RunManifest`], written by [`RunLedger`]);
+//! * `samples.jsonl` — one [`litho_metrics::SampleRecord`] per evaluated
+//!   sample;
+//! * `trace.jsonl` — the litho-telemetry event stream (unless redirected
+//!   with `--metrics-out`).
+//!
+//! On top of that sit three consumers:
+//!
+//! * [`load_run`] + [`render_report`] + [`dashboard_svg`] — the
+//!   `lithogan_cli report <run>` view: metric table, span aggregates
+//!   with exact quantiles, critical path, and an SVG dashboard;
+//! * [`render_compare`] — `lithogan_cli compare <run-a> <run-b>` delta
+//!   table;
+//! * [`gate`] against a committed [`Baseline`] — the CI regression gate
+//!   (`compare <run> --gate baseline.json --tol-pct N`).
+//!
+//! The crate is std-only: JSON parsing is the in-tree [`json::Json`]
+//! recursive-descent parser, which tolerates the truncated final line a
+//! killed run leaves behind in its JSONL streams.
+
+pub mod json;
+
+mod compare;
+mod manifest;
+mod report;
+mod svg;
+mod trace;
+
+pub use compare::{gate, render_compare, run_metrics, Baseline, GateCheck, GateOutcome};
+pub use manifest::{
+    fingerprint_file, load_manifest, load_records, DatasetInfo, RunLedger, RunManifest,
+    MANIFEST_SCHEMA,
+};
+pub use report::{load_run, render_report, RunData};
+pub use svg::dashboard_svg;
+pub use trace::{
+    analyze, analyze_file, parse_trace_file, parse_trace_str, CriticalHop, EpochPoint, SpanAgg,
+    TraceAnalysis, TraceEvent, TraceParse,
+};

@@ -1,0 +1,524 @@
+//! Run manifests and the `runs/<id>/` directory layout.
+//!
+//! Every `train` / `eval` / `predict` / bench invocation opens a
+//! [`RunLedger`], which
+//!
+//! 1. creates `runs/<id>/` (id = `<command>-<unix-seconds>-<pid>`),
+//! 2. writes `manifest.json` immediately (status `"running"`, so killed
+//!    runs are distinguishable from completed ones),
+//! 3. appends per-sample [`SampleRecord`]s to `samples.jsonl`,
+//! 4. rewrites the manifest with status and wall-clock on
+//!    [`RunLedger::finalize`].
+//!
+//! The telemetry JSONL stream (`trace.jsonl` by default) lands in the same
+//! directory, so one `runs/<id>/` is a complete, comparable artifact.
+
+use std::fs;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use litho_metrics::SampleRecord;
+
+use crate::json::Json;
+
+/// Manifest schema version, bumped on incompatible layout changes.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// Identity of the dataset a run consumed. The fingerprint is an FNV-1a
+/// 64-bit hash of the dataset file bytes, so two runs are comparable only
+/// when their fingerprints match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Path as given on the command line.
+    pub path: String,
+    /// FNV-1a 64 hash of the file contents, hex.
+    pub fingerprint: String,
+    /// File size, bytes.
+    pub bytes: u64,
+    /// Sample count.
+    pub samples: usize,
+    /// Image resolution.
+    pub image_size: usize,
+    /// Process node name (`N10` / `N7`).
+    pub node: String,
+    /// Nanometres per golden-image pixel (the EDE unit).
+    pub nm_per_px: f64,
+}
+
+impl DatasetInfo {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("path".into(), Json::Str(self.path.clone())),
+            ("fingerprint".into(), Json::Str(self.fingerprint.clone())),
+            ("bytes".into(), Json::Num(self.bytes as f64)),
+            ("samples".into(), Json::Num(self.samples as f64)),
+            ("image_size".into(), Json::Num(self.image_size as f64)),
+            ("node".into(), Json::Str(self.node.clone())),
+            ("nm_per_px".into(), Json::Num(self.nm_per_px)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<DatasetInfo> {
+        Some(DatasetInfo {
+            path: v.get("path")?.as_str()?.to_string(),
+            fingerprint: v.get("fingerprint")?.as_str()?.to_string(),
+            bytes: v.get("bytes")?.as_u64()?,
+            samples: v.get("samples")?.as_u64()? as usize,
+            image_size: v.get("image_size")?.as_u64()? as usize,
+            node: v.get("node")?.as_str()?.to_string(),
+            nm_per_px: v.get("nm_per_px")?.as_f64()?,
+        })
+    }
+}
+
+/// FNV-1a 64 fingerprint of a file: `(hex_digest, byte_length)`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn fingerprint_file(path: &Path) -> io::Result<(String, u64)> {
+    let mut file = fs::File::open(path)?;
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut len: u64 = 0;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        len += n as u64;
+        for &b in &buf[..n] {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    Ok((format!("{hash:016x}"), len))
+}
+
+/// The durable description of one run, stored as
+/// `runs/<id>/manifest.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    pub schema: u32,
+    pub run_id: String,
+    /// Subcommand or bench binary name (`train`, `predict`, `table3`, …).
+    pub command: String,
+    /// Wall-clock start, seconds since the Unix epoch.
+    pub started_unix_s: u64,
+    /// RNG seed, when the command has one.
+    pub seed: Option<u64>,
+    /// Flat key/value configuration (epochs, flags, scale label, …).
+    pub config: Vec<(String, String)>,
+    pub dataset: Option<DatasetInfo>,
+    /// Path of the telemetry JSONL stream, relative to the run directory
+    /// unless absolute.
+    pub trace: Option<String>,
+    /// `running`, `ok` or `error`.
+    pub status: String,
+    /// Total wall-clock, present once finalized.
+    pub wall_clock_s: Option<f64>,
+}
+
+impl RunManifest {
+    /// Serializes to pretty-stable compact JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut members = vec![
+            ("schema".into(), Json::Num(self.schema as f64)),
+            ("run_id".into(), Json::Str(self.run_id.clone())),
+            ("command".into(), Json::Str(self.command.clone())),
+            (
+                "started_unix_s".into(),
+                Json::Num(self.started_unix_s as f64),
+            ),
+        ];
+        if let Some(seed) = self.seed {
+            members.push(("seed".into(), Json::Num(seed as f64)));
+        }
+        members.push((
+            "config".into(),
+            Json::Obj(
+                self.config
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+        if let Some(ds) = &self.dataset {
+            members.push(("dataset".into(), ds.to_json()));
+        }
+        if let Some(trace) = &self.trace {
+            members.push(("trace".into(), Json::Str(trace.clone())));
+        }
+        members.push(("status".into(), Json::Str(self.status.clone())));
+        if let Some(wall) = self.wall_clock_s {
+            members.push(("wall_clock_s".into(), Json::Num(wall)));
+        }
+        let mut out = Json::Obj(members).to_string_compact();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a manifest written by [`Self::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for malformed JSON or missing fields.
+    pub fn from_json_str(text: &str) -> io::Result<RunManifest> {
+        let v = Json::parse(text).map_err(|e| invalid(format!("manifest: {e}")))?;
+        let str_field = |key: &str| -> io::Result<String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("manifest: missing field {key:?}")))
+        };
+        let config = match v.get("config") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .filter_map(|(k, val)| val.as_str().map(|s| (k.clone(), s.to_string())))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(RunManifest {
+            schema: v
+                .get("schema")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| invalid("manifest: missing schema"))? as u32,
+            run_id: str_field("run_id")?,
+            command: str_field("command")?,
+            started_unix_s: v
+                .get("started_unix_s")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            seed: v.get("seed").and_then(Json::as_u64),
+            config,
+            dataset: v.get("dataset").and_then(DatasetInfo::from_json),
+            trace: v.get("trace").and_then(Json::as_str).map(str::to_string),
+            status: str_field("status")?,
+            wall_clock_s: v.get("wall_clock_s").and_then(Json::as_f64),
+        })
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads `<run_dir>/manifest.json`.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] for malformed manifests.
+pub fn load_manifest(run_dir: &Path) -> io::Result<RunManifest> {
+    let text = fs::read_to_string(run_dir.join("manifest.json"))?;
+    RunManifest::from_json_str(&text)
+}
+
+/// An open run directory: manifest plus the `samples.jsonl` appender.
+#[derive(Debug)]
+pub struct RunLedger {
+    dir: PathBuf,
+    manifest: RunManifest,
+    started: Instant,
+    samples: Option<BufWriter<fs::File>>,
+    finalized: bool,
+}
+
+impl RunLedger {
+    /// Creates `root/<id>/` and writes the initial manifest (status
+    /// `"running"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(
+        root: &Path,
+        command: &str,
+        seed: Option<u64>,
+        config: Vec<(String, String)>,
+        dataset: Option<DatasetInfo>,
+    ) -> io::Result<RunLedger> {
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let base = format!("{command}-{unix}-{}", std::process::id());
+        let mut dir = root.join(&base);
+        let mut attempt = 1;
+        // Same-process collisions (two ledgers in one second) get a suffix.
+        while dir.exists() {
+            attempt += 1;
+            dir = root.join(format!("{base}-{attempt}"));
+        }
+        fs::create_dir_all(&dir)?;
+        let run_id = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or(base);
+        let manifest = RunManifest {
+            schema: MANIFEST_SCHEMA,
+            run_id,
+            command: command.to_string(),
+            started_unix_s: unix,
+            seed,
+            config,
+            dataset,
+            trace: None,
+            status: "running".to_string(),
+            wall_clock_s: None,
+        };
+        let ledger = RunLedger {
+            dir,
+            manifest,
+            started: Instant::now(),
+            samples: None,
+            finalized: false,
+        };
+        ledger.write_manifest()?;
+        Ok(ledger)
+    }
+
+    fn write_manifest(&self) -> io::Result<()> {
+        fs::write(
+            self.dir.join("manifest.json"),
+            self.manifest.to_json_string(),
+        )
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn run_id(&self) -> &str {
+        &self.manifest.run_id
+    }
+
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Default path for the telemetry stream inside this run directory.
+    pub fn default_trace_path(&self) -> PathBuf {
+        self.dir.join("trace.jsonl")
+    }
+
+    /// Records where the telemetry JSONL stream went and rewrites the
+    /// manifest so `report` can find it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn set_trace_path(&mut self, path: &str) -> io::Result<()> {
+        self.manifest.trace = Some(path.to_string());
+        self.write_manifest()
+    }
+
+    /// Attaches dataset identity discovered after creation (bench runs
+    /// build datasets lazily) and rewrites the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn set_dataset(&mut self, dataset: DatasetInfo) -> io::Result<()> {
+        self.manifest.dataset = Some(dataset);
+        self.write_manifest()
+    }
+
+    /// Appends one per-sample record to `samples.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_record(&mut self, record: &SampleRecord) -> io::Result<()> {
+        if self.samples.is_none() {
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join("samples.jsonl"))?;
+            self.samples = Some(BufWriter::new(file));
+        }
+        let w = self.samples.as_mut().expect("samples writer just created");
+        writeln!(w, "{}", record.to_jsonl())
+    }
+
+    /// Flushes records and rewrites the manifest with final status and
+    /// wall-clock. Idempotent; also invoked on drop (as `status:
+    /// "error"`-preserving best effort) so killed-but-unwinding runs still
+    /// close their ledger.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finalize(&mut self, ok: bool) -> io::Result<()> {
+        if self.finalized {
+            return Ok(());
+        }
+        self.finalized = true;
+        if let Some(w) = self.samples.as_mut() {
+            w.flush()?;
+        }
+        self.manifest.status = if ok { "ok" } else { "error" }.to_string();
+        self.manifest.wall_clock_s = Some(self.started.elapsed().as_secs_f64());
+        self.write_manifest()
+    }
+}
+
+impl Drop for RunLedger {
+    fn drop(&mut self) {
+        if !self.finalized {
+            let _ = self.finalize(false);
+        }
+    }
+}
+
+/// Reads `<run_dir>/samples.jsonl` into records, tolerating a truncated
+/// final line (killed run). Returns `(records, skipped_line_count)`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a missing file yields an empty list.
+pub fn load_records(run_dir: &Path) -> io::Result<(Vec<SampleRecord>, usize)> {
+    let path = run_dir.join("samples.jsonl");
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line).ok().and_then(|v| record_from_json(&v)) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Decodes one `samples.jsonl` line (the writer side lives in
+/// [`litho_metrics::SampleRecord::to_jsonl`]).
+pub fn record_from_json(v: &Json) -> Option<SampleRecord> {
+    let opt_num = |key: &str| match v.get(key) {
+        Some(Json::Num(n)) => Some(Some(*n)),
+        Some(Json::Null) | None => Some(None),
+        _ => None,
+    };
+    let edges = match v.get("ede_edges_nm") {
+        Some(Json::Arr(items)) if items.len() == 4 => {
+            let mut edges = [0.0; 4];
+            for (slot, item) in edges.iter_mut().zip(items) {
+                *slot = item.as_f64()?;
+            }
+            Some(Some(edges))
+        }
+        Some(Json::Null) | None => Some(None),
+        _ => None,
+    }?;
+    Some(SampleRecord {
+        sample: v.get("sample")?.as_u64()?,
+        pixel_accuracy: v.get("pixel_accuracy")?.as_f64()?,
+        class_accuracy: v.get("class_accuracy")?.as_f64()?,
+        mean_iou: v.get("mean_iou")?.as_f64()?,
+        ede_mean_nm: opt_num("ede_mean_nm")?,
+        ede_edges_nm: edges,
+        center_error_nm: opt_num("center_error_nm")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("litho_ledger_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(i: u64) -> SampleRecord {
+        SampleRecord {
+            sample: i,
+            pixel_accuracy: 0.9,
+            class_accuracy: 0.8,
+            mean_iou: 0.7,
+            ede_mean_nm: Some(1.25),
+            ede_edges_nm: Some([1.0, 1.5, 1.0, 1.5]),
+            center_error_nm: Some(0.5),
+        }
+    }
+
+    #[test]
+    fn ledger_round_trip() {
+        let root = temp_dir("round_trip");
+        let mut ledger = RunLedger::create(
+            &root,
+            "train",
+            Some(7),
+            vec![("epochs".into(), "4".into())],
+            None,
+        )
+        .unwrap();
+        ledger.append_record(&record(0)).unwrap();
+        ledger.append_record(&record(1)).unwrap();
+
+        // Mid-run manifest says running.
+        let mid = load_manifest(ledger.dir()).unwrap();
+        assert_eq!(mid.status, "running");
+        assert_eq!(mid.seed, Some(7));
+
+        ledger.finalize(true).unwrap();
+        let done = load_manifest(ledger.dir()).unwrap();
+        assert_eq!(done.status, "ok");
+        assert!(done.wall_clock_s.is_some());
+        assert_eq!(done.config, vec![("epochs".to_string(), "4".to_string())]);
+
+        let (records, skipped) = load_records(ledger.dir()).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records, vec![record(0), record(1)]);
+    }
+
+    #[test]
+    fn truncated_samples_line_is_tolerated() {
+        let root = temp_dir("truncated");
+        let run = root.join("x");
+        fs::create_dir_all(&run).unwrap();
+        let full = record(0).to_jsonl();
+        let half = &full[..full.len() / 2];
+        fs::write(run.join("samples.jsonl"), format!("{full}\n{half}")).unwrap();
+        let (records, skipped) = load_records(&run).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn drop_without_finalize_marks_error() {
+        let root = temp_dir("drop_err");
+        let dir;
+        {
+            let ledger = RunLedger::create(&root, "predict", None, Vec::new(), None).unwrap();
+            dir = ledger.dir().to_path_buf();
+        }
+        assert_eq!(load_manifest(&dir).unwrap().status, "error");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let root = temp_dir("fp");
+        let a = root.join("a.bin");
+        let b = root.join("b.bin");
+        fs::write(&a, b"hello world").unwrap();
+        fs::write(&b, b"hello worle").unwrap();
+        let (fa, la) = fingerprint_file(&a).unwrap();
+        let (fa2, _) = fingerprint_file(&a).unwrap();
+        let (fb, _) = fingerprint_file(&b).unwrap();
+        assert_eq!(la, 11);
+        assert_eq!(fa, fa2);
+        assert_ne!(fa, fb);
+        // Known FNV-1a 64 test vector.
+        assert_eq!(fingerprint_file(&a).unwrap().0, "779a65e7023cd2e7");
+    }
+}

@@ -1,0 +1,235 @@
+//! Text report over one run directory: manifest, aggregated per-sample
+//! metrics, trace aggregates and the critical path.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use litho_metrics::{MetricAccumulator, MetricSummary, SampleRecord};
+
+use crate::manifest::{load_manifest, load_records, RunManifest};
+use crate::trace::{analyze_file, TraceAnalysis};
+
+/// Everything loadable from one `runs/<id>/` directory.
+#[derive(Debug)]
+pub struct RunData {
+    pub dir: PathBuf,
+    pub manifest: RunManifest,
+    pub records: Vec<SampleRecord>,
+    /// Malformed `samples.jsonl` lines (e.g. a killed run's last write).
+    pub skipped_records: usize,
+    /// Aggregate of `records`; `None` when the run wrote none.
+    pub summary: Option<MetricSummary>,
+    /// Analysis of the run's telemetry stream, when one exists.
+    pub trace: Option<TraceAnalysis>,
+}
+
+impl RunData {
+    /// Resolves the trace path named by the manifest against the run
+    /// directory.
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        let name = self.manifest.trace.as_deref()?;
+        let p = Path::new(name);
+        Some(if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            self.dir.join(p)
+        })
+    }
+}
+
+/// Loads a run directory: manifest (required), records and trace (both
+/// optional).
+///
+/// # Errors
+///
+/// I/O errors; a missing or unparsable manifest is an error, missing
+/// records/trace files are not.
+pub fn load_run(dir: &Path) -> io::Result<RunData> {
+    let manifest = load_manifest(dir)?;
+    let (records, skipped_records) = load_records(dir)?;
+    let summary = if records.is_empty() {
+        None
+    } else {
+        let mut acc = MetricAccumulator::new(1.0); // records already in nm
+        for r in &records {
+            acc.add_record(r);
+        }
+        Some(acc.summary())
+    };
+    let mut run = RunData {
+        dir: dir.to_path_buf(),
+        manifest,
+        records,
+        skipped_records,
+        summary,
+        trace: None,
+    };
+    if let Some(path) = run.trace_path() {
+        if path.exists() {
+            run.trace = Some(analyze_file(&path)?);
+        }
+    }
+    Ok(run)
+}
+
+pub(crate) fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.3}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.3}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+fn fmt_opt_s(s: Option<f64>) -> String {
+    match s {
+        Some(s) => format!("{s:.2}s"),
+        None => "-".to_string(),
+    }
+}
+
+/// Rows of the metric table for one summary; shared with `compare`.
+pub(crate) fn metric_rows(s: &MetricSummary) -> Vec<(&'static str, f64)> {
+    vec![
+        ("ede_mean_nm", s.ede_mean_nm),
+        ("ede_std_nm", s.ede_std_nm),
+        ("ede_edge_top_nm", s.ede_edge_mean_nm[0]),
+        ("ede_edge_bottom_nm", s.ede_edge_mean_nm[1]),
+        ("ede_edge_left_nm", s.ede_edge_mean_nm[2]),
+        ("ede_edge_right_nm", s.ede_edge_mean_nm[3]),
+        ("pixel_accuracy", s.pixel_accuracy),
+        ("class_accuracy", s.class_accuracy),
+        ("mean_iou", s.mean_iou),
+        ("center_error_nm", s.center_error_nm),
+    ]
+}
+
+/// Renders the full text report for one run.
+pub fn render_report(run: &RunData) -> String {
+    let mut out = String::new();
+    let m = &run.manifest;
+    let _ = writeln!(out, "== run {} ==", m.run_id);
+    let _ = writeln!(out, "command     {}", m.command);
+    let _ = writeln!(out, "status      {}", m.status);
+    let _ = writeln!(out, "wall clock  {}", fmt_opt_s(m.wall_clock_s));
+    if let Some(seed) = m.seed {
+        let _ = writeln!(out, "seed        {seed}");
+    }
+    if let Some(ds) = &m.dataset {
+        let _ = writeln!(
+            out,
+            "dataset     {} ({} samples, {} px, {}, fnv {})",
+            ds.path, ds.samples, ds.image_size, ds.node, ds.fingerprint
+        );
+    }
+    if !m.config.is_empty() {
+        let pairs: Vec<String> = m.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "config      {}", pairs.join(" "));
+    }
+
+    match &run.summary {
+        Some(s) => {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "metrics ({} samples{}):",
+                s.samples,
+                if run.skipped_records > 0 {
+                    format!(", {} malformed lines skipped", run.skipped_records)
+                } else {
+                    String::new()
+                }
+            );
+            for (name, value) in metric_rows(s) {
+                let _ = writeln!(out, "  {name:<20} {value:>10.4}");
+            }
+        }
+        None => {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "metrics: (no per-sample records)");
+        }
+    }
+
+    match &run.trace {
+        Some(t) => {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "trace ({} span paths{}{}):",
+                t.spans.len(),
+                if t.truncated_tail { ", truncated tail" } else { "" },
+                if t.skipped_lines > 0 {
+                    format!(", {} lines skipped", t.skipped_lines)
+                } else {
+                    String::new()
+                }
+            );
+            let w = t
+                .spans
+                .iter()
+                .map(|s| s.path.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            let _ = writeln!(
+                out,
+                "  {:<w$} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "path", "count", "total", "self", "p50", "p95", "p99"
+            );
+            for s in &t.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<w$} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    s.path,
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(s.self_us),
+                    fmt_us(s.p50_us),
+                    fmt_us(s.p95_us),
+                    fmt_us(s.p99_us),
+                );
+            }
+            let chain = t.critical_path();
+            if !chain.is_empty() {
+                let _ = writeln!(out, "critical path:");
+                for (depth, hop) in chain.iter().enumerate() {
+                    let leaf = hop.path.rsplit('/').next().unwrap_or(&hop.path);
+                    let _ = writeln!(
+                        out,
+                        "  {}{} {} ({:.0}%)",
+                        "  ".repeat(depth),
+                        leaf,
+                        fmt_us(hop.total_us),
+                        hop.fraction_of_parent * 100.0
+                    );
+                }
+            }
+            if !t.counters.is_empty() {
+                let _ = writeln!(out, "counters:");
+                for (name, v) in &t.counters {
+                    let _ = writeln!(out, "  {name:<28} {v}");
+                }
+            }
+            if !t.epochs.is_empty() {
+                let first = &t.epochs[0];
+                let last = &t.epochs[t.epochs.len() - 1];
+                let _ = writeln!(
+                    out,
+                    "training:   {} epochs, g_loss {:.3} -> {:.3}, d_loss {:.3} -> {:.3}",
+                    t.epochs.len(),
+                    first.g_loss,
+                    last.g_loss,
+                    first.d_loss,
+                    last.d_loss
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "trace: (none)");
+        }
+    }
+    out
+}

@@ -1,0 +1,359 @@
+//! Analyzer for the `--metrics-out` JSONL stream of `litho-telemetry`.
+//!
+//! The stream is append-only and may end mid-line when a run is killed,
+//! so parsing is line-tolerant: a malformed *final* line is counted as a
+//! truncated tail, any other malformed line as skipped, and analysis
+//! proceeds with whatever decoded. Span events arrive at span *close*
+//! (children before parents, freely interleaved across threads); all
+//! aggregation is order-independent.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// One decoded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since the process' first telemetry touch.
+    pub ts_us: u64,
+    /// `span` / `counter` / `gauge` / `event` / `meta`.
+    pub kind: String,
+    /// Span path (`a/b/c`) or metric/event name.
+    pub name: String,
+    /// Remaining fields, undecoded.
+    pub fields: Json,
+}
+
+/// Result of decoding a JSONL stream.
+#[derive(Debug, Default, Clone)]
+pub struct TraceParse {
+    pub events: Vec<TraceEvent>,
+    /// Malformed non-final lines (corruption, not truncation).
+    pub skipped_lines: usize,
+    /// True when the final line failed to decode — the signature of a
+    /// killed run.
+    pub truncated_tail: bool,
+}
+
+/// Decodes a JSONL trace from a string.
+pub fn parse_trace_str(text: &str) -> TraceParse {
+    let mut parse = TraceParse::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let decoded = Json::parse(line).ok().and_then(|v| {
+            Some(TraceEvent {
+                ts_us: v.get("ts_us")?.as_u64()?,
+                kind: v.get("kind")?.as_str()?.to_string(),
+                name: v.get("name")?.as_str()?.to_string(),
+                fields: v,
+            })
+        });
+        match decoded {
+            Some(ev) => parse.events.push(ev),
+            None if Some(i) == last_nonempty => parse.truncated_tail = true,
+            None => parse.skipped_lines += 1,
+        }
+    }
+    parse
+}
+
+/// Decodes a JSONL trace from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors (malformed *content* never errors).
+pub fn parse_trace_file(path: &Path) -> io::Result<TraceParse> {
+    Ok(parse_trace_str(&std::fs::read_to_string(path)?))
+}
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAgg {
+    /// Full `/`-separated path.
+    pub path: String,
+    pub count: u64,
+    /// Sum of all durations, µs.
+    pub total_us: f64,
+    /// Total minus the totals of direct children, µs — the time spent in
+    /// this span's own code.
+    pub self_us: f64,
+    /// Exact quantiles over the recorded durations, µs.
+    pub min_us: f64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+}
+
+/// One point of the training loss curve, from `train_epoch` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    pub epoch: u64,
+    pub g_loss: f64,
+    pub d_loss: f64,
+}
+
+/// One hop of the critical path (see [`TraceAnalysis::critical_path`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    pub path: String,
+    pub total_us: f64,
+    /// This hop's share of its parent's total (1.0 for the root).
+    pub fraction_of_parent: f64,
+}
+
+/// Everything the analyzer extracts from one trace.
+#[derive(Debug, Default, Clone)]
+pub struct TraceAnalysis {
+    /// Per-path aggregates, sorted by path (children follow parents).
+    pub spans: Vec<SpanAgg>,
+    /// Final counter values (sum of deltas).
+    pub counters: Vec<(String, u64)>,
+    /// Training loss curve, ordered by event time.
+    pub epochs: Vec<EpochPoint>,
+    /// `run_meta` fields, stringified.
+    pub meta: Vec<(String, String)>,
+    /// Run id attached to the events, if any.
+    pub run_id: Option<String>,
+    /// Largest event timestamp, µs — a lower bound on the traced
+    /// wall-clock.
+    pub span_of_time_us: u64,
+    pub skipped_lines: usize,
+    pub truncated_tail: bool,
+}
+
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Aggregates a decoded trace.
+pub fn analyze(parse: &TraceParse) -> TraceAnalysis {
+    let mut durations: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut analysis = TraceAnalysis {
+        skipped_lines: parse.skipped_lines,
+        truncated_tail: parse.truncated_tail,
+        ..TraceAnalysis::default()
+    };
+    for ev in &parse.events {
+        analysis.span_of_time_us = analysis.span_of_time_us.max(ev.ts_us);
+        if analysis.run_id.is_none() {
+            if let Some(run) = ev.fields.get("run").and_then(Json::as_str) {
+                analysis.run_id = Some(run.to_string());
+            }
+        }
+        match ev.kind.as_str() {
+            "span" => {
+                if let Some(dur) = ev.fields.get("dur_us").and_then(Json::as_f64) {
+                    durations.entry(ev.name.clone()).or_default().push(dur);
+                }
+            }
+            "counter" => {
+                if let Some(delta) = ev.fields.get("delta").and_then(Json::as_u64) {
+                    *counters.entry(ev.name.clone()).or_insert(0) += delta;
+                }
+            }
+            "event" if ev.name == "train_epoch" => {
+                if let (Some(epoch), Some(g), Some(d)) = (
+                    ev.fields.get("epoch").and_then(Json::as_u64),
+                    ev.fields.get("g_loss").and_then(Json::as_f64),
+                    ev.fields.get("d_loss").and_then(Json::as_f64),
+                ) {
+                    analysis.epochs.push(EpochPoint {
+                        epoch,
+                        g_loss: g,
+                        d_loss: d,
+                    });
+                }
+            }
+            "meta" => {
+                if let Json::Obj(members) = &ev.fields {
+                    for (k, v) in members {
+                        if matches!(k.as_str(), "ts_us" | "kind" | "name") {
+                            continue;
+                        }
+                        let text = match v {
+                            Json::Str(s) => s.clone(),
+                            other => other.to_string_compact(),
+                        };
+                        analysis.meta.push((k.clone(), text));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Per-path totals first, so self time can subtract direct children.
+    let totals: BTreeMap<&str, f64> = durations
+        .iter()
+        .map(|(path, durs)| (path.as_str(), durs.iter().sum()))
+        .collect();
+    for (path, durs) in &durations {
+        let mut sorted = durs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let total: f64 = sorted.iter().sum();
+        let children: f64 = totals
+            .iter()
+            .filter(|(p, _)| is_direct_child(path, p))
+            .map(|(_, t)| *t)
+            .sum();
+        analysis.spans.push(SpanAgg {
+            path: path.clone(),
+            count: sorted.len() as u64,
+            total_us: total,
+            // Nested spans on *other threads* can overlap the parent, so
+            // clamp instead of going negative.
+            self_us: (total - children).max(0.0),
+            min_us: sorted.first().copied().unwrap_or(0.0),
+            p50_us: exact_quantile(&sorted, 0.50),
+            p95_us: exact_quantile(&sorted, 0.95),
+            p99_us: exact_quantile(&sorted, 0.99),
+            max_us: sorted.last().copied().unwrap_or(0.0),
+        });
+    }
+    analysis.counters = counters.into_iter().collect();
+    analysis
+}
+
+fn is_direct_child(parent: &str, candidate: &str) -> bool {
+    candidate
+        .strip_prefix(parent)
+        .and_then(|rest| rest.strip_prefix('/'))
+        .is_some_and(|leaf| !leaf.contains('/'))
+}
+
+impl TraceAnalysis {
+    pub fn span(&self, path: &str) -> Option<&SpanAgg> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// The dominant chain of spans: starting from the most expensive root,
+    /// repeatedly descend into the most expensive direct child. Each hop
+    /// reports its share of the parent's total, so the output reads as
+    /// "where did the time go".
+    pub fn critical_path(&self) -> Vec<CriticalHop> {
+        let mut chain = Vec::new();
+        let root = self
+            .spans
+            .iter()
+            .filter(|s| !s.path.contains('/'))
+            .max_by(|a, b| a.total_us.total_cmp(&b.total_us));
+        let Some(mut here) = root else {
+            return chain;
+        };
+        chain.push(CriticalHop {
+            path: here.path.clone(),
+            total_us: here.total_us,
+            fraction_of_parent: 1.0,
+        });
+        loop {
+            let next = self
+                .spans
+                .iter()
+                .filter(|s| is_direct_child(&here.path, &s.path))
+                .max_by(|a, b| a.total_us.total_cmp(&b.total_us));
+            let Some(child) = next else {
+                return chain;
+            };
+            chain.push(CriticalHop {
+                path: child.path.clone(),
+                total_us: child.total_us,
+                fraction_of_parent: if here.total_us > 0.0 {
+                    child.total_us / here.total_us
+                } else {
+                    0.0
+                },
+            });
+            here = child;
+        }
+    }
+}
+
+/// Convenience: decode and aggregate a trace file in one step.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn analyze_file(path: &Path) -> io::Result<TraceAnalysis> {
+    Ok(analyze(&parse_trace_file(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(ts: u64, name: &str, dur_us: f64, depth: u64) -> String {
+        format!(
+            "{{\"ts_us\":{ts},\"kind\":\"span\",\"name\":\"{name}\",\"dur_us\":{dur_us},\"depth\":{depth}}}"
+        )
+    }
+
+    #[test]
+    fn aggregates_self_time_and_quantiles() {
+        let mut text = String::new();
+        // Two pipeline runs; children close before parents.
+        for ts in [100u64, 200] {
+            text.push_str(&span_line(ts, "pipeline/optical", 30.0, 1));
+            text.push('\n');
+            text.push_str(&span_line(ts + 1, "pipeline/resist", 10.0, 1));
+            text.push('\n');
+            text.push_str(&span_line(ts + 2, "pipeline", 50.0, 0));
+            text.push('\n');
+        }
+        let analysis = analyze(&parse_trace_str(&text));
+        let p = analysis.span("pipeline").unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.total_us, 100.0);
+        assert_eq!(p.self_us, 20.0); // 100 - (60 + 20)
+        let o = analysis.span("pipeline/optical").unwrap();
+        assert_eq!(o.self_us, o.total_us);
+        assert_eq!(o.p50_us, 30.0);
+        assert_eq!(o.max_us, 30.0);
+
+        let chain = analysis.critical_path();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].path, "pipeline");
+        assert_eq!(chain[1].path, "pipeline/optical");
+        assert!((chain[1].fraction_of_parent - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_sum_and_epochs_extracted() {
+        let text = "\
+{\"ts_us\":1,\"kind\":\"counter\",\"name\":\"clips\",\"delta\":2}\n\
+{\"ts_us\":2,\"kind\":\"counter\",\"name\":\"clips\",\"delta\":3}\n\
+{\"ts_us\":3,\"kind\":\"event\",\"name\":\"train_epoch\",\"epoch\":0,\"g_loss\":2.5,\"d_loss\":0.7}\n\
+{\"ts_us\":4,\"kind\":\"meta\",\"name\":\"run_meta\",\"bin\":\"cli\",\"threads\":8,\"run\":\"train-1-2\"}\n";
+        let analysis = analyze(&parse_trace_str(text));
+        assert_eq!(analysis.counters, vec![("clips".to_string(), 5)]);
+        assert_eq!(analysis.epochs.len(), 1);
+        assert_eq!(analysis.epochs[0].g_loss, 2.5);
+        assert_eq!(analysis.run_id.as_deref(), Some("train-1-2"));
+        assert!(analysis
+            .meta
+            .iter()
+            .any(|(k, v)| k == "threads" && v == "8"));
+        assert_eq!(analysis.span_of_time_us, 4);
+    }
+
+    #[test]
+    fn exact_quantiles_on_known_sequence() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(exact_quantile(&sorted, 0.50), 50.0);
+        assert_eq!(exact_quantile(&sorted, 0.95), 95.0);
+        assert_eq!(exact_quantile(&sorted, 0.99), 99.0);
+        assert_eq!(exact_quantile(&sorted, 1.0), 100.0);
+        assert_eq!(exact_quantile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests over a committed fixture run directory: golden report
+//! text, trace-analyzer robustness on damaged streams, and the regression
+//! gate's fail/pass behavior.
+
+use std::fs;
+use std::path::PathBuf;
+
+use litho_ledger::{
+    analyze, dashboard_svg, gate, load_run, parse_trace_str, render_compare, render_report,
+    Baseline,
+};
+
+fn fixture_run() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/train-1700000000-42")
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.txt")
+}
+
+#[test]
+fn report_matches_golden_file() {
+    let run = load_run(&fixture_run()).expect("fixture run loads");
+    let rendered = render_report(&run);
+    // UPDATE_GOLDEN=1 cargo test -p litho-ledger regenerates the file.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        fs::write(golden_path(), &rendered).unwrap();
+    }
+    let golden = fs::read_to_string(golden_path()).expect("golden file committed");
+    assert_eq!(
+        rendered, golden,
+        "report drifted from tests/golden/report.txt; \
+         run UPDATE_GOLDEN=1 cargo test -p litho-ledger and review the diff"
+    );
+}
+
+#[test]
+fn fixture_summary_aggregates_records() {
+    let run = load_run(&fixture_run()).unwrap();
+    let s = run.summary.expect("two records present");
+    assert_eq!(s.samples, 2);
+    assert!((s.ede_mean_nm - 3.0).abs() < 1e-12);
+    assert!((s.ede_edge_mean_nm[0] - 2.0).abs() < 1e-12); // top: (1+3)/2
+    assert!((s.ede_edge_mean_nm[1] - 4.0).abs() < 1e-12); // bottom: (3+5)/2
+    assert!((s.pixel_accuracy - 0.96).abs() < 1e-12);
+
+    let t = run.trace.expect("trace.jsonl present");
+    assert_eq!(t.run_id.as_deref(), Some("train-1700000000-42"));
+    assert_eq!(t.counters, vec![("samples_seen".to_string(), 16)]);
+    assert_eq!(t.epochs.len(), 2);
+    let epoch = t.span("train/epoch").unwrap();
+    assert_eq!(epoch.count, 2);
+    assert_eq!(epoch.total_us, 230.0);
+    // 230 total minus forward (78) and backward (105) children.
+    assert!((epoch.self_us - 47.0).abs() < 1e-9);
+}
+
+#[test]
+fn dashboard_svg_is_well_formed() {
+    let run = load_run(&fixture_run()).unwrap();
+    let svg = dashboard_svg(&run);
+    assert!(svg.starts_with("<svg "));
+    assert!(svg.trim_end().ends_with("</svg>"));
+    assert!(svg.contains("xmlns=\"http://www.w3.org/2000/svg\""));
+    // All three panels rendered with data, not placeholder notes.
+    assert!(svg.contains("<polyline"), "loss curves missing");
+    assert!(svg.contains("#0d9488"), "EDE histogram bars missing");
+    assert!(svg.contains("#7c3aed"), "latency bars missing");
+    // Tag balance (self-closing tags aside, svg/text/style must pair up).
+    for tag in ["text", "style"] {
+        let open = svg.matches(&format!("<{tag}")).count();
+        let close = svg.matches(&format!("</{tag}>")).count();
+        assert_eq!(open, close, "unbalanced <{tag}>");
+    }
+}
+
+#[test]
+fn analyzer_tolerates_empty_and_truncated_streams() {
+    // Empty file: no events, no truncation flag.
+    let empty = analyze(&parse_trace_str(""));
+    assert!(empty.spans.is_empty());
+    assert!(!empty.truncated_tail);
+    assert!(empty.critical_path().is_empty());
+
+    // A killed run's stream: final line cut mid-token.
+    let text = "{\"ts_us\":1,\"kind\":\"span\",\"name\":\"a\",\"dur_us\":5,\"depth\":0}\n\
+                {\"ts_us\":2,\"kind\":\"span\",\"name\":\"a\",\"du";
+    let a = analyze(&parse_trace_str(text));
+    assert!(a.truncated_tail);
+    assert_eq!(a.skipped_lines, 0);
+    assert_eq!(a.span("a").unwrap().count, 1);
+
+    // Corruption in the middle is skipped, not fatal and not a tail.
+    let text = "garbage\n{\"ts_us\":3,\"kind\":\"span\",\"name\":\"b\",\"dur_us\":7,\"depth\":0}\n";
+    let b = analyze(&parse_trace_str(text));
+    assert!(!b.truncated_tail);
+    assert_eq!(b.skipped_lines, 1);
+    assert_eq!(b.span("b").unwrap().count, 1);
+}
+
+#[test]
+fn analyzer_handles_interleaved_nested_spans() {
+    // Two threads interleave their span-close events; nesting must still
+    // aggregate per path, and self time must subtract direct children.
+    let text = "\
+{\"ts_us\":10,\"kind\":\"span\",\"name\":\"predict/generator\",\"dur_us\":30,\"depth\":1}\n\
+{\"ts_us\":11,\"kind\":\"span\",\"name\":\"train/epoch\",\"dur_us\":100,\"depth\":1}\n\
+{\"ts_us\":12,\"kind\":\"span\",\"name\":\"predict/generator\",\"dur_us\":34,\"depth\":1}\n\
+{\"ts_us\":13,\"kind\":\"span\",\"name\":\"predict\",\"dur_us\":80,\"depth\":0}\n\
+{\"ts_us\":14,\"kind\":\"span\",\"name\":\"train\",\"dur_us\":120,\"depth\":0}\n\
+{\"ts_us\":15,\"kind\":\"span\",\"name\":\"predict\",\"dur_us\":70,\"depth\":0}\n";
+    let a = analyze(&parse_trace_str(text));
+    let predict = a.span("predict").unwrap();
+    assert_eq!(predict.count, 2);
+    assert_eq!(predict.total_us, 150.0);
+    assert!((predict.self_us - 86.0).abs() < 1e-9); // 150 - 64
+    assert_eq!(a.span("train").unwrap().self_us, 20.0);
+    // Critical path picks the heaviest root (predict, 150us).
+    let chain = a.critical_path();
+    assert_eq!(chain[0].path, "predict");
+    assert_eq!(chain[1].path, "predict/generator");
+}
+
+#[test]
+fn gate_fails_on_regression_and_passes_within_tolerance() {
+    let run = load_run(&fixture_run()).unwrap();
+
+    // Baseline demanding better quality than the fixture delivers.
+    let regressed = Baseline::from_json_str(
+        "{\"tol_pct\":1,\"metrics\":{\"ede_mean_nm\":1.0,\"pixel_accuracy\":0.99}}",
+    )
+    .unwrap();
+    let outcome = gate(&run, &regressed, None);
+    assert!(!outcome.passed());
+    let failed: Vec<&str> = outcome.failures().map(|c| c.metric.as_str()).collect();
+    assert_eq!(failed, ["ede_mean_nm", "pixel_accuracy"]);
+    assert!(outcome.render().contains("REGRESSED"));
+    assert!(outcome.render().contains("gate: FAIL"));
+
+    // The fixture's own numbers pass, even with zero tolerance.
+    let own = Baseline::from_json_str(
+        "{\"tol_pct\":0,\"metrics\":{\"ede_mean_nm\":3.0,\"pixel_accuracy\":0.96,\"mean_iou\":0.86}}",
+    )
+    .unwrap();
+    assert!(gate(&run, &own, None).passed());
+
+    // A generous tolerance override rescues a mild regression...
+    let mild = Baseline::from_json_str(
+        "{\"tol_pct\":0,\"metrics\":{\"ede_mean_nm\":2.8,\"pixel_accuracy\":0.97}}",
+    )
+    .unwrap();
+    assert!(!gate(&run, &mild, None).passed());
+    assert!(gate(&run, &mild, Some(10.0)).passed());
+
+    // ...but a metric the run no longer reports always fails.
+    let vanished =
+        Baseline::from_json_str("{\"tol_pct\":50,\"metrics\":{\"no_such_metric\":1.0}}").unwrap();
+    let outcome = gate(&run, &vanished, None);
+    assert!(!outcome.passed());
+    assert!(outcome.checks[0].actual.is_none());
+}
+
+#[test]
+fn compare_renders_shared_metrics_and_flags_dataset_mismatch() {
+    let run = load_run(&fixture_run()).unwrap();
+    let mut other = load_run(&fixture_run()).unwrap();
+    other.manifest.run_id = "train-1700000099-43".to_string();
+    if let Some(ds) = other.manifest.dataset.as_mut() {
+        ds.fingerprint = "ffffffff00000000".to_string();
+    }
+    let text = render_compare(&run, &other);
+    assert!(text.contains("train-1700000000-42"));
+    assert!(text.contains("train-1700000099-43"));
+    assert!(text.contains("ede_mean_nm"));
+    assert!(text.contains("span:train/epoch"));
+    assert!(text.contains("dataset fingerprints differ"));
+}

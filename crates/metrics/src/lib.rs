@@ -35,6 +35,7 @@ mod center;
 mod ede;
 mod epe;
 mod histogram;
+mod record;
 mod segmentation;
 mod summary;
 
@@ -43,6 +44,7 @@ pub use center::{center_error_nm, center_of_mass_px};
 pub use ede::{ede, EdeValue};
 pub use epe::{epe, epe_centered_square, EpeValue};
 pub use histogram::Histogram;
+pub use record::SampleRecord;
 pub use segmentation::{class_accuracy, confusion, mean_iou, pixel_accuracy, Confusion};
 pub use summary::{MetricAccumulator, MetricSummary};
 

@@ -1,0 +1,179 @@
+//! Per-sample evaluation record — one JSONL line of a run ledger's
+//! `samples.jsonl` (see DESIGN.md, "Run ledger").
+//!
+//! The record carries everything the paper reports per contact (EDE with
+//! its per-edge breakdown, the Defs. 2–4 segmentation metrics, the §4.1
+//! centre error) so downstream tooling (`lithogan_cli report` /
+//! `compare`) can rebuild aggregate tables and histograms without
+//! re-running inference. Serialization is hand-rolled JSON to keep the
+//! workspace dependency-free; parsing lives in `litho-ledger`, which owns
+//! the general JSON reader.
+
+use litho_tensor::{Result, Tensor};
+
+use crate::{center_error_nm, confusion, ede};
+
+/// Metrics of one (prediction, golden) pair. Box-based fields are `None`
+/// when either image has no foreground (no bounding box exists).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    /// Sample index within the evaluated split.
+    pub sample: u64,
+    /// Pixel accuracy (Definition 2).
+    pub pixel_accuracy: f64,
+    /// Class accuracy (Definition 3).
+    pub class_accuracy: f64,
+    /// Mean IoU (Definition 4).
+    pub mean_iou: f64,
+    /// Mean 4-edge displacement, nm (Definition 1).
+    pub ede_mean_nm: Option<f64>,
+    /// Per-edge displacement `[top, bottom, left, right]`, nm.
+    pub ede_edges_nm: Option<[f64; 4]>,
+    /// Euclidean centre error, nm.
+    pub center_error_nm: Option<f64>,
+}
+
+impl SampleRecord {
+    /// Computes the record for one pair (rank-2 images in `[0, 1]`,
+    /// threshold 0.5; `nm_per_px` converts pixel distances to nm).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the two images disagree. Empty-foreground
+    /// pairs are not errors — the box-based fields come back `None`.
+    pub fn compute(
+        sample: u64,
+        prediction: &Tensor,
+        golden: &Tensor,
+        nm_per_px: f64,
+    ) -> Result<SampleRecord> {
+        let c = confusion(prediction, golden)?;
+        let (ede_mean_nm, ede_edges_nm, center) = match (
+            ede(prediction, golden, nm_per_px),
+            center_error_nm(prediction, golden, nm_per_px),
+        ) {
+            (Ok(e), Ok(ce)) => (Some(e.mean_nm()), Some(e.edges_nm), Some(ce)),
+            _ => (None, None, None),
+        };
+        Ok(SampleRecord {
+            sample,
+            pixel_accuracy: c.pixel_accuracy(),
+            class_accuracy: c.class_accuracy(),
+            mean_iou: c.mean_iou(),
+            ede_mean_nm,
+            ede_edges_nm,
+            center_error_nm: center,
+        })
+    }
+
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        fn num(out: &mut String, v: f64) {
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        fn opt(out: &mut String, v: Option<f64>) {
+            match v {
+                Some(v) => num(out, v),
+                None => out.push_str("null"),
+            }
+        }
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"sample\":");
+        out.push_str(&self.sample.to_string());
+        out.push_str(",\"pixel_accuracy\":");
+        num(&mut out, self.pixel_accuracy);
+        out.push_str(",\"class_accuracy\":");
+        num(&mut out, self.class_accuracy);
+        out.push_str(",\"mean_iou\":");
+        num(&mut out, self.mean_iou);
+        out.push_str(",\"ede_mean_nm\":");
+        opt(&mut out, self.ede_mean_nm);
+        out.push_str(",\"ede_edges_nm\":");
+        match self.ede_edges_nm {
+            Some(edges) => {
+                out.push('[');
+                for (i, e) in edges.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    num(&mut out, *e);
+                }
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"center_error_nm\":");
+        opt(&mut out, self.center_error_nm);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(y0: usize, x0: usize, size: usize) -> Tensor {
+        let mut img = Tensor::zeros(&[16, 16]);
+        for y in y0..y0 + size {
+            for x in x0..x0 + size {
+                img.set(&[y, x], 1.0).unwrap();
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn perfect_pair_record() {
+        let g = square(4, 4, 6);
+        let r = SampleRecord::compute(3, &g, &g, 0.5).unwrap();
+        assert_eq!(r.sample, 3);
+        assert_eq!(r.pixel_accuracy, 1.0);
+        assert_eq!(r.ede_mean_nm, Some(0.0));
+        assert_eq!(r.ede_edges_nm, Some([0.0; 4]));
+        assert_eq!(r.center_error_nm, Some(0.0));
+    }
+
+    #[test]
+    fn shifted_pair_has_directional_edges() {
+        let golden = square(4, 4, 6);
+        let pred = square(6, 4, 6); // shifted +2 rows
+        let r = SampleRecord::compute(0, &pred, &golden, 1.0).unwrap();
+        // [top, bottom, left, right]: both horizontal edges move 2 px.
+        assert_eq!(r.ede_edges_nm, Some([2.0, 2.0, 0.0, 0.0]));
+        assert_eq!(r.ede_mean_nm, Some(1.0));
+    }
+
+    #[test]
+    fn empty_prediction_yields_null_boxes() {
+        let golden = square(4, 4, 6);
+        let r = SampleRecord::compute(0, &Tensor::zeros(&[16, 16]), &golden, 1.0).unwrap();
+        assert_eq!(r.ede_mean_nm, None);
+        assert_eq!(r.ede_edges_nm, None);
+        assert!(r.to_jsonl().contains("\"ede_mean_nm\":null"));
+        assert!(r.to_jsonl().contains("\"ede_edges_nm\":null"));
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let r = SampleRecord {
+            sample: 7,
+            pixel_accuracy: 0.5,
+            class_accuracy: 0.25,
+            mean_iou: 0.125,
+            ede_mean_nm: Some(1.5),
+            ede_edges_nm: Some([1.0, 2.0, 1.5, 1.5]),
+            center_error_nm: Some(0.75),
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"sample\":7,\"pixel_accuracy\":0.5,\"class_accuracy\":0.25,\
+             \"mean_iou\":0.125,\"ede_mean_nm\":1.5,\
+             \"ede_edges_nm\":[1,2,1.5,1.5],\"center_error_nm\":0.75}"
+        );
+    }
+}

@@ -1,6 +1,6 @@
 use litho_tensor::{Result, Tensor};
 
-use crate::{center_error_nm, confusion, ede};
+use crate::SampleRecord;
 
 /// Aggregated evaluation results over a test set — one row of the paper's
 /// Table 3 (EDE mean/std, pixel accuracy, class accuracy, mean IoU) plus
@@ -13,6 +13,10 @@ pub struct MetricSummary {
     pub ede_mean_nm: f64,
     /// Standard deviation of per-sample EDE, nm.
     pub ede_std_nm: f64,
+    /// Mean per-edge displacement `[top, bottom, left, right]`, nm.
+    /// A skew between entries is a directional bias the 4-edge mean
+    /// hides (e.g. the generator consistently printing too low).
+    pub ede_edge_mean_nm: [f64; 4],
     /// Mean pixel accuracy (Definition 2).
     pub pixel_accuracy: f64,
     /// Mean class accuracy (Definition 3).
@@ -44,6 +48,7 @@ pub struct MetricSummary {
 pub struct MetricAccumulator {
     nm_per_px: f64,
     ede_values: Vec<f64>,
+    edge_sums: [f64; 4],
     center_values: Vec<f64>,
     pixel_acc_sum: f64,
     class_acc_sum: f64,
@@ -58,6 +63,7 @@ impl MetricAccumulator {
         MetricAccumulator {
             nm_per_px,
             ede_values: Vec::new(),
+            edge_sums: [0.0; 4],
             center_values: Vec::new(),
             pixel_acc_sum: 0.0,
             class_acc_sum: 0.0,
@@ -78,22 +84,38 @@ impl MetricAccumulator {
     ///
     /// Returns a shape error if the two images disagree.
     pub fn add(&mut self, prediction: &Tensor, golden: &Tensor) -> Result<()> {
-        let c = confusion(prediction, golden)?;
-        self.pixel_acc_sum += c.pixel_accuracy();
-        self.class_acc_sum += c.class_accuracy();
-        self.iou_sum += c.mean_iou();
-        match (
-            ede(prediction, golden, self.nm_per_px),
-            center_error_nm(prediction, golden, self.nm_per_px),
-        ) {
-            (Ok(e), Ok(ce)) => {
-                self.ede_values.push(e.mean_nm());
+        self.add_pair(prediction, golden).map(|_| ())
+    }
+
+    /// Like [`Self::add`], but also returns the per-sample record (indexed
+    /// by accumulation order) for appending to a run ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the two images disagree.
+    pub fn add_pair(&mut self, prediction: &Tensor, golden: &Tensor) -> Result<SampleRecord> {
+        let record = SampleRecord::compute(self.samples as u64, prediction, golden, self.nm_per_px)?;
+        self.add_record(&record);
+        Ok(record)
+    }
+
+    /// Accumulates an already-computed per-sample record (e.g. replayed
+    /// from a run ledger's `samples.jsonl`).
+    pub fn add_record(&mut self, record: &SampleRecord) {
+        self.pixel_acc_sum += record.pixel_accuracy;
+        self.class_acc_sum += record.class_accuracy;
+        self.iou_sum += record.mean_iou;
+        match (record.ede_mean_nm, record.ede_edges_nm, record.center_error_nm) {
+            (Some(mean), Some(edges), Some(ce)) => {
+                self.ede_values.push(mean);
+                for (sum, e) in self.edge_sums.iter_mut().zip(edges) {
+                    *sum += e;
+                }
                 self.center_values.push(ce);
             }
             _ => self.skipped += 1,
         }
         self.samples += 1;
-        Ok(())
     }
 
     /// Per-sample EDE values accumulated so far (for Figure-7 histograms).
@@ -121,6 +143,7 @@ impl MetricAccumulator {
             samples: self.samples,
             ede_mean_nm: if self.ede_values.is_empty() { 0.0 } else { ede_mean },
             ede_std_nm: if self.ede_values.is_empty() { 0.0 } else { ede_var.sqrt() },
+            ede_edge_mean_nm: self.edge_sums.map(|s| s / ne),
             pixel_accuracy: self.pixel_acc_sum / n * if self.samples == 0 { 0.0 } else { 1.0 },
             class_accuracy: self.class_acc_sum / n * if self.samples == 0 { 0.0 } else { 1.0 },
             mean_iou: self.iou_sum / n * if self.samples == 0 { 0.0 } else { 1.0 },
@@ -185,6 +208,20 @@ mod tests {
         assert_eq!(s.samples, 1);
         assert_eq!(s.ede_mean_nm, 0.0); // no EDE recorded
         assert!(s.pixel_accuracy < 1.0); // segmentation still counted
+    }
+
+    #[test]
+    fn directional_bias_shows_in_edge_means() {
+        let mut acc = MetricAccumulator::new(1.0);
+        let golden = square(4, 4, 6);
+        // Two predictions both shifted down by 2 px: top/bottom edges off
+        // by 2 nm, left/right exact — a pure vertical bias.
+        acc.add(&square(6, 4, 6), &golden).unwrap();
+        let rec = acc.add_pair(&square(6, 4, 6), &golden).unwrap();
+        assert_eq!(rec.sample, 1);
+        let s = acc.summary();
+        assert_eq!(s.ede_edge_mean_nm, [2.0, 2.0, 0.0, 0.0]);
+        assert!((s.ede_mean_nm - 1.0).abs() < 1e-12);
     }
 
     #[test]

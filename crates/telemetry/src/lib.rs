@@ -42,7 +42,7 @@ pub use report::report_to_string;
 pub use sink::{Event, EventKind, JsonlSink, Sink, StderrSink, Value};
 pub use span::Span;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -54,6 +54,9 @@ struct Global {
     registry: Mutex<Registry>,
     sink: Mutex<Option<Box<dyn Sink + Send>>>,
     epoch: OnceLock<Instant>,
+    run_id: Mutex<Option<String>>,
+    /// Current sample id, or `-1` when outside any per-sample scope.
+    sample_id: AtomicI64,
 }
 
 fn global() -> &'static Global {
@@ -63,6 +66,8 @@ fn global() -> &'static Global {
         registry: Mutex::new(Registry::default()),
         sink: Mutex::new(None),
         epoch: OnceLock::new(),
+        run_id: Mutex::new(None),
+        sample_id: AtomicI64::new(-1),
     })
 }
 
@@ -115,6 +120,24 @@ pub fn reset() {
     g.enabled.store(false, Ordering::Release);
     set_sink(None);
     g.registry.lock().unwrap().clear();
+    *g.run_id.lock().unwrap() = None;
+    g.sample_id.store(-1, Ordering::Relaxed);
+}
+
+/// Attach (or clear) a run id. While set, every sink event carries a
+/// `"run"` field, so a JSONL trace is attributable to its `runs/<id>/`
+/// ledger directory even after files are moved around.
+pub fn set_run_id(id: Option<&str>) {
+    *global().run_id.lock().unwrap() = id.map(str::to_string);
+}
+
+/// Attach (or clear) the current sample id. While set, every sink event
+/// carries a `"sample"` field; evaluation loops set it per test sample so
+/// per-span timings can be joined against per-sample metric records.
+pub fn set_sample_id(id: Option<u64>) {
+    global()
+        .sample_id
+        .store(id.map(|v| v as i64).unwrap_or(-1), Ordering::Relaxed);
 }
 
 /// Start a [`Span`]. When telemetry is disabled this returns an inert span
@@ -196,17 +219,35 @@ pub fn emit_run_metadata(extra: &[(&str, Value)]) {
     emit(EventKind::Meta, "run_meta", &fields);
 }
 
-/// Internal: route one event to the installed sink (if any).
+/// Internal: route one event to the installed sink (if any), appending
+/// the ambient run/sample ids when they are set.
 pub(crate) fn emit(kind: EventKind, name: &str, fields: &[(&str, Value)]) {
-    let mut slot = global().sink.lock().unwrap();
-    if let Some(sink) = slot.as_mut() {
-        sink.emit(&Event {
-            ts_us: ts_us(),
-            kind,
-            name,
-            fields,
-        });
-    }
+    let g = global();
+    let mut slot = g.sink.lock().unwrap();
+    let Some(sink) = slot.as_mut() else {
+        return;
+    };
+    let run = g.run_id.lock().unwrap().clone();
+    let sample = g.sample_id.load(Ordering::Relaxed);
+    let mut extended;
+    let fields = if run.is_none() && sample < 0 {
+        fields
+    } else {
+        extended = fields.to_vec();
+        if let Some(run) = run {
+            extended.push(("run", Value::Str(run)));
+        }
+        if sample >= 0 {
+            extended.push(("sample", Value::U64(sample as u64)));
+        }
+        &extended
+    };
+    sink.emit(&Event {
+        ts_us: ts_us(),
+        kind,
+        name,
+        fields,
+    });
 }
 
 /// Internal: called by [`Span`] on completion.

@@ -69,6 +69,8 @@ impl Registry {
                         SpanStatSnapshot {
                             count: s.count,
                             total: s.total,
+                            min: Duration::from_secs_f64(s.hist.min()),
+                            max: Duration::from_secs_f64(s.hist.max()),
                             p50: Duration::from_secs_f64(s.hist.p50()),
                             p95: Duration::from_secs_f64(s.hist.p95()),
                             p99: Duration::from_secs_f64(s.hist.p99()),
@@ -108,11 +110,15 @@ impl From<&Histogram> for HistogramSnapshot {
     }
 }
 
-/// Read-only copy of one span path's aggregate timing.
+/// Read-only copy of one span path's aggregate timing. `min`/`max` are
+/// exact observed extremes; the quantiles are log-bucket estimates
+/// clamped to `[min, max]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStatSnapshot {
     pub count: u64,
     pub total: Duration,
+    pub min: Duration,
+    pub max: Duration,
     pub p50: Duration,
     pub p95: Duration,
     pub p99: Duration,

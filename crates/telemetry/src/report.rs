@@ -60,18 +60,21 @@ pub fn report_to_string(snap: &Snapshot) -> String {
             .max()
             .unwrap_or(0)
             .max(4);
+        // mean/min/max are exact (tracked beside the log-scale bins);
+        // only the quantile columns are bucket estimates.
         let _ = writeln!(
             out,
-            "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            "name", "count", "mean", "p50", "p95", "p99", "max"
+            "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "min", "p50", "p95", "p99", "max"
         );
         for (name, h) in &snap.histograms {
             let _ = writeln!(
                 out,
-                "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 name,
                 h.count,
                 fmt_value(h.mean),
+                fmt_value(h.min),
                 fmt_value(h.p50),
                 fmt_value(h.p95),
                 fmt_value(h.p99),
@@ -95,8 +98,8 @@ pub fn report_to_string(snap: &Snapshot) -> String {
         let w = rows.iter().map(|(label, _, _)| label.len()).max().unwrap_or(4).max(4);
         let _ = writeln!(
             out,
-            "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10}",
-            "path", "count", "total", "mean", "p50", "p95"
+            "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "path", "count", "total", "mean", "min", "p50", "p95", "max"
         );
         for (label, path, _) in &rows {
             let stat = snap.span(path).expect("span path from snapshot");
@@ -107,13 +110,15 @@ pub fn report_to_string(snap: &Snapshot) -> String {
             };
             let _ = writeln!(
                 out,
-                "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "  {:<w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 label,
                 stat.count,
                 fmt_duration(stat.total),
                 fmt_duration(mean),
+                fmt_duration(stat.min),
                 fmt_duration(stat.p50),
                 fmt_duration(stat.p95),
+                fmt_duration(stat.max),
             );
         }
     }

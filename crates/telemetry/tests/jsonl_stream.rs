@@ -90,4 +90,30 @@ fn stream_covers_all_event_kinds_with_valid_lines() {
         })
         .collect();
     assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+
+    // Second phase (same test: the sink slot is global): with a run id and
+    // sample id set, every event carries `run`, and `sample` while set.
+    let buf = SharedBuf::default();
+    litho_telemetry::set_sink(Some(Box::new(JsonlSink::new(buf.clone()))));
+    litho_telemetry::enable();
+    litho_telemetry::set_run_id(Some("train-1-2"));
+    litho_telemetry::counter_add("stream.run_tagged", 1);
+    litho_telemetry::set_sample_id(Some(4));
+    litho_telemetry::event("per_sample", &[("x", Value::U64(9))]);
+    litho_telemetry::set_sample_id(None);
+    litho_telemetry::gauge_set("stream.after_sample", 1.0);
+    litho_telemetry::flush();
+    litho_telemetry::set_sink(None);
+    litho_telemetry::reset();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("stream is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    for line in &lines {
+        assert!(line.contains("\"run\":\"train-1-2\""), "run id: {line}");
+    }
+    assert!(!lines[0].contains("\"sample\":"), "{}", lines[0]);
+    assert!(lines[1].contains("\"sample\":4"), "{}", lines[1]);
+    assert!(!lines[2].contains("\"sample\":"), "sample id cleared: {}", lines[2]);
 }

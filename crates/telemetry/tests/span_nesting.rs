@@ -78,6 +78,25 @@ fn threads_have_independent_span_stacks() {
 }
 
 #[test]
+fn span_snapshot_reports_exact_extremes() {
+    use std::time::Duration;
+    litho_telemetry::enable();
+    for sleep in [Duration::from_micros(200), Duration::from_millis(2)] {
+        let span = litho_telemetry::span("nest_minmax");
+        std::thread::sleep(sleep);
+        span.finish();
+    }
+    let snap = litho_telemetry::snapshot();
+    let stat = snap.span("nest_minmax").unwrap();
+    assert_eq!(stat.count, 2);
+    // min/max are the true recorded extremes, not log-bin floors.
+    assert!(stat.min >= Duration::from_micros(200));
+    assert!(stat.max >= Duration::from_millis(2));
+    assert!(stat.min < stat.max);
+    assert!(stat.max <= stat.total);
+}
+
+#[test]
 fn drop_and_finish_record_exactly_once() {
     litho_telemetry::enable();
     {

@@ -13,4 +13,15 @@ cargo test --workspace -q --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> run ledger + metric regression gate"
+cli=target/release/lithogan_cli
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+"$cli" --runs-root "$work/runs" generate --clips 12 --size 32 --out "$work/data.lgd"
+"$cli" --runs-root "$work/runs" train --data "$work/data.lgd" --epochs 2 --seed 1 --out "$work/model.lgm"
+run=$(ls "$work/runs" | grep '^train-')
+"$cli" --runs-root "$work/runs" report "$run"
+test -s "$work/runs/$run/dashboard.svg"
+"$cli" --runs-root "$work/runs" compare "$run" --gate ci/baseline.json
+
 echo "==> all checks passed"
