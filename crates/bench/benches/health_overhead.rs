@@ -1,0 +1,78 @@
+//! Measures the train-step cost of model-health instrumentation: the
+//! same tiny cGAN epoch with and without a `HealthMonitor` attached at
+//! the default sampling stride (8). The acceptance bar is < 5% median
+//! overhead; the process exits nonzero past it so the check can run as
+//! a manual gate.
+//!
+//! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`.
+
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
+use litho_tensor::Tensor;
+use lithogan::{Cgan, HealthConfig, HealthMonitor, NetConfig, TrainConfig, TrainPair};
+use lithogan_bench::microbench::MicroBench;
+
+fn pairs(net: &NetConfig, n: usize) -> Vec<TrainPair> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let s = net.image_size;
+    (0..n)
+        .map(|_| {
+            let mask = Tensor::from_vec(
+                (0..3 * s * s).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                &[3, s, s],
+            )
+            .unwrap();
+            let resist = Tensor::from_vec(
+                (0..s * s).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                &[s, s],
+            )
+            .unwrap();
+            TrainPair::from_dataset(&mask, &resist).unwrap()
+        })
+        .collect()
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        seed: 3,
+        ..TrainConfig::paper()
+    }
+}
+
+fn main() {
+    let mb = MicroBench::from_args();
+    let net = NetConfig::scaled(32);
+    let data = pairs(&net, 8);
+    let cfg = train_cfg();
+
+    let mut plain = Cgan::new(&net, 5);
+    let mut epoch = 0usize;
+    let base = mb.run("cgan_epoch_plain", || {
+        epoch += 1;
+        plain.train_epoch(&data, &cfg, epoch).unwrap()
+    });
+
+    let path = std::env::temp_dir().join(format!("health-overhead-{}.jsonl", std::process::id()));
+    let monitor = HealthMonitor::create(&path, HealthConfig::default()).unwrap();
+    let mut monitored = Cgan::new(&net, 5);
+    monitored.attach_health(&monitor);
+    let mut epoch = 0usize;
+    let with = mb.run("cgan_epoch_health_s8", || {
+        epoch += 1;
+        monitored.train_epoch(&data, &cfg, epoch).unwrap()
+    });
+    std::fs::remove_file(&path).ok();
+
+    let overhead =
+        (with.median.as_secs_f64() - base.median.as_secs_f64()) / base.median.as_secs_f64();
+    let pct = overhead * 100.0;
+    let ok = pct < 5.0;
+    println!(
+        "health overhead at stride 8: {pct:+.2}% (budget 5.00%) -> {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

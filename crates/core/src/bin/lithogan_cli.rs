@@ -17,15 +17,18 @@
 //! `lithogan-cli help <command>` for per-command flags.
 
 use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig};
+use litho_health::DiagnosisKind;
 use litho_layout::image::{overlay_panel, write_ppm};
 use litho_ledger::{
-    dashboard_svg, fingerprint_file, gate, load_run, render_compare, render_report, Baseline,
-    DatasetInfo, RunData, RunLedger,
+    dashboard_svg, fingerprint_file, gate, health_svg, load_run, render_compare, render_health,
+    render_report, Baseline, DatasetInfo, RunData, RunLedger,
 };
 use litho_metrics::MetricAccumulator;
 use litho_sim::ProcessConfig;
 use litho_tensor::TensorError;
-use lithogan::{LithoGan, NetConfig, Result, TrainConfig};
+use lithogan::{
+    AbortCondition, HealthConfig, HealthMonitor, LithoGan, NetConfig, Result, TrainConfig,
+};
 use std::path::{Path, PathBuf};
 
 /// A parsed CLI invocation.
@@ -43,6 +46,10 @@ enum Command {
         epochs: usize,
         seed: u64,
         augment: bool,
+        health: bool,
+        health_stride: u64,
+        abort_on: Option<String>,
+        poison_nan_at_epoch: Option<usize>,
         out: String,
     },
     Eval {
@@ -57,6 +64,10 @@ enum Command {
     },
     Report {
         run: String,
+    },
+    Health {
+        run: String,
+        fail_on: Option<String>,
     },
     Compare {
         a: String,
@@ -81,10 +92,11 @@ fn usage() -> String {
     format!(
         "usage:\n  \
          lithogan-cli generate --node <N10|N7> [--clips N] [--size S] [--jitter NM] --out FILE\n  \
-         lithogan-cli train    --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n  \
+         lithogan-cli train    --data FILE [--epochs N] [--seed N] [--augment] [--health] --out FILE\n  \
          lithogan-cli eval     --data FILE --model FILE\n  \
          lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR\n  \
          lithogan-cli report   <run-id|run-dir>\n  \
+         lithogan-cli health   <run-id|run-dir> [--fail-on LIST]\n  \
          lithogan-cli compare  <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n  \
          lithogan-cli help     [command]\n\
          {GLOBAL_FLAGS_HELP}"
@@ -105,7 +117,7 @@ fn command_help(cmd: &str) -> String {
              --out FILE      output dataset path (required)"
         }
         "train" => {
-            "lithogan-cli train --data FILE [--epochs N] [--seed N] [--augment] --out FILE\n\n\
+            "lithogan-cli train --data FILE [--epochs N] [--seed N] [--augment] [--health] --out FILE\n\n\
              Trains LithoGAN on the 75% train split, saves the model, then\n\
              evaluates the 25% test split; per-sample metrics land in the run's\n\
              samples.jsonl and the loss curve in its trace.\n\n  \
@@ -113,7 +125,22 @@ fn command_help(cmd: &str) -> String {
              --epochs N      training epochs (default 10)\n  \
              --seed N        RNG seed (default 0)\n  \
              --augment       enable flip/rotate augmentation\n  \
+             --health        stream model-health records to the run's health.jsonl\n  \
+             --health-stride N        sample every Nth step (default 8, implies --health)\n  \
+             --abort-on LIST          abort training on nan and/or collapse (implies --health)\n  \
+             --poison-nan-at-epoch N  fault injection: plant a NaN weight at epoch N\n  \
              --out FILE      model output path (required)"
+        }
+        "health" => {
+            "lithogan-cli health <run-id|run-dir> [--fail-on LIST]\n\n\
+             Analyzes a run's health.jsonl (from `train --health`): per-layer\n\
+             activation/gradient tables, update-to-weight ratios, GAN balance\n\
+             signals and the six named diagnoses (vanishing-gradient,\n\
+             exploding-update, dead-layer, d-overpowers-g, mode-collapse,\n\
+             nan-poisoned) with first-seen epoch/step. Also writes\n\
+             runs/<id>/health.svg (sparkline panel).\n\n  \
+             --fail-on LIST  comma-separated diagnoses that exit nonzero when\n                  \
+             present (aliases: nan, collapse)"
         }
         "eval" => {
             "lithogan-cli eval --data FILE --model FILE\n\n\
@@ -238,7 +265,7 @@ fn parse(args: &[String]) -> Result<Command> {
                 continue;
             }
             if let Some(stripped) = a.strip_prefix("--") {
-                skip = !matches!(stripped, "augment" | "help");
+                skip = !matches!(stripped, "augment" | "help" | "health");
                 continue;
             }
             out.push(a.clone());
@@ -265,6 +292,17 @@ fn parse(args: &[String]) -> Result<Command> {
             epochs: get("--epochs").map_or(Ok(10), |v| v.parse().map_err(|_| bad("--epochs")))?,
             seed: get("--seed").map_or(Ok(0), |v| v.parse().map_err(|_| bad("--seed")))?,
             augment: has("--augment"),
+            // Any health-adjacent flag implies the health stream.
+            health: has("--health")
+                || has("--health-stride")
+                || has("--abort-on")
+                || has("--poison-nan-at-epoch"),
+            health_stride: get("--health-stride")
+                .map_or(Ok(8), |v| v.parse().map_err(|_| bad("--health-stride")))?,
+            abort_on: get("--abort-on"),
+            poison_nan_at_epoch: get("--poison-nan-at-epoch")
+                .map(|v| v.parse().map_err(|_| bad("--poison-nan-at-epoch")))
+                .transpose()?,
             out: get("--out").ok_or_else(|| bad("train requires --out"))?,
         }),
         Some("eval") => Ok(Command::Eval {
@@ -282,6 +320,16 @@ fn parse(args: &[String]) -> Result<Command> {
             match pos.as_slice() {
                 [run] => Ok(Command::Report { run: run.clone() }),
                 _ => Err(bad("report takes exactly one <run-id|run-dir>")),
+            }
+        }
+        Some("health") => {
+            let pos = positionals();
+            match pos.as_slice() {
+                [run] => Ok(Command::Health {
+                    run: run.clone(),
+                    fail_on: get("--fail-on"),
+                }),
+                _ => Err(bad("health takes exactly one <run-id|run-dir>")),
             }
         }
         Some("compare") => {
@@ -323,6 +371,7 @@ impl Command {
             Command::Eval { .. } => "eval",
             Command::Predict { .. } => "predict",
             Command::Report { .. } => "report",
+            Command::Health { .. } => "health",
             Command::Compare { .. } => "compare",
             Command::Help | Command::HelpFor(_) => "help",
         }
@@ -368,14 +417,31 @@ impl Command {
                 epochs,
                 seed,
                 augment,
+                health,
+                health_stride,
+                abort_on,
+                poison_nan_at_epoch,
                 out,
-            } => vec![
-                kv("data", data.clone()),
-                kv("epochs", epochs.to_string()),
-                kv("seed", seed.to_string()),
-                kv("augment", augment.to_string()),
-                kv("out", out.clone()),
-            ],
+            } => {
+                let mut pairs = vec![
+                    kv("data", data.clone()),
+                    kv("epochs", epochs.to_string()),
+                    kv("seed", seed.to_string()),
+                    kv("augment", augment.to_string()),
+                    kv("out", out.clone()),
+                ];
+                if *health {
+                    pairs.push(kv("health", "true".to_string()));
+                    pairs.push(kv("health_stride", health_stride.to_string()));
+                }
+                if let Some(conds) = abort_on {
+                    pairs.push(kv("abort_on", conds.clone()));
+                }
+                if let Some(epoch) = poison_nan_at_epoch {
+                    pairs.push(kv("poison_nan_at_epoch", epoch.to_string()));
+                }
+                pairs
+            }
             Command::Eval { data, model } => {
                 vec![kv("data", data.clone()), kv("model", model.clone())]
             }
@@ -533,6 +599,10 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             epochs,
             seed,
             augment,
+            health,
+            health_stride,
+            abort_on,
+            poison_nan_at_epoch,
             out,
         } => {
             let ds = load_dataset(&data)?;
@@ -547,10 +617,40 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
                 ..TrainConfig::paper()
             };
             let mut model = LithoGan::new(&net_for(ds.config.image_size), seed);
+            let monitor = if health {
+                let conds = match &abort_on {
+                    Some(list) => AbortCondition::parse_list(list)
+                        .map_err(|name| bad(format!("--abort-on: unknown condition {name:?}")))?,
+                    None => Vec::new(),
+                };
+                let path = match ledger {
+                    Some(ledger) => ledger.dir().join("health.jsonl"),
+                    None => PathBuf::from("health.jsonl"),
+                };
+                let monitor = HealthMonitor::create(
+                    &path,
+                    HealthConfig {
+                        stride: health_stride.max(1),
+                        abort_on: conds,
+                        poison_nan_at_epoch,
+                        ..HealthConfig::default()
+                    },
+                )
+                .map_err(io_err)?;
+                model.attach_health(&monitor);
+                eprintln!("health: {}", path.display());
+                Some(monitor)
+            } else {
+                None
+            };
             let t0 = std::time::Instant::now();
-            let history = model.train(&train, &cfg, |epoch, _| {
+            let train_result = model.train(&train, &cfg, |epoch, _| {
                 eprintln!("epoch {}/{epochs} done ({:.1?})", epoch + 1, t0.elapsed());
-            })?;
+            });
+            if let Some(monitor) = &monitor {
+                monitor.flush();
+            }
+            let history = train_result?;
             model.save_to_path(&out)?;
             println!(
                 "trained on {} samples; generator loss {:.2} -> {:.2}; saved {out}",
@@ -631,6 +731,33 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             println!("dashboard:  {}", svg_path.display());
             Ok(())
         }
+        Command::Health { run, fail_on } => {
+            let data = resolve_run(&run, &opts.runs_root)?;
+            let Some(h) = &data.health else {
+                return Err(bad(format!(
+                    "run {run:?} has no health.jsonl — train with --health"
+                )));
+            };
+            print!("{}", render_health(&data.manifest.run_id, h));
+            let svg_path = data.dir.join("health.svg");
+            std::fs::write(&svg_path, health_svg(&data.manifest.run_id, h)).map_err(io_err)?;
+            println!("panel:      {}", svg_path.display());
+            if let Some(list) = fail_on {
+                let kinds = DiagnosisKind::parse_list(&list)
+                    .map_err(|name| bad(format!("--fail-on: unknown diagnosis {name:?}")))?;
+                let mut fired: Vec<&str> = h
+                    .diagnoses
+                    .iter()
+                    .filter(|d| kinds.contains(&d.kind))
+                    .map(|d| d.kind.as_str())
+                    .collect();
+                fired.dedup();
+                if !fired.is_empty() {
+                    return Err(bad(format!("health check failed: {}", fired.join(", "))));
+                }
+            }
+            Ok(())
+        }
         Command::Compare {
             a,
             b,
@@ -706,7 +833,14 @@ fn main() {
     let outcome = init_telemetry(&opts, cmd.name(), ledger.as_mut()).and_then(|()| {
         let result = run(cmd, &opts, &mut ledger);
         if let Some(ledger) = &mut ledger {
-            ledger.finalize(result.is_ok()).map_err(io_err)?;
+            // An aborted training run is recorded as such, distinct from
+            // both a clean finish and an ordinary error.
+            match &result {
+                Err(TensorError::Aborted(reason)) => ledger
+                    .finalize_with_status(&format!("aborted({reason})"))
+                    .map_err(io_err)?,
+                other => ledger.finalize(other.is_ok()).map_err(io_err)?,
+            }
         }
         result
     });
@@ -759,6 +893,10 @@ mod tests {
                 epochs: 5,
                 seed: 0,
                 augment: true,
+                health: false,
+                health_stride: 8,
+                abort_on: None,
+                poison_nan_at_epoch: None,
                 out: "m.lgm".into()
             }
         );
@@ -767,6 +905,67 @@ mod tests {
         assert!(cmd
             .config_pairs()
             .contains(&("epochs".to_string(), "5".to_string())));
+        // No health flags -> no health config pairs.
+        assert!(!cmd.config_pairs().iter().any(|(k, _)| k == "health"));
+    }
+
+    #[test]
+    fn parses_train_health_flags() {
+        let cmd = parse(&strs(&[
+            "train",
+            "--data",
+            "d.lgd",
+            "--health-stride",
+            "4",
+            "--abort-on",
+            "nan,collapse",
+            "--out",
+            "m.lgm",
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Train {
+                health,
+                health_stride,
+                abort_on,
+                ..
+            } => {
+                // --health-stride / --abort-on imply --health.
+                assert!(health);
+                assert_eq!(*health_stride, 4);
+                assert_eq!(abort_on.as_deref(), Some("nan,collapse"));
+            }
+            other => panic!("expected train, got {other:?}"),
+        }
+        let pairs = cmd.config_pairs();
+        assert!(pairs.contains(&("health".to_string(), "true".to_string())));
+        assert!(pairs.contains(&("abort_on".to_string(), "nan,collapse".to_string())));
+        assert!(parse(&strs(&[
+            "train", "--data", "d", "--health-stride", "x", "--out", "m"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_health_command() {
+        assert_eq!(
+            parse(&strs(&["health", "train-1-2"])).unwrap(),
+            Command::Health {
+                run: "train-1-2".into(),
+                fail_on: None,
+            }
+        );
+        let cmd = parse(&strs(&["health", "r", "--fail-on", "nan,dead-layer"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Health {
+                run: "r".into(),
+                fail_on: Some("nan,dead-layer".into()),
+            }
+        );
+        assert!(!cmd.records_run());
+        assert!(parse(&strs(&["health"])).is_err());
+        assert!(parse(&strs(&["health", "a", "b"])).is_err());
     }
 
     #[test]
@@ -863,7 +1062,9 @@ mod tests {
         assert!(usage().contains("generate"));
         assert!(usage().contains("--runs-root"));
         // Every per-command help mentions the global observability flags.
-        for cmd in ["generate", "train", "eval", "predict", "report", "compare"] {
+        for cmd in [
+            "generate", "train", "eval", "predict", "report", "health", "compare",
+        ] {
             let text = command_help(cmd);
             assert!(text.contains("--trace"), "{cmd} help lacks --trace");
             assert!(

@@ -7,6 +7,7 @@ use litho_tensor::rng::SeedableRng;
 use litho_nn::{mse_loss, Adam, Layer, Optimizer, Phase, Sequential};
 use litho_tensor::{Result, Tensor, TensorError};
 
+use crate::health::{HealthMonitor, LoopHealth};
 use crate::{NetConfig, TrainConfig};
 
 /// CNN regressor for the resist-pattern centre `(cy, cx)`.
@@ -27,6 +28,7 @@ pub struct CenterCnn {
     net: Sequential,
     image_size: usize,
     opt: Adam,
+    health: Option<LoopHealth>,
 }
 
 impl CenterCnn {
@@ -37,7 +39,16 @@ impl CenterCnn {
             net: config.build_center_cnn(seed),
             image_size: config.image_size,
             opt: Adam::new(cfg.learning_rate, cfg.beta1, cfg.beta2),
+            health: None,
         }
+    }
+
+    /// Installs model-health instrumentation: a per-layer stats hook
+    /// (net `"C"`), update-ratio tracking on sampled steps, and
+    /// per-epoch regression signals.
+    pub fn attach_health(&mut self, monitor: &HealthMonitor) {
+        self.net.set_stats_hook(Some(monitor.layer_hook("C")));
+        self.health = Some(monitor.loop_state("center"));
     }
 
     /// Mutable access to the underlying network (weight serialization).
@@ -73,6 +84,10 @@ impl CenterCnn {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xCE17).wrapping_add(epoch as u64));
         order.shuffle(&mut rng);
 
+        if let Some(h) = self.health.as_mut() {
+            h.begin_epoch(epoch);
+        }
+
         let _span = litho_telemetry::span("train/center_epoch");
         let epoch_start = std::time::Instant::now();
         let mut total = 0.0f64;
@@ -89,11 +104,24 @@ impl CenterCnn {
                 target.set(&[row, 0], (cy - mid) / scale)?;
                 target.set(&[row, 1], (cx - mid) / scale)?;
             }
+            let sampled = match self.health.as_mut() {
+                Some(h) => h.begin_step(),
+                None => false,
+            };
+            if sampled {
+                self.opt.set_update_tracking(true);
+            }
             self.net.zero_grad();
             let pred = self.net.forward(&x, Phase::Train)?;
             let loss = mse_loss(&pred, &target)?;
             self.net.backward(&loss.grad)?;
             self.opt.step(&mut self.net);
+            if sampled {
+                if let Some(h) = self.health.as_mut() {
+                    h.record_updates("C".to_string(), &self.opt);
+                }
+                self.opt.set_update_tracking(false);
+            }
             total += loss.loss as f64;
             batches += 1;
         }
@@ -115,6 +143,12 @@ impl CenterCnn {
             );
             litho_telemetry::gauge_set("train.center_loss", mean as f64);
             litho_telemetry::counter_add("train.center_epochs", 1);
+        }
+        if self.health.is_some() {
+            let grad_norm = crate::cgan::grad_norm(&mut self.net);
+            if let Some(h) = self.health.as_mut() {
+                h.end_center_epoch(epoch, mean as f64, grad_norm)?;
+            }
         }
         Ok(mean)
     }

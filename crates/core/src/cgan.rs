@@ -7,6 +7,7 @@ use litho_tensor::rng::SeedableRng;
 use litho_nn::{bce_with_logits, l1_loss, mse_loss, Adam, Layer, Optimizer, Phase, Sequential};
 use litho_tensor::{Result, Tensor, TensorError};
 
+use crate::health::{poison_param, HealthMonitor, LoopHealth};
 use crate::NetConfig;
 
 /// Reconstruction-loss flavour of Eq. 2's pixel term (the paper uses ℓ1;
@@ -129,6 +130,7 @@ pub struct Cgan {
     discriminator: Sequential,
     opt_g: Adam,
     opt_d: Adam,
+    health: Option<LoopHealth>,
 }
 
 impl Cgan {
@@ -146,7 +148,18 @@ impl Cgan {
             discriminator: net.build_discriminator(seed.wrapping_add(1)),
             opt_g: Adam::new(cfg.learning_rate, cfg.beta1, cfg.beta2),
             opt_d: Adam::new(cfg.learning_rate, cfg.beta1, cfg.beta2),
+            health: None,
         }
+    }
+
+    /// Installs model-health instrumentation: per-layer stats hooks on
+    /// both networks (nets `"G"` / `"D"`), update-ratio tracking on
+    /// sampled optimizer steps, and per-epoch GAN balance signals.
+    pub fn attach_health(&mut self, monitor: &HealthMonitor) {
+        self.generator.set_stats_hook(Some(monitor.layer_hook("G")));
+        self.discriminator
+            .set_stats_hook(Some(monitor.layer_hook("D")));
+        self.health = Some(monitor.loop_state("cgan"));
     }
 
     /// The architecture configuration.
@@ -188,6 +201,12 @@ impl Cgan {
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(epoch as u64));
         order.shuffle(&mut rng);
+
+        if let Some(h) = self.health.as_mut() {
+            if h.begin_epoch(epoch) {
+                poison_param(&mut self.generator);
+            }
+        }
 
         let _span = litho_telemetry::span("train/epoch");
         let epoch_start = std::time::Instant::now();
@@ -244,12 +263,27 @@ impl Cgan {
             litho_telemetry::counter_add("train.epochs", 1);
             litho_telemetry::counter_add("train.samples", pairs.len() as u64);
         }
+        if let Some(h) = self.health.as_mut() {
+            h.end_gan_epoch(epoch, g_mean as f64, d_mean as f64)?;
+        }
         Ok((g_mean, d_mean))
     }
 
     /// One alternating D/G update on a batch `x [n,3,S,S]`, `y [n,1,S,S]`.
     fn train_step(&mut self, x: &Tensor, y: &Tensor, cfg: &TrainConfig) -> Result<StepLosses> {
         let n = x.dims()[0];
+
+        // Update-ratio tracking is enabled only on sampled steps so the
+        // optimizer inner loop stays free of the extra accumulation on
+        // the common path.
+        let sampled = match self.health.as_mut() {
+            Some(h) => h.begin_step(),
+            None => false,
+        };
+        if sampled {
+            self.opt_d.set_update_tracking(true);
+            self.opt_g.set_update_tracking(true);
+        }
 
         // ---- Discriminator step (Eq. 1) -------------------------------
         // Fake sample, detached (generator caches are discarded by the
@@ -271,6 +305,14 @@ impl Cgan {
         self.discriminator.backward(&fake_loss.grad)?;
         self.opt_d.step(&mut self.discriminator);
         let d_loss = real_loss.loss + fake_loss.loss;
+
+        if let Some(h) = self.health.as_mut() {
+            h.observe_d_batch(&real_logits, &fake_logits);
+            h.observe_g_batch(&fake);
+            if sampled {
+                h.record_updates("D".to_string(), &self.opt_d);
+            }
+        }
 
         // ---- Generator step (Eq. 2) -----------------------------------
         self.generator.zero_grad();
@@ -294,6 +336,14 @@ impl Cgan {
         self.generator.backward(&g_output_grad)?;
         self.opt_g.step(&mut self.generator);
         let g_loss = adv.loss + cfg.lambda * recon.loss;
+
+        if sampled {
+            if let Some(h) = self.health.as_mut() {
+                h.record_updates("G".to_string(), &self.opt_g);
+            }
+            self.opt_d.set_update_tracking(false);
+            self.opt_g.set_update_tracking(false);
+        }
 
         Ok(StepLosses {
             g_loss,

@@ -42,6 +42,7 @@
 mod baseline;
 mod cgan;
 mod center;
+mod health;
 mod lithogan;
 mod netconfig;
 mod unet;
@@ -49,8 +50,10 @@ mod unet;
 pub use baseline::{BaselinePrediction, ThresholdBaseline};
 pub use cgan::{Cgan, ReconLoss, TrainConfig, TrainHistory, TrainPair};
 pub use center::CenterCnn;
+pub use health::{HealthConfig, HealthMonitor};
 pub use lithogan::{LithoGan, LithoGanPrediction};
 pub use netconfig::NetConfig;
 pub use unet::UNetGenerator;
 
+pub use litho_health::AbortCondition;
 pub use litho_tensor::{Result, Tensor, TensorError};

@@ -46,6 +46,13 @@ impl LithoGan {
         }
     }
 
+    /// Installs model-health instrumentation on both networks; records
+    /// stream to the monitor's `health.jsonl`.
+    pub fn attach_health(&mut self, monitor: &crate::HealthMonitor) {
+        self.cgan.attach_health(monitor);
+        self.center.attach_health(monitor);
+    }
+
     /// Trains both networks on dataset samples. The CGAN trains on
     /// `golden_centered` targets; the CNN on `center_px` (this split is
     /// the framework's core idea). `on_epoch(epoch, &mut cgan)` fires

@@ -1,0 +1,175 @@
+//! End-to-end CLI tests for the model-health pipeline: `train --health`
+//! streams health.jsonl, `--abort-on nan` stops a poisoned run with a
+//! nonzero exit and an `aborted(..)` manifest, and the `health`
+//! subcommand renders the report / enforces `--fail-on`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lithogan_cli"))
+}
+
+/// Fresh scratch directory per call; std-only stand-in for tempfile.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lithogan-health-cli-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn generate(dir: &Path) -> PathBuf {
+    let data = dir.join("data.lgd");
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(dir.join("runs"))
+        .args(["generate", "--clips", "6", "--size", "32", "--out"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    run_ok(&out);
+    data
+}
+
+/// Trains once under `runs/` and returns (run directory, process output).
+fn train(dir: &Path, data: &Path, extra: &[&str]) -> (PathBuf, Output) {
+    let runs = dir.join("runs");
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["train", "--data"])
+        .arg(data)
+        .args(["--epochs", "1", "--seed", "7", "--out"])
+        .arg(dir.join("model.lgm"))
+        .args(extra)
+        .output()
+        .unwrap();
+    let run = fs::read_dir(&runs)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("train-"))
+        .expect("run directory created");
+    (run, out)
+}
+
+#[test]
+fn healthy_train_streams_health_and_renders_report() {
+    let dir = scratch("ok");
+    let data = generate(&dir);
+    let (run, out) = train(&dir, &data, &["--health", "--health-stride", "2"]);
+    run_ok(&out);
+
+    let jsonl = fs::read_to_string(run.join("health.jsonl")).expect("health.jsonl written");
+    assert!(jsonl.contains("\"kind\":\"layer\""), "layer records present");
+    assert!(jsonl.contains("\"kind\":\"gan_epoch\""), "gan epoch records present");
+    assert!(jsonl.contains("\"kind\":\"center_epoch\""), "center epoch records present");
+
+    let manifest = fs::read_to_string(run.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"status\":\"ok\""), "manifest: {manifest}");
+
+    // `health <run>` renders tables, writes the SVG panel and exits 0 --
+    // including with a --fail-on list, since a healthy run fires neither.
+    let run_id = run.file_name().unwrap().to_string_lossy().into_owned();
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(dir.join("runs"))
+        .args(["health", &run_id, "--fail-on", "nan,dead-layer"])
+        .output()
+        .unwrap();
+    let text = run_ok(&out);
+    assert!(text.contains("== health "), "header: {text}");
+    assert!(text.contains("activations"), "activation table: {text}");
+    assert!(text.contains("gradients"), "gradient table: {text}");
+    assert!(text.contains("update/weight"), "update table: {text}");
+    let svg = fs::read_to_string(run.join("health.svg")).expect("health.svg written");
+    assert!(svg.starts_with("<svg "));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn abort_on_nan_stops_a_poisoned_run() {
+    let dir = scratch("nan");
+    let data = generate(&dir);
+    let (run, out) = train(
+        &dir,
+        &data,
+        &["--abort-on", "nan", "--poison-nan-at-epoch", "0"],
+    );
+    assert!(
+        !out.status.success(),
+        "poisoned run must exit nonzero\nstdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nan"), "abort reason surfaced: {stderr}");
+
+    let manifest = fs::read_to_string(run.join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"status\":\"aborted("),
+        "manifest records abort: {manifest}"
+    );
+
+    // The flushed stream carries the sentinel, so `health --fail-on nan`
+    // exits nonzero while a plain `health` still renders.
+    let run_id = run.file_name().unwrap().to_string_lossy().into_owned();
+    let plain = cli()
+        .args(["--runs-root"])
+        .arg(dir.join("runs"))
+        .args(["health", &run_id])
+        .output()
+        .unwrap();
+    let text = run_ok(&plain);
+    assert!(text.contains("nan-poisoned"), "diagnosis listed: {text}");
+
+    let gated = cli()
+        .args(["--runs-root"])
+        .arg(dir.join("runs"))
+        .args(["health", &run_id, "--fail-on", "nan"])
+        .output()
+        .unwrap();
+    assert!(!gated.status.success(), "--fail-on nan must exit nonzero");
+    let err = String::from_utf8_lossy(&gated.stderr);
+    assert!(err.contains("health check failed"), "stderr: {err}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn health_on_run_without_stream_is_a_clear_error() {
+    let dir = scratch("nostream");
+    let data = generate(&dir);
+    let (run, out) = train(&dir, &data, &[]);
+    run_ok(&out);
+    assert!(!run.join("health.jsonl").exists());
+
+    let run_id = run.file_name().unwrap().to_string_lossy().into_owned();
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(dir.join("runs"))
+        .args(["health", &run_id])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--health"), "points at the flag: {err}");
+
+    fs::remove_dir_all(&dir).ok();
+}

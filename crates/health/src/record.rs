@@ -1,0 +1,455 @@
+//! The `health.jsonl` record schema: writer and tolerant reader.
+//!
+//! One JSON object per line, discriminated by a `"kind"` field:
+//!
+//! * `layer` — per-layer activation (`pass: "fwd"`) or gradient
+//!   (`pass: "bwd"`) summary from a sampled training step.
+//! * `update` — per-parameter update-to-weight ratio from a sampled
+//!   optimizer step.
+//! * `gan_epoch` — per-epoch GAN balance signals from the cGAN loop.
+//! * `center_epoch` — per-epoch regression signals from the center CNN.
+//!
+//! Like the telemetry trace, the stream is append-only and may end
+//! mid-line when a run dies; the reader is line-tolerant and reports a
+//! truncated tail separately from corruption.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json::{write_str, Json};
+
+/// Identifies which network a record came from: `"G"` (generator),
+/// `"D"` (discriminator) or `"C"` (center CNN).
+pub type NetId = String;
+
+/// Direction of the sampled pass a [`LayerRecord`] summarizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    Forward,
+    Backward,
+}
+
+impl Pass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Pass::Forward => "fwd",
+            Pass::Backward => "bwd",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Pass> {
+        match s {
+            "fwd" => Some(Pass::Forward),
+            "bwd" => Some(Pass::Backward),
+            _ => None,
+        }
+    }
+}
+
+/// Summary of one layer's output activation or input gradient at one
+/// sampled training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRecord {
+    pub net: NetId,
+    pub pass: Pass,
+    /// 0-based training epoch.
+    pub epoch: u64,
+    /// Global step counter within the run (monotonic across epochs).
+    pub step: u64,
+    /// Layer position within its `Sequential`.
+    pub layer: u64,
+    /// Layer display name (`Conv2d(2→64)`, `ReLU`, ...).
+    pub name: String,
+    /// Elements summarized.
+    pub count: u64,
+    pub mean: f64,
+    pub std: f64,
+    pub l2: f64,
+    pub abs_max: f64,
+    /// Fraction of exactly-zero elements (dead-ReLU fraction on a ReLU
+    /// output).
+    pub zero_frac: f64,
+    /// NaN sentinel count.
+    pub nan: u64,
+    /// ±Inf sentinel count.
+    pub inf: u64,
+}
+
+impl LayerRecord {
+    /// Whether the summarized tensor contained NaN/Inf.
+    pub fn is_poisoned(&self) -> bool {
+        self.nan > 0 || self.inf > 0
+    }
+}
+
+/// One parameter tensor's update-to-weight ratio at one sampled
+/// optimizer step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRecord {
+    pub net: NetId,
+    pub epoch: u64,
+    pub step: u64,
+    /// Parameter position in the network's stable visitation order.
+    pub param: u64,
+    pub update_l2: f64,
+    pub weight_l2: f64,
+    /// `update_l2 / weight_l2` (epsilon-guarded at the source).
+    pub ratio: f64,
+}
+
+/// Per-epoch GAN balance signals from the cGAN training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanEpochRecord {
+    pub epoch: u64,
+    /// Fraction of real samples the discriminator scored > 0.5.
+    pub d_real_acc: f64,
+    /// Fraction of generated samples the discriminator scored < 0.5.
+    pub d_fake_acc: f64,
+    pub g_loss: f64,
+    pub d_loss: f64,
+    /// `d_loss / g_loss` (epsilon-guarded).
+    pub loss_ratio: f64,
+    /// Mean per-pixel batch standard deviation of generated resist
+    /// patterns — the mode-collapse proxy: collapsed generators emit
+    /// near-identical outputs regardless of input.
+    pub diversity: f64,
+}
+
+/// Per-epoch signals from the center-CNN regression loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenterEpochRecord {
+    pub epoch: u64,
+    pub mse: f64,
+    pub grad_norm: f64,
+}
+
+/// One line of `health.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthRecord {
+    Layer(LayerRecord),
+    Update(UpdateRecord),
+    Gan(GanEpochRecord),
+    Center(CenterEpochRecord),
+}
+
+/// Append a number field, mapping non-finite values to `null` (the
+/// reader maps `null` back to NaN, so poison survives a round-trip).
+fn push_num(out: &mut String, key: &str, v: f64) {
+    out.push(',');
+    write_str(out, key);
+    out.push(':');
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_u64(out: &mut String, key: &str, v: u64) {
+    out.push(',');
+    write_str(out, key);
+    out.push(':');
+    out.push_str(&v.to_string());
+}
+
+fn push_str(out: &mut String, key: &str, v: &str) {
+    out.push(',');
+    write_str(out, key);
+    out.push(':');
+    write_str(out, v);
+}
+
+impl HealthRecord {
+    /// The `"kind"` discriminator of this record.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthRecord::Layer(_) => "layer",
+            HealthRecord::Update(_) => "update",
+            HealthRecord::Gan(_) => "gan_epoch",
+            HealthRecord::Center(_) => "center_epoch",
+        }
+    }
+
+    /// Renders as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            HealthRecord::Layer(r) => {
+                push_str(&mut out, "net", &r.net);
+                push_str(&mut out, "pass", r.pass.as_str());
+                push_u64(&mut out, "epoch", r.epoch);
+                push_u64(&mut out, "step", r.step);
+                push_u64(&mut out, "layer", r.layer);
+                push_str(&mut out, "name", &r.name);
+                push_u64(&mut out, "count", r.count);
+                push_num(&mut out, "mean", r.mean);
+                push_num(&mut out, "std", r.std);
+                push_num(&mut out, "l2", r.l2);
+                push_num(&mut out, "abs_max", r.abs_max);
+                push_num(&mut out, "zero_frac", r.zero_frac);
+                push_u64(&mut out, "nan", r.nan);
+                push_u64(&mut out, "inf", r.inf);
+            }
+            HealthRecord::Update(r) => {
+                push_str(&mut out, "net", &r.net);
+                push_u64(&mut out, "epoch", r.epoch);
+                push_u64(&mut out, "step", r.step);
+                push_u64(&mut out, "param", r.param);
+                push_num(&mut out, "update_l2", r.update_l2);
+                push_num(&mut out, "weight_l2", r.weight_l2);
+                push_num(&mut out, "ratio", r.ratio);
+            }
+            HealthRecord::Gan(r) => {
+                push_u64(&mut out, "epoch", r.epoch);
+                push_num(&mut out, "d_real_acc", r.d_real_acc);
+                push_num(&mut out, "d_fake_acc", r.d_fake_acc);
+                push_num(&mut out, "g_loss", r.g_loss);
+                push_num(&mut out, "d_loss", r.d_loss);
+                push_num(&mut out, "loss_ratio", r.loss_ratio);
+                push_num(&mut out, "diversity", r.diversity);
+            }
+            HealthRecord::Center(r) => {
+                push_u64(&mut out, "epoch", r.epoch);
+                push_num(&mut out, "mse", r.mse);
+                push_num(&mut out, "grad_norm", r.grad_norm);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// `null`/missing numbers decode to NaN so poisoned values stay visible.
+fn num(v: &Json, key: &str) -> f64 {
+    match v.get(key) {
+        Some(Json::Num(n)) => *n,
+        _ => f64::NAN,
+    }
+}
+
+fn uint(v: &Json, key: &str) -> Option<u64> {
+    v.get(key)?.as_u64()
+}
+
+fn text(v: &Json, key: &str) -> Option<String> {
+    Some(v.get(key)?.as_str()?.to_string())
+}
+
+fn decode(v: &Json) -> Option<HealthRecord> {
+    match v.get("kind")?.as_str()? {
+        "layer" => Some(HealthRecord::Layer(LayerRecord {
+            net: text(v, "net")?,
+            pass: Pass::parse(v.get("pass")?.as_str()?)?,
+            epoch: uint(v, "epoch")?,
+            step: uint(v, "step")?,
+            layer: uint(v, "layer")?,
+            name: text(v, "name")?,
+            count: uint(v, "count")?,
+            mean: num(v, "mean"),
+            std: num(v, "std"),
+            l2: num(v, "l2"),
+            abs_max: num(v, "abs_max"),
+            zero_frac: num(v, "zero_frac"),
+            nan: uint(v, "nan")?,
+            inf: uint(v, "inf")?,
+        })),
+        "update" => Some(HealthRecord::Update(UpdateRecord {
+            net: text(v, "net")?,
+            epoch: uint(v, "epoch")?,
+            step: uint(v, "step")?,
+            param: uint(v, "param")?,
+            update_l2: num(v, "update_l2"),
+            weight_l2: num(v, "weight_l2"),
+            ratio: num(v, "ratio"),
+        })),
+        "gan_epoch" => Some(HealthRecord::Gan(GanEpochRecord {
+            epoch: uint(v, "epoch")?,
+            d_real_acc: num(v, "d_real_acc"),
+            d_fake_acc: num(v, "d_fake_acc"),
+            g_loss: num(v, "g_loss"),
+            d_loss: num(v, "d_loss"),
+            loss_ratio: num(v, "loss_ratio"),
+            diversity: num(v, "diversity"),
+        })),
+        "center_epoch" => Some(HealthRecord::Center(CenterEpochRecord {
+            epoch: uint(v, "epoch")?,
+            mse: num(v, "mse"),
+            grad_norm: num(v, "grad_norm"),
+        })),
+        _ => None,
+    }
+}
+
+/// Result of decoding a `health.jsonl` stream.
+#[derive(Debug, Default, Clone)]
+pub struct HealthParse {
+    pub records: Vec<HealthRecord>,
+    /// Malformed or unknown-kind non-final lines.
+    pub skipped_lines: usize,
+    /// True when the final line failed to decode — a killed run.
+    pub truncated_tail: bool,
+}
+
+/// Decodes a `health.jsonl` stream from a string.
+pub fn parse_health_str(text: &str) -> HealthParse {
+    let mut parse = HealthParse::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line).ok().and_then(|v| decode(&v)) {
+            Some(rec) => parse.records.push(rec),
+            None if Some(i) == last_nonempty => parse.truncated_tail = true,
+            None => parse.skipped_lines += 1,
+        }
+    }
+    parse
+}
+
+/// Decodes a `health.jsonl` stream from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors (malformed *content* never errors).
+pub fn parse_health_file(path: &Path) -> io::Result<HealthParse> {
+    Ok(parse_health_str(&std::fs::read_to_string(path)?))
+}
+
+/// Buffered line-at-a-time `health.jsonl` writer.
+pub struct HealthWriter {
+    writer: BufWriter<std::fs::File>,
+}
+
+impl std::fmt::Debug for HealthWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HealthWriter")
+    }
+}
+
+impl HealthWriter {
+    /// Creates (or truncates) `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(HealthWriter {
+            writer: BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+
+    /// Appends one record. Write failures are swallowed: health capture
+    /// must never take down the training run it observes.
+    pub fn append(&mut self, record: &HealthRecord) {
+        let _ = writeln!(self.writer, "{}", record.to_jsonl());
+    }
+
+    /// Flushes buffered lines to disk (end of epoch).
+    pub fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(step: u64, l2: f64, nan: u64) -> HealthRecord {
+        HealthRecord::Layer(LayerRecord {
+            net: "G".into(),
+            pass: Pass::Backward,
+            epoch: 0,
+            step,
+            layer: 2,
+            name: "Conv2d(2→64)".into(),
+            count: 64,
+            mean: 0.01,
+            std: 0.5,
+            l2,
+            abs_max: 1.5,
+            zero_frac: 0.25,
+            nan,
+            inf: 0,
+        })
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let records = vec![
+            layer(4, 0.75, 0),
+            HealthRecord::Update(UpdateRecord {
+                net: "D".into(),
+                epoch: 1,
+                step: 9,
+                param: 3,
+                update_l2: 1e-3,
+                weight_l2: 0.9,
+                ratio: 1.1e-3,
+            }),
+            HealthRecord::Gan(GanEpochRecord {
+                epoch: 2,
+                d_real_acc: 0.8,
+                d_fake_acc: 0.7,
+                g_loss: 1.3,
+                d_loss: 0.6,
+                loss_ratio: 0.46,
+                diversity: 0.11,
+            }),
+            HealthRecord::Center(CenterEpochRecord {
+                epoch: 2,
+                mse: 0.02,
+                grad_norm: 0.4,
+            }),
+        ];
+        let text: String = records
+            .iter()
+            .map(|r| r.to_jsonl() + "\n")
+            .collect();
+        let parsed = parse_health_str(&text);
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.skipped_lines, 0);
+        assert!(!parsed.truncated_tail);
+    }
+
+    #[test]
+    fn non_finite_values_survive_as_nan() {
+        let rec = HealthRecord::Gan(GanEpochRecord {
+            epoch: 0,
+            d_real_acc: 0.5,
+            d_fake_acc: 0.5,
+            g_loss: f64::NAN,
+            d_loss: f64::INFINITY,
+            loss_ratio: f64::NAN,
+            diversity: 0.1,
+        });
+        let line = rec.to_jsonl();
+        assert!(line.contains("\"g_loss\":null"));
+        let parsed = parse_health_str(&line);
+        match &parsed.records[0] {
+            HealthRecord::Gan(g) => {
+                assert!(g.g_loss.is_nan());
+                assert!(g.d_loss.is_nan(), "inf flattens to null → NaN");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_truncated_tail_and_corruption() {
+        let good = layer(1, 0.5, 0).to_jsonl();
+        let text = format!("{good}\nnot json\n{good}\n{{\"kind\":\"layer\",\"net\"");
+        let parsed = parse_health_str(&text);
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.skipped_lines, 1);
+        assert!(parsed.truncated_tail);
+    }
+
+    #[test]
+    fn poison_sentinels_are_visible() {
+        match layer(1, 0.5, 3) {
+            HealthRecord::Layer(r) => assert!(r.is_poisoned()),
+            _ => unreachable!(),
+        }
+    }
+}

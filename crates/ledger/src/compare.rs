@@ -33,6 +33,15 @@ pub fn run_metrics(run: &RunData) -> Vec<(String, f64)> {
     if let Some(wall) = run.manifest.wall_clock_s {
         out.push(("wall_clock_s".to_string(), wall));
     }
+    if let Some(rss) = run.manifest.peak_rss_bytes {
+        out.push(("peak_rss_mib".to_string(), rss as f64 / (1u64 << 20) as f64));
+    }
+    if let Some(alloc) = run.manifest.tensor_alloc_bytes {
+        out.push((
+            "tensor_alloc_mib".to_string(),
+            alloc as f64 / (1u64 << 20) as f64,
+        ));
+    }
     if let Some(t) = &run.trace {
         for s in &t.spans {
             out.push((format!("span:{}", s.path), s.total_us / 1e6));
@@ -94,6 +103,19 @@ pub fn render_compare(a: &RunData, b: &RunData) -> String {
             (format!("{va:.4}"), format!("{vb:.4}"), format!("{delta:+.4}"))
         };
         let _ = writeln!(out, "{key:<w$} {fa:>12} {fb:>12} {fd:>12} {pct}");
+    }
+    for (label, run) in [("a", a), ("b", b)] {
+        if let Some(h) = &run.health {
+            let verdict = if h.has_poison() {
+                "NaN/Inf POISONED".to_string()
+            } else if h.diagnoses.is_empty() {
+                "ok".to_string()
+            } else {
+                let names: Vec<&str> = h.diagnoses.iter().map(|d| d.kind.as_str()).collect();
+                format!("{} diagnoses ({})", h.diagnoses.len(), names.join(", "))
+            };
+            let _ = writeln!(out, "health {label} ({}): {verdict}", run.manifest.run_id);
+        }
     }
     out
 }
@@ -244,6 +266,10 @@ impl GateOutcome {
 /// over the baseline file's tolerance. A baseline metric the run does not
 /// report fails the gate (a silently-vanished metric is itself a
 /// regression).
+///
+/// Independent of metric tolerances, a run whose health stream carries a
+/// NaN/Inf sentinel fails outright (`health:nan_free`): its metrics may
+/// look in-tolerance while the model is numerically poisoned.
 pub fn gate(run: &RunData, baseline: &Baseline, tol_pct_override: Option<f64>) -> GateOutcome {
     let tol_pct = tol_pct_override.unwrap_or(baseline.tol_pct).max(0.0);
     let tol = tol_pct / 100.0;
@@ -252,6 +278,15 @@ pub fn gate(run: &RunData, baseline: &Baseline, tol_pct_override: Option<f64>) -
         checks: Vec::new(),
         tol_pct,
     };
+    if let Some(h) = &run.health {
+        let clean = !h.has_poison();
+        outcome.checks.push(GateCheck {
+            metric: "health:nan_free".to_string(),
+            baseline: 1.0,
+            actual: Some(if clean { 1.0 } else { 0.0 }),
+            pass: clean,
+        });
+    }
     for (key, base) in &baseline.metrics {
         let actual = lookup(&metrics, key);
         let pass = match actual {

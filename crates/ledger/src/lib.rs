@@ -21,18 +21,21 @@
 //!   (`compare <run> --gate baseline.json --tol-pct N`).
 //!
 //! The crate is std-only: JSON parsing is the in-tree [`json::Json`]
-//! recursive-descent parser, which tolerates the truncated final line a
-//! killed run leaves behind in its JSONL streams.
+//! recursive-descent parser (hosted by `litho-health`, re-exported
+//! here), which tolerates the truncated final line a killed run leaves
+//! behind in its JSONL streams.
 
-pub mod json;
+pub use litho_health::json;
 
 mod compare;
+mod health;
 mod manifest;
 mod report;
 mod svg;
 mod trace;
 
 pub use compare::{gate, render_compare, run_metrics, Baseline, GateCheck, GateOutcome};
+pub use health::{health_svg, load_health, render_health, HealthAnalysis, LayerHealth, UpdateHealth};
 pub use manifest::{
     fingerprint_file, load_manifest, load_records, DatasetInfo, RunLedger, RunManifest,
     MANIFEST_SCHEMA,

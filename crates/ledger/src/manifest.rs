@@ -114,10 +114,16 @@ pub struct RunManifest {
     /// Path of the telemetry JSONL stream, relative to the run directory
     /// unless absolute.
     pub trace: Option<String>,
-    /// `running`, `ok` or `error`.
+    /// `running`, `ok`, `error` or `aborted(<reason>)`.
     pub status: String,
     /// Total wall-clock, present once finalized.
     pub wall_clock_s: Option<f64>,
+    /// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+    /// `None` where the proc filesystem is unavailable.
+    pub peak_rss_bytes: Option<u64>,
+    /// Cumulative tensor data bytes allocated by the process
+    /// ([`litho_tensor::allocated_bytes`]), an allocator-churn signal.
+    pub tensor_alloc_bytes: Option<u64>,
 }
 
 impl RunManifest {
@@ -153,6 +159,24 @@ impl RunManifest {
         members.push(("status".into(), Json::Str(self.status.clone())));
         if let Some(wall) = self.wall_clock_s {
             members.push(("wall_clock_s".into(), Json::Num(wall)));
+        }
+        if self.wall_clock_s.is_some() {
+            // Memory accounting is stamped at finalize time; `null` keeps
+            // the field visible on platforms without /proc.
+            members.push((
+                "peak_rss_bytes".into(),
+                match self.peak_rss_bytes {
+                    Some(v) => Json::Num(v as f64),
+                    None => Json::Null,
+                },
+            ));
+            members.push((
+                "tensor_alloc_bytes".into(),
+                match self.tensor_alloc_bytes {
+                    Some(v) => Json::Num(v as f64),
+                    None => Json::Null,
+                },
+            ));
         }
         let mut out = Json::Obj(members).to_string_compact();
         out.push('\n');
@@ -196,8 +220,24 @@ impl RunManifest {
             trace: v.get("trace").and_then(Json::as_str).map(str::to_string),
             status: str_field("status")?,
             wall_clock_s: v.get("wall_clock_s").and_then(Json::as_f64),
+            peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_u64),
+            tensor_alloc_bytes: v.get("tensor_alloc_bytes").and_then(Json::as_u64),
         })
     }
+}
+
+/// Peak resident set size of this process in bytes, from the `VmHWM`
+/// line of `/proc/self/status`. Returns `None` on platforms without a
+/// proc filesystem (macOS, Windows) — callers record `null`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -266,6 +306,8 @@ impl RunLedger {
             trace: None,
             status: "running".to_string(),
             wall_clock_s: None,
+            peak_rss_bytes: None,
+            tensor_alloc_bytes: None,
         };
         let ledger = RunLedger {
             dir,
@@ -350,6 +392,18 @@ impl RunLedger {
     ///
     /// Propagates I/O errors.
     pub fn finalize(&mut self, ok: bool) -> io::Result<()> {
+        self.finalize_with_status(if ok { "ok" } else { "error" })
+    }
+
+    /// Like [`Self::finalize`] but with an explicit status string —
+    /// training aborted by a health monitor records
+    /// `aborted(<reason>)`. Also stamps memory accounting (peak RSS and
+    /// cumulative tensor allocation) into the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finalize_with_status(&mut self, status: &str) -> io::Result<()> {
         if self.finalized {
             return Ok(());
         }
@@ -357,8 +411,10 @@ impl RunLedger {
         if let Some(w) = self.samples.as_mut() {
             w.flush()?;
         }
-        self.manifest.status = if ok { "ok" } else { "error" }.to_string();
+        self.manifest.status = status.to_string();
         self.manifest.wall_clock_s = Some(self.started.elapsed().as_secs_f64());
+        self.manifest.peak_rss_bytes = peak_rss_bytes();
+        self.manifest.tensor_alloc_bytes = Some(litho_tensor::allocated_bytes());
         self.write_manifest()
     }
 }
@@ -492,6 +548,23 @@ mod tests {
         let (records, skipped) = load_records(&run).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn finalize_with_status_records_abort_and_memory() {
+        let root = temp_dir("aborted");
+        let mut ledger = RunLedger::create(&root, "train", None, Vec::new(), None).unwrap();
+        let _ = litho_tensor::Tensor::zeros(&[8]);
+        ledger.finalize_with_status("aborted(nan)").unwrap();
+        let m = load_manifest(ledger.dir()).unwrap();
+        assert_eq!(m.status, "aborted(nan)");
+        assert!(m.tensor_alloc_bytes.unwrap_or(0) > 0);
+        // peak_rss_bytes is best-effort (None off-Linux) but must
+        // round-trip through serialization either way.
+        assert_eq!(m.peak_rss_bytes, peak_rss_bytes().and(m.peak_rss_bytes));
+        let text = m.to_json_string();
+        assert!(text.contains("\"peak_rss_bytes\""));
+        assert_eq!(RunManifest::from_json_str(&text).unwrap(), m);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 
 use litho_metrics::{MetricAccumulator, MetricSummary, SampleRecord};
 
+use crate::health::{load_health, HealthAnalysis};
 use crate::manifest::{load_manifest, load_records, RunManifest};
 use crate::trace::{analyze_file, TraceAnalysis};
 
@@ -22,6 +23,9 @@ pub struct RunData {
     pub summary: Option<MetricSummary>,
     /// Analysis of the run's telemetry stream, when one exists.
     pub trace: Option<TraceAnalysis>,
+    /// Analysis of `health.jsonl`, when the run was trained with
+    /// `--health`.
+    pub health: Option<HealthAnalysis>,
 }
 
 impl RunData {
@@ -64,6 +68,7 @@ pub fn load_run(dir: &Path) -> io::Result<RunData> {
         skipped_records,
         summary,
         trace: None,
+        health: load_health(dir)?,
     };
     if let Some(path) = run.trace_path() {
         if path.exists() {
@@ -87,6 +92,18 @@ fn fmt_opt_s(s: Option<f64>) -> String {
     match s {
         Some(s) => format!("{s:.2}s"),
         None => "-".to_string(),
+    }
+}
+
+pub(crate) fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
     }
 }
 
@@ -114,6 +131,12 @@ pub fn render_report(run: &RunData) -> String {
     let _ = writeln!(out, "command     {}", m.command);
     let _ = writeln!(out, "status      {}", m.status);
     let _ = writeln!(out, "wall clock  {}", fmt_opt_s(m.wall_clock_s));
+    if let Some(rss) = m.peak_rss_bytes {
+        let _ = writeln!(out, "peak rss    {}", fmt_bytes(rss));
+    }
+    if let Some(alloc) = m.tensor_alloc_bytes {
+        let _ = writeln!(out, "tensor mem  {} allocated", fmt_bytes(alloc));
+    }
     if let Some(seed) = m.seed {
         let _ = writeln!(out, "seed        {seed}");
     }
@@ -229,6 +252,22 @@ pub fn render_report(run: &RunData) -> String {
         None => {
             let _ = writeln!(out);
             let _ = writeln!(out, "trace: (none)");
+        }
+    }
+
+    if let Some(h) = &run.health {
+        let _ = writeln!(out);
+        if h.diagnoses.is_empty() {
+            let _ = writeln!(out, "health:     ok ({} records)", h.records);
+        } else {
+            let names: Vec<&str> = h.diagnoses.iter().map(|d| d.kind.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "health:     {} diagnoses ({}) — see `health {}`",
+                h.diagnoses.len(),
+                names.join(", "),
+                m.run_id
+            );
         }
     }
     out

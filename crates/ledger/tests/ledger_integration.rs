@@ -6,16 +6,26 @@ use std::fs;
 use std::path::PathBuf;
 
 use litho_ledger::{
-    analyze, dashboard_svg, gate, load_run, parse_trace_str, render_compare, render_report,
-    Baseline,
+    analyze, dashboard_svg, gate, health_svg, load_run, parse_trace_str, render_compare,
+    render_health, render_report, Baseline,
 };
 
 fn fixture_run() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/train-1700000000-42")
 }
 
+/// A run killed by `--abort-on nan`: its health stream carries an
+/// injected NaN window starting at epoch 2 step 16.
+fn poisoned_run() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/train-1700000777-7")
+}
+
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.txt")
+}
+
+fn health_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/health.txt")
 }
 
 #[test]
@@ -123,6 +133,57 @@ fn analyzer_handles_interleaved_nested_spans() {
 }
 
 #[test]
+fn health_report_matches_golden_file() {
+    let run = load_run(&poisoned_run()).expect("poisoned fixture loads");
+    let health = run.health.as_ref().expect("health.jsonl present");
+    let rendered = render_health(&run.manifest.run_id, health);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(health_golden_path().parent().unwrap()).unwrap();
+        fs::write(health_golden_path(), &rendered).unwrap();
+    }
+    let golden = fs::read_to_string(health_golden_path()).expect("golden file committed");
+    assert_eq!(
+        rendered, golden,
+        "health report drifted from tests/golden/health.txt; \
+         run UPDATE_GOLDEN=1 cargo test -p litho-ledger and review the diff"
+    );
+    // The injected NaN window is diagnosed with its first-seen position.
+    assert!(rendered.contains("nan-poisoned"), "diagnosis missing:\n{rendered}");
+    assert!(
+        rendered.contains("epoch 2 step 16"),
+        "first-seen position missing:\n{rendered}"
+    );
+}
+
+#[test]
+fn health_svg_marks_poisoned_values() {
+    let run = load_run(&poisoned_run()).unwrap();
+    let svg = health_svg(&run.manifest.run_id, run.health.as_ref().unwrap());
+    assert!(svg.starts_with("<svg "));
+    assert!(svg.trim_end().ends_with("</svg>"));
+    // NaN epochs render as red tick marks rather than vanishing silently.
+    assert!(svg.contains("#dc2626"), "poison ticks missing");
+}
+
+#[test]
+fn gate_fails_fast_on_nan_poisoned_health() {
+    // Generous tolerances cannot rescue a poisoned run: the sentinel
+    // check is prepended independently of any metric baseline.
+    let run = load_run(&poisoned_run()).unwrap();
+    let lenient = Baseline::from_json_str("{\"tol_pct\":99,\"metrics\":{}}").unwrap();
+    let outcome = gate(&run, &lenient, None);
+    assert!(!outcome.passed());
+    assert_eq!(outcome.checks[0].metric, "health:nan_free");
+    assert!(!outcome.checks[0].pass);
+
+    // The clean fixture carries the same check, passing.
+    let clean = load_run(&fixture_run()).unwrap();
+    let outcome = gate(&clean, &lenient, None);
+    assert!(outcome.passed());
+    assert_eq!(outcome.checks[0].metric, "health:nan_free");
+}
+
+#[test]
 fn gate_fails_on_regression_and_passes_within_tolerance() {
     let run = load_run(&fixture_run()).unwrap();
 
@@ -158,7 +219,14 @@ fn gate_fails_on_regression_and_passes_within_tolerance() {
         Baseline::from_json_str("{\"tol_pct\":50,\"metrics\":{\"no_such_metric\":1.0}}").unwrap();
     let outcome = gate(&run, &vanished, None);
     assert!(!outcome.passed());
-    assert!(outcome.checks[0].actual.is_none());
+    // checks[0] is the prepended health sentinel; the missing metric
+    // follows it with no actual value.
+    let missing = outcome
+        .checks
+        .iter()
+        .find(|c| c.metric == "no_such_metric")
+        .unwrap();
+    assert!(missing.actual.is_none());
 }
 
 #[test]

@@ -50,6 +50,7 @@ mod optim;
 mod pool;
 mod sequential;
 pub mod serialize;
+mod stats;
 pub(crate) mod util;
 
 pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
@@ -61,8 +62,9 @@ pub use init::WeightInit;
 pub use layer::{Flatten, Layer, Param, Phase};
 pub use linear::Linear;
 pub use loss::{bce_with_logits, l1_loss, mse_loss, LossValue};
-pub use optim::{Adam, LinearDecay, Optimizer, Sgd};
+pub use optim::{Adam, LinearDecay, Optimizer, Sgd, UpdateStat};
 pub use pool::MaxPool2d;
 pub use sequential::Sequential;
+pub use stats::{RecordingHook, StatsHook, TensorStats};
 
 pub use litho_tensor::{Result, Tensor, TensorError};

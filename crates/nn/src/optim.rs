@@ -8,6 +8,35 @@ use litho_tensor::Tensor;
 
 use crate::layer::Layer;
 
+/// Magnitudes of one parameter tensor's most recent optimizer update,
+/// in the layer's stable [`Layer::visit_params`] order.
+///
+/// The update-to-weight `ratio` is the classic training-health signal: a
+/// healthy step moves each parameter tensor by roughly 1e-3 of its norm;
+/// ratios near zero mean the layer has stopped learning, ratios near or
+/// above one mean the optimizer is overshooting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UpdateStat {
+    /// ℓ2 norm of the applied update Δw.
+    pub update_l2: f32,
+    /// ℓ2 norm of the parameter value after the update.
+    pub weight_l2: f32,
+    /// `update_l2 / weight_l2` (epsilon-guarded).
+    pub ratio: f32,
+}
+
+impl UpdateStat {
+    fn new(update_sq: f64, weight_sq: f64) -> UpdateStat {
+        let update_l2 = update_sq.sqrt() as f32;
+        let weight_l2 = weight_sq.sqrt() as f32;
+        UpdateStat {
+            update_l2,
+            weight_l2,
+            ratio: update_l2 / (weight_l2 + 1e-12),
+        }
+    }
+}
+
 /// A gradient-based parameter update rule.
 pub trait Optimizer {
     /// Applies one update step using the gradients currently accumulated in
@@ -20,6 +49,17 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (e.g. for decay schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Enables collection of per-parameter [`UpdateStat`]s on subsequent
+    /// [`Optimizer::step`] calls. Off by default; health monitors toggle
+    /// it on only for sampled steps so untracked steps pay nothing.
+    fn set_update_tracking(&mut self, _enabled: bool) {}
+
+    /// Per-parameter statistics of the most recent tracked step (empty
+    /// when tracking is off or no step ran since it was enabled).
+    fn update_stats(&self) -> &[UpdateStat] {
+        &[]
+    }
 }
 
 /// Stochastic gradient descent with classical momentum.
@@ -28,6 +68,8 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     velocity: Vec<Tensor>,
+    track_updates: bool,
+    update_stats: Vec<UpdateStat>,
 }
 
 impl Sgd {
@@ -37,6 +79,8 @@ impl Sgd {
             lr,
             momentum,
             velocity: Vec::new(),
+            track_updates: false,
+            update_stats: Vec::new(),
         }
     }
 }
@@ -47,6 +91,9 @@ impl Optimizer for Sgd {
         let lr = self.lr;
         let momentum = self.momentum;
         let velocity = &mut self.velocity;
+        let track = self.track_updates;
+        let stats = &mut self.update_stats;
+        stats.clear();
         net.visit_params(&mut |p| {
             if velocity.len() <= idx {
                 velocity.push(Tensor::zeros(p.value.dims()));
@@ -56,9 +103,21 @@ impl Optimizer for Sgd {
             let vd = v.as_mut_slice();
             let val = p.value.as_mut_slice();
             let grad = p.grad.as_slice();
-            for i in 0..val.len() {
-                vd[i] = momentum * vd[i] - lr * grad[i];
-                val[i] += vd[i];
+            if track {
+                let mut update_sq = 0.0f64;
+                let mut weight_sq = 0.0f64;
+                for i in 0..val.len() {
+                    vd[i] = momentum * vd[i] - lr * grad[i];
+                    val[i] += vd[i];
+                    update_sq += (vd[i] as f64) * (vd[i] as f64);
+                    weight_sq += (val[i] as f64) * (val[i] as f64);
+                }
+                stats.push(UpdateStat::new(update_sq, weight_sq));
+            } else {
+                for i in 0..val.len() {
+                    vd[i] = momentum * vd[i] - lr * grad[i];
+                    val[i] += vd[i];
+                }
             }
             idx += 1;
         });
@@ -70,6 +129,17 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_update_tracking(&mut self, enabled: bool) {
+        self.track_updates = enabled;
+        if !enabled {
+            self.update_stats.clear();
+        }
+    }
+
+    fn update_stats(&self) -> &[UpdateStat] {
+        &self.update_stats
     }
 }
 
@@ -87,6 +157,8 @@ pub struct Adam {
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    track_updates: bool,
+    update_stats: Vec<UpdateStat>,
 }
 
 impl Adam {
@@ -100,6 +172,8 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            track_updates: false,
+            update_stats: Vec::new(),
         }
     }
 
@@ -119,6 +193,9 @@ impl Optimizer for Adam {
         let mut idx = 0;
         let m_state = &mut self.m;
         let v_state = &mut self.v;
+        let track = self.track_updates;
+        let stats = &mut self.update_stats;
+        stats.clear();
         net.visit_params(&mut |p| {
             if m_state.len() <= idx {
                 m_state.push(Tensor::zeros(p.value.dims()));
@@ -129,13 +206,30 @@ impl Optimizer for Adam {
             let v = v_state[idx].as_mut_slice();
             let val = p.value.as_mut_slice();
             let grad = p.grad.as_slice();
-            for i in 0..val.len() {
-                let g = grad[i];
-                m[i] = b1 * m[i] + (1.0 - b1) * g;
-                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
-                let m_hat = m[i] / bias1;
-                let v_hat = v[i] / bias2;
-                val[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            if track {
+                let mut update_sq = 0.0f64;
+                let mut weight_sq = 0.0f64;
+                for i in 0..val.len() {
+                    let g = grad[i];
+                    m[i] = b1 * m[i] + (1.0 - b1) * g;
+                    v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                    let m_hat = m[i] / bias1;
+                    let v_hat = v[i] / bias2;
+                    let delta = lr * m_hat / (v_hat.sqrt() + eps);
+                    val[i] -= delta;
+                    update_sq += (delta as f64) * (delta as f64);
+                    weight_sq += (val[i] as f64) * (val[i] as f64);
+                }
+                stats.push(UpdateStat::new(update_sq, weight_sq));
+            } else {
+                for i in 0..val.len() {
+                    let g = grad[i];
+                    m[i] = b1 * m[i] + (1.0 - b1) * g;
+                    v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                    let m_hat = m[i] / bias1;
+                    let v_hat = v[i] / bias2;
+                    val[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
             }
             idx += 1;
         });
@@ -147,6 +241,17 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_update_tracking(&mut self, enabled: bool) {
+        self.track_updates = enabled;
+        if !enabled {
+            self.update_stats.clear();
+        }
+    }
+
+    fn update_stats(&self) -> &[UpdateStat] {
+        &self.update_stats
     }
 }
 
@@ -275,6 +380,36 @@ mod tests {
     #[should_panic(expected = "decay phase")]
     fn linear_decay_rejects_empty_phase() {
         LinearDecay::new(1.0, 8, 8);
+    }
+
+    #[test]
+    fn update_tracking_reports_per_param_ratios() {
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(2);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 2, &mut rng));
+        let x = Tensor::from_vec(vec![1.0, -0.5, 2.0], &[1, 3]).unwrap();
+        let target = Tensor::from_vec(vec![0.7, -0.3], &[1, 2]).unwrap();
+
+        for opt in [
+            &mut Adam::new(0.05, 0.9, 0.999) as &mut dyn Optimizer,
+            &mut Sgd::new(0.05, 0.9) as &mut dyn Optimizer,
+        ] {
+            assert!(opt.update_stats().is_empty(), "tracking is off by default");
+            opt.set_update_tracking(true);
+            net.zero_grad();
+            let y = net.forward(&x, Phase::Train).unwrap();
+            let lv = mse_loss(&y, &target).unwrap();
+            net.backward(&lv.grad).unwrap();
+            opt.step(&mut net);
+            let stats = opt.update_stats();
+            assert_eq!(stats.len(), 2, "Linear has weight + bias");
+            for s in stats {
+                assert!(s.update_l2.is_finite() && s.update_l2 > 0.0);
+                assert!(s.ratio.is_finite());
+            }
+            opt.set_update_tracking(false);
+            assert!(opt.update_stats().is_empty());
+        }
     }
 
     #[test]

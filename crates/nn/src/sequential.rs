@@ -1,6 +1,7 @@
 use litho_tensor::{Result, Tensor};
 
 use crate::layer::{Layer, Param, Phase};
+use crate::stats::{StatsHook, TensorStats};
 
 /// An ordered stack of layers executed front-to-back.
 ///
@@ -24,12 +25,29 @@ use crate::layer::{Layer, Param, Phase};
 #[derive(Debug, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    stats_hook: Option<Box<dyn StatsHook>>,
 }
 
 impl Sequential {
     /// Creates an empty stack.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            stats_hook: None,
+        }
+    }
+
+    /// Installs (or removes) a per-layer statistics observer. The hook
+    /// sees every [`Phase::Train`] forward/backward pass it chooses to
+    /// sample (see [`StatsHook::begin_forward`]); inference passes are
+    /// never sampled.
+    pub fn set_stats_hook(&mut self, hook: Option<Box<dyn StatsHook>>) {
+        self.stats_hook = hook;
+    }
+
+    /// Whether a stats hook is installed.
+    pub fn has_stats_hook(&self) -> bool {
+        self.stats_hook.is_some()
     }
 
     /// Appends a layer.
@@ -60,17 +78,32 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor> {
+        // The hook decides per pass whether to sample (stride gating), and
+        // inference passes are never sampled.
+        let sample_stats = match (phase, self.stats_hook.as_mut()) {
+            (Phase::Train, Some(hook)) => hook.begin_forward(self.layers.len()),
+            _ => false,
+        };
         let mut x = input.clone();
         // Per-layer timing is gated on the enabled flag so the untraced
         // path stays a single branch per forward call.
-        if litho_telemetry::is_enabled() {
+        if litho_telemetry::is_enabled() || sample_stats {
+            let traced = litho_telemetry::is_enabled();
             for (i, layer) in self.layers.iter_mut().enumerate() {
                 let t0 = std::time::Instant::now();
                 x = layer.forward(&x, phase)?;
-                litho_telemetry::observe_duration(
-                    &format!("nn.forward.{i:02}.{}", layer.name()),
-                    t0.elapsed(),
-                );
+                if traced {
+                    litho_telemetry::observe_duration(
+                        &format!("nn.forward.{i:02}.{}", layer.name()),
+                        t0.elapsed(),
+                    );
+                }
+                if sample_stats {
+                    let stats = TensorStats::from_tensor(&x);
+                    if let Some(hook) = self.stats_hook.as_mut() {
+                        hook.on_activation(i, &layer.name(), &stats);
+                    }
+                }
             }
         } else {
             for layer in &mut self.layers {
@@ -81,17 +114,30 @@ impl Layer for Sequential {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let sample_stats = match self.stats_hook.as_mut() {
+            Some(hook) => hook.begin_backward(self.layers.len()),
+            None => false,
+        };
         let mut g = grad_output.clone();
-        if litho_telemetry::is_enabled() {
+        if litho_telemetry::is_enabled() || sample_stats {
+            let traced = litho_telemetry::is_enabled();
             let last = self.layers.len().saturating_sub(1);
             for (rev_i, layer) in self.layers.iter_mut().rev().enumerate() {
                 let i = last - rev_i;
                 let t0 = std::time::Instant::now();
                 g = layer.backward(&g)?;
-                litho_telemetry::observe_duration(
-                    &format!("nn.backward.{i:02}.{}", layer.name()),
-                    t0.elapsed(),
-                );
+                if traced {
+                    litho_telemetry::observe_duration(
+                        &format!("nn.backward.{i:02}.{}", layer.name()),
+                        t0.elapsed(),
+                    );
+                }
+                if sample_stats {
+                    let stats = TensorStats::from_tensor(&g);
+                    if let Some(hook) = self.stats_hook.as_mut() {
+                        hook.on_gradient(i, &layer.name(), &stats);
+                    }
+                }
             }
         } else {
             for layer in self.layers.iter_mut().rev() {
@@ -164,6 +210,60 @@ mod tests {
         let mut all_zero = true;
         net.visit_params(&mut |p| all_zero &= p.grad.as_slice().iter().all(|&g| g == 0.0));
         assert!(all_zero);
+    }
+
+    #[test]
+    fn stats_hook_sees_train_passes_only() {
+        use crate::stats::RecordingHook;
+        use std::sync::{Arc, Mutex};
+
+        // The net owns its hook, so the test shares one through a mutex.
+        #[derive(Debug, Default)]
+        struct Shared(Arc<Mutex<RecordingHook>>);
+        impl StatsHook for Shared {
+            fn begin_forward(&mut self, n: usize) -> bool {
+                self.0.lock().unwrap().begin_forward(n)
+            }
+            fn on_activation(&mut self, i: usize, name: &str, s: &TensorStats) {
+                self.0.lock().unwrap().on_activation(i, name, s);
+            }
+            fn begin_backward(&mut self, n: usize) -> bool {
+                self.0.lock().unwrap().begin_backward(n)
+            }
+            fn on_gradient(&mut self, i: usize, name: &str, s: &TensorStats) {
+                self.0.lock().unwrap().on_gradient(i, name, s);
+            }
+        }
+
+        let recorder = Arc::new(Mutex::new(RecordingHook::new()));
+        let mut rng = litho_tensor::rng::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 4, &mut rng));
+        net.push(Relu::new());
+        assert!(!net.has_stats_hook());
+        net.set_stats_hook(Some(Box::new(Shared(recorder.clone()))));
+        assert!(net.has_stats_hook());
+
+        let x = Tensor::ones(&[2, 3]);
+        net.forward(&x, Phase::Eval).unwrap();
+        assert!(recorder.lock().unwrap().activations.is_empty());
+
+        net.forward(&x, Phase::Train).unwrap();
+        net.backward(&Tensor::ones(&[2, 4])).unwrap();
+        let rec = recorder.lock().unwrap();
+        assert_eq!(rec.forward_passes, vec![2]);
+        assert_eq!(rec.backward_passes, vec![2]);
+        assert_eq!(rec.activations.len(), 2);
+        assert_eq!(rec.gradients.len(), 2);
+        assert_eq!(rec.activations[0].1, "Linear(3→4)");
+        assert_eq!(rec.activations[1].1, "ReLU");
+        // Gradients arrive in reverse layer order during backprop.
+        assert_eq!(rec.gradients[0].0, 1);
+        assert_eq!(rec.gradients[1].0, 0);
+        for (_, _, s) in rec.activations.iter().chain(rec.gradients.iter()) {
+            assert!(!s.is_poisoned());
+            assert!(s.count > 0);
+        }
     }
 
     #[test]

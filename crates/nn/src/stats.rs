@@ -1,0 +1,204 @@
+//! Per-layer activation/gradient statistics and the [`StatsHook`] trait.
+//!
+//! Model-health introspection needs to see *inside* a [`crate::Sequential`]
+//! while it trains: per-layer activation and gradient distributions,
+//! dead-ReLU fractions and NaN/Inf sentinels. The network stays agnostic
+//! of what consumes the numbers — it computes a [`TensorStats`] summary
+//! per layer and hands it to an installed [`StatsHook`]. Hooks decide the
+//! sampling stride themselves via [`StatsHook::begin_forward`] /
+//! [`StatsHook::begin_backward`], so an unarmed pass costs one branch.
+
+use litho_tensor::Tensor;
+
+/// One-pass summary statistics of a tensor (an activation, a gradient or
+/// a parameter update).
+///
+/// NaN/Inf elements are counted separately and excluded from the moment
+/// accumulation, so `mean`/`std`/`l2` stay meaningful on a partially
+/// poisoned tensor and the sentinel counts localize the poison.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TensorStats {
+    /// Number of elements summarized.
+    pub count: usize,
+    /// Mean over finite elements.
+    pub mean: f32,
+    /// Population standard deviation over finite elements.
+    pub std: f32,
+    /// ℓ2 norm over finite elements.
+    pub l2: f32,
+    /// Largest absolute finite value.
+    pub abs_max: f32,
+    /// Fraction of elements that are exactly zero (the dead-ReLU
+    /// fraction when taken over a ReLU output).
+    pub zero_frac: f32,
+    /// Number of NaN elements.
+    pub nan_count: usize,
+    /// Number of ±Inf elements.
+    pub inf_count: usize,
+}
+
+impl TensorStats {
+    /// Summarizes a slice in a single pass.
+    pub fn from_slice(data: &[f32]) -> TensorStats {
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut abs_max = 0.0f32;
+        let mut zeros = 0usize;
+        let mut nans = 0usize;
+        let mut infs = 0usize;
+        let mut finite = 0usize;
+        for &v in data {
+            if v.is_nan() {
+                nans += 1;
+                continue;
+            }
+            if v.is_infinite() {
+                infs += 1;
+                continue;
+            }
+            finite += 1;
+            if v == 0.0 {
+                zeros += 1;
+            }
+            let a = v.abs();
+            if a > abs_max {
+                abs_max = a;
+            }
+            sum += v as f64;
+            sum_sq += (v as f64) * (v as f64);
+        }
+        let n = finite.max(1) as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        TensorStats {
+            count: data.len(),
+            mean: mean as f32,
+            std: var.sqrt() as f32,
+            l2: sum_sq.sqrt() as f32,
+            abs_max,
+            zero_frac: if data.is_empty() {
+                0.0
+            } else {
+                zeros as f32 / data.len() as f32
+            },
+            nan_count: nans,
+            inf_count: infs,
+        }
+    }
+
+    /// Summarizes a tensor.
+    pub fn from_tensor(t: &Tensor) -> TensorStats {
+        TensorStats::from_slice(t.as_slice())
+    }
+
+    /// Whether the tensor contained any NaN or ±Inf element.
+    pub fn is_poisoned(&self) -> bool {
+        self.nan_count > 0 || self.inf_count > 0
+    }
+}
+
+/// Observer of per-layer statistics during [`crate::Sequential`] passes.
+///
+/// `begin_forward` / `begin_backward` are called once per pass with the
+/// layer count; returning `false` skips stat computation for the whole
+/// pass (this is how hooks implement stride sampling — the network never
+/// pays for an unsampled step beyond the two calls). When a pass is
+/// sampled, `on_activation` / `on_gradient` fire once per layer with the
+/// layer's output activation / input-gradient summary.
+pub trait StatsHook: std::fmt::Debug + Send {
+    /// Arms (or skips) sampling for the upcoming forward pass.
+    fn begin_forward(&mut self, num_layers: usize) -> bool;
+
+    /// One sampled layer output: `index` is the layer position,
+    /// `name` its [`crate::Layer::name`].
+    fn on_activation(&mut self, index: usize, name: &str, stats: &TensorStats);
+
+    /// Arms (or skips) sampling for the upcoming backward pass.
+    fn begin_backward(&mut self, num_layers: usize) -> bool;
+
+    /// One sampled input gradient, emitted by layer `index` during
+    /// backprop.
+    fn on_gradient(&mut self, index: usize, name: &str, stats: &TensorStats);
+}
+
+/// A [`StatsHook`] that records everything it sees; the test/gradcheck
+/// workhorse and the simplest reference implementation.
+#[derive(Debug, Default)]
+pub struct RecordingHook {
+    /// `(layer index, layer name, stats)` per sampled forward layer.
+    pub activations: Vec<(usize, String, TensorStats)>,
+    /// `(layer index, layer name, stats)` per sampled backward layer.
+    pub gradients: Vec<(usize, String, TensorStats)>,
+    /// Layer counts announced by `begin_forward`.
+    pub forward_passes: Vec<usize>,
+    /// Layer counts announced by `begin_backward`.
+    pub backward_passes: Vec<usize>,
+}
+
+impl RecordingHook {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        RecordingHook::default()
+    }
+}
+
+impl StatsHook for RecordingHook {
+    fn begin_forward(&mut self, num_layers: usize) -> bool {
+        self.forward_passes.push(num_layers);
+        true
+    }
+
+    fn on_activation(&mut self, index: usize, name: &str, stats: &TensorStats) {
+        self.activations.push((index, name.to_string(), *stats));
+    }
+
+    fn begin_backward(&mut self, num_layers: usize) -> bool {
+        self.backward_passes.push(num_layers);
+        true
+    }
+
+    fn on_gradient(&mut self, index: usize, name: &str, stats: &TensorStats) {
+        self.gradients.push((index, name.to_string(), *stats));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_values() {
+        let s = TensorStats::from_slice(&[0.0, 1.0, -1.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 0.5).abs() < 1e-6);
+        assert!((s.l2 - (6.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(s.abs_max, 2.0);
+        assert_eq!(s.zero_frac, 0.25);
+        assert_eq!(s.nan_count, 0);
+        assert_eq!(s.inf_count, 0);
+        assert!(!s.is_poisoned());
+    }
+
+    #[test]
+    fn sentinels_exclude_poison_from_moments() {
+        let s = TensorStats::from_slice(&[1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 3.0]);
+        assert_eq!(s.nan_count, 1);
+        assert_eq!(s.inf_count, 2);
+        assert!(s.is_poisoned());
+        assert!((s.mean - 2.0).abs() < 1e-6);
+        assert_eq!(s.abs_max, 3.0);
+    }
+
+    #[test]
+    fn empty_slice_is_all_zero() {
+        let s = TensorStats::from_slice(&[]);
+        assert_eq!(s, TensorStats::default());
+    }
+
+    #[test]
+    fn dead_relu_fraction_is_zero_frac() {
+        // An all-negative input through ReLU: every output element is 0.
+        let s = TensorStats::from_slice(&[0.0; 8]);
+        assert_eq!(s.zero_frac, 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! `StatsHook` coverage across every `Layer` implementation.
+//!
+//! Companion to the numerical gradcheck suites: instead of checking
+//! gradient *values*, these tests assert that a hook installed on a
+//! `Sequential` wrapping each layer observes finite, correctly-shaped
+//! activation and gradient statistics — including the dead-ReLU counter
+//! on an all-negative input and NaN sentinel propagation.
+
+use std::sync::{Arc, Mutex};
+
+use litho_nn::{
+    BatchNorm2d, Conv2d, ConvTranspose2d, Dropout, Flatten, Layer, LeakyRelu, Linear, MaxPool2d,
+    Phase, RecordingHook, Relu, Sequential, Sigmoid, StatsHook, Tanh, TensorStats,
+};
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
+use litho_tensor::Tensor;
+
+/// A hook handle the test keeps after the net takes ownership.
+#[derive(Debug)]
+struct Shared(Arc<Mutex<RecordingHook>>);
+
+impl StatsHook for Shared {
+    fn begin_forward(&mut self, n: usize) -> bool {
+        self.0.lock().unwrap().begin_forward(n)
+    }
+    fn on_activation(&mut self, i: usize, name: &str, s: &TensorStats) {
+        self.0.lock().unwrap().on_activation(i, name, s);
+    }
+    fn begin_backward(&mut self, n: usize) -> bool {
+        self.0.lock().unwrap().begin_backward(n)
+    }
+    fn on_gradient(&mut self, i: usize, name: &str, s: &TensorStats) {
+        self.0.lock().unwrap().on_gradient(i, name, s);
+    }
+}
+
+fn hooked(layer: Box<dyn Layer>) -> (Sequential, Arc<Mutex<RecordingHook>>) {
+    let recorder = Arc::new(Mutex::new(RecordingHook::new()));
+    let mut net = Sequential::new();
+    net.push_boxed(layer);
+    net.set_stats_hook(Some(Box::new(Shared(recorder.clone()))));
+    (net, recorder)
+}
+
+/// Runs one train-phase forward/backward through a single hooked layer
+/// and returns the recorded (activation, gradient) stats.
+fn observe(layer: Box<dyn Layer>, input_dims: &[usize]) -> (TensorStats, TensorStats) {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let volume: usize = input_dims.iter().product();
+    let x = Tensor::from_vec(
+        (0..volume).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        input_dims,
+    )
+    .unwrap();
+
+    let (mut net, recorder) = hooked(layer);
+    let y = net.forward(&x, Phase::Train).unwrap();
+    let upstream = Tensor::ones(y.dims());
+    let dx = net.backward(&upstream).unwrap();
+
+    let rec = recorder.lock().unwrap();
+    assert_eq!(rec.activations.len(), 1, "one activation record per layer");
+    assert_eq!(rec.gradients.len(), 1, "one gradient record per layer");
+    let act = rec.activations[0].2;
+    let grad = rec.gradients[0].2;
+    // Shape agreement: the stats summarize exactly the layer's output
+    // activation and its input gradient.
+    assert_eq!(act.count, y.len(), "activation stats cover the output");
+    assert_eq!(grad.count, dx.len(), "gradient stats cover dL/dx");
+    assert_eq!(dx.dims(), input_dims, "dL/dx matches the input shape");
+    (act, grad)
+}
+
+fn assert_healthy(name: &str, s: &TensorStats) {
+    assert!(!s.is_poisoned(), "{name}: NaN/Inf sentinel fired");
+    assert!(s.mean.is_finite(), "{name}: mean");
+    assert!(s.std.is_finite(), "{name}: std");
+    assert!(s.l2.is_finite(), "{name}: l2");
+    assert!(s.abs_max.is_finite(), "{name}: abs_max");
+}
+
+#[test]
+fn every_layer_impl_reports_finite_stats() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cases: Vec<(Box<dyn Layer>, Vec<usize>)> = vec![
+        (
+            Box::new(Conv2d::new(2, 3, 3, 1, 1, &mut rng)),
+            vec![2, 2, 6, 6],
+        ),
+        (
+            Box::new(ConvTranspose2d::new(2, 3, 4, 2, 1, 0, &mut rng)),
+            vec![2, 2, 4, 4],
+        ),
+        (Box::new(Linear::new(6, 4, &mut rng)), vec![3, 6]),
+        (Box::new(BatchNorm2d::new(3)), vec![2, 3, 4, 4]),
+        (Box::new(Dropout::new(0.5, 11)), vec![2, 3, 4, 4]),
+        (Box::new(MaxPool2d::new(2, 2)), vec![2, 3, 4, 4]),
+        (Box::new(Flatten::new()), vec![2, 3, 4, 4]),
+        (Box::new(Relu::new()), vec![2, 8]),
+        (Box::new(LeakyRelu::new(0.2)), vec![2, 8]),
+        (Box::new(Tanh::new()), vec![2, 8]),
+        (Box::new(Sigmoid::new()), vec![2, 8]),
+    ];
+    for (layer, dims) in cases {
+        let name = layer.name();
+        let (act, grad) = observe(layer, &dims);
+        assert_healthy(&format!("{name} activation"), &act);
+        assert_healthy(&format!("{name} gradient"), &grad);
+        assert!(grad.l2 > 0.0, "{name}: gradient flowed");
+    }
+}
+
+#[test]
+fn dead_relu_counter_fires_on_all_negative_input() {
+    let x = Tensor::full(&[2, 8], -3.0);
+    let (mut net, recorder) = hooked(Box::new(Relu::new()));
+    let y = net.forward(&x, Phase::Train).unwrap();
+    net.backward(&Tensor::ones(y.dims())).unwrap();
+    let rec = recorder.lock().unwrap();
+    // Every output element is clamped to zero: a fully dead layer.
+    assert_eq!(rec.activations[0].2.zero_frac, 1.0);
+    // And the gradient through a dead ReLU is identically zero.
+    assert_eq!(rec.gradients[0].2.l2, 0.0);
+    assert_eq!(rec.gradients[0].2.zero_frac, 1.0);
+}
+
+#[test]
+fn nan_input_trips_the_poison_sentinel() {
+    let mut x = Tensor::ones(&[2, 4]);
+    x.as_mut_slice()[3] = f32::NAN;
+    // ReLU's clamp would swallow the NaN; tanh propagates it.
+    let (mut net, recorder) = hooked(Box::new(Tanh::new()));
+    net.forward(&x, Phase::Train).unwrap();
+    let rec = recorder.lock().unwrap();
+    let act = rec.activations[0].2;
+    assert!(act.is_poisoned());
+    assert_eq!(act.nan_count, 1);
+}
+
+#[test]
+fn gradcheck_layers_also_satisfy_hook_observation() {
+    // The layers exercised by the numerical gradcheck suites run with a
+    // hook installed too: sampling must not disturb values.
+    let mut rng = StdRng::seed_from_u64(21);
+    let x = Tensor::from_vec(
+        (0..2 * 6).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        &[2, 6],
+    )
+    .unwrap();
+
+    let mut plain = Sequential::new();
+    let mut hooked_net = Sequential::new();
+    for net in [&mut plain, &mut hooked_net] {
+        let mut r = StdRng::seed_from_u64(99);
+        net.push(Linear::new(6, 5, &mut r));
+        net.push(Tanh::new());
+        net.push(Linear::new(5, 2, &mut r));
+    }
+    hooked_net.set_stats_hook(Some(Box::new(Shared(Arc::new(Mutex::new(
+        RecordingHook::new(),
+    ))))));
+
+    let y0 = plain.forward(&x, Phase::Train).unwrap();
+    let y1 = hooked_net.forward(&x, Phase::Train).unwrap();
+    assert_eq!(y0.as_slice(), y1.as_slice());
+    let g0 = plain.backward(&Tensor::ones(y0.dims())).unwrap();
+    let g1 = hooked_net.backward(&Tensor::ones(y1.dims())).unwrap();
+    assert_eq!(g0.as_slice(), g1.as_slice());
+}

@@ -190,6 +190,17 @@ pub fn event(name: &str, fields: &[(&str, Value)]) {
     emit(EventKind::Event, name, fields);
 }
 
+/// Record a model-health statistic record (per-layer activation/gradient
+/// summary, update ratio, GAN signal). Stats are forwarded to the sink
+/// only, under their own [`EventKind::Stat`] so trace consumers can
+/// separate the high-volume health stream from timing data by kind.
+pub fn stat(name: &str, fields: &[(&str, Value)]) {
+    if !is_enabled() {
+        return;
+    }
+    emit(EventKind::Stat, name, fields);
+}
+
 /// Emit a `run_meta` event describing the current process: binary name,
 /// OS/arch, available parallelism, plus any caller-provided fields.
 /// Bench binaries call this so every JSONL stream is self-describing.

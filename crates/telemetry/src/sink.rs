@@ -46,6 +46,10 @@ pub enum EventKind {
     Gauge,
     Event,
     Meta,
+    /// Model-health statistics (per-layer activation/gradient summaries,
+    /// update ratios) — high-volume, so consumers can filter them out of
+    /// timing analyses cheaply by kind.
+    Stat,
 }
 
 impl EventKind {
@@ -56,6 +60,7 @@ impl EventKind {
             EventKind::Gauge => "gauge",
             EventKind::Event => "event",
             EventKind::Meta => "meta",
+            EventKind::Stat => "stat",
         }
     }
 }

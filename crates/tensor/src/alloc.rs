@@ -1,0 +1,48 @@
+//! Process-wide accounting of tensor data allocation.
+//!
+//! Every [`crate::Tensor`] constructor (and clone) adds its payload size
+//! to a relaxed atomic counter — one `fetch_add` per tensor, negligible
+//! next to the `Vec` allocation itself. The run ledger snapshots the
+//! total into `manifest.json` so `compare` can show memory-churn deltas
+//! between runs. The counter is cumulative (total bytes ever allocated),
+//! not live usage: churn is the signal that correlates with time spent
+//! in the allocator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Internal: called by `Tensor` constructors with the element count.
+pub(crate) fn record_elements(elements: usize) {
+    ALLOCATED_BYTES.fetch_add(
+        (elements * std::mem::size_of::<f32>()) as u64,
+        Ordering::Relaxed,
+    );
+}
+
+/// Total bytes of tensor data allocated by this process so far.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the counter to zero (benchmarks measuring a single section).
+pub fn reset_allocated_bytes() {
+    ALLOCATED_BYTES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn constructors_and_clones_are_counted() {
+        // Other tests allocate concurrently, so check deltas are at least
+        // the bytes this test provably allocates.
+        let before = super::allocated_bytes();
+        let t = Tensor::zeros(&[4, 4]);
+        let _u = t.clone();
+        let _v = Tensor::from_vec(vec![0.0; 8], &[8]).unwrap();
+        let after = super::allocated_bytes();
+        assert!(after - before >= ((16 + 16 + 8) * 4) as u64);
+    }
+}

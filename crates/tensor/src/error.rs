@@ -46,6 +46,10 @@ pub enum TensorError {
     /// Carries the rendered `std::io::Error` message so the enum can stay
     /// `Clone + PartialEq + Eq`.
     Io(String),
+    /// A long-running computation (training) was deliberately stopped —
+    /// e.g. a health monitor's `--abort-on` condition fired. Carries the
+    /// abort reason (`"nan"`, `"collapse"`, ...).
+    Aborted(String),
 }
 
 impl TensorError {
@@ -83,6 +87,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             TensorError::Io(msg) => write!(f, "i/o error: {msg}"),
+            TensorError::Aborted(reason) => write!(f, "aborted: {reason}"),
         }
     }
 }
@@ -118,6 +123,7 @@ mod tests {
                 "invalid argument: stride",
             ),
             (TensorError::Io("permission denied".into()), "i/o error"),
+            (TensorError::Aborted("nan".into()), "aborted: nan"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

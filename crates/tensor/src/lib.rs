@@ -30,6 +30,7 @@
 //! [`litho-nn`]: https://docs.rs/litho-nn
 //! [`litho-sim`]: https://docs.rs/litho-sim
 
+pub mod alloc;
 mod error;
 pub mod fft;
 mod im2col;
@@ -39,6 +40,7 @@ pub mod rng;
 mod shape;
 mod tensor;
 
+pub use alloc::{allocated_bytes, reset_allocated_bytes};
 pub use error::TensorError;
 pub use fft::Complex;
 pub use im2col::{col2im, im2col, Im2ColSpec};

@@ -18,10 +18,20 @@ use crate::{Result, Shape, TensorError};
 /// let y = x.scale(0.5);
 /// assert_eq!(y.sum(), 6.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        crate::alloc::record_elements(self.data.len());
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Tensor {
@@ -39,6 +49,7 @@ impl Tensor {
                 actual: data.len(),
             });
         }
+        crate::alloc::record_elements(data.len());
         Ok(Tensor { shape, data })
     }
 
@@ -46,6 +57,7 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.volume();
+        crate::alloc::record_elements(n);
         Tensor {
             shape,
             data: vec![0.0; n],
@@ -61,6 +73,7 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.volume();
+        crate::alloc::record_elements(n);
         Tensor {
             shape,
             data: vec![value; n],
@@ -75,6 +88,7 @@ impl Tensor {
     {
         let shape = Shape::new(dims);
         let n = shape.volume();
+        crate::alloc::record_elements(n);
         let data = (0..n).map(|_| dist.sample(rng)).collect();
         Tensor { shape, data }
     }

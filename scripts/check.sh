@@ -18,10 +18,15 @@ cli=target/release/lithogan_cli
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 "$cli" --runs-root "$work/runs" generate --clips 12 --size 32 --out "$work/data.lgd"
-"$cli" --runs-root "$work/runs" train --data "$work/data.lgd" --epochs 2 --seed 1 --out "$work/model.lgm"
+"$cli" --runs-root "$work/runs" train --data "$work/data.lgd" --epochs 2 --seed 1 --health --out "$work/model.lgm"
 run=$(ls "$work/runs" | grep '^train-')
 "$cli" --runs-root "$work/runs" report "$run"
 test -s "$work/runs/$run/dashboard.svg"
 "$cli" --runs-root "$work/runs" compare "$run" --gate ci/baseline.json
+
+echo "==> model-health gate"
+test -s "$work/runs/$run/health.jsonl"
+"$cli" --runs-root "$work/runs" health "$run" --fail-on nan,dead-layer
+test -s "$work/runs/$run/health.svg"
 
 echo "==> all checks passed"
