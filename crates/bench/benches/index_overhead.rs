@@ -1,0 +1,100 @@
+//! Measures what runs-index maintenance adds to a run's lifecycle: the
+//! same create -> append 8 sample records -> finalize -> remove sequence
+//! with the `index.jsonl` append enabled and disabled. The acceptance
+//! bar is that the delta stays under 1% of one tiny training epoch's
+//! wall clock — the smallest run that would carry an index entry — so
+//! indexing every invocation is effectively free. The process exits
+//! nonzero past the budget so the check can run as a manual gate.
+//!
+//! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`.
+
+use litho_ledger::RunLedger;
+use litho_metrics::SampleRecord;
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
+use litho_tensor::Tensor;
+use lithogan::{Cgan, NetConfig, TrainConfig, TrainPair};
+use lithogan_bench::microbench::MicroBench;
+use std::path::Path;
+
+fn record(i: u64) -> SampleRecord {
+    SampleRecord {
+        sample: i,
+        pixel_accuracy: 0.95,
+        class_accuracy: 0.9,
+        mean_iou: 0.85,
+        ede_mean_nm: Some(3.0),
+        ede_edges_nm: Some([2.0, 4.0, 3.0, 3.0]),
+        center_error_nm: Some(0.5),
+    }
+}
+
+/// One full ledger lifecycle under `root`, with or without the index
+/// append at finalize. The run directory is removed again inside the
+/// measured region; that cost is identical in both arms, so the delta
+/// isolates the index write.
+fn lifecycle(root: &Path, index: bool) {
+    let mut ledger = RunLedger::create(root, "bench", Some(1), Vec::new(), None).unwrap();
+    ledger.set_index_enabled(index);
+    for i in 0..8 {
+        ledger.append_record(&record(i)).unwrap();
+    }
+    ledger.finalize(true).unwrap();
+    std::fs::remove_dir_all(ledger.dir()).unwrap();
+}
+
+fn pairs(net: &NetConfig, n: usize) -> Vec<TrainPair> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let s = net.image_size;
+    (0..n)
+        .map(|_| {
+            let mask = Tensor::from_vec(
+                (0..3 * s * s).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                &[3, s, s],
+            )
+            .unwrap();
+            let resist = Tensor::from_vec(
+                (0..s * s).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                &[s, s],
+            )
+            .unwrap();
+            TrainPair::from_dataset(&mask, &resist).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let mb = MicroBench::from_args();
+    let root = std::env::temp_dir().join(format!("index-overhead-{}", std::process::id()));
+    std::fs::create_dir_all(&root).unwrap();
+
+    let without = mb.run("ledger_lifecycle_noindex", || lifecycle(&root, false));
+    let with = mb.run("ledger_lifecycle_index", || lifecycle(&root, true));
+
+    let net = NetConfig::scaled(32);
+    let data = pairs(&net, 8);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        seed: 3,
+        ..TrainConfig::paper()
+    };
+    let mut model = Cgan::new(&net, 5);
+    let mut epoch = 0usize;
+    let base = mb.run("cgan_epoch_tiny", || {
+        epoch += 1;
+        model.train_epoch(&data, &cfg, epoch).unwrap()
+    });
+    std::fs::remove_dir_all(&root).ok();
+
+    let delta = (with.median.as_secs_f64() - without.median.as_secs_f64()).max(0.0);
+    let pct = delta / base.median.as_secs_f64() * 100.0;
+    let ok = pct < 1.0;
+    println!(
+        "index maintenance per run: {:.1} us = {pct:.3}% of a tiny train epoch (budget 1.000%) -> {}",
+        delta * 1e6,
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -20,8 +20,9 @@ use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig
 use litho_health::DiagnosisKind;
 use litho_layout::image::{overlay_panel, write_ppm};
 use litho_ledger::{
-    dashboard_svg, fingerprint_file, gate, health_svg, load_run, render_compare, render_health,
-    render_report, Baseline, DatasetInfo, RunData, RunLedger,
+    dashboard_svg, fingerprint_file, fmt_unix, gate, health_svg, load_index, load_run, reindex,
+    render_compare, render_health, render_report, render_snapshot, render_trend, trend, trend_svg,
+    Baseline, DatasetInfo, RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
 };
 use litho_metrics::MetricAccumulator;
 use litho_sim::ProcessConfig;
@@ -30,6 +31,7 @@ use lithogan::{
     AbortCondition, HealthConfig, HealthMonitor, LithoGan, NetConfig, Result, TrainConfig,
 };
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,12 +78,37 @@ enum Command {
         tol_pct: Option<f64>,
         write_baseline: Option<String>,
     },
+    RunsLs {
+        status: Option<String>,
+        command: Option<String>,
+        dataset: Option<String>,
+        last: Option<usize>,
+    },
+    RunsTrend {
+        metrics: String,
+        last: Option<usize>,
+        gate: bool,
+        tol_pct: Option<f64>,
+        drift_runs: Option<usize>,
+        out: Option<String>,
+    },
+    RunsGc {
+        keep: usize,
+        baseline: Option<String>,
+    },
+    Reindex,
+    Watch {
+        run: String,
+        interval_ms: u64,
+        timeout_s: Option<u64>,
+        wait_s: u64,
+    },
     Help,
     HelpFor(String),
 }
 
 const GLOBAL_FLAGS_HELP: &str = "\
-global flags (accepted by every command):\n  \
+global flags (accepted by every command, --flag VALUE or --flag=VALUE):\n  \
   --trace             print a nested span/metric report to stderr on exit\n  \
   --metrics-out FILE  stream telemetry events as JSONL to FILE\n                      \
 (default: runs/<id>/trace.jsonl when a run ledger is active)\n  \
@@ -98,6 +125,11 @@ fn usage() -> String {
          lithogan-cli report   <run-id|run-dir>\n  \
          lithogan-cli health   <run-id|run-dir> [--fail-on LIST]\n  \
          lithogan-cli compare  <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n  \
+         lithogan-cli runs     ls [--status S] [--command C] [--dataset FP] [--last N]\n  \
+         lithogan-cli runs     trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P] [--out FILE]\n  \
+         lithogan-cli runs     gc --keep N [--baseline FILE]\n  \
+         lithogan-cli reindex\n  \
+         lithogan-cli watch    <run-id|run-dir> [--interval-ms N] [--timeout-s N]\n  \
          lithogan-cli help     [command]\n\
          {GLOBAL_FLAGS_HELP}"
     )
@@ -175,7 +207,52 @@ fn command_help(cmd: &str) -> String {
              metric regressed beyond tolerance — the CI regression gate.\n\n  \
              --gate FILE           baseline to gate against\n  \
              --tol-pct N           tolerance override in percent\n  \
-             --write-baseline FILE regenerate a baseline from <run-a>'s metrics"
+             --write-baseline FILE regenerate a baseline from <run-a>'s metrics\n                        \
+             (records <run-a>'s id, which `runs gc` then protects)"
+        }
+        "runs" => {
+            "lithogan-cli runs ls    [--status S] [--command C] [--dataset FP] [--last N]\n\
+             lithogan-cli runs trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P]\n                         \
+             [--drift-runs N] [--out FILE]\n\
+             lithogan-cli runs gc    --keep N [--baseline FILE]\n\n\
+             Fleet-level views over the append-only runs index\n\
+             (<runs-root>/index.jsonl, maintained by every finalizing run;\n\
+             repair it with `reindex`).\n\n\
+             ls    one line per run: id, start, status, dataset fingerprint,\n                   \
+             headline EDE and health verdict.\n  \
+             --status S      keep runs with this status (ok, error, running,\n                  \
+             aborted matches any aborted(...))\n  \
+             --command C     keep runs of this command (train, eval, ...)\n  \
+             --dataset FP    keep runs whose dataset fingerprint starts with FP\n  \
+             --last N        keep only the N most recent\n\n\
+             trend aligned per-run table of the metric plus a self-contained\n                   \
+             trend.svg (written to <runs-root>/trend.svg unless --out).\n                   \
+             Drift detection is streak-based: a run is off when beyond\n                   \
+             --tol-pct (default 10) of the fleet median, and --drift-runs\n                   \
+             (default 2) consecutive off runs confirm a drift.\n  \
+             --gate          exit nonzero when a drift is confirmed (CI)\n\n\
+             gc    remove all but the newest --keep N run directories, never\n                   \
+             touching running runs or the run recorded in the baseline\n                   \
+             (--baseline FILE, default ci/baseline.json when present),\n                   \
+             then rebuild the index."
+        }
+        "reindex" => {
+            "lithogan-cli reindex\n\n\
+             Rebuilds <runs-root>/index.jsonl from the surviving run\n\
+             directories (manifest + samples.jsonl aggregate + health.jsonl\n\
+             verdict) and swaps it in atomically. Use after crashes, manual\n\
+             deletion or to adopt pre-index run directories."
+        }
+        "watch" => {
+            "lithogan-cli watch <run-id|run-dir> [--interval-ms N] [--timeout-s N]\n\n\
+             Live-follows an in-flight run: incrementally tails its\n\
+             trace.jsonl and health.jsonl (tolerating torn lines from the\n\
+             concurrent writer), rendering epoch progress, loss deltas, an\n\
+             ETA from the epoch cadence and live health verdicts. Exits 0\n\
+             when the run finishes ok, nonzero when it errors or aborts —\n\
+             so `watch` can stand in for the run's own exit code.\n\n  \
+             --interval-ms N poll interval (default 200)\n  \
+             --timeout-s N   give up after N seconds (default: wait forever)"
         }
         _ => return usage(),
     };
@@ -215,7 +292,8 @@ fn split_global_args(args: &[String]) -> Result<(Vec<String>, GlobalOpts)> {
     let mut rest = Vec::with_capacity(args.len());
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let arg = args[i].as_str();
+        match arg {
             "--trace" => opts.trace = true,
             "--no-run" => opts.no_run = true,
             "--metrics-out" => {
@@ -231,6 +309,13 @@ fn split_global_args(args: &[String]) -> Result<(Vec<String>, GlobalOpts)> {
                 }
                 opts.runs_root = args[i + 1].clone();
                 i += 1;
+            }
+            // `--flag=value` spelling, matching the bench binaries.
+            _ if arg.starts_with("--metrics-out=") => {
+                opts.metrics_out = Some(arg["--metrics-out=".len()..].to_string());
+            }
+            _ if arg.starts_with("--runs-root=") => {
+                opts.runs_root = arg["--runs-root=".len()..].to_string();
             }
             _ => rest.push(args[i].clone()),
         }
@@ -256,7 +341,10 @@ fn parse(args: &[String]) -> Result<Command> {
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
     // Positional operands: everything that is not a flag or a flag value.
-    let positionals = || -> Vec<String> {
+    // `boolean_flags` names the flags that take no value for the command
+    // at hand (`--gate` is a value flag in `compare` but boolean in
+    // `runs trend`, so the set is per-command).
+    let positionals_with = |boolean_flags: &[&str]| -> Vec<String> {
         let mut out = Vec::new();
         let mut skip = false;
         for a in &args[1..] {
@@ -265,13 +353,14 @@ fn parse(args: &[String]) -> Result<Command> {
                 continue;
             }
             if let Some(stripped) = a.strip_prefix("--") {
-                skip = !matches!(stripped, "augment" | "help" | "health");
+                skip = !boolean_flags.contains(&stripped);
                 continue;
             }
             out.push(a.clone());
         }
         out
     };
+    let positionals = || positionals_with(&["augment", "help", "health"]);
     let command = args.first().map(String::as_str);
     if has("--help") {
         return Ok(match command {
@@ -354,6 +443,63 @@ fn parse(args: &[String]) -> Result<Command> {
                 write_baseline,
             })
         }
+        Some("runs") => match args.get(1).map(String::as_str) {
+            Some("ls") => Ok(Command::RunsLs {
+                status: get("--status"),
+                command: get("--command"),
+                dataset: get("--dataset"),
+                last: get("--last")
+                    .map(|v| v.parse().map_err(|_| bad("--last")))
+                    .transpose()?,
+            }),
+            Some("trend") => {
+                // The subcommand word is positional too; skip it.
+                let pos = positionals_with(&["augment", "help", "health", "gate"]);
+                let metrics = match pos.as_slice() {
+                    [_, m] => m.clone(),
+                    _ => return Err(bad("runs trend takes exactly one <metric[,metric...]>")),
+                };
+                Ok(Command::RunsTrend {
+                    metrics,
+                    last: get("--last")
+                        .map(|v| v.parse().map_err(|_| bad("--last")))
+                        .transpose()?,
+                    gate: has("--gate"),
+                    tol_pct: get("--tol-pct")
+                        .map(|v| v.parse().map_err(|_| bad("--tol-pct")))
+                        .transpose()?,
+                    drift_runs: get("--drift-runs")
+                        .map(|v| v.parse().map_err(|_| bad("--drift-runs")))
+                        .transpose()?,
+                    out: get("--out"),
+                })
+            }
+            Some("gc") => Ok(Command::RunsGc {
+                keep: get("--keep")
+                    .ok_or_else(|| bad("runs gc requires --keep N"))?
+                    .parse()
+                    .map_err(|_| bad("--keep"))?,
+                baseline: get("--baseline"),
+            }),
+            _ => Err(bad("runs takes a subcommand: ls, trend or gc")),
+        },
+        Some("reindex") => Ok(Command::Reindex),
+        Some("watch") => {
+            let pos = positionals();
+            match pos.as_slice() {
+                [run] => Ok(Command::Watch {
+                    run: run.clone(),
+                    interval_ms: get("--interval-ms")
+                        .map_or(Ok(200), |v| v.parse().map_err(|_| bad("--interval-ms")))?,
+                    timeout_s: get("--timeout-s")
+                        .map(|v| v.parse().map_err(|_| bad("--timeout-s")))
+                        .transpose()?,
+                    wait_s: get("--wait-s")
+                        .map_or(Ok(10), |v| v.parse().map_err(|_| bad("--wait-s")))?,
+                }),
+                _ => Err(bad("watch takes exactly one <run-id|run-dir>")),
+            }
+        }
         Some("help") => Ok(match args.get(1) {
             Some(cmd) => Command::HelpFor(cmd.clone()),
             None => Command::Help,
@@ -373,6 +519,9 @@ impl Command {
             Command::Report { .. } => "report",
             Command::Health { .. } => "health",
             Command::Compare { .. } => "compare",
+            Command::RunsLs { .. } | Command::RunsTrend { .. } | Command::RunsGc { .. } => "runs",
+            Command::Reindex => "reindex",
+            Command::Watch { .. } => "watch",
             Command::Help | Command::HelpFor(_) => "help",
         }
     }
@@ -646,6 +795,12 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             let t0 = std::time::Instant::now();
             let train_result = model.train(&train, &cfg, |epoch, _| {
                 eprintln!("epoch {}/{epochs} done ({:.1?})", epoch + 1, t0.elapsed());
+                // Push buffered trace/health records to disk each epoch so
+                // `lithogan-cli watch` sees progress while training runs.
+                litho_telemetry::flush();
+                if let Some(monitor) = &monitor {
+                    monitor.flush();
+                }
             });
             if let Some(monitor) = &monitor {
                 monitor.flush();
@@ -793,6 +948,215 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
                 }
             }
             Ok(())
+        }
+        Command::RunsLs {
+            status,
+            command,
+            dataset,
+            last,
+        } => {
+            let root = Path::new(&opts.runs_root);
+            let parse = load_index(root).map_err(io_err)?;
+            if parse.skipped_lines > 0 {
+                eprintln!(
+                    "warning: index has {} corrupt line(s) — run `lithogan-cli reindex`",
+                    parse.skipped_lines
+                );
+            }
+            let mut records = parse.records;
+            if let Some(s) = &status {
+                records
+                    .retain(|r| r.status == *s || (s == "aborted" && r.status.starts_with("aborted")));
+            }
+            if let Some(c) = &command {
+                records.retain(|r| r.command == *c);
+            }
+            if let Some(fp) = &dataset {
+                records.retain(|r| {
+                    r.dataset_fingerprint
+                        .as_deref()
+                        .is_some_and(|f| f.starts_with(fp.as_str()))
+                });
+            }
+            if let Some(n) = last {
+                let cut = records.len().saturating_sub(n);
+                records.drain(..cut);
+            }
+            if records.is_empty() {
+                println!("no runs match under {}", root.display());
+                return Ok(());
+            }
+            let w = records
+                .iter()
+                .map(|r| r.run_id.len())
+                .max()
+                .unwrap_or(3)
+                .max(3);
+            println!(
+                "{:<w$}  {:<16}  {:<8}  {:<10}  {:>7}  {:<12}  {:>8}  health",
+                "run", "started (UTC)", "command", "status", "wall", "dataset", "ede nm"
+            );
+            for r in &records {
+                let wall = r
+                    .wall_clock_s
+                    .map_or("-".to_string(), |v| format!("{v:.1}s"));
+                let fp = r
+                    .dataset_fingerprint
+                    .as_deref()
+                    .map_or("-", |f| &f[..f.len().min(12)]);
+                let ede = r
+                    .metric("ede_mean_nm")
+                    .map_or("-".to_string(), |v| format!("{v:.2}"));
+                println!(
+                    "{:<w$}  {:<16}  {:<8}  {:<10}  {:>7}  {:<12}  {:>8}  {}",
+                    r.run_id,
+                    fmt_unix(r.started_unix_s),
+                    r.command,
+                    r.status,
+                    wall,
+                    fp,
+                    ede,
+                    r.health.as_deref().unwrap_or("-"),
+                );
+            }
+            println!("{} run(s)", records.len());
+            Ok(())
+        }
+        Command::RunsTrend {
+            metrics,
+            last,
+            gate: gate_on,
+            tol_pct,
+            drift_runs,
+            out,
+        } => {
+            let root = Path::new(&opts.runs_root);
+            let records = load_index(root).map_err(io_err)?.records;
+            if records.is_empty() {
+                return Err(bad(format!(
+                    "no runs indexed under {} (need runs, or `lithogan-cli reindex`)",
+                    root.display()
+                )));
+            }
+            let mut cfg = TrendConfig::default();
+            if let Some(p) = tol_pct {
+                cfg.tol_pct = p;
+            }
+            if let Some(n) = drift_runs {
+                cfg.drift_runs = n.max(1);
+            }
+            let mut trends = Vec::new();
+            for metric in metrics.split(',').map(str::trim).filter(|m| !m.is_empty()) {
+                let t = trend(&records, metric, last, &cfg);
+                print!("{}", render_trend(&t));
+                trends.push(t);
+            }
+            if trends.is_empty() {
+                return Err(bad("runs trend: empty metric list"));
+            }
+            let svg_path = out.map_or_else(|| root.join("trend.svg"), PathBuf::from);
+            std::fs::write(&svg_path, trend_svg(&trends)).map_err(io_err)?;
+            println!("trend:      {}", svg_path.display());
+            if gate_on {
+                let drifted: Vec<&str> = trends
+                    .iter()
+                    .filter(|t| t.drift.is_some())
+                    .map(|t| t.metric.as_str())
+                    .collect();
+                if !drifted.is_empty() {
+                    return Err(bad(format!(
+                        "trend gate failed: drift in {}",
+                        drifted.join(", ")
+                    )));
+                }
+                println!("trend gate: PASS");
+            }
+            Ok(())
+        }
+        Command::RunsGc { keep, baseline } => {
+            let root = Path::new(&opts.runs_root);
+            // The baseline run must survive gc: a vanished baseline would
+            // silently disarm `compare --gate` in CI.
+            let baseline_path = match baseline {
+                Some(path) => Some(PathBuf::from(path)),
+                None => {
+                    let default = PathBuf::from("ci/baseline.json");
+                    default.exists().then_some(default)
+                }
+            };
+            let mut protected = Vec::new();
+            if let Some(path) = baseline_path {
+                let b = Baseline::load(&path)
+                    .map_err(|e| bad(format!("--baseline {}: {e}", path.display())))?;
+                if let Some(id) = b.run_id {
+                    protected.push(id);
+                }
+            }
+            let outcome = litho_ledger::index::gc(root, keep, &protected).map_err(io_err)?;
+            println!(
+                "gc: kept {}, removed {}, protected {}",
+                outcome.kept.len(),
+                outcome.removed.len(),
+                outcome.protected.len()
+            );
+            for id in &outcome.removed {
+                println!("removed   {id}");
+            }
+            for id in &outcome.protected {
+                println!("protected {id}");
+            }
+            Ok(())
+        }
+        Command::Reindex => {
+            let root = Path::new(&opts.runs_root);
+            let outcome = reindex(root).map_err(io_err)?;
+            println!(
+                "reindexed {} run(s) -> {}",
+                outcome.records.len(),
+                litho_ledger::index::index_path(root).display()
+            );
+            for dir in &outcome.unreadable {
+                eprintln!("warning: skipped unreadable run dir {dir}");
+            }
+            Ok(())
+        }
+        Command::Watch {
+            run,
+            interval_ms,
+            timeout_s,
+            wait_s,
+        } => {
+            let direct = Path::new(&run);
+            let dir = if direct.join("manifest.json").exists() || direct.is_dir() {
+                direct.to_path_buf()
+            } else {
+                Path::new(&opts.runs_root).join(&run)
+            };
+            let cfg = WatchConfig {
+                interval: Duration::from_millis(interval_ms.max(10)),
+                timeout: timeout_s.map(Duration::from_secs),
+                wait_create: Duration::from_secs(wait_s),
+            };
+            eprintln!("watching {}", dir.display());
+            let mut session = WatchSession::new(&dir);
+            // Snapshots can differ in unrendered fields (e.g. the health
+            // record count); only print when the visible line changes.
+            let mut last_line = String::new();
+            let snap = session
+                .follow(&cfg, |snap| {
+                    let line = render_snapshot(snap);
+                    if line != last_line {
+                        eprintln!("{line}");
+                        last_line = line;
+                    }
+                })
+                .map_err(|e| bad(format!("watch {run:?}: {e}")))?;
+            println!("{}", render_snapshot(&snap));
+            if snap.succeeded() {
+                Ok(())
+            } else {
+                Err(bad(format!("run finished with status {:?}", snap.status)))
+            }
         }
     }
 }
@@ -1008,6 +1372,86 @@ mod tests {
     }
 
     #[test]
+    fn parses_runs_family() {
+        assert_eq!(
+            parse(&strs(&["runs", "ls", "--status", "ok", "--last", "5"])).unwrap(),
+            Command::RunsLs {
+                status: Some("ok".into()),
+                command: None,
+                dataset: None,
+                last: Some(5),
+            }
+        );
+        // In `runs trend`, --gate is boolean: the metric stays positional.
+        let t = parse(&strs(&[
+            "runs",
+            "trend",
+            "ede_mean_nm,mean_iou",
+            "--gate",
+            "--tol-pct",
+            "7.5",
+            "--last",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(
+            t,
+            Command::RunsTrend {
+                metrics: "ede_mean_nm,mean_iou".into(),
+                last: Some(10),
+                gate: true,
+                tol_pct: Some(7.5),
+                drift_runs: None,
+                out: None,
+            }
+        );
+        assert!(!t.records_run());
+        assert_eq!(t.name(), "runs");
+        assert_eq!(
+            parse(&strs(&["runs", "gc", "--keep", "3"])).unwrap(),
+            Command::RunsGc {
+                keep: 3,
+                baseline: None,
+            }
+        );
+        assert_eq!(parse(&strs(&["reindex"])).unwrap(), Command::Reindex);
+        assert!(parse(&strs(&["runs"])).is_err());
+        assert!(parse(&strs(&["runs", "trend"])).is_err());
+        assert!(parse(&strs(&["runs", "gc"])).is_err());
+    }
+
+    #[test]
+    fn parses_watch() {
+        let cmd = parse(&strs(&["watch", "train-1-2", "--timeout-s", "30"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Watch {
+                run: "train-1-2".into(),
+                interval_ms: 200,
+                timeout_s: Some(30),
+                wait_s: 10,
+            }
+        );
+        assert!(!cmd.records_run());
+        assert!(parse(&strs(&["watch"])).is_err());
+        assert!(parse(&strs(&["watch", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn global_flags_accept_equals_form() {
+        let (rest, t) = split_global_args(&strs(&[
+            "runs",
+            "ls",
+            "--runs-root=elsewhere",
+            "--metrics-out=trace.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(rest, strs(&["runs", "ls"]));
+        assert_eq!(t.runs_root, "elsewhere");
+        assert_eq!(t.metrics_out.as_deref(), Some("trace.jsonl"));
+    }
+
+    #[test]
     fn missing_required_flags_error() {
         assert!(parse(&strs(&["generate"])).is_err());
         assert!(parse(&strs(&["train", "--out", "m"])).is_err());
@@ -1063,7 +1507,8 @@ mod tests {
         assert!(usage().contains("--runs-root"));
         // Every per-command help mentions the global observability flags.
         for cmd in [
-            "generate", "train", "eval", "predict", "report", "health", "compare",
+            "generate", "train", "eval", "predict", "report", "health", "compare", "runs",
+            "reindex", "watch",
         ] {
             let text = command_help(cmd);
             assert!(text.contains("--trace"), "{cmd} help lacks --trace");

@@ -161,16 +161,24 @@ impl Default for Thresholds {
 }
 
 /// Tracks a consecutive-hit window and remembers where it started.
+///
+/// This is the core of every streak-based rule here, and is public so
+/// other streak detectors (the ledger's cross-run drift gate) can reuse
+/// it — for those, the "epoch" slot simply carries whatever ordinal the
+/// series is indexed by.
 #[derive(Debug, Default, Clone, Copy)]
-struct Streak {
-    len: usize,
-    start_epoch: u64,
-    start_step: u64,
+pub struct Streak {
+    /// Current consecutive-hit count (0 after a miss).
+    pub len: usize,
+    /// Epoch of the first hit in the current streak.
+    pub start_epoch: u64,
+    /// Step of the first hit in the current streak.
+    pub start_step: u64,
 }
 
 impl Streak {
     /// Returns true exactly once, when the streak first reaches `need`.
-    fn hit(&mut self, epoch: u64, step: u64, need: usize) -> bool {
+    pub fn hit(&mut self, epoch: u64, step: u64, need: usize) -> bool {
         if self.len == 0 {
             self.start_epoch = epoch;
             self.start_step = step;
@@ -179,7 +187,8 @@ impl Streak {
         self.len == need
     }
 
-    fn miss(&mut self) {
+    /// Resets the streak.
+    pub fn miss(&mut self) {
         self.len = 0;
     }
 }

@@ -10,8 +10,9 @@
 //! * [`diagnose`] — six named failure modes (vanishing-gradient,
 //!   exploding-update, dead-layer, d-overpowers-g, mode-collapse,
 //!   nan-poisoned) with first-seen epoch/step attribution.
-//! * [`json`] — the workspace's zero-dependency JSON value model
-//!   (parser + writer), shared with `litho-ledger`.
+//! * [`json`] — a re-export of `litho-json`, the workspace's shared
+//!   zero-dependency JSON value model (parser + writer), kept under the
+//!   old path for existing consumers.
 //!
 //! The crate is std-only and deliberately does *not* depend on
 //! `litho-nn`: the training stack produces records via its own hook
@@ -19,11 +20,11 @@
 //! free of the NN dependency graph.
 
 pub mod diagnose;
-pub mod json;
+pub use litho_json as json;
 pub mod record;
 
-pub use diagnose::{diagnose, AbortCondition, Diagnosis, DiagnosisKind, Thresholds};
+pub use diagnose::{diagnose, AbortCondition, Diagnosis, DiagnosisKind, Streak, Thresholds};
 pub use record::{
-    parse_health_file, parse_health_str, CenterEpochRecord, GanEpochRecord, HealthParse,
-    HealthRecord, HealthWriter, LayerRecord, Pass, UpdateRecord,
+    decode_record, parse_health_file, parse_health_str, CenterEpochRecord, GanEpochRecord,
+    HealthParse, HealthRecord, HealthWriter, LayerRecord, Pass, UpdateRecord,
 };

@@ -238,7 +238,10 @@ fn text(v: &Json, key: &str) -> Option<String> {
     Some(v.get(key)?.as_str()?.to_string())
 }
 
-fn decode(v: &Json) -> Option<HealthRecord> {
+/// Decodes one already-parsed JSONL object into a health record.
+/// Public so incremental consumers (the ledger's live run tailer) can
+/// decode line-by-line without re-implementing the schema.
+pub fn decode_record(v: &Json) -> Option<HealthRecord> {
     match v.get("kind")?.as_str()? {
         "layer" => Some(HealthRecord::Layer(LayerRecord {
             net: text(v, "net")?,
@@ -293,22 +296,15 @@ pub struct HealthParse {
     pub truncated_tail: bool,
 }
 
-/// Decodes a `health.jsonl` stream from a string.
+/// Decodes a `health.jsonl` stream from a string (truncation-tolerant,
+/// via the shared [`litho_json::jsonl`] machinery).
 pub fn parse_health_str(text: &str) -> HealthParse {
-    let mut parse = HealthParse::default();
-    let lines: Vec<&str> = text.lines().collect();
-    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
-    for (i, line) in lines.iter().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Json::parse(line).ok().and_then(|v| decode(&v)) {
-            Some(rec) => parse.records.push(rec),
-            None if Some(i) == last_nonempty => parse.truncated_tail = true,
-            None => parse.skipped_lines += 1,
-        }
+    let parse = litho_json::jsonl::parse_jsonl_with(text, decode_record);
+    HealthParse {
+        records: parse.records,
+        skipped_lines: parse.skipped_lines,
+        truncated_tail: parse.truncated_tail,
     }
-    parse
 }
 
 /// Decodes a `health.jsonl` stream from a file.

@@ -1,0 +1,248 @@
+//! Truncation-tolerant JSONL stream handling.
+//!
+//! Every JSONL stream in the workspace (`trace.jsonl`, `health.jsonl`,
+//! `samples.jsonl`, `runs/index.jsonl`) is append-only and may end
+//! mid-line when its writer is killed. Two consumers share the
+//! tolerance logic here:
+//!
+//! * [`parse_jsonl_with`] — whole-file decoding: a malformed *final*
+//!   line is reported as a truncated tail (the signature of a killed
+//!   run), any other malformed line as skipped corruption, and decoding
+//!   proceeds with whatever parsed.
+//! * [`JsonlTailer`] — incremental decoding of a *growing* file: each
+//!   [`JsonlTailer::poll`] returns the records completed since the last
+//!   poll, never consuming a torn final line until its newline arrives,
+//!   so concurrent writers can be followed without loss or duplication.
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+use crate::Json;
+
+/// Result of decoding a whole JSONL stream with [`parse_jsonl_with`].
+#[derive(Debug, Clone)]
+pub struct JsonlParse<T> {
+    pub records: Vec<T>,
+    /// Malformed (or decode-rejected) non-final lines — corruption, not
+    /// truncation.
+    pub skipped_lines: usize,
+    /// True when the final line failed to decode — the signature of a
+    /// killed run.
+    pub truncated_tail: bool,
+}
+
+impl<T> Default for JsonlParse<T> {
+    fn default() -> Self {
+        JsonlParse {
+            records: Vec::new(),
+            skipped_lines: 0,
+            truncated_tail: false,
+        }
+    }
+}
+
+/// Decodes a JSONL stream line by line through `decode`. A line that
+/// fails JSON parsing *or* is rejected by `decode` counts as the
+/// truncated tail when it is the last non-empty line, and as a skipped
+/// line otherwise. Empty lines are ignored.
+pub fn parse_jsonl_with<T>(
+    text: &str,
+    mut decode: impl FnMut(&Json) -> Option<T>,
+) -> JsonlParse<T> {
+    let mut parse = JsonlParse::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line).ok().and_then(|v| decode(&v)) {
+            Some(rec) => parse.records.push(rec),
+            None if Some(i) == last_nonempty => parse.truncated_tail = true,
+            None => parse.skipped_lines += 1,
+        }
+    }
+    parse
+}
+
+/// Incrementally follows a growing JSONL file.
+///
+/// The tailer remembers the byte offset of the last *newline-terminated*
+/// line it consumed. A torn final line (a writer mid-append, or a
+/// crashed writer's last gasp) is left in the file untouched; once its
+/// newline arrives the whole line is consumed exactly once. A
+/// newline-terminated line that still fails to parse is corruption and
+/// is counted in [`JsonlTailer::skipped_lines`].
+///
+/// The file may not exist yet — polling a missing file yields no
+/// records, so a tailer can be aimed at a run directory before the run's
+/// writer has created the stream.
+#[derive(Debug)]
+pub struct JsonlTailer {
+    path: PathBuf,
+    offset: u64,
+    skipped_lines: usize,
+}
+
+impl JsonlTailer {
+    /// Creates a tailer starting at the beginning of `path`.
+    pub fn new(path: impl Into<PathBuf>) -> JsonlTailer {
+        JsonlTailer {
+            path: path.into(),
+            offset: 0,
+            skipped_lines: 0,
+        }
+    }
+
+    /// The path being followed.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Bytes consumed so far (always at a line boundary).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Newline-terminated lines that failed to parse.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Returns the records of every line completed since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing (which
+    /// yields an empty batch).
+    pub fn poll(&mut self) -> io::Result<Vec<Json>> {
+        let mut file = match fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            // The file shrank under us (truncate + rewrite); start over
+            // rather than read garbage from a stale offset.
+            self.offset = 0;
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.take(len - self.offset).read_to_end(&mut buf)?;
+        // Only consume up to the last newline; a torn tail stays in the
+        // file for the next poll.
+        let Some(last_newline) = buf.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        let complete = &buf[..=last_newline];
+        let mut records = Vec::new();
+        for line in complete.split(|&b| b == b'\n') {
+            let Ok(text) = std::str::from_utf8(line) else {
+                self.skipped_lines += 1;
+                continue;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            match Json::parse(text) {
+                Ok(v) => records.push(v),
+                Err(_) => self.skipped_lines += 1,
+            }
+        }
+        self.offset += (last_newline + 1) as u64;
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("litho_json_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn whole_file_parse_flags_tail_and_corruption() {
+        let text = "{\"a\":1}\nnot json\n{\"a\":2}\n{\"a\":3";
+        let parse = parse_jsonl_with(text, |v| v.get("a")?.as_u64());
+        assert_eq!(parse.records, vec![1, 2]);
+        assert_eq!(parse.skipped_lines, 1);
+        assert!(parse.truncated_tail);
+
+        // A clean stream reports neither.
+        let clean = parse_jsonl_with("{\"a\":1}\n\n{\"a\":2}\n", |v| v.get("a")?.as_u64());
+        assert_eq!(clean.records, vec![1, 2]);
+        assert_eq!(clean.skipped_lines, 0);
+        assert!(!clean.truncated_tail);
+
+        // A decode rejection (valid JSON, wrong shape) follows the same
+        // tail-vs-corruption split.
+        let rejected = parse_jsonl_with("{\"b\":9}\n{\"a\":2}\n{\"b\":9}", |v| {
+            v.get("a")?.as_u64()
+        });
+        assert_eq!(rejected.records, vec![2]);
+        assert_eq!(rejected.skipped_lines, 1);
+        assert!(rejected.truncated_tail);
+    }
+
+    #[test]
+    fn tailer_never_consumes_a_torn_line_twice() {
+        let dir = scratch("torn");
+        let path = dir.join("stream.jsonl");
+        let mut tailer = JsonlTailer::new(&path);
+
+        // Missing file: no records, no error.
+        assert!(tailer.poll().unwrap().is_empty());
+
+        let mut file = fs::File::create(&path).unwrap();
+        write!(file, "{{\"n\":0}}\n{{\"n\":1").unwrap();
+        file.flush().unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1, "torn tail must not be consumed");
+        assert_eq!(batch[0].get("n").unwrap().as_u64(), Some(0));
+        // Polling again without growth yields nothing.
+        assert!(tailer.poll().unwrap().is_empty());
+
+        // Completing the torn line releases it exactly once.
+        write!(file, "}}\n{{\"n\":2}}\n").unwrap();
+        file.flush().unwrap();
+        let batch = tailer.poll().unwrap();
+        let ns: Vec<u64> = batch
+            .iter()
+            .map(|v| v.get("n").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 2]);
+        assert_eq!(tailer.skipped_lines(), 0);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tailer_counts_corrupt_complete_lines_and_survives_truncation() {
+        let dir = scratch("corrupt");
+        let path = dir.join("stream.jsonl");
+        fs::write(&path, "{\"n\":0}\ngarbage\n{\"n\":1}\n").unwrap();
+        let mut tailer = JsonlTailer::new(&path);
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(tailer.skipped_lines(), 1);
+
+        // Truncate-and-rewrite resets the tailer to the new content.
+        fs::write(&path, "{\"n\":9}\n").unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].get("n").unwrap().as_u64(), Some(9));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,10 +1,15 @@
-//! Minimal JSON value model: a recursive-descent parser and a writer.
+//! Minimal JSON value model shared across the LithoGAN workspace: a
+//! recursive-descent parser, a writer, and truncation-tolerant JSONL
+//! stream handling ([`jsonl`]).
 //!
-//! `litho-telemetry` writes JSONL with its own hand-rolled encoder; this
-//! module is the matching *reader* (plus the encoder the manifest needs),
-//! so the workspace stays free of external serialization crates. Objects
-//! keep their key order, which makes manifest round-trips and golden-file
-//! tests byte-stable.
+//! The workspace stays free of external serialization crates: every
+//! producer (`litho-telemetry`'s JSONL sink, the run ledger's manifests,
+//! the health stream) writes with the encoder half of this crate, and
+//! every consumer (trace analyzer, health diagnoser, runs index, live
+//! tailer) reads with the parser half. Objects keep their key order,
+//! which makes manifest round-trips and golden-file tests byte-stable.
+
+pub mod jsonl;
 
 use std::fmt;
 
@@ -102,13 +107,7 @@ impl Json {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    out.push_str(&format!("{v}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
+            Json::Num(v) => write_f64(out, *v),
             Json::Str(s) => write_str(out, s),
             Json::Arr(items) => {
                 out.push('[');
@@ -161,12 +160,22 @@ pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Append `v` as a JSON number; non-finite floats become `null` (JSON has
+/// no representation for them, and the readers map `null` back to NaN).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn err(&self, msg: &str) -> JsonError {
         JsonError {
             msg: msg.to_string(),
@@ -427,5 +436,15 @@ mod tests {
     fn duplicate_keys_keep_first() {
         let v = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn writer_helpers_escape_and_null() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let mut s = String::new();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
     }
 }

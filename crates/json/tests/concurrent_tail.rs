@@ -1,0 +1,81 @@
+//! Incremental tailing under concurrent writes: a writer thread appends
+//! records — deliberately tearing some lines across two syscalls and
+//! leaving the final line torn — while a [`JsonlTailer`] follows the
+//! file. No record may be lost or duplicated, and the torn tail must
+//! only surface once its newline lands.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+use litho_json::jsonl::JsonlTailer;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "litho_json_concurrent_{name}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn concurrent_writer_loses_and_duplicates_nothing() {
+    const RECORDS: u64 = 200;
+    let dir = scratch("writer");
+    let path = dir.join("stream.jsonl");
+    let writer_path = path.clone();
+
+    let writer = thread::spawn(move || {
+        let mut file = fs::File::create(&writer_path).unwrap();
+        for n in 0..RECORDS {
+            let line = format!("{{\"n\":{n},\"payload\":\"xxxxxxxxxxxxxxxx\"}}\n");
+            // Tear every third line across two writes with a flush in
+            // between, so the reader regularly observes half a record.
+            if n % 3 == 0 {
+                let mid = line.len() / 2;
+                file.write_all(&line.as_bytes()[..mid]).unwrap();
+                file.flush().unwrap();
+                thread::yield_now();
+                file.write_all(&line.as_bytes()[mid..]).unwrap();
+            } else {
+                file.write_all(line.as_bytes()).unwrap();
+            }
+            file.flush().unwrap();
+            if n % 17 == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Leave a torn final line behind, like a killed run would.
+        file.write_all(b"{\"n\":99999,\"torn\":").unwrap();
+        file.flush().unwrap();
+    });
+
+    let mut tailer = JsonlTailer::new(&path);
+    let mut seen: Vec<u64> = Vec::new();
+    // Follow the writer live...
+    while !writer.is_finished() {
+        for v in tailer.poll().unwrap() {
+            seen.push(v.get("n").unwrap().as_u64().unwrap());
+        }
+        thread::yield_now();
+    }
+    writer.join().unwrap();
+    // ...then drain whatever completed after the last live poll.
+    for v in tailer.poll().unwrap() {
+        seen.push(v.get("n").unwrap().as_u64().unwrap());
+    }
+
+    let expected: Vec<u64> = (0..RECORDS).collect();
+    assert_eq!(seen, expected, "records lost, duplicated or reordered");
+    assert_eq!(tailer.skipped_lines(), 0, "no complete line was corrupt");
+
+    // The torn final line never surfaced and is still pending in the file.
+    let len = fs::metadata(&path).unwrap().len();
+    assert!(tailer.offset() < len, "torn tail must stay unconsumed");
+
+    fs::remove_dir_all(&dir).ok();
+}

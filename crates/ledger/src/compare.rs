@@ -126,6 +126,9 @@ pub fn render_compare(a: &RunData, b: &RunData) -> String {
 pub struct Baseline {
     /// Allowed relative degradation, percent.
     pub tol_pct: f64,
+    /// The run the baseline was captured from; `runs gc` never deletes
+    /// it. Absent in baselines written before this field existed.
+    pub run_id: Option<String>,
     pub metrics: Vec<(String, f64)>,
 }
 
@@ -155,6 +158,7 @@ impl Baseline {
         };
         Ok(Baseline {
             tol_pct: v.get("tol_pct").and_then(Json::as_f64).unwrap_or(0.0),
+            run_id: v.get("run_id").and_then(Json::as_str).map(str::to_string),
             metrics,
         })
     }
@@ -172,6 +176,9 @@ impl Baseline {
     /// regenerating the committed baseline from a fresh run.
     pub fn to_json_string(&self) -> String {
         let mut members = vec![("tol_pct".to_string(), Json::Num(self.tol_pct))];
+        if let Some(id) = &self.run_id {
+            members.push(("run_id".to_string(), Json::Str(id.clone())));
+        }
         members.push((
             "metrics".to_string(),
             Json::Obj(
@@ -193,7 +200,11 @@ impl Baseline {
             .into_iter()
             .filter(|(k, _)| keys.is_empty() || keys.contains(&k.as_str()))
             .collect();
-        Baseline { tol_pct, metrics }
+        Baseline {
+            tol_pct,
+            run_id: Some(run.manifest.run_id.clone()),
+            metrics,
+        }
     }
 }
 
@@ -319,6 +330,7 @@ mod tests {
     fn baseline_round_trip() {
         let b = Baseline {
             tol_pct: 25.0,
+            run_id: Some("train-1-2".to_string()),
             metrics: vec![
                 ("ede_mean_nm".to_string(), 6.5),
                 ("pixel_accuracy".to_string(), 0.93),
@@ -326,6 +338,9 @@ mod tests {
         };
         let parsed = Baseline::from_json_str(&b.to_json_string()).unwrap();
         assert_eq!(parsed, b);
+        // Baselines written before run_id existed still parse.
+        let legacy = Baseline::from_json_str("{\"tol_pct\":5,\"metrics\":{\"a\":1}}").unwrap();
+        assert_eq!(legacy.run_id, None);
         assert!(Baseline::from_json_str("{}").is_err());
         assert!(Baseline::from_json_str("{\"metrics\":{\"a\":\"x\"}}").is_err());
     }

@@ -20,22 +20,39 @@
 //! * [`gate`] against a committed [`Baseline`] — the CI regression gate
 //!   (`compare <run> --gate baseline.json --tol-pct N`).
 //!
-//! The crate is std-only: JSON parsing is the in-tree [`json::Json`]
-//! recursive-descent parser (hosted by `litho-health`, re-exported
-//! here), which tolerates the truncated final line a killed run leaves
-//! behind in its JSONL streams.
+//! Above the per-run layer sits the *fleet* layer:
+//!
+//! * [`index`] — the append-only `runs/index.jsonl`, one summary record
+//!   per run, maintained transactionally by every finalize and repaired
+//!   by [`reindex`] (`lithogan_cli runs ls` / `reindex` / `runs gc`);
+//! * [`trend`] — cross-run trend tables, `trend.svg` and a streak-based
+//!   drift gate over the index (`lithogan_cli runs trend`);
+//! * [`watch`] — an incremental live tailer over an in-flight run's
+//!   `trace.jsonl` + `health.jsonl` (`lithogan_cli watch <run>`).
+//!
+//! The crate is std-only: JSON parsing is the shared `litho-json`
+//! recursive-descent parser (re-exported here as [`json`]), which
+//! tolerates the truncated final line a killed run leaves behind in its
+//! JSONL streams.
 
-pub use litho_health::json;
+pub use litho_json as json;
 
 mod compare;
 mod health;
+pub mod index;
 mod manifest;
 mod report;
 mod svg;
 mod trace;
+pub mod trend;
+pub mod watch;
 
 pub use compare::{gate, render_compare, run_metrics, Baseline, GateCheck, GateOutcome};
 pub use health::{health_svg, load_health, render_health, HealthAnalysis, LayerHealth, UpdateHealth};
+pub use index::{
+    append_index, index_record_for_run, load_index, reindex, scan_run_dirs, GcOutcome, IndexParse,
+    IndexRecord, ReindexOutcome, INDEX_SCHEMA,
+};
 pub use manifest::{
     fingerprint_file, load_manifest, load_records, DatasetInfo, RunLedger, RunManifest,
     MANIFEST_SCHEMA,
@@ -46,3 +63,5 @@ pub use trace::{
     analyze, analyze_file, parse_trace_file, parse_trace_str, CriticalHop, EpochPoint, SpanAgg,
     TraceAnalysis, TraceEvent, TraceParse,
 };
+pub use trend::{fmt_unix, render_trend, trend, trend_svg, Drift, Trend, TrendConfig, TrendPoint};
+pub use watch::{render_snapshot, EpochProgress, WatchConfig, WatchSession, WatchSnapshot};

@@ -18,12 +18,15 @@ use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use litho_metrics::SampleRecord;
+use litho_metrics::{MetricAccumulator, SampleRecord};
 
 use crate::json::Json;
 
 /// Manifest schema version, bumped on incompatible layout changes.
-pub const MANIFEST_SCHEMA: u32 = 1;
+/// Version 2 renamed the field itself from `schema` to `schema_version`
+/// (matching the index records); the parser accepts both spellings and
+/// treats a manifest with neither as version 1.
+pub const MANIFEST_SCHEMA: u32 = 2;
 
 /// Identity of the dataset a run consumed. The fingerprint is an FNV-1a
 /// 64-bit hash of the dataset file bytes, so two runs are comparable only
@@ -100,7 +103,7 @@ pub fn fingerprint_file(path: &Path) -> io::Result<(String, u64)> {
 /// `runs/<id>/manifest.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
-    pub schema: u32,
+    pub schema_version: u32,
     pub run_id: String,
     /// Subcommand or bench binary name (`train`, `predict`, `table3`, …).
     pub command: String,
@@ -130,7 +133,10 @@ impl RunManifest {
     /// Serializes to pretty-stable compact JSON.
     pub fn to_json_string(&self) -> String {
         let mut members = vec![
-            ("schema".into(), Json::Num(self.schema as f64)),
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
             ("run_id".into(), Json::Str(self.run_id.clone())),
             ("command".into(), Json::Str(self.command.clone())),
             (
@@ -204,10 +210,11 @@ impl RunManifest {
             _ => Vec::new(),
         };
         Ok(RunManifest {
-            schema: v
-                .get("schema")
+            schema_version: v
+                .get("schema_version")
+                .or_else(|| v.get("schema")) // pre-v2 spelling
                 .and_then(Json::as_u64)
-                .ok_or_else(|| invalid("manifest: missing schema"))? as u32,
+                .unwrap_or(1) as u32,
             run_id: str_field("run_id")?,
             command: str_field("command")?,
             started_unix_s: v
@@ -261,6 +268,12 @@ pub struct RunLedger {
     manifest: RunManifest,
     started: Instant,
     samples: Option<BufWriter<fs::File>>,
+    /// Running aggregate of appended records, so the finalize-time index
+    /// entry needs no re-read of `samples.jsonl`.
+    summary: Option<MetricAccumulator>,
+    /// When false, finalize skips the `index.jsonl` append (used by the
+    /// index-overhead microbench to measure the delta).
+    index_enabled: bool,
     finalized: bool,
 }
 
@@ -296,7 +309,7 @@ impl RunLedger {
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or(base);
         let manifest = RunManifest {
-            schema: MANIFEST_SCHEMA,
+            schema_version: MANIFEST_SCHEMA,
             run_id,
             command: command.to_string(),
             started_unix_s: unix,
@@ -314,6 +327,8 @@ impl RunLedger {
             manifest,
             started: Instant::now(),
             samples: None,
+            summary: None,
+            index_enabled: true,
             finalized: false,
         };
         ledger.write_manifest()?;
@@ -380,7 +395,20 @@ impl RunLedger {
             self.samples = Some(BufWriter::new(file));
         }
         let w = self.samples.as_mut().expect("samples writer just created");
-        writeln!(w, "{}", record.to_jsonl())
+        writeln!(w, "{}", record.to_jsonl())?;
+        // Records arrive already in nm, hence the unit factor.
+        self.summary
+            .get_or_insert_with(|| MetricAccumulator::new(1.0))
+            .add_record(record);
+        Ok(())
+    }
+
+    /// Disables the finalize-time `index.jsonl` append. Only the
+    /// index-overhead microbench wants this; leave it on everywhere else
+    /// or the run becomes invisible to `runs ls` / `runs trend` until
+    /// the next `reindex`.
+    pub fn set_index_enabled(&mut self, enabled: bool) {
+        self.index_enabled = enabled;
     }
 
     /// Flushes records and rewrites the manifest with final status and
@@ -415,7 +443,19 @@ impl RunLedger {
         self.manifest.wall_clock_s = Some(self.started.elapsed().as_secs_f64());
         self.manifest.peak_rss_bytes = peak_rss_bytes();
         self.manifest.tensor_alloc_bytes = Some(litho_tensor::allocated_bytes());
-        self.write_manifest()
+        self.write_manifest()?;
+        if self.index_enabled {
+            if let Some(root) = self.dir.parent() {
+                let summary = self.summary.as_ref().map(|acc| acc.summary());
+                let record = crate::index::record_from_parts(
+                    &self.manifest,
+                    summary.as_ref(),
+                    crate::index::health_verdict(&self.dir),
+                );
+                crate::index::append_index(root, &record)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -440,18 +480,13 @@ pub fn load_records(run_dir: &Path) -> io::Result<(Vec<SampleRecord>, usize)> {
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
         Err(e) => return Err(e),
     };
-    let mut records = Vec::new();
-    let mut skipped = 0;
-    for line in text.lines() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Json::parse(line).ok().and_then(|v| record_from_json(&v)) {
-            Some(r) => records.push(r),
-            None => skipped += 1,
-        }
-    }
-    Ok((records, skipped))
+    let parse = litho_json::jsonl::parse_jsonl_with(&text, record_from_json);
+    // Callers only distinguish "decoded" from "not": a truncated tail
+    // counts toward the skipped tally here, as it always has.
+    Ok((
+        parse.records,
+        parse.skipped_lines + usize::from(parse.truncated_tail),
+    ))
 }
 
 /// Decodes one `samples.jsonl` line (the writer side lives in
@@ -565,6 +600,30 @@ mod tests {
         let text = m.to_json_string();
         assert!(text.contains("\"peak_rss_bytes\""));
         assert_eq!(RunManifest::from_json_str(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn legacy_manifests_without_schema_version_still_parse() {
+        // Pre-v2 spelling (`schema`), as in the committed fixtures.
+        let v1 = r#"{"schema":1,"run_id":"train-1-2","command":"train","config":{},"status":"ok"}"#;
+        let m = RunManifest::from_json_str(v1).unwrap();
+        assert_eq!(m.schema_version, 1);
+        assert_eq!(m.run_id, "train-1-2");
+
+        // No version field at all: treated as version 1, not an error.
+        let v0 = r#"{"run_id":"train-1-2","command":"train","config":{},"status":"ok"}"#;
+        assert_eq!(RunManifest::from_json_str(v0).unwrap().schema_version, 1);
+
+        // Current manifests round-trip the new spelling.
+        let text = m.to_json_string();
+        assert!(!text.contains("\"schema\":"));
+        let current = RunManifest {
+            schema_version: MANIFEST_SCHEMA,
+            ..m
+        };
+        let text = current.to_json_string();
+        assert!(text.contains("\"schema_version\":2"));
+        assert_eq!(RunManifest::from_json_str(&text).unwrap(), current);
     }
 
     #[test]

@@ -26,6 +26,21 @@ pub struct TraceEvent {
     pub fields: Json,
 }
 
+impl TraceEvent {
+    /// Decodes one already-parsed JSONL object; `None` when the required
+    /// envelope fields (`ts_us`, `kind`, `name`) are missing. Public so
+    /// incremental consumers ([`crate::watch`]) share the whole-file
+    /// decoder's schema.
+    pub fn from_json(v: &Json) -> Option<TraceEvent> {
+        Some(TraceEvent {
+            ts_us: v.get("ts_us")?.as_u64()?,
+            kind: v.get("kind")?.as_str()?.to_string(),
+            name: v.get("name")?.as_str()?.to_string(),
+            fields: v.clone(),
+        })
+    }
+}
+
 /// Result of decoding a JSONL stream.
 #[derive(Debug, Default, Clone)]
 pub struct TraceParse {
@@ -37,30 +52,15 @@ pub struct TraceParse {
     pub truncated_tail: bool,
 }
 
-/// Decodes a JSONL trace from a string.
+/// Decodes a JSONL trace from a string (truncation-tolerant, via the
+/// shared [`litho_json::jsonl`] machinery).
 pub fn parse_trace_str(text: &str) -> TraceParse {
-    let mut parse = TraceParse::default();
-    let lines: Vec<&str> = text.lines().collect();
-    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
-    for (i, line) in lines.iter().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let decoded = Json::parse(line).ok().and_then(|v| {
-            Some(TraceEvent {
-                ts_us: v.get("ts_us")?.as_u64()?,
-                kind: v.get("kind")?.as_str()?.to_string(),
-                name: v.get("name")?.as_str()?.to_string(),
-                fields: v,
-            })
-        });
-        match decoded {
-            Some(ev) => parse.events.push(ev),
-            None if Some(i) == last_nonempty => parse.truncated_tail = true,
-            None => parse.skipped_lines += 1,
-        }
+    let parse = litho_json::jsonl::parse_jsonl_with(text, TraceEvent::from_json);
+    TraceParse {
+        events: parse.records,
+        skipped_lines: parse.skipped_lines,
+        truncated_tail: parse.truncated_tail,
     }
-    parse
 }
 
 /// Decodes a JSONL trace from a file.

@@ -30,7 +30,6 @@
 //! ```
 
 mod histogram;
-mod json;
 mod registry;
 mod report;
 mod sink;

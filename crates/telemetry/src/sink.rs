@@ -3,7 +3,7 @@
 
 use std::io::Write;
 
-use crate::json;
+use litho_json as json;
 
 /// A loosely-typed field value attached to an [`Event`].
 #[derive(Debug, Clone, PartialEq)]

@@ -29,4 +29,11 @@ test -s "$work/runs/$run/health.jsonl"
 "$cli" --runs-root "$work/runs" health "$run" --fail-on nan,dead-layer
 test -s "$work/runs/$run/health.svg"
 
+echo "==> fleet index + trend gate"
+"$cli" --runs-root "$work/runs" train --data "$work/data.lgd" --epochs 2 --seed 2 --out "$work/model2.lgm"
+"$cli" --runs-root "$work/runs" reindex
+"$cli" --runs-root "$work/runs" runs ls
+"$cli" --runs-root "$work/runs" runs trend ede_mean_nm --gate
+test -s "$work/runs/trend.svg"
+
 echo "==> all checks passed"
