@@ -2,7 +2,8 @@
 //! forward/backward, and the FFT used by the optical model.
 //!
 //! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`, `--trace`,
-//! `--metrics-out FILE`.
+//! `--metrics-out FILE`, `--json-out FILE` (merge medians into a
+//! `BENCH_KERNELS.json` for the `perf_gate` bin).
 
 use litho_tensor::rng::{Rng, SeedableRng};
 
@@ -44,6 +45,22 @@ fn bench_conv(mb: &MicroBench) {
     });
 }
 
+/// The paper's full-resolution first generator layer: 3->64, 5x5/2 on a
+/// 256x256 mask batch — the headline shape of the perf-gate baseline.
+fn bench_conv_paper(mb: &MicroBench) {
+    let mut rng = litho_tensor::rng::StdRng::seed_from_u64(7);
+    let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
+    let x = random_tensor(&[4, 3, 256, 256], 8);
+    mb.run("conv_fwd_4x3x256x256", || {
+        conv.forward(&x, Phase::Eval).unwrap()
+    });
+    mb.run("conv_fwd_bwd_4x3x256x256", || {
+        let y = conv.forward(&x, Phase::Train).unwrap();
+        conv.zero_grad();
+        conv.backward(&y).unwrap()
+    });
+}
+
 fn bench_fft(mb: &MicroBench) {
     for &n in &[128usize, 256, 512] {
         let mut rng = litho_tensor::rng::StdRng::seed_from_u64(6);
@@ -66,6 +83,8 @@ fn main() {
     let mb = MicroBench::from_args();
     bench_matmul(&mb);
     bench_conv(&mb);
+    bench_conv_paper(&mb);
     bench_fft(&mb);
+    mb.flush_json().expect("writing --json-out");
     lithogan_bench::finish_telemetry();
 }

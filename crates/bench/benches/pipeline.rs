@@ -3,7 +3,8 @@
 //! substitute of DESIGN.md's inventory).
 //!
 //! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`, `--trace`,
-//! `--metrics-out FILE`.
+//! `--metrics-out FILE`, `--json-out FILE` (merge medians into a
+//! `BENCH_KERNELS.json` for the `perf_gate` bin).
 
 use litho_tensor::rng::SeedableRng;
 
@@ -48,5 +49,6 @@ fn main() {
         rasterize_clip(&corrected, &RasterConfig::paper()).unwrap()
     });
 
+    mb.flush_json().expect("writing --json-out");
     lithogan_bench::finish_telemetry();
 }

@@ -1,0 +1,394 @@
+//! Kernel performance gate: compares a freshly-benched
+//! `BENCH_KERNELS.json` against the committed baseline and fails on
+//! regressions beyond tolerance.
+//!
+//! Both files use the ledger [`Baseline`] JSON format
+//! (`{"tol_pct": N, "metrics": {"<bench>": <best secs/iter>, ...}}`),
+//! written by the bench binaries' `--json-out=FILE` flag (best-of-N — see
+//! the microbench module for why minimums, not medians, are gated). Bench
+//! times are wall-clock, so every metric is lower-is-better; a baseline
+//! bench missing from the current file fails the gate (a vanished bench
+//! is itself a regression). Current-only benches are reported but do not
+//! gate — they become binding once promoted into the baseline.
+//!
+//! When both files carry the `_calibration` metric (a fixed workload
+//! timed at bench time), current times are rescaled by
+//! `min(baseline_cal / current_cal, 1)` before comparison: a host that
+//! measures slower than at baseline capture (frequency scaling,
+//! shared-CI throttling) has its times discounted, while a faster host
+//! is compared raw — never inflated, since the ALU-bound spin speeds up
+//! more than memory-bound kernels do.
+//!
+//! Usage: `perf_gate --current FILE --baseline FILE [--tol-pct N]`
+//!
+//! Baseline capture: `perf_gate --merge --out OUT FILE...` writes the
+//! per-metric *median* across several independent bench passes. A
+//! best-ever-window minimum makes an unreproducible baseline on a noisy
+//! host; the median of per-pass minimums is what a typical window
+//! achieves, which the min-merged current run then has to beat only
+//! within tolerance.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use litho_ledger::{Baseline, GateCheck, GateOutcome};
+use lithogan_bench::microbench::{fmt_duration, CALIBRATION_METRIC};
+
+enum Args {
+    Gate {
+        current: PathBuf,
+        baseline: PathBuf,
+        tol_pct: Option<f64>,
+    },
+    Merge {
+        out: PathBuf,
+        passes: Vec<PathBuf>,
+    },
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut current = None;
+    let mut baseline = None;
+    let mut tol_pct = None;
+    let mut merge = false;
+    let mut out = None;
+    let mut passes = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        // Accept both `--flag VALUE` and `--flag=VALUE`.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            inline
+                .clone()
+                .or_else(|| it.next())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--tol-pct" => {
+                let raw = value("--tol-pct")?;
+                tol_pct = Some(
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("--tol-pct: not a number: {raw}"))?,
+                );
+            }
+            "--merge" => merge = true,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other if !other.starts_with("--") => passes.push(PathBuf::from(flag)),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if merge {
+        if passes.is_empty() {
+            return Err("--merge needs at least one pass FILE".into());
+        }
+        return Ok(Args::Merge {
+            out: out.ok_or("--merge needs --out FILE")?,
+            passes,
+        });
+    }
+    Ok(Args::Gate {
+        current: current.ok_or("missing --current FILE")?,
+        baseline: baseline.ok_or("missing --baseline FILE")?,
+        tol_pct,
+    })
+}
+
+fn lookup(base: &Baseline, key: &str) -> Option<f64> {
+    base.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+/// Per-metric median across bench passes, preserving the first file's
+/// metric order and `tol_pct`. Metrics missing from some passes take the
+/// median of the passes that have them.
+fn merge_median(passes: &[Baseline]) -> Baseline {
+    let mut merged = Baseline {
+        tol_pct: passes.first().map_or(15.0, |p| p.tol_pct),
+        run_id: None,
+        metrics: Vec::new(),
+    };
+    for pass in passes {
+        for (key, _) in &pass.metrics {
+            if merged.metrics.iter().any(|(k, _)| k == key) {
+                continue;
+            }
+            let mut vals: Vec<f64> = passes.iter().filter_map(|p| lookup(p, key)).collect();
+            vals.sort_by(f64::total_cmp);
+            let n = vals.len();
+            let median = if n % 2 == 1 {
+                vals[n / 2]
+            } else {
+                (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+            };
+            merged.metrics.push((key.clone(), median));
+        }
+    }
+    merged
+}
+
+/// `baseline_cal / current_cal` when both files carry the calibration
+/// metric: multiply current times by this to express them at the
+/// baseline host's speed. Clamped to at most 1: a slower host discounts
+/// current times, but a faster host never inflates them — the spin is
+/// ALU-bound, and memory-bound kernels do not speed up with it, so
+/// scaling upward manufactures false regressions.
+fn host_speed_scale(current: &Baseline, baseline: &Baseline) -> Option<f64> {
+    let cur = lookup(current, CALIBRATION_METRIC)?;
+    let base = lookup(baseline, CALIBRATION_METRIC)?;
+    (cur > 0.0 && base > 0.0).then_some((base / cur).min(1.0))
+}
+
+/// Gates current bench times against the baseline; all metrics are
+/// durations, hence lower-is-better regardless of name. `scale` rescales
+/// current times to the baseline host's speed before comparing.
+fn gate_benches(
+    current: &Baseline,
+    baseline: &Baseline,
+    tol_pct: Option<f64>,
+    scale: f64,
+) -> GateOutcome {
+    let tol_pct = tol_pct.unwrap_or(baseline.tol_pct).max(0.0);
+    let tol = tol_pct / 100.0;
+    let mut outcome = GateOutcome {
+        checks: Vec::new(),
+        tol_pct,
+    };
+    for (key, base) in &baseline.metrics {
+        if key == CALIBRATION_METRIC {
+            continue;
+        }
+        let actual = lookup(current, key).map(|v| v * scale);
+        let pass = match actual {
+            None => false,
+            Some(v) => v <= base * (1.0 + tol) + f64::EPSILON,
+        };
+        outcome.checks.push(GateCheck {
+            metric: key.clone(),
+            baseline: *base,
+            actual,
+            pass,
+        });
+    }
+    outcome
+}
+
+/// [`GateOutcome::render`] formats values as `{:.4}`, unreadable for
+/// microsecond kernels — render the same table with duration units.
+fn render(outcome: &GateOutcome) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== perf gate (tolerance {:.1}%) ==", outcome.tol_pct);
+    let w = outcome
+        .checks
+        .iter()
+        .map(|c| c.metric.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let _ = writeln!(
+        out,
+        "{:<w$} {:>12} {:>12} {:>8}  verdict",
+        "bench", "baseline", "actual", "ratio"
+    );
+    for c in &outcome.checks {
+        let (actual, ratio) = match c.actual {
+            Some(v) => (
+                fmt_duration(Duration::from_secs_f64(v.max(0.0))),
+                format!("{:.2}x", if c.baseline > 0.0 { v / c.baseline } else { f64::INFINITY }),
+            ),
+            None => ("missing".to_string(), "-".to_string()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<w$} {:>12} {:>12} {:>8}  {}",
+            c.metric,
+            fmt_duration(Duration::from_secs_f64(c.baseline.max(0.0))),
+            actual,
+            ratio,
+            if c.pass { "ok" } else { "REGRESSED" }
+        );
+    }
+    let _ = writeln!(out, "gate: {}", if outcome.passed() { "PASS" } else { "FAIL" });
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            eprintln!("usage: perf_gate --current FILE --baseline FILE [--tol-pct N]");
+            eprintln!("       perf_gate --merge --out FILE PASS_FILE...");
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &PathBuf| {
+        Baseline::load(path).unwrap_or_else(|e| {
+            eprintln!("perf_gate: {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let (current, baseline, tol_pct) = match args {
+        Args::Merge { out, passes } => {
+            let merged = merge_median(&passes.iter().map(load).collect::<Vec<_>>());
+            if let Err(e) = std::fs::write(&out, merged.to_json_string()) {
+                eprintln!("perf_gate: {}: {e}", out.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "merged {} passes into {} ({} metrics, per-metric median)",
+                passes.len(),
+                out.display(),
+                merged.metrics.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        Args::Gate {
+            current,
+            baseline,
+            tol_pct,
+        } => (load(&current), load(&baseline), tol_pct),
+    };
+
+    let scale = host_speed_scale(&current, &baseline);
+    match scale {
+        Some(s) if s < 1.0 => println!(
+            "host {:.2}x slower than baseline capture; times normalized",
+            1.0 / s
+        ),
+        Some(_) => println!("host at or above baseline-capture speed; comparing raw times"),
+        None => println!("no shared {CALIBRATION_METRIC} metric; comparing raw times"),
+    }
+    let outcome = gate_benches(&current, &baseline, tol_pct, scale.unwrap_or(1.0));
+    print!("{}", render(&outcome));
+
+    // Surface benches that exist only in the current file so a stale
+    // baseline is visible without failing the gate.
+    let new: Vec<&str> = current
+        .metrics
+        .iter()
+        .filter(|(k, _)| {
+            k != CALIBRATION_METRIC && !baseline.metrics.iter().any(|(b, _)| b == k)
+        })
+        .map(|(k, _)| k.as_str())
+        .collect();
+    if !new.is_empty() {
+        println!("ungated (not in baseline): {}", new.join(", "));
+    }
+
+    if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(metrics: &[(&str, f64)]) -> Baseline {
+        Baseline {
+            tol_pct: 15.0,
+            run_id: None,
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let outcome = gate_benches(&base(&[("conv", 1.10)]), &base(&[("conv", 1.0)]), None, 1.0);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn beyond_tolerance_fails() {
+        let outcome = gate_benches(&base(&[("conv", 1.20)]), &base(&[("conv", 1.0)]), None, 1.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.failures().count(), 1);
+    }
+
+    #[test]
+    fn missing_bench_fails_and_override_applies() {
+        let outcome = gate_benches(&base(&[]), &base(&[("conv", 1.0)]), None, 1.0);
+        assert!(!outcome.passed());
+        // A generous override admits a big slowdown.
+        let outcome = gate_benches(
+            &base(&[("conv", 1.9)]),
+            &base(&[("conv", 1.0)]),
+            Some(100.0),
+            1.0,
+        );
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let outcome = gate_benches(&base(&[("conv", 0.2)]), &base(&[("conv", 1.0)]), Some(0.0), 1.0);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn calibration_normalizes_a_throttled_host() {
+        // Baseline captured on a fast host (cal 1.0); the current run sees
+        // everything 2x slower including the calibration spin — the gate
+        // must treat that as unchanged performance.
+        let baseline = base(&[(CALIBRATION_METRIC, 1.0), ("conv", 1.0)]);
+        let current = base(&[(CALIBRATION_METRIC, 2.0), ("conv", 2.0)]);
+        let scale = host_speed_scale(&current, &baseline).unwrap();
+        let outcome = gate_benches(&current, &baseline, Some(0.0), scale);
+        assert!(outcome.passed());
+        // A real 2x regression on a same-speed host still fails.
+        let current = base(&[(CALIBRATION_METRIC, 1.0), ("conv", 2.0)]);
+        let scale = host_speed_scale(&current, &baseline).unwrap();
+        let outcome = gate_benches(&current, &baseline, Some(15.0), scale);
+        assert!(!outcome.passed());
+        // The calibration metric itself is never a gated check.
+        assert!(outcome.checks.iter().all(|c| c.metric != CALIBRATION_METRIC));
+    }
+
+    #[test]
+    fn merge_median_is_per_metric_and_order_preserving() {
+        let passes = [
+            base(&[("a", 3.0), ("b", 10.0)]),
+            base(&[("a", 1.0), ("b", 30.0), ("c", 7.0)]),
+            base(&[("a", 2.0), ("b", 20.0)]),
+        ];
+        let merged = merge_median(&passes);
+        assert_eq!(merged.tol_pct, 15.0);
+        let keys: Vec<&str> = merged.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+        assert_eq!(lookup(&merged, "a"), Some(2.0));
+        assert_eq!(lookup(&merged, "b"), Some(20.0));
+        // Present in one pass only: that value is its own median.
+        assert_eq!(lookup(&merged, "c"), Some(7.0));
+        // Even count takes the midpoint.
+        let merged = merge_median(&passes[..2]);
+        assert_eq!(lookup(&merged, "a"), Some(2.0));
+    }
+
+    #[test]
+    fn faster_host_never_inflates_times() {
+        // The current host runs the ALU spin 2x faster, but a
+        // memory-bound bench only improved 5% — upscaling its time 2x
+        // would fake a regression. The scale clamps at 1 (raw compare).
+        let baseline = base(&[(CALIBRATION_METRIC, 1.0), ("fft", 1.0)]);
+        let current = base(&[(CALIBRATION_METRIC, 0.5), ("fft", 0.95)]);
+        let scale = host_speed_scale(&current, &baseline).unwrap();
+        assert_eq!(scale, 1.0);
+        let outcome = gate_benches(&current, &baseline, Some(0.0), scale);
+        assert!(outcome.passed());
+        // A genuine regression still fails raw on the faster host.
+        let current = base(&[(CALIBRATION_METRIC, 0.5), ("fft", 1.3)]);
+        let scale = host_speed_scale(&current, &baseline).unwrap();
+        assert!(!gate_benches(&current, &baseline, Some(15.0), scale).passed());
+    }
+}

@@ -113,7 +113,9 @@ global flags (accepted by every command, --flag VALUE or --flag=VALUE):\n  \
   --metrics-out FILE  stream telemetry events as JSONL to FILE\n                      \
 (default: runs/<id>/trace.jsonl when a run ledger is active)\n  \
   --runs-root DIR     where run ledgers are created/resolved (default: runs)\n  \
-  --no-run            do not record this invocation under runs/";
+  --no-run            do not record this invocation under runs/\n  \
+  --threads N         worker-pool width for the compute kernels; 0 = auto\n                      \
+(default: LITHO_THREADS env var, else the detected core count)";
 
 fn usage() -> String {
     format!(
@@ -266,6 +268,8 @@ struct GlobalOpts {
     metrics_out: Option<String>,
     runs_root: String,
     no_run: bool,
+    /// Worker-pool width override (`Some(0)` = auto-detect).
+    threads: Option<usize>,
 }
 
 impl Default for GlobalOpts {
@@ -275,6 +279,7 @@ impl Default for GlobalOpts {
             metrics_out: None,
             runs_root: "runs".to_string(),
             no_run: false,
+            threads: None,
         }
     }
 }
@@ -310,12 +315,26 @@ fn split_global_args(args: &[String]) -> Result<(Vec<String>, GlobalOpts)> {
                 opts.runs_root = args[i + 1].clone();
                 i += 1;
             }
+            "--threads" => {
+                if i + 1 >= args.len() {
+                    return Err(bad("--threads requires a count"));
+                }
+                opts.threads = Some(args[i + 1].parse().map_err(|_| bad("--threads"))?);
+                i += 1;
+            }
             // `--flag=value` spelling, matching the bench binaries.
             _ if arg.starts_with("--metrics-out=") => {
                 opts.metrics_out = Some(arg["--metrics-out=".len()..].to_string());
             }
             _ if arg.starts_with("--runs-root=") => {
                 opts.runs_root = arg["--runs-root=".len()..].to_string();
+            }
+            _ if arg.starts_with("--threads=") => {
+                opts.threads = Some(
+                    arg["--threads=".len()..]
+                        .parse()
+                        .map_err(|_| bad("--threads"))?,
+                );
             }
             _ => rest.push(args[i].clone()),
         }
@@ -683,8 +702,15 @@ fn resolve_run(arg: &str, runs_root: &str) -> Result<RunData> {
     load_run(&dir).map_err(|e| bad(format!("run {arg:?}: {e}")))
 }
 
+/// How many samples `eval_into_ledger` stacks into one inference batch.
+/// Bounds workspace memory while keeping the GEMMs wide enough to feed
+/// the worker pool.
+const EVAL_BATCH: usize = 8;
+
 /// Evaluates `samples` and appends one record per sample to the ledger.
-/// Returns the accumulator for summary printing.
+/// Inference runs batched (bit-identical to per-sample `predict`); the
+/// measured throughput is stamped into the manifest as
+/// `samples_per_sec`. Returns the accumulator for summary printing.
 fn eval_into_ledger(
     model: &mut LithoGan,
     samples: &[&litho_dataset::Sample],
@@ -692,10 +718,21 @@ fn eval_into_ledger(
     ledger: &mut Option<RunLedger>,
 ) -> Result<MetricAccumulator> {
     let mut acc = MetricAccumulator::new(nm_per_px);
-    for (i, s) in samples.iter().enumerate() {
+    let t0 = std::time::Instant::now();
+    let mut predictions = Vec::with_capacity(samples.len());
+    for chunk in samples.chunks(EVAL_BATCH) {
+        let masks: Vec<&litho_tensor::Tensor> = chunk.iter().map(|s| &s.mask).collect();
+        predictions.extend(model.predict_batch(&masks)?);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    if let Some(ledger) = ledger {
+        if !samples.is_empty() && elapsed > 0.0 {
+            ledger.set_samples_per_sec(samples.len() as f64 / elapsed);
+        }
+    }
+    for (i, (prediction, s)) in predictions.iter().zip(samples).enumerate() {
         litho_telemetry::set_sample_id(Some(i as u64));
-        let prediction = model.predict(&s.mask)?;
-        let record = acc.add_pair(&prediction, &s.golden)?;
+        let record = acc.add_pair(prediction, &s.golden)?;
         if let Some(ledger) = ledger {
             ledger.append_record(&record).map_err(io_err)?;
         }
@@ -1174,6 +1211,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Before the ledger opens, so the manifest records the effective width.
+    if let Some(n) = opts.threads {
+        litho_tensor::pool::configure_threads(n);
+    }
     let mut ledger = if cmd.records_run() && !opts.no_run {
         match RunLedger::create(
             Path::new(&opts.runs_root),
@@ -1489,6 +1530,23 @@ mod tests {
     fn trailing_value_flags_without_value_error() {
         assert!(split_global_args(&strs(&["eval", "--metrics-out"])).is_err());
         assert!(split_global_args(&strs(&["eval", "--runs-root"])).is_err());
+        assert!(split_global_args(&strs(&["eval", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn global_threads_flag_parses() {
+        let (rest, t) = split_global_args(&strs(&[
+            "eval", "--threads", "4", "--data", "d", "--model", "m",
+        ]))
+        .unwrap();
+        assert_eq!(rest, strs(&["eval", "--data", "d", "--model", "m"]));
+        assert_eq!(t.threads, Some(4));
+        let (_, t) = split_global_args(&strs(&["eval", "--threads=2"])).unwrap();
+        assert_eq!(t.threads, Some(2));
+        // 0 = auto-detect; accepted, not an error.
+        let (_, t) = split_global_args(&strs(&["eval", "--threads", "0"])).unwrap();
+        assert_eq!(t.threads, Some(0));
+        assert!(split_global_args(&strs(&["eval", "--threads", "x"])).is_err());
     }
 
     #[test]

@@ -193,6 +193,48 @@ impl CenterCnn {
             mid + out.at(&[0, 1])? * scale,
         ))
     }
+
+    /// Predicts centres for a batch of `[3, S, S]` masks in one stacked
+    /// forward pass; each result is bit-identical to a single-mask
+    /// [`CenterCnn::predict`] call (see [`crate::Cgan::predict_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for wrong or mismatched input shapes.
+    pub fn predict_batch(&mut self, masks: &[&Tensor]) -> Result<Vec<(f32, f32)>> {
+        let Some(first) = masks.first() else {
+            return Ok(Vec::new());
+        };
+        let dims = first.dims().to_vec();
+        if dims.len() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: dims.len(),
+            });
+        }
+        let mut data = Vec::with_capacity(masks.len() * first.len());
+        for mask in masks {
+            if mask.dims() != dims {
+                return Err(TensorError::ShapeMismatch {
+                    left: mask.dims().to_vec(),
+                    right: dims.clone(),
+                });
+            }
+            data.extend(mask.as_slice().iter().map(|&v| v * 2.0 - 1.0));
+        }
+        let x = Tensor::from_vec(data, &[masks.len(), dims[0], dims[1], dims[2]])?;
+        let out = self.net.forward(&x, Phase::Eval)?;
+        let mid = (self.image_size as f32 - 1.0) / 2.0;
+        let scale = self.offset_scale();
+        (0..masks.len())
+            .map(|i| {
+                Ok((
+                    mid + out.at(&[i, 0])? * scale,
+                    mid + out.at(&[i, 1])? * scale,
+                ))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -397,6 +397,54 @@ impl Cgan {
         let y = self.generator.forward(&x, Phase::Eval)?;
         y.map(|v| (v + 1.0) / 2.0).reshape(&[dims[1], dims[2]])
     }
+
+    /// Generates resist images for a batch of `[3, S, S]` masks in one
+    /// stacked forward pass.
+    ///
+    /// In [`Phase::Eval`] every kernel treats samples independently
+    /// (batch norm uses running statistics; each GEMM output column folds
+    /// over its own inputs), so each result is bit-identical to a
+    /// single-mask [`Cgan::predict`] call — batching only buys the bigger
+    /// matrices that keep the worker pool busy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for wrong or mismatched input shapes.
+    pub fn predict_batch(&mut self, masks: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let Some(first) = masks.first() else {
+            return Ok(Vec::new());
+        };
+        let dims = first.dims().to_vec();
+        if dims.len() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: dims.len(),
+            });
+        }
+        let mut data = Vec::with_capacity(masks.len() * first.len());
+        for mask in masks {
+            if mask.dims() != dims {
+                return Err(TensorError::ShapeMismatch {
+                    left: mask.dims().to_vec(),
+                    right: dims.clone(),
+                });
+            }
+            data.extend(mask.as_slice().iter().map(|&v| v * 2.0 - 1.0));
+        }
+        let x = Tensor::from_vec(data, &[masks.len(), dims[0], dims[1], dims[2]])?;
+        let y = self.generator.forward(&x, Phase::Eval)?;
+        let plane = dims[1] * dims[2];
+        let ys = y.as_slice();
+        (0..masks.len())
+            .map(|i| {
+                let data = ys[i * plane..(i + 1) * plane]
+                    .iter()
+                    .map(|&v| (v + 1.0) / 2.0)
+                    .collect();
+                Tensor::from_vec(data, &[dims[1], dims[2]])
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,10 @@ use crate::report::{fmt_us, metric_rows, RunData};
 
 /// Is a larger value of this metric an improvement?
 fn higher_is_better(key: &str) -> bool {
-    matches!(key, "pixel_accuracy" | "class_accuracy" | "mean_iou")
+    matches!(
+        key,
+        "pixel_accuracy" | "class_accuracy" | "mean_iou" | "samples_per_sec"
+    )
 }
 
 /// Extracts the gateable metrics of a run: the aggregated per-sample

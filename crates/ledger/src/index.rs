@@ -29,14 +29,15 @@ use crate::manifest::{load_manifest, load_records, RunManifest};
 pub const INDEX_SCHEMA: u32 = 1;
 
 /// The headline metrics an index record carries (the paper's Tables 3–4
-/// axes plus sample count).
-pub const HEADLINE_METRICS: [&str; 6] = [
+/// axes plus sample count and inference throughput).
+pub const HEADLINE_METRICS: [&str; 7] = [
     "samples",
     "ede_mean_nm",
     "pixel_accuracy",
     "class_accuracy",
     "mean_iou",
     "center_error_nm",
+    "samples_per_sec",
 ];
 
 /// One line of `runs/index.jsonl`: the fleet-level summary of one run.
@@ -240,6 +241,12 @@ pub fn record_from_parts(
     summary: Option<&MetricSummary>,
     health: Option<String>,
 ) -> IndexRecord {
+    let mut metrics = summary.map(headline_metrics).unwrap_or_default();
+    // Throughput lives in the manifest, not the sample aggregate, so it
+    // survives both the live finalize path and a `reindex` rebuild.
+    if let Some(sps) = manifest.samples_per_sec {
+        metrics.push(("samples_per_sec".to_string(), sps));
+    }
     IndexRecord {
         schema_version: INDEX_SCHEMA,
         run_id: manifest.run_id.clone(),
@@ -249,7 +256,7 @@ pub fn record_from_parts(
         dataset_fingerprint: manifest.dataset.as_ref().map(|d| d.fingerprint.clone()),
         status: manifest.status.clone(),
         wall_clock_s: manifest.wall_clock_s,
-        metrics: summary.map(headline_metrics).unwrap_or_default(),
+        metrics,
         health,
     }
 }

@@ -127,6 +127,12 @@ pub struct RunManifest {
     /// Cumulative tensor data bytes allocated by the process
     /// ([`litho_tensor::allocated_bytes`]), an allocator-churn signal.
     pub tensor_alloc_bytes: Option<u64>,
+    /// Effective worker-pool width (`--threads` / `LITHO_THREADS` /
+    /// detected cores); `None` on manifests from before the pool existed.
+    pub threads: Option<usize>,
+    /// Inference throughput over the run's evaluated samples, a
+    /// `runs trend`-able headline performance metric.
+    pub samples_per_sec: Option<f64>,
 }
 
 impl RunManifest {
@@ -161,6 +167,12 @@ impl RunManifest {
         }
         if let Some(trace) = &self.trace {
             members.push(("trace".into(), Json::Str(trace.clone())));
+        }
+        if let Some(threads) = self.threads {
+            members.push(("threads".into(), Json::Num(threads as f64)));
+        }
+        if let Some(sps) = self.samples_per_sec {
+            members.push(("samples_per_sec".into(), Json::Num(sps)));
         }
         members.push(("status".into(), Json::Str(self.status.clone())));
         if let Some(wall) = self.wall_clock_s {
@@ -229,6 +241,8 @@ impl RunManifest {
             wall_clock_s: v.get("wall_clock_s").and_then(Json::as_f64),
             peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_u64),
             tensor_alloc_bytes: v.get("tensor_alloc_bytes").and_then(Json::as_u64),
+            threads: v.get("threads").and_then(Json::as_u64).map(|n| n as usize),
+            samples_per_sec: v.get("samples_per_sec").and_then(Json::as_f64),
         })
     }
 }
@@ -321,6 +335,8 @@ impl RunLedger {
             wall_clock_s: None,
             peak_rss_bytes: None,
             tensor_alloc_bytes: None,
+            threads: Some(litho_tensor::pool::effective_threads()),
+            samples_per_sec: None,
         };
         let ledger = RunLedger {
             dir,
@@ -336,10 +352,11 @@ impl RunLedger {
     }
 
     fn write_manifest(&self) -> io::Result<()> {
-        fs::write(
-            self.dir.join("manifest.json"),
-            self.manifest.to_json_string(),
-        )
+        // Write-then-rename so a concurrent `runs watch` poll never reads
+        // a truncated manifest (a parse failure reads as "waiting" there).
+        let tmp = self.dir.join("manifest.json.tmp");
+        fs::write(&tmp, self.manifest.to_json_string())?;
+        fs::rename(tmp, self.dir.join("manifest.json"))
     }
 
     pub fn dir(&self) -> &Path {
@@ -379,6 +396,12 @@ impl RunLedger {
     pub fn set_dataset(&mut self, dataset: DatasetInfo) -> io::Result<()> {
         self.manifest.dataset = Some(dataset);
         self.write_manifest()
+    }
+
+    /// Records the run's measured inference throughput; stamped into the
+    /// manifest (and the index, as a headline metric) at finalize.
+    pub fn set_samples_per_sec(&mut self, samples_per_sec: f64) {
+        self.manifest.samples_per_sec = Some(samples_per_sec);
     }
 
     /// Appends one per-sample record to `samples.jsonl`.

@@ -19,6 +19,9 @@ pub struct BatchNorm2d {
     running_mean: Vec<f32>,
     running_var: Vec<f32>,
     cache: Option<BnCache>,
+    /// Workspace for the normalised activations, reused every step; cycles
+    /// through the train cache like the conv layers' im2col buffers.
+    ws_x_hat: Tensor,
 }
 
 #[derive(Debug)]
@@ -40,6 +43,7 @@ impl BatchNorm2d {
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
             cache: None,
+            ws_x_hat: crate::util::empty(),
         }
     }
 
@@ -85,8 +89,6 @@ impl Layer for BatchNorm2d {
         let count = (n * plane) as f32;
         let src = input.as_slice();
         let mut out = Tensor::zeros(&[n, c, h, w]);
-        let gamma = self.gamma.value.as_slice().to_vec();
-        let beta = self.beta.value.as_slice().to_vec();
 
         let (mean, var) = if phase == Phase::Train {
             let mut mean = vec![0.0f32; c];
@@ -126,9 +128,11 @@ impl Layer for BatchNorm2d {
         };
 
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut x_hat = Tensor::zeros(&[n, c, h, w]);
+        crate::util::ensure_shape(&mut self.ws_x_hat, &[n, c, h, w]);
         {
-            let xh = x_hat.as_mut_slice();
+            let gamma = self.gamma.value.as_slice();
+            let beta = self.beta.value.as_slice();
+            let xh = self.ws_x_hat.as_mut_slice();
             let dst = out.as_mut_slice();
             for b in 0..n {
                 for ci in 0..c {
@@ -144,7 +148,11 @@ impl Layer for BatchNorm2d {
         }
 
         if phase == Phase::Train {
-            self.cache = Some(BnCache { x_hat, inv_std });
+            // Lend x_hat to the cache; backward returns it to the workspace.
+            self.cache = Some(BnCache {
+                x_hat: std::mem::replace(&mut self.ws_x_hat, crate::util::empty()),
+                inv_std,
+            });
         } else {
             self.cache = None;
         }
@@ -166,7 +174,7 @@ impl Layer for BatchNorm2d {
         let count = (n * plane) as f32;
         let dy = grad_output.as_slice();
         let xh = cache.x_hat.as_slice();
-        let gamma = self.gamma.value.as_slice().to_vec();
+        let gamma = self.gamma.value.as_slice();
 
         // Per-channel reductions.
         let mut sum_dy = vec![0.0f32; c];
@@ -208,6 +216,8 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+        // Return the lent x_hat buffer to the workspace for the next step.
+        self.ws_x_hat = cache.x_hat;
         Ok(dx)
     }
 

@@ -1,12 +1,12 @@
 use litho_tensor::rng::Rng;
 
 use litho_tensor::{
-    col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, Im2ColSpec, Result, Tensor,
-    TensorError,
+    col2im, im2col_into, matmul_bias_into, matmul_transpose_a_into, matmul_transpose_b_into,
+    Im2ColSpec, Result, Tensor, TensorError,
 };
 
 use crate::layer::{Layer, Param, Phase};
-use crate::util::{cm_to_nchw, nchw_to_cm};
+use crate::util::{cm_to_nchw, ensure_shape, nchw_to_cm_into};
 use crate::WeightInit;
 
 /// 2-D convolution over NCHW tensors, lowered to GEMM via im2col.
@@ -37,6 +37,7 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cache: Option<ConvCache>,
+    ws: ConvWorkspace,
 }
 
 #[derive(Debug)]
@@ -44,6 +45,31 @@ struct ConvCache {
     cols: Tensor,
     input_dims: [usize; 4],
     output_hw: (usize, usize),
+}
+
+/// Layer-owned scratch, grown on demand and reused every step so the hot
+/// loop stops allocating. The im2col matrix cycles between the workspace
+/// and the train cache: forward moves it into the cache, backward hands it
+/// back.
+#[derive(Debug)]
+struct ConvWorkspace {
+    cols: Tensor,
+    y_mat: Tensor,
+    dy: Tensor,
+    dw: Tensor,
+    dcols: Tensor,
+}
+
+impl Default for ConvWorkspace {
+    fn default() -> Self {
+        ConvWorkspace {
+            cols: crate::util::empty(),
+            y_mat: crate::util::empty(),
+            dy: crate::util::empty(),
+            dw: crate::util::empty(),
+            dcols: crate::util::empty(),
+        }
+    }
 }
 
 impl Conv2d {
@@ -91,6 +117,7 @@ impl Conv2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             cache: None,
+            ws: ConvWorkspace::default(),
         }
     }
 
@@ -115,28 +142,33 @@ impl Layer for Conv2d {
             )));
         }
         let (oh, ow) = self.spec.output_size(h, w)?;
-        let cols = im2col(input, &self.spec)?;
-        // [out_c, k] x [k, n*oh*ow] -> [out_c, n*oh*ow]
-        let mut y_mat = matmul(&self.weight.value, &cols)?;
-        {
-            let ncols = n * oh * ow;
-            let data = y_mat.as_mut_slice();
-            for (oc, &b) in self.bias.value.as_slice().iter().enumerate() {
-                for v in &mut data[oc * ncols..(oc + 1) * ncols] {
-                    *v += b;
-                }
-            }
-        }
+        let k = c * self.spec.kernel_h * self.spec.kernel_w;
+        let ncols = n * oh * ow;
+        ensure_shape(&mut self.ws.cols, &[k, ncols]);
+        im2col_into(input, &self.spec, &mut self.ws.cols)?;
+        // [out_c, k] x [k, n*oh*ow] -> [out_c, n*oh*ow], bias fused into
+        // the GEMM epilogue instead of a separate full-tensor sweep.
+        ensure_shape(&mut self.ws.y_mat, &[self.out_channels, ncols]);
+        matmul_bias_into(
+            self.weight.value.as_slice(),
+            self.ws.cols.as_slice(),
+            self.ws.y_mat.as_mut_slice(),
+            self.out_channels,
+            k,
+            ncols,
+            Some(self.bias.value.as_slice()),
+        );
         if phase == Phase::Train {
+            // Lend the cols buffer to the cache; backward returns it.
             self.cache = Some(ConvCache {
-                cols,
+                cols: std::mem::replace(&mut self.ws.cols, crate::util::empty()),
                 input_dims: [n, c, h, w],
                 output_hw: (oh, ow),
             });
         } else {
             self.cache = None;
         }
-        cm_to_nchw(&y_mat, n, self.out_channels, oh, ow)
+        cm_to_nchw(&self.ws.y_mat, n, self.out_channels, oh, ow)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -145,22 +177,31 @@ impl Layer for Conv2d {
         })?;
         let [n, c, h, w] = cache.input_dims;
         let (oh, ow) = cache.output_hw;
-        let dy = nchw_to_cm(grad_output)?; // [out_c, n*oh*ow]
-        if dy.dims() != [self.out_channels, n * oh * ow] {
+        let ncols = n * oh * ow;
+        let k = c * self.spec.kernel_h * self.spec.kernel_w;
+        nchw_to_cm_into(grad_output, &mut self.ws.dy)?; // [out_c, n*oh*ow]
+        if self.ws.dy.dims() != [self.out_channels, ncols] {
             return Err(TensorError::ShapeMismatch {
-                left: dy.dims().to_vec(),
-                right: vec![self.out_channels, n * oh * ow],
+                left: self.ws.dy.dims().to_vec(),
+                right: vec![self.out_channels, ncols],
             });
         }
 
         // dW = dy · colsᵀ
-        let dw = matmul_transpose_b(&dy, &cache.cols)?;
-        self.weight.grad.add_assign(&dw)?;
+        ensure_shape(&mut self.ws.dw, self.weight.value.dims());
+        matmul_transpose_b_into(
+            self.ws.dy.as_slice(),
+            cache.cols.as_slice(),
+            self.ws.dw.as_mut_slice(),
+            self.out_channels,
+            ncols,
+            k,
+        );
+        self.weight.grad.add_assign(&self.ws.dw)?;
 
         // db = row sums of dy.
         {
-            let ncols = n * oh * ow;
-            let dy_data = dy.as_slice();
+            let dy_data = self.ws.dy.as_slice();
             let db = self.bias.grad.as_mut_slice();
             for (oc, acc) in db.iter_mut().enumerate() {
                 *acc += dy_data[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
@@ -168,8 +209,18 @@ impl Layer for Conv2d {
         }
 
         // dx = col2im(Wᵀ · dy)
-        let dcols = matmul_transpose_a(&self.weight.value, &dy)?;
-        col2im(&dcols, &self.spec, n, c, h, w)
+        ensure_shape(&mut self.ws.dcols, &[k, ncols]);
+        matmul_transpose_a_into(
+            self.weight.value.as_slice(),
+            self.ws.dy.as_slice(),
+            self.ws.dcols.as_mut_slice(),
+            self.out_channels,
+            k,
+            ncols,
+        );
+        // Return the lent cols buffer to the workspace for the next step.
+        self.ws.cols = cache.cols;
+        col2im(&self.ws.dcols, &self.spec, n, c, h, w)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

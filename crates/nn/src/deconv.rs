@@ -1,12 +1,12 @@
 use litho_tensor::rng::Rng;
 
 use litho_tensor::{
-    col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, Im2ColSpec, Result, Tensor,
-    TensorError,
+    col2im_into, im2col_into, matmul_into, matmul_transpose_a_into, matmul_transpose_b_into,
+    Im2ColSpec, Result, Tensor, TensorError,
 };
 
 use crate::layer::{Layer, Param, Phase};
-use crate::util::{cm_to_nchw, nchw_to_cm};
+use crate::util::{cm_to_nchw, ensure_shape, nchw_to_cm_into};
 use crate::WeightInit;
 
 /// 2-D transposed convolution ("Deconv" in the paper's Table 1).
@@ -41,6 +41,7 @@ pub struct ConvTranspose2d {
     weight: Param,
     bias: Param,
     cache: Option<DeconvCache>,
+    ws: DeconvWorkspace,
 }
 
 #[derive(Debug)]
@@ -48,6 +49,30 @@ struct DeconvCache {
     x_mat: Tensor,
     input_dims: [usize; 4],
     output_hw: (usize, usize),
+}
+
+/// Layer-owned scratch, grown on demand and reused every step. The
+/// channel-major input matrix cycles between the workspace and the train
+/// cache exactly like `Conv2d`'s cols buffer.
+#[derive(Debug)]
+struct DeconvWorkspace {
+    x_mat: Tensor,
+    cols: Tensor,
+    dcols: Tensor,
+    dw: Tensor,
+    dx_mat: Tensor,
+}
+
+impl Default for DeconvWorkspace {
+    fn default() -> Self {
+        DeconvWorkspace {
+            x_mat: crate::util::empty(),
+            cols: crate::util::empty(),
+            dcols: crate::util::empty(),
+            dw: crate::util::empty(),
+            dx_mat: crate::util::empty(),
+        }
+    }
 }
 
 impl ConvTranspose2d {
@@ -100,6 +125,7 @@ impl ConvTranspose2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             cache: None,
+            ws: DeconvWorkspace::default(),
         }
     }
 
@@ -132,25 +158,32 @@ impl Layer for ConvTranspose2d {
             )));
         }
 
-        let x_mat = nchw_to_cm(input)?; // [in_c, n*ih*iw]
+        let taps = self.out_channels * self.spec.kernel_h * self.spec.kernel_w;
+        let ncols = n * ih * iw;
+        nchw_to_cm_into(input, &mut self.ws.x_mat)?; // [in_c, n*ih*iw]
         // [out_c*kh*kw, n*ih*iw]
-        let cols = matmul_transpose_a(&self.weight.value, &x_mat)?;
-        let mut y = col2im(&cols, &self.spec, n, self.out_channels, oh, ow)?;
-        {
-            let plane = oh * ow;
-            let data = y.as_mut_slice();
-            for b in 0..n {
-                for (oc, &bias) in self.bias.value.as_slice().iter().enumerate() {
-                    let off = (b * self.out_channels + oc) * plane;
-                    for v in &mut data[off..off + plane] {
-                        *v += bias;
-                    }
-                }
-            }
-        }
+        ensure_shape(&mut self.ws.cols, &[taps, ncols]);
+        matmul_transpose_a_into(
+            self.weight.value.as_slice(),
+            self.ws.x_mat.as_slice(),
+            self.ws.cols.as_mut_slice(),
+            self.in_channels,
+            taps,
+            ncols,
+        );
+        // The per-channel bias is fused into the scatter: col2im initialises
+        // each output plane to bias[oc] before accumulating.
+        let mut y = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        col2im_into(
+            &self.ws.cols,
+            &self.spec,
+            &mut y,
+            Some(self.bias.value.as_slice()),
+        )?;
         if phase == Phase::Train {
+            // Lend the x_mat buffer to the cache; backward returns it.
             self.cache = Some(DeconvCache {
-                x_mat,
+                x_mat: std::mem::replace(&mut self.ws.x_mat, crate::util::empty()),
                 input_dims: [n, c, ih, iw],
                 output_hw: (oh, ow),
             });
@@ -175,12 +208,23 @@ impl Layer for ConvTranspose2d {
             });
         }
 
+        let taps = self.out_channels * self.spec.kernel_h * self.spec.kernel_w;
+        let ncols = n * ih * iw;
         // dcols = im2col(dy): the adjoint of the forward col2im scatter.
-        let dcols = im2col(grad_output, &self.spec)?; // [out_c*kh*kw, n*ih*iw]
+        ensure_shape(&mut self.ws.dcols, &[taps, ncols]);
+        im2col_into(grad_output, &self.spec, &mut self.ws.dcols)?; // [out_c*kh*kw, n*ih*iw]
 
         // dW = x · dcolsᵀ
-        let dw = matmul_transpose_b(&cache.x_mat, &dcols)?;
-        self.weight.grad.add_assign(&dw)?;
+        ensure_shape(&mut self.ws.dw, self.weight.value.dims());
+        matmul_transpose_b_into(
+            cache.x_mat.as_slice(),
+            self.ws.dcols.as_slice(),
+            self.ws.dw.as_mut_slice(),
+            self.in_channels,
+            ncols,
+            taps,
+        );
+        self.weight.grad.add_assign(&self.ws.dw)?;
 
         // db = per-channel sums of dy.
         {
@@ -196,8 +240,18 @@ impl Layer for ConvTranspose2d {
         }
 
         // dx = W · dcols
-        let dx_mat = matmul(&self.weight.value, &dcols)?;
-        cm_to_nchw(&dx_mat, n, c, ih, iw)
+        ensure_shape(&mut self.ws.dx_mat, &[self.in_channels, ncols]);
+        matmul_into(
+            self.weight.value.as_slice(),
+            self.ws.dcols.as_slice(),
+            self.ws.dx_mat.as_mut_slice(),
+            self.in_channels,
+            taps,
+            ncols,
+        );
+        // Return the lent x_mat buffer to the workspace for the next step.
+        self.ws.x_mat = cache.x_mat;
+        cm_to_nchw(&self.ws.dx_mat, n, c, ih, iw)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

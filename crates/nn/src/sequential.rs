@@ -84,14 +84,16 @@ impl Layer for Sequential {
             (Phase::Train, Some(hook)) => hook.begin_forward(self.layers.len()),
             _ => false,
         };
-        let mut x = input.clone();
+        // `x` stays None until the first layer runs, so the input is never
+        // cloned — layers receive `&Tensor` either way.
+        let mut x: Option<Tensor> = None;
         // Per-layer timing is gated on the enabled flag so the untraced
         // path stays a single branch per forward call.
         if litho_telemetry::is_enabled() || sample_stats {
             let traced = litho_telemetry::is_enabled();
             for (i, layer) in self.layers.iter_mut().enumerate() {
                 let t0 = std::time::Instant::now();
-                x = layer.forward(&x, phase)?;
+                x = Some(layer.forward(x.as_ref().unwrap_or(input), phase)?);
                 if traced {
                     litho_telemetry::observe_duration(
                         &format!("nn.forward.{i:02}.{}", layer.name()),
@@ -99,7 +101,7 @@ impl Layer for Sequential {
                     );
                 }
                 if sample_stats {
-                    let stats = TensorStats::from_tensor(&x);
+                    let stats = TensorStats::from_tensor(x.as_ref().expect("layer ran"));
                     if let Some(hook) = self.stats_hook.as_mut() {
                         hook.on_activation(i, &layer.name(), &stats);
                     }
@@ -107,10 +109,10 @@ impl Layer for Sequential {
             }
         } else {
             for layer in &mut self.layers {
-                x = layer.forward(&x, phase)?;
+                x = Some(layer.forward(x.as_ref().unwrap_or(input), phase)?);
             }
         }
-        Ok(x)
+        Ok(x.unwrap_or_else(|| input.clone()))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -118,14 +120,15 @@ impl Layer for Sequential {
             Some(hook) => hook.begin_backward(self.layers.len()),
             None => false,
         };
-        let mut g = grad_output.clone();
+        // As in forward: no upfront clone of the incoming gradient.
+        let mut g: Option<Tensor> = None;
         if litho_telemetry::is_enabled() || sample_stats {
             let traced = litho_telemetry::is_enabled();
             let last = self.layers.len().saturating_sub(1);
             for (rev_i, layer) in self.layers.iter_mut().rev().enumerate() {
                 let i = last - rev_i;
                 let t0 = std::time::Instant::now();
-                g = layer.backward(&g)?;
+                g = Some(layer.backward(g.as_ref().unwrap_or(grad_output))?);
                 if traced {
                     litho_telemetry::observe_duration(
                         &format!("nn.backward.{i:02}.{}", layer.name()),
@@ -133,7 +136,7 @@ impl Layer for Sequential {
                     );
                 }
                 if sample_stats {
-                    let stats = TensorStats::from_tensor(&g);
+                    let stats = TensorStats::from_tensor(g.as_ref().expect("layer ran"));
                     if let Some(hook) = self.stats_hook.as_mut() {
                         hook.on_gradient(i, &layer.name(), &stats);
                     }
@@ -141,10 +144,10 @@ impl Layer for Sequential {
             }
         } else {
             for layer in self.layers.iter_mut().rev() {
-                g = layer.backward(&g)?;
+                g = Some(layer.backward(g.as_ref().unwrap_or(grad_output))?);
             }
         }
-        Ok(g)
+        Ok(g.unwrap_or_else(|| grad_output.clone()))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

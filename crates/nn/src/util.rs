@@ -2,13 +2,45 @@
 
 use litho_tensor::{Result, Tensor};
 
+/// A zero-element placeholder tensor for workspace slots whose buffers are
+/// currently lent out (or not yet grown).
+pub(crate) fn empty() -> Tensor {
+    Tensor::zeros(&[0])
+}
+
+/// Reshapes `t` to `dims`, reusing its buffer when the element count
+/// matches and reallocating only on growth/shrink — the grow-on-demand
+/// primitive behind every layer workspace. Contents are unspecified
+/// afterwards; callers must fully overwrite.
+pub(crate) fn ensure_shape(t: &mut Tensor, dims: &[usize]) {
+    if t.dims() == dims {
+        return;
+    }
+    let volume: usize = dims.iter().product();
+    if t.len() == volume {
+        t.reshape_in_place(dims).expect("volume was checked");
+    } else {
+        *t = Tensor::zeros(dims);
+    }
+}
+
 /// Reorders an NCHW tensor into a channel-major matrix `[c, n*h*w]` whose
 /// columns are ordered `(batch, y, x)` — the column convention produced by
-/// `im2col`.
+/// `im2col`. The hot paths use [`nchw_to_cm_into`]; this allocating form
+/// remains for tests.
+#[cfg(test)]
 pub(crate) fn nchw_to_cm(input: &Tensor) -> Result<Tensor> {
+    let mut out = empty();
+    nchw_to_cm_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`nchw_to_cm`] into a caller-owned matrix (resized as needed); every
+/// element is overwritten.
+pub(crate) fn nchw_to_cm_into(input: &Tensor, out: &mut Tensor) -> Result<()> {
     let [n, c, h, w] = input.shape().as_nchw()?;
     let plane = h * w;
-    let mut out = Tensor::zeros(&[c, n * plane]);
+    ensure_shape(out, &[c, n * plane]);
     let src = input.as_slice();
     let dst = out.as_mut_slice();
     for b in 0..n {
@@ -18,7 +50,7 @@ pub(crate) fn nchw_to_cm(input: &Tensor) -> Result<Tensor> {
             dst[dst_off..dst_off + plane].copy_from_slice(&src[src_off..src_off + plane]);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Inverse of [`nchw_to_cm`]: reinterprets a `[c, n*h*w]` channel-major

@@ -129,3 +129,25 @@ fn develop_is_deterministic() {
         assert_eq!(resist.develop(&aerial), resist.develop(&aerial));
     }
 }
+
+#[test]
+fn aerial_image_identical_across_thread_counts() {
+    // The per-kernel inverse FFTs run on the worker pool but the weighted
+    // intensity reduction stays serial in kernel order, so the image must
+    // be bit-identical at any pool width (1 is the inline serial path).
+    let p = ProcessConfig::n10();
+    let model = OpticalModel::new(&p, GRID, PITCH).unwrap();
+    let mask = centered_mask(90.0);
+    litho_tensor::pool::configure_threads(1);
+    let reference = model.aerial_image(&mask).unwrap();
+    for threads in [2usize, 8] {
+        litho_tensor::pool::configure_threads(threads);
+        let img = model.aerial_image(&mask).unwrap();
+        assert_eq!(
+            img.as_slice(),
+            reference.as_slice(),
+            "aerial image diverged at {threads} threads"
+        );
+    }
+    litho_tensor::pool::configure_threads(0);
+}

@@ -4,8 +4,20 @@
 //! a matrix so that convolution becomes a single GEMM; `col2im` is its
 //! adjoint (scatter-add), used in the backward pass and in transposed
 //! convolution.
+//!
+//! Both directions run on the shared worker pool over disjoint regions —
+//! matrix rows for `im2col`, image channels for `col2im` — and use a
+//! branch-free interior fast path: for every output row the valid `ox`
+//! range is computed once, padding is written as explicit zero fills, and
+//! stride-1 interiors degenerate to `copy_from_slice`. Per-element order is
+//! unchanged, so results are bit-identical to the naive per-element loops
+//! at any thread count.
 
+use crate::pool;
 use crate::{Result, Tensor, TensorError};
+
+/// Minimum matrix elements before the worker pool is engaged.
+const PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// Geometry of an im2col lowering.
 ///
@@ -65,6 +77,24 @@ impl Im2ColSpec {
     }
 }
 
+/// The valid `ox` interval `[lo, hi)` for a kernel tap offset `off` (in
+/// input pixels, may be negative) against an axis of length `len` with the
+/// given stride: exactly the positions where `ox * stride + off` lands in
+/// bounds.
+fn valid_range(off: isize, stride: usize, len: usize, count: usize) -> (usize, usize) {
+    let lo = if off >= 0 {
+        0
+    } else {
+        ((-off) as usize).div_ceil(stride)
+    };
+    let last = len as isize - 1 - off;
+    if last < 0 {
+        return (0, 0);
+    }
+    let hi = (last as usize / stride + 1).min(count);
+    (lo.min(hi), hi)
+}
+
 /// Lowers one NCHW image batch into a `[c*kh*kw, n*oh*ow]` matrix.
 ///
 /// Row `(c, ky, kx)` and column `(b, oy, ox)` holds the input pixel at
@@ -80,36 +110,79 @@ pub fn im2col(input: &Tensor, spec: &Im2ColSpec) -> Result<Tensor> {
     let rows = c * spec.kernel_h * spec.kernel_w;
     let cols = n * oh * ow;
     let mut out = Tensor::zeros(&[rows, cols]);
+    im2col_into(input, spec, &mut out)?;
+    Ok(out)
+}
+
+/// [`im2col`] into a caller-owned matrix, enabling workspace reuse. `out`
+/// must already have shape `[c*kh*kw, n*oh*ow]`; every element (including
+/// padding zeros) is overwritten, so a recycled buffer needs no clearing.
+///
+/// # Errors
+///
+/// Returns an error if `input` is not rank 4, the geometry is invalid, or
+/// `out` has the wrong shape.
+pub fn im2col_into(input: &Tensor, spec: &Im2ColSpec, out: &mut Tensor) -> Result<()> {
+    let [n, c, h, w] = input.shape().as_nchw()?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let cols = n * oh * ow;
+    if out.dims() != [rows, cols] {
+        return Err(TensorError::ShapeMismatch {
+            left: out.dims().to_vec(),
+            right: vec![rows, cols],
+        });
+    }
     let src = input.as_slice();
     let dst = out.as_mut_slice();
+    if rows * cols == 0 {
+        return Ok(());
+    }
 
-    for ci in 0..c {
-        for ky in 0..spec.kernel_h {
-            for kx in 0..spec.kernel_w {
-                let row = (ci * spec.kernel_h + ky) * spec.kernel_w + kx;
-                let row_base = row * cols;
-                for b in 0..n {
-                    let src_plane = (b * c + ci) * h * w;
-                    for oy in 0..oh {
-                        let iy = (oy * spec.stride_h + ky) as isize - spec.pad_h as isize;
-                        let col_base = row_base + (b * oh + oy) * ow;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let src_row = src_plane + iy as usize * w;
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride_w + kx) as isize - spec.pad_w as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            dst[col_base + ox] = src[src_row + ix as usize];
-                        }
+    let fill_row = |row: usize, dst_row: &mut [f32]| {
+        let taps = spec.kernel_h * spec.kernel_w;
+        let ci = row / taps;
+        let ky = (row % taps) / spec.kernel_w;
+        let kx = row % spec.kernel_w;
+        let off_x = kx as isize - spec.pad_w as isize;
+        let (ox_lo, ox_hi) = valid_range(off_x, spec.stride_w, w, ow);
+        for b in 0..n {
+            let src_plane = (b * c + ci) * h * w;
+            for oy in 0..oh {
+                let iy = (oy * spec.stride_h + ky) as isize - spec.pad_h as isize;
+                let seg = &mut dst_row[(b * oh + oy) * ow..(b * oh + oy + 1) * ow];
+                if iy < 0 || iy >= h as isize {
+                    seg.fill(0.0);
+                    continue;
+                }
+                seg[..ox_lo].fill(0.0);
+                seg[ox_hi..].fill(0.0);
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                let src_row = src_plane + iy as usize * w;
+                let base_ix = (ox_lo * spec.stride_w) as isize + off_x;
+                let start = src_row + base_ix as usize;
+                if spec.stride_w == 1 {
+                    // Contiguous interior: one memcpy per output row.
+                    seg[ox_lo..ox_hi].copy_from_slice(&src[start..start + (ox_hi - ox_lo)]);
+                } else {
+                    for (idx, v) in seg[ox_lo..ox_hi].iter_mut().enumerate() {
+                        *v = src[start + idx * spec.stride_w];
                     }
                 }
             }
         }
+    };
+
+    if rows * cols < PARALLEL_THRESHOLD || pool::effective_threads() <= 1 {
+        for (row, dst_row) in dst.chunks_mut(cols).enumerate() {
+            fill_row(row, dst_row);
+        }
+    } else {
+        pool::parallel_for_chunks(dst, cols, |row, dst_row| fill_row(row, dst_row));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Adjoint of [`im2col`]: scatter-adds a `[c*kh*kw, n*oh*ow]` matrix back
@@ -130,6 +203,32 @@ pub fn col2im(
     h: usize,
     w: usize,
 ) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    col2im_into(cols, spec, &mut out, None)?;
+    Ok(out)
+}
+
+/// [`col2im`] into a caller-owned image tensor (shape `[n, c, h, w]`),
+/// enabling workspace reuse. Each output plane is re-initialised before
+/// accumulation — to `bias[c]` when `bias` is given (fusing the transposed
+/// convolution's per-channel bias into the scatter pass), else to zero — so
+/// a recycled buffer needs no clearing.
+///
+/// Parallelises over image channels: each channel's planes are disjoint in
+/// the output and keep the serial per-element accumulation order, so the
+/// result is bit-identical to the naive loop at any thread count.
+///
+/// # Errors
+///
+/// Returns an error if `out` is not rank 4, `cols` does not match the
+/// geometry, or `bias` is not `c` long.
+pub fn col2im_into(
+    cols: &Tensor,
+    spec: &Im2ColSpec,
+    out: &mut Tensor,
+    bias: Option<&[f32]>,
+) -> Result<()> {
+    let [n, c, h, w] = out.shape().as_nchw()?;
     let (oh, ow) = spec.output_size(h, w)?;
     let rows = c * spec.kernel_h * spec.kernel_w;
     let ncols = n * oh * ow;
@@ -139,37 +238,81 @@ pub fn col2im(
             right: vec![rows, ncols],
         });
     }
-    let mut out = Tensor::zeros(&[n, c, h, w]);
+    if let Some(bias) = bias {
+        if bias.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![bias.len()],
+                right: vec![c],
+            });
+        }
+    }
     let src = cols.as_slice();
     let dst = out.as_mut_slice();
+    if dst.is_empty() {
+        return Ok(());
+    }
+    let taps = spec.kernel_h * spec.kernel_w;
+    let base = pool::SendPtr::new(dst.as_mut_ptr());
+    let dst_len = dst.len();
 
-    for ci in 0..c {
+    let scatter_channel = move |ci: usize| {
+        let plane = h * w;
+        for b in 0..n {
+            let start = (b * c + ci) * plane;
+            debug_assert!(start + plane <= dst_len);
+            // SAFETY: channel tasks touch disjoint `(b, ci)` planes; the
+            // buffer outlives the blocking parallel_for call.
+            let dst_plane =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), plane) };
+            dst_plane.fill(bias.map_or(0.0, |bias| bias[ci]));
+        }
         for ky in 0..spec.kernel_h {
             for kx in 0..spec.kernel_w {
-                let row = (ci * spec.kernel_h + ky) * spec.kernel_w + kx;
+                let row = ci * taps + ky * spec.kernel_w + kx;
                 let row_base = row * ncols;
+                let off_x = kx as isize - spec.pad_w as isize;
+                let (ox_lo, ox_hi) = valid_range(off_x, spec.stride_w, w, ow);
                 for b in 0..n {
-                    let dst_plane = (b * c + ci) * h * w;
+                    let start = (b * c + ci) * plane;
+                    // SAFETY: as above — same disjoint plane.
+                    let dst_plane =
+                        unsafe { std::slice::from_raw_parts_mut(base.get().add(start), plane) };
                     for oy in 0..oh {
                         let iy = (oy * spec.stride_h + ky) as isize - spec.pad_h as isize;
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
                         let col_base = row_base + (b * oh + oy) * ow;
-                        let dst_row = dst_plane + iy as usize * w;
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride_w + kx) as isize - spec.pad_w as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+                        let dst_row = iy as usize * w;
+                        let base_ix = ((ox_lo * spec.stride_w) as isize + off_x) as usize;
+                        let seg = &src[col_base + ox_lo..col_base + ox_hi];
+                        if spec.stride_w == 1 {
+                            let row = &mut dst_plane[dst_row + base_ix..dst_row + base_ix + seg.len()];
+                            for (d, &v) in row.iter_mut().zip(seg.iter()) {
+                                *d += v;
                             }
-                            dst[dst_row + ix as usize] += src[col_base + ox];
+                        } else {
+                            for (idx, &v) in seg.iter().enumerate() {
+                                dst_plane[dst_row + base_ix + idx * spec.stride_w] += v;
+                            }
                         }
                     }
                 }
             }
         }
+    };
+
+    if dst_len.max(rows * ncols) < PARALLEL_THRESHOLD || pool::effective_threads() <= 1 || c == 1 {
+        for ci in 0..c {
+            scatter_channel(ci);
+        }
+    } else {
+        pool::parallel_for(c, scatter_channel);
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -227,6 +370,49 @@ mod tests {
             .collect();
         assert_eq!(sums[center_row], 4.0);
         assert!(sums[0] < 4.0);
+    }
+
+    #[test]
+    fn into_variants_reuse_dirty_buffers() {
+        // A recycled, garbage-filled workspace must give the same answer as
+        // a fresh allocation — _into must overwrite everything it owns.
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(9);
+        let (n, c, h, w) = (2, 3, 7, 6);
+        let spec = Im2ColSpec {
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 3, // stride > kernel leaves gaps in the scatter
+            pad_h: 2,
+            pad_w: 1,
+        };
+        let x = Tensor::from_vec(
+            (0..n * c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[n, c, h, w],
+        )
+        .unwrap();
+        let fresh = im2col(&x, &spec).unwrap();
+        let mut dirty = Tensor::full(fresh.dims(), f32::NAN);
+        im2col_into(&x, &spec, &mut dirty).unwrap();
+        assert_eq!(dirty.as_slice(), fresh.as_slice());
+
+        let back_fresh = col2im(&fresh, &spec, n, c, h, w).unwrap();
+        let mut back_dirty = Tensor::full(&[n, c, h, w], f32::NAN);
+        col2im_into(&fresh, &spec, &mut back_dirty, None).unwrap();
+        assert_eq!(back_dirty.as_slice(), back_fresh.as_slice());
+    }
+
+    #[test]
+    fn col2im_bias_initialises_planes() {
+        let spec = Im2ColSpec::square(1, 1, 0);
+        let cols = Tensor::zeros(&[2, 4]);
+        let mut out = Tensor::zeros(&[1, 2, 2, 2]);
+        col2im_into(&cols, &spec, &mut out, Some(&[0.5, -1.5])).unwrap();
+        assert_eq!(
+            out.as_slice(),
+            &[0.5, 0.5, 0.5, 0.5, -1.5, -1.5, -1.5, -1.5]
+        );
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //!
 //! * [`Tensor`] — a dense, row-major, NCHW-friendly `f32` tensor with shape
 //!   arithmetic, element-wise operations and reductions.
-//! * [`matmul`] — cache-blocked matrix multiplication, parallelised with
-//!   `std::thread` scoped threads.
+//! * [`matmul`] — cache-blocked, register-tiled matrix multiplication,
+//!   parallelised on the persistent [`pool`] worker pool.
+//! * [`pool`] — the process-wide worker pool shared by every parallel
+//!   kernel (`--threads` / `LITHO_THREADS` control its size).
 //! * [`im2col`] — the im2col/col2im lowering used by convolution and
 //!   transposed convolution layers.
 //! * [`fft`] — radix-2 complex FFT (1-D and 2-D) used by the partially
@@ -36,6 +38,7 @@ pub mod fft;
 mod im2col;
 mod matmul;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 mod shape;
 mod tensor;
@@ -43,8 +46,11 @@ mod tensor;
 pub use alloc::{allocated_bytes, reset_allocated_bytes};
 pub use error::TensorError;
 pub use fft::Complex;
-pub use im2col::{col2im, im2col, Im2ColSpec};
-pub use matmul::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b};
+pub use im2col::{col2im, col2im_into, im2col, im2col_into, Im2ColSpec};
+pub use matmul::{
+    matmul, matmul_bias_into, matmul_into, matmul_transpose_a, matmul_transpose_a_into,
+    matmul_transpose_b, matmul_transpose_b_into,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

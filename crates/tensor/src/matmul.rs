@@ -1,19 +1,44 @@
-//! Cache-blocked, optionally multi-threaded matrix multiplication.
+//! Cache-blocked, register-tiled, pool-parallel matrix multiplication.
 //!
 //! The NN stack lowers convolutions onto GEMM via im2col, so this is the
-//! hottest kernel in the whole reproduction. The implementation is a
-//! classic i-k-j loop order with register blocking over `j`, parallelised
-//! over row bands with `std::thread` scoped threads when the problem is big
-//! enough to amortise thread startup.
+//! hottest kernel in the whole reproduction. The micro-kernel computes an
+//! `MR x NR` output tile in registers, streaming a packed panel of A and
+//! contiguous rows of B, and writes each tile exactly once — the naive
+//! i-k-j formulation re-reads and re-writes the full output row `k` times,
+//! which is what made the old kernel memory-bound at paper shapes.
+//!
+//! Determinism contract: the `k` (reduction) dimension is never split.
+//! Every output element is a single sequential fold over `p = 0..k`
+//! starting from 0.0, exactly like the textbook triple loop, so the
+//! blocked, packed and pool-parallel paths are bit-identical to the serial
+//! naive reference for any tile geometry and any thread count.
 
+use std::cell::RefCell;
+
+use crate::pool;
 use crate::{Result, Tensor, TensorError};
 
-/// Minimum number of multiply-accumulates before threads are spawned.
+/// Micro-tile rows: accumulators live in `MR x NR` registers.
+const MR: usize = 4;
+/// Micro-tile columns; 8 f32 keeps the accumulator block within the
+/// baseline x86-64 / aarch64 vector register budget so LLVM can keep it
+/// entirely in registers.
+const NR: usize = 8;
+
+/// Minimum number of multiply-accumulates before the worker pool is used.
 const PARALLEL_THRESHOLD: usize = 1 << 17;
 
-/// Multiply-accumulates each worker thread should own, at minimum —
-/// spawning 32 threads for a 256k-MAC product costs more than it saves.
-const WORK_PER_THREAD: usize = 1 << 17;
+/// Multiply-accumulates each pool task should own, at minimum — waking
+/// eight workers for a 256k-MAC product costs more than it saves.
+const WORK_PER_TASK: usize = 1 << 17;
+
+thread_local! {
+    /// Per-thread packed-A panel, reused across calls (grown on demand).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread scratch for materialized transposes in the `_transpose_*`
+    /// entry points, reused across calls.
+    static TRANSPOSE_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 fn dims_2d(t: &Tensor) -> Result<[usize; 2]> {
     let d = t.dims();
@@ -59,8 +84,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// Computes `c = aᵀ * b` where `a` is `[k, m]` and `b` is `[k, n]`.
 ///
-/// Used for weight gradients (`dW = xᵀ · dy` style products) without
-/// materialising the transpose.
+/// Used for weight gradients (`dW = xᵀ · dy` style products).
 ///
 /// # Errors
 ///
@@ -74,17 +98,8 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right: [k2, n],
         });
     }
-    // Materialising the transpose keeps the inner loop contiguous; the cost
-    // is one pass over `a`, negligible next to the GEMM itself.
-    let mut at = vec![0.0f32; m * k];
-    let a_data = a.as_slice();
-    for row in 0..k {
-        for col in 0..m {
-            at[col * k + row] = a_data[row * m + col];
-        }
-    }
     let mut out = Tensor::zeros(&[m, n]);
-    matmul_into(&at, b.as_slice(), out.as_mut_slice(), m, k, n);
+    matmul_transpose_a_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), k, m, n);
     Ok(out)
 }
 
@@ -104,99 +119,238 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right: [n, k2],
         });
     }
-    let mut bt = vec![0.0f32; k * n];
-    let b_data = b.as_slice();
-    for row in 0..n {
-        for col in 0..k {
-            bt[col * n + row] = b_data[row * k + col];
-        }
-    }
     let mut out = Tensor::zeros(&[m, n]);
-    matmul_into(a.as_slice(), &bt, out.as_mut_slice(), m, k, n);
+    matmul_transpose_b_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
     Ok(out)
 }
 
 /// Raw GEMM on slices: `out[m x n] = a[m x k] * b[k x n]`.
 ///
-/// `out` is fully overwritten. Parallelises over row bands when the work
-/// exceeds an internal threshold.
+/// `out` is fully overwritten. Parallelises over disjoint row bands on the
+/// shared worker pool when the work exceeds an internal threshold.
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_bias_into(a, b, out, m, k, n, None);
+}
+
+/// [`matmul_into`] with a fused per-row bias epilogue: when `bias` is
+/// `Some`, `bias[i]` is added to every element of output row `i` as the
+/// tile is stored, replacing a separate full-tensor sweep. The result is
+/// bit-identical to computing the GEMM first and adding the bias after,
+/// since the bias joins each element's fold only after the `k` reduction.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m*k`, `k*n`, `m*n` (and `m` for
+/// the bias).
+pub fn matmul_bias_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(out.len(), m * n, "output length");
-    out.fill(0.0);
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), m, "bias length");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
 
-    let work = m * n * k;
-    let threads = available_threads().min((work / WORK_PER_THREAD).max(1));
+    let work = m * n * k.max(1);
+    let threads = pool::effective_threads().min((work / WORK_PER_TASK).max(1));
     if work < PARALLEL_THRESHOLD || threads <= 1 || m < 2 {
-        gemm_band(a, b, out, 0..m, k, n);
+        gemm_block(a, b, out, 0, m, k, n, bias);
         return;
     }
 
     let bands = threads.min(m);
     let rows_per_band = m.div_ceil(bands);
-    // Split the output into disjoint row bands; each thread owns one band.
-    let band_chunks: Vec<&mut [f32]> = out.chunks_mut(rows_per_band * n).collect();
-    std::thread::scope(|scope| {
-        for (band_idx, chunk) in band_chunks.into_iter().enumerate() {
-            let row_start = band_idx * rows_per_band;
-            let row_end = (row_start + chunk.len() / n).min(m);
-            scope.spawn(move || {
-                gemm_band_offset(a, b, chunk, row_start..row_end, k, n);
+    pool::parallel_for_chunks(out, rows_per_band * n, |band_idx, chunk| {
+        let row_start = band_idx * rows_per_band;
+        let rows = chunk.len() / n;
+        gemm_block(a, b, chunk, row_start, rows, k, n, bias);
+    });
+}
+
+/// Computes `out[m x n] = aᵀ b` on slices, where `a` is `[k, m]` and `b`
+/// is `[k, n]`. The transpose is materialised into per-thread scratch
+/// (reused across calls), keeping the GEMM inner loops contiguous.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `k*m`, `k*n` and `m*n`.
+pub fn matmul_transpose_a_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    TRANSPOSE_SCRATCH.with(|cell| {
+        let mut at = cell.borrow_mut();
+        at.clear();
+        at.resize(m * k, 0.0);
+        for row in 0..k {
+            let a_row = &a[row * m..(row + 1) * m];
+            for (col, &v) in a_row.iter().enumerate() {
+                at[col * k + row] = v;
+            }
+        }
+        matmul_into(&at, b, out, m, k, n);
+    });
+}
+
+/// Computes `out[m x n] = a bᵀ` on slices, where `a` is `[m, k]` and `b`
+/// is `[n, k]`. The transpose is materialised into per-thread scratch
+/// (reused across calls).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m*k`, `n*k` and `m*n`.
+pub fn matmul_transpose_b_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(b.len(), n * k, "rhs length");
+    TRANSPOSE_SCRATCH.with(|cell| {
+        let mut bt = cell.borrow_mut();
+        bt.clear();
+        bt.resize(k * n, 0.0);
+        for row in 0..n {
+            let b_row = &b[row * k..(row + 1) * k];
+            for (col, &v) in b_row.iter().enumerate() {
+                bt[col * n + row] = v;
+            }
+        }
+        matmul_into(a, &bt, out, m, k, n);
+    });
+}
+
+/// Blocked GEMM over `rows` output rows starting at absolute row
+/// `row_start`; `chunk` is the corresponding slice of the output. Packs an
+/// `mr x k` panel of A per row tile (interleaved `[p][r]` so the
+/// micro-kernel loads MR contiguous values per reduction step), then walks
+/// NR-wide column tiles whose B loads are contiguous within each row of B.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    row_start: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+) {
+    PACK_A.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            pack_a_panel(a, &mut pack, row_start + i, mr, k);
+            let tile_bias: [f32; MR] = std::array::from_fn(|r| match bias {
+                Some(bias) if r < mr => bias[row_start + i + r],
+                _ => 0.0,
             });
+            let mut j = 0;
+            while j < n {
+                let nr = NR.min(n - j);
+                if mr == MR && nr == NR {
+                    kernel_full(&pack, b, chunk, i, j, k, n, &tile_bias);
+                } else {
+                    kernel_edge(&pack, b, chunk, i, j, mr, nr, k, n, &tile_bias);
+                }
+                j += NR;
+            }
+            i += MR;
         }
     });
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// GEMM over absolute output rows `rows`, writing into the full `out`.
-fn gemm_band(a: &[f32], b: &[f32], out: &mut [f32], rows: std::ops::Range<usize>, k: usize, n: usize) {
-    for i in rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * bv;
-            }
+/// Packs `mr` rows of A starting at `row0` into `pack` with layout
+/// `pack[p * mr + r] = a[(row0 + r) * k + p]` — sequential reads, short
+/// strided writes.
+fn pack_a_panel(a: &[f32], pack: &mut Vec<f32>, row0: usize, mr: usize, k: usize) {
+    pack.clear();
+    pack.resize(mr * k, 0.0);
+    for r in 0..mr {
+        let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+        for (p, &v) in a_row.iter().enumerate() {
+            pack[p * mr + r] = v;
         }
     }
 }
 
-/// GEMM where `chunk` is the slice of output rows starting at `rows.start`.
-fn gemm_band_offset(
-    a: &[f32],
+/// Full `MR x NR` micro-kernel: accumulators stay in registers across the
+/// entire `k` reduction and each output element is written exactly once.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn kernel_full(
+    pack: &[f32],
     b: &[f32],
     chunk: &mut [f32],
-    rows: std::ops::Range<usize>,
+    i: usize,
+    j: usize,
     k: usize,
     n: usize,
+    bias: &[f32; MR],
 ) {
-    let row_start = rows.start;
-    for i in rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let local = i - row_start;
-        let out_row = &mut chunk[local * n..(local + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let bp: &[f32; NR] = b[p * n + j..p * n + j + NR]
+            .try_into()
+            .expect("NR-wide B strip");
+        let ap: &[f32; MR] = pack[p * MR..(p + 1) * MR]
+            .try_into()
+            .expect("MR-wide A strip");
+        for r in 0..MR {
+            let av = ap[r];
+            for c in 0..NR {
+                acc[r][c] += av * bp[c];
             }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * bv;
+        }
+    }
+    for r in 0..MR {
+        let row = &mut chunk[(i + r) * n + j..(i + r) * n + j + NR];
+        let bias_r = bias[r];
+        for (dst, &v) in row.iter_mut().zip(acc[r].iter()) {
+            *dst = v + bias_r;
+        }
+    }
+}
+
+/// Edge micro-kernel for partial tiles (`mr <= MR`, `nr <= NR`). Same
+/// accumulation order per element as [`kernel_full`], so results are
+/// bit-identical regardless of how rows and columns fall into tiles.
+#[allow(clippy::too_many_arguments)]
+fn kernel_edge(
+    pack: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    i: usize,
+    j: usize,
+    mr: usize,
+    nr: usize,
+    k: usize,
+    n: usize,
+    bias: &[f32; MR],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let bp = &b[p * n + j..p * n + j + nr];
+        let ap = &pack[p * mr..(p + 1) * mr];
+        for (r, &av) in ap.iter().enumerate() {
+            for (c, &bv) in bp.iter().enumerate() {
+                acc[r][c] += av * bv;
             }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(mr) {
+        let row = &mut chunk[(i + r) * n + j..(i + r) * n + j + nr];
+        let bias_r = bias[r];
+        for (dst, &v) in row.iter_mut().zip(acc_row.iter()) {
+            *dst = v + bias_r;
         }
     }
 }
@@ -217,6 +371,12 @@ mod tests {
             }
         }
         out
+    }
+
+    fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+        use crate::rng::{Rng, SeedableRng};
+        let mut rng = crate::rng::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
     }
 
     #[test]
@@ -242,45 +402,63 @@ mod tests {
     }
 
     #[test]
-    fn matmul_matches_naive_large() {
-        use crate::rng::{Rng, SeedableRng};
-        let mut rng = crate::rng::StdRng::seed_from_u64(7);
-        let (m, k, n) = (33, 47, 29);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let expect = naive(&a, &b, m, k, n);
-        let ta = Tensor::from_vec(a, &[m, k]).unwrap();
-        let tb = Tensor::from_vec(b, &[k, n]).unwrap();
-        let c = matmul(&ta, &tb).unwrap();
-        for (got, want) in c.as_slice().iter().zip(&expect) {
-            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+    fn matmul_bit_identical_to_naive() {
+        // Shapes chosen to exercise full tiles, row/column remainders, and
+        // degenerate m=1 / k=1 cases. Equality is exact: the blocked kernel
+        // must reproduce the naive fold bit for bit.
+        for (case, (m, k, n)) in [
+            (0, (33, 47, 29)),
+            (1, (1, 16, 8)),
+            (2, (4, 1, 9)),
+            (3, (5, 3, 1)),
+            (4, (8, 32, 24)),
+        ]
+        .into_iter()
+        {
+            let a = random_vec(m * k, 7 + case);
+            let b = random_vec(k * n, 100 + case);
+            let expect = naive(&a, &b, m, k, n);
+            let ta = Tensor::from_vec(a, &[m, k]).unwrap();
+            let tb = Tensor::from_vec(b, &[k, n]).unwrap();
+            let c = matmul(&ta, &tb).unwrap();
+            assert_eq!(c.as_slice(), expect.as_slice(), "case {case}");
         }
     }
 
     #[test]
     fn parallel_path_matches_serial() {
-        use crate::rng::{Rng, SeedableRng};
-        let mut rng = crate::rng::StdRng::seed_from_u64(11);
-        // Big enough to cross PARALLEL_THRESHOLD (128*128*128 = 2M MACs).
+        // Big enough to cross PARALLEL_THRESHOLD (128^3 = 2M MACs).
         let (m, k, n) = (128, 128, 128);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let mut parallel = vec![0.0; m * n];
-        matmul_into(&a, &b, &mut parallel, m, k, n);
-        let mut serial = vec![0.0; m * n];
-        gemm_band(&a, &b, &mut serial, 0..m, k, n);
-        for (p, s) in parallel.iter().zip(&serial) {
-            assert!((p - s).abs() < 1e-4);
+        let a = random_vec(m * k, 11);
+        let b = random_vec(k * n, 12);
+        let expect = naive(&a, &b, m, k, n);
+        let mut out = vec![0.0; m * n];
+        matmul_into(&a, &b, &mut out, m, k, n);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fused_bias_matches_separate_sweep() {
+        let (m, k, n) = (7, 13, 21);
+        let a = random_vec(m * k, 21);
+        let b = random_vec(k * n, 22);
+        let bias = random_vec(m, 23);
+        let mut expect = naive(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                expect[i * n + j] += bias[i];
+            }
         }
+        let mut out = vec![0.0; m * n];
+        matmul_bias_into(&a, &b, &mut out, m, k, n, Some(&bias));
+        assert_eq!(out, expect);
     }
 
     #[test]
     fn transpose_a_variant() {
-        use crate::rng::{Rng, SeedableRng};
-        let mut rng = crate::rng::StdRng::seed_from_u64(3);
         let (k, m, n) = (13, 7, 9);
-        let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = random_vec(k * m, 3);
+        let b = random_vec(k * n, 4);
         // Explicit transpose as the oracle.
         let mut at = vec![0.0; m * k];
         for r in 0..k {
@@ -294,18 +472,14 @@ mod tests {
             &Tensor::from_vec(b, &[k, n]).unwrap(),
         )
         .unwrap();
-        for (g, w) in got.as_slice().iter().zip(&expect) {
-            assert!((g - w).abs() < 1e-4);
-        }
+        assert_eq!(got.as_slice(), expect.as_slice());
     }
 
     #[test]
     fn transpose_b_variant() {
-        use crate::rng::{Rng, SeedableRng};
-        let mut rng = crate::rng::StdRng::seed_from_u64(5);
         let (m, k, n) = (6, 11, 8);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = random_vec(m * k, 5);
+        let b = random_vec(n * k, 6);
         let mut bt = vec![0.0; k * n];
         for r in 0..n {
             for c in 0..k {
@@ -318,8 +492,6 @@ mod tests {
             &Tensor::from_vec(b, &[n, k]).unwrap(),
         )
         .unwrap();
-        for (g, w) in got.as_slice().iter().zip(&expect) {
-            assert!((g - w).abs() < 1e-4);
-        }
+        assert_eq!(got.as_slice(), expect.as_slice());
     }
 }

@@ -1,0 +1,370 @@
+//! Persistent worker pool shared by every parallel kernel in the stack.
+//!
+//! The previous design spawned fresh `std::thread::scope` threads inside
+//! every large matmul, paying thread startup on each call. This module owns
+//! a lazily-initialized pool of named worker threads that lives for the
+//! process and hands out *index-based* tasks: callers describe work as
+//! `tasks` disjoint pieces and the pool runs `f(0..tasks)` across the
+//! workers plus the calling thread.
+//!
+//! Determinism contract: the pool only ever changes *which thread* runs a
+//! task, never the order of floating-point accumulation inside a task.
+//! Kernels built on top must therefore partition work into disjoint output
+//! regions whose per-element computation is independent of the executor —
+//! under that contract results are bit-identical for any thread count,
+//! including 1.
+//!
+//! Sizing: an explicit [`configure_threads`] call (the CLI `--threads`
+//! flag) wins, then the `LITHO_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. A nested `parallel_for` (for
+//! example a matmul inside a sample-parallel batch) runs inline on the
+//! current thread instead of deadlocking on the pool.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Hard cap on pool size; protects against absurd `LITHO_THREADS` values.
+const MAX_THREADS: usize = 256;
+
+/// Explicit override set by [`configure_threads`]; 0 means "not set".
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide pool. The mutex also serializes job submission, so at
+/// most one `parallel_for` is in flight at a time.
+static POOL: Mutex<Option<Pool>> = Mutex::new(None);
+
+thread_local! {
+    /// True on pool worker threads and on the caller thread while it is
+    /// executing its share of a job: nested `parallel_for` runs inline.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the pool size explicitly (the `--threads N` CLI flag). `n = 0`
+/// clears the override, falling back to `LITHO_THREADS` / the host core
+/// count. Takes effect on the next `parallel_for`; an existing pool of a
+/// different size is torn down and rebuilt lazily.
+pub fn configure_threads(n: usize) {
+    REQUESTED.store(n.min(MAX_THREADS), Ordering::SeqCst);
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("LITHO_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The thread count the pool will use: explicit override, else
+/// `LITHO_THREADS`, else the host's available parallelism.
+pub fn effective_threads() -> usize {
+    let requested = REQUESTED.load(Ordering::SeqCst);
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = env_threads() {
+        return n.min(MAX_THREADS);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Runs `f(i)` for every `i in 0..tasks`, distributing tasks over the pool
+/// and the calling thread. Blocks until every invocation has returned.
+///
+/// Tasks must write to disjoint data; the pool gives no ordering guarantee
+/// between them. Runs inline (serially, in index order) when the pool is
+/// sized to one thread, when there is a single task, or when called from
+/// inside another pool task.
+///
+/// # Panics
+///
+/// Propagates a panic from any task invocation (as a generic panic on the
+/// calling thread once all tasks have settled).
+pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, f: F) {
+    if tasks == 0 {
+        return;
+    }
+    let threads = effective_threads();
+    if tasks == 1 || threads <= 1 || IN_POOL_TASK.with(|c| c.get()) {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let mut guard = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    let rebuild = match guard.as_ref() {
+        Some(pool) => pool.size != threads,
+        None => true,
+    };
+    if rebuild {
+        *guard = None; // join the old workers before spawning new ones
+        *guard = Some(Pool::new(threads));
+    }
+    let pool = guard.as_ref().expect("pool was just built");
+    pool.run(tasks, &f);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements and runs
+/// `f(chunk_index, chunk)` for each, in parallel. The final chunk may be
+/// shorter. Chunks are disjoint, so each task gets exclusive `&mut` access.
+pub fn parallel_for_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunks = len.div_ceil(chunk_len);
+    let base = SendPtr::new(data.as_mut_ptr());
+    parallel_for(chunks, move |i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunk ranges [start, end) are disjoint per index and in
+        // bounds of `data`, which outlives the blocking parallel_for call.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(i, chunk);
+    });
+}
+
+/// Raw pointer wrapper for handing disjoint sub-slices of one buffer to
+/// pool tasks. Callers must guarantee the regions derived from it are
+/// disjoint and in bounds for the duration of the `parallel_for` call.
+pub(crate) struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only used to carve disjoint subslices per task.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+// Manual impls: the derive would add an unwanted `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// Accessor (rather than a public field) so closures capture the whole
+    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Type-erased pointer to the job closure. Valid for the duration of
+/// `Pool::run`, which blocks until every worker has reported completion.
+#[derive(Clone, Copy)]
+struct RawFn(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: the pointee is `Sync` and `Pool::run` outlives every dereference.
+unsafe impl Send for RawFn {}
+unsafe impl Sync for RawFn {}
+
+/// One unit of submitted work, shared between the caller and the workers.
+struct Job {
+    f: RawFn,
+    /// Next task index to claim; tasks are handed out by atomic increment.
+    next: Arc<AtomicUsize>,
+    tasks: usize,
+    /// Count of workers that have drained the task queue, plus condvar.
+    done: Arc<(Mutex<usize>, Condvar)>,
+    panicked: Arc<AtomicBool>,
+}
+
+struct Pool {
+    /// Total thread count including the calling thread.
+    size: usize,
+    workers: Vec<Worker>,
+}
+
+struct Worker {
+    tx: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(size: usize) -> Pool {
+        let workers = (1..size)
+            .map(|i| {
+                let (tx, rx) = channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("litho-pool-{i}"))
+                    .spawn(move || {
+                        IN_POOL_TASK.with(|c| c.set(true));
+                        while let Ok(job) = rx.recv() {
+                            run_tasks(&job);
+                            let (lock, cv) = &*job.done;
+                            let mut d = lock.lock().unwrap_or_else(|e| e.into_inner());
+                            *d += 1;
+                            cv.notify_all();
+                        }
+                    })
+                    .expect("spawn litho-pool worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Pool { size, workers }
+    }
+
+    fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: transmute only erases the lifetime; `run` blocks until
+        // every worker is done with the pointer before returning.
+        let raw = RawFn(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+                f as *const (dyn Fn(usize) + Sync),
+            )
+        });
+        let job = Job {
+            f: raw,
+            next: Arc::new(AtomicUsize::new(0)),
+            tasks,
+            done: Arc::new((Mutex::new(0usize), Condvar::new())),
+            panicked: Arc::new(AtomicBool::new(false)),
+        };
+        // The caller runs tasks too, so at most `tasks - 1` helpers are
+        // worth waking.
+        let helpers = self.workers.len().min(tasks.saturating_sub(1));
+        let mut sent = 0usize;
+        for worker in &self.workers[..helpers] {
+            let clone = Job {
+                f: job.f,
+                next: Arc::clone(&job.next),
+                tasks: job.tasks,
+                done: Arc::clone(&job.done),
+                panicked: Arc::clone(&job.panicked),
+            };
+            if worker.tx.send(clone).is_ok() {
+                sent += 1;
+            }
+        }
+        IN_POOL_TASK.with(|c| c.set(true));
+        run_tasks(&job);
+        IN_POOL_TASK.with(|c| c.set(false));
+        let (lock, cv) = &*job.done;
+        let mut d = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while *d < sent {
+            d = cv.wait(d).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(d);
+        assert!(
+            !job.panicked.load(Ordering::SeqCst),
+            "a parallel_for task panicked"
+        );
+    }
+}
+
+/// Claims and runs tasks from `job` until the queue is drained.
+fn run_tasks(job: &Job) {
+    let f = unsafe { &*job.f.0 };
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.tasks {
+            break;
+        }
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            job.panicked.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the channel ends the worker's recv loop.
+            let Worker { tx, handle } = worker;
+            drop(std::mem::replace(tx, channel().0));
+            if let Some(handle) = handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pool tests mutate the global thread configuration, so they share one
+    /// lock to avoid interleaving.
+    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let _guard = config_lock();
+        for threads in [1, 2, 8] {
+            configure_threads(threads);
+            let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "index {i} at {threads} threads");
+            }
+        }
+        configure_threads(0);
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline() {
+        let _guard = config_lock();
+        configure_threads(4);
+        let total = AtomicUsize::new(0);
+        parallel_for(8, |_| {
+            // Would deadlock if this tried to re-enter the pool.
+            parallel_for(8, |_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+        configure_threads(0);
+    }
+
+    #[test]
+    fn chunks_are_disjoint_and_complete() {
+        let _guard = config_lock();
+        configure_threads(3);
+        let mut data = vec![0u32; 1013];
+        parallel_for_chunks(&mut data, 64, |_idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1; // each element must be touched exactly once
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+        configure_threads(0);
+    }
+
+    #[test]
+    fn resize_rebuilds_pool() {
+        let _guard = config_lock();
+        for threads in [2, 5, 2, 1, 3] {
+            configure_threads(threads);
+            let sum = AtomicUsize::new(0);
+            parallel_for(32, |i| {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 31 * 32 / 2);
+        }
+        configure_threads(0);
+    }
+}

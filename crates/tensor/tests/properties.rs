@@ -184,3 +184,124 @@ fn resize_bilinear_preserves_range() {
         assert!(up.max() <= x.max() + 1e-6);
     }
 }
+
+/// The determinism contract behind `--threads`: every parallel kernel is
+/// bit-identical to a naive serial reference at any pool width, because
+/// per-element accumulation order never depends on the executor.
+#[test]
+fn parallel_kernels_bit_identical_across_thread_counts() {
+    use litho_tensor::pool;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn naive_im2col(x: &Tensor, spec: &Im2ColSpec) -> Tensor {
+        let d = x.dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oh, ow) = spec.output_size(h, w).unwrap();
+        let mut out = Tensor::zeros(&[c * spec.kernel_h * spec.kernel_w, n * oh * ow]);
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        let cols = n * oh * ow;
+        for ci in 0..c {
+            for ky in 0..spec.kernel_h {
+                for kx in 0..spec.kernel_w {
+                    let row = (ci * spec.kernel_h + ky) * spec.kernel_w + kx;
+                    for b in 0..n {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let iy = (oy * spec.stride_h + ky) as isize - spec.pad_h as isize;
+                                let ix = (ox * spec.stride_w + kx) as isize - spec.pad_w as isize;
+                                let col = (b * oh + oy) * ow + ox;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    dst[row * cols + col] = src
+                                        [((b * c + ci) * h + iy as usize) * w + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_000A);
+
+    // Degenerate and remainder-heavy GEMM shapes plus one large enough to
+    // cross the pool threshold.
+    let gemm_shapes = [(1usize, 37usize, 53usize), (33, 1, 29), (5, 19, 1), (128, 128, 128)];
+    let gemm_cases: Vec<_> = gemm_shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let a = small_vals(&mut rng, m * k);
+            let b = small_vals(&mut rng, k * n);
+            let expect = naive_matmul(&a, &b, m, k, n);
+            (m, k, n, a, b, expect)
+        })
+        .collect();
+
+    // stride > kernel, asymmetric pad_h != pad_w, and a matrix big enough
+    // to engage the pool (rows * cols > 2^16).
+    let im2col_cases: Vec<_> = [
+        (
+            [2usize, 3, 7, 9],
+            Im2ColSpec {
+                kernel_h: 2,
+                kernel_w: 2,
+                stride_h: 3,
+                stride_w: 3,
+                pad_h: 1,
+                pad_w: 0,
+            },
+        ),
+        ([1, 1, 5, 5], Im2ColSpec::square(1, 1, 0)),
+        ([2, 4, 34, 34], Im2ColSpec::square(3, 1, 1)),
+    ]
+    .into_iter()
+    .map(|(dims, spec)| {
+        let x = Tensor::from_vec(small_vals(&mut rng, dims.iter().product()), &dims).unwrap();
+        let cols_ref = naive_im2col(&x, &spec);
+        (dims, spec, x, cols_ref)
+    })
+    .collect();
+
+    for &threads in &[1usize, 2, 8] {
+        pool::configure_threads(threads);
+        for (m, k, n, a, b, expect) in &gemm_cases {
+            let got = matmul(
+                &Tensor::from_vec(a.clone(), &[*m, *k]).unwrap(),
+                &Tensor::from_vec(b.clone(), &[*k, *n]).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                got.as_slice(),
+                expect.as_slice(),
+                "matmul {m}x{k}x{n} at {threads} threads"
+            );
+        }
+        for (dims, spec, x, cols_ref) in &im2col_cases {
+            let cols = im2col(x, spec).unwrap();
+            assert_eq!(&cols, cols_ref, "im2col {dims:?} at {threads} threads");
+            // col2im is checked for thread-invariance against its own
+            // 1-thread result (the inline serial path).
+            let back = col2im(&cols, spec, dims[0], dims[1], dims[2], dims[3]).unwrap();
+            pool::configure_threads(1);
+            let back_serial = col2im(cols_ref, spec, dims[0], dims[1], dims[2], dims[3]).unwrap();
+            pool::configure_threads(threads);
+            assert_eq!(back, back_serial, "col2im {dims:?} at {threads} threads");
+        }
+    }
+    pool::configure_threads(0);
+}

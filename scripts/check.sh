@@ -36,4 +36,19 @@ echo "==> fleet index + trend gate"
 "$cli" --runs-root "$work/runs" runs trend ede_mean_nm --gate
 test -s "$work/runs/trend.svg"
 
+echo "==> kernel perf gate"
+# Retry on failure: --json-out min-merges across runs, so transient host
+# contention washes out while a genuine regression fails every attempt.
+gate_ok=0
+for attempt in 1 2 3; do
+  cargo bench --bench nn_kernels --offline -- --quick --json-out="$work/BENCH_KERNELS.json"
+  cargo bench --bench pipeline   --offline -- --quick --json-out="$work/BENCH_KERNELS.json"
+  if target/release/perf_gate --current "$work/BENCH_KERNELS.json" --baseline ci/BENCH_KERNELS.json --tol-pct 15; then
+    gate_ok=1
+    break
+  fi
+  echo "perf gate attempt $attempt failed; re-benching"
+done
+test "$gate_ok" = 1
+
 echo "==> all checks passed"
