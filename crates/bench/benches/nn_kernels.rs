@@ -9,6 +9,7 @@ use litho_tensor::rng::{Rng, SeedableRng};
 
 use litho_nn::{Conv2d, ConvTranspose2d, Layer, Phase};
 use litho_tensor::fft::{fft2_in_place, FftDirection};
+use litho_tensor::profile::KernelCost;
 use litho_tensor::{matmul, Complex, Tensor};
 use lithogan_bench::microbench::MicroBench;
 
@@ -22,8 +23,27 @@ fn bench_matmul(mb: &MicroBench) {
     for &n in &[64usize, 256, 512] {
         let a = random_tensor(&[n, n], 1);
         let b = random_tensor(&[n, n], 2);
-        mb.run(&format!("matmul_{n}"), || matmul(&a, &b).unwrap());
+        mb.run_costed(&format!("matmul_{n}"), KernelCost::gemm(n, n, n), || {
+            matmul(&a, &b).unwrap()
+        });
     }
+}
+
+/// Closed-form cost of one im2col convolution step on a `batch` of
+/// `cin`-channel inputs producing `cout × out_hw × out_hw` outputs with
+/// `ks × ks` filters: the lowering plus its GEMM, and for training steps
+/// the full backward (input-gradient GEMM + col2im scatter, plus the
+/// weight-gradient GEMM) on top of the forward the bench closure reruns.
+fn conv_cost(batch: usize, cin: usize, cout: usize, out_hw: usize, ks: usize, train: bool) -> KernelCost {
+    let k = cin * ks * ks;
+    let cols = batch * out_hw * out_hw;
+    let fwd = KernelCost::im2col(k, cols).plus(KernelCost::gemm(cout, cols, k));
+    if !train {
+        return fwd;
+    }
+    fwd.plus(KernelCost::gemm(k, cols, cout))
+        .plus(KernelCost::col2im(k, cols))
+        .plus(KernelCost::gemm(cout, k, cols))
 }
 
 fn bench_conv(mb: &MicroBench) {
@@ -31,12 +51,18 @@ fn bench_conv(mb: &MicroBench) {
     // The paper's first generator layer at scaled resolution: 3->64, 5x5/2.
     let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
     let x = random_tensor(&[4, 3, 64, 64], 4);
-    mb.run("conv_fwd_4x3x64x64", || conv.forward(&x, Phase::Eval).unwrap());
-    mb.run("conv_fwd_bwd_4x3x64x64", || {
-        let y = conv.forward(&x, Phase::Train).unwrap();
-        conv.zero_grad();
-        conv.backward(&y).unwrap()
+    mb.run_costed("conv_fwd_4x3x64x64", conv_cost(4, 3, 64, 32, 5, false), || {
+        conv.forward(&x, Phase::Eval).unwrap()
     });
+    mb.run_costed(
+        "conv_fwd_bwd_4x3x64x64",
+        conv_cost(4, 3, 64, 32, 5, true),
+        || {
+            let y = conv.forward(&x, Phase::Train).unwrap();
+            conv.zero_grad();
+            conv.backward(&y).unwrap()
+        },
+    );
 
     let mut deconv = ConvTranspose2d::new(64, 32, 5, 2, 2, 1, &mut rng);
     let z = random_tensor(&[4, 64, 16, 16], 5);
@@ -51,14 +77,20 @@ fn bench_conv_paper(mb: &MicroBench) {
     let mut rng = litho_tensor::rng::StdRng::seed_from_u64(7);
     let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
     let x = random_tensor(&[4, 3, 256, 256], 8);
-    mb.run("conv_fwd_4x3x256x256", || {
-        conv.forward(&x, Phase::Eval).unwrap()
-    });
-    mb.run("conv_fwd_bwd_4x3x256x256", || {
-        let y = conv.forward(&x, Phase::Train).unwrap();
-        conv.zero_grad();
-        conv.backward(&y).unwrap()
-    });
+    mb.run_costed(
+        "conv_fwd_4x3x256x256",
+        conv_cost(4, 3, 64, 128, 5, false),
+        || conv.forward(&x, Phase::Eval).unwrap(),
+    );
+    mb.run_costed(
+        "conv_fwd_bwd_4x3x256x256",
+        conv_cost(4, 3, 64, 128, 5, true),
+        || {
+            let y = conv.forward(&x, Phase::Train).unwrap();
+            conv.zero_grad();
+            conv.backward(&y).unwrap()
+        },
+    );
 }
 
 fn bench_fft(mb: &MicroBench) {
@@ -67,7 +99,7 @@ fn bench_fft(mb: &MicroBench) {
         let data: Vec<Complex> = (0..n * n)
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
             .collect();
-        mb.run(&format!("fft2_{n}"), || {
+        mb.run_costed(&format!("fft2_{n}"), KernelCost::fft2(n, n), || {
             let mut buf = data.clone();
             fft2_in_place(&mut buf, n, n, FftDirection::Forward).unwrap();
             buf

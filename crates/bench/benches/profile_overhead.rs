@@ -1,0 +1,61 @@
+//! Measures the cost of compute-plane profiling: the same conv
+//! forward+backward step with profiling off (telemetry disabled, every
+//! kernel span inert) and then fully on — a JSONL trace sink, kernel
+//! spans carrying cost annotations, and worker-pool busy/steal
+//! accounting. The acceptance bar is < 5% median overhead; the process
+//! exits nonzero past it so the check can run as a manual gate.
+//!
+//! Flags: `--samples=N`, `--min-sample-ms=N`, `--quick`.
+
+use litho_tensor::rng::{Rng, SeedableRng, StdRng};
+use litho_nn::{Conv2d, Layer, Phase};
+use litho_tensor::Tensor;
+use lithogan_bench::microbench::MicroBench;
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims).unwrap()
+}
+
+fn main() {
+    let mb = MicroBench::from_args();
+    let mut rng = StdRng::seed_from_u64(11);
+    // The paper's first generator layer at half resolution: big enough
+    // that its spans clear the emission floor, small enough to sample.
+    let mut conv = Conv2d::new(3, 64, 5, 2, 2, &mut rng);
+    let x = random_tensor(&[4, 3, 128, 128], 12);
+    let step = |conv: &mut Conv2d| {
+        let y = conv.forward(&x, Phase::Train).unwrap();
+        conv.zero_grad();
+        conv.backward(&y).unwrap()
+    };
+
+    let base = mb.run("conv_step_plain", || step(&mut conv));
+
+    let path = std::env::temp_dir().join(format!("profile-overhead-{}.jsonl", std::process::id()));
+    match litho_telemetry::JsonlSink::create(&path) {
+        Ok(sink) => litho_telemetry::set_sink(Some(Box::new(sink))),
+        Err(e) => {
+            eprintln!("cannot open trace sink {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    litho_telemetry::enable();
+    litho_tensor::pool::set_profiling(true);
+    let with = mb.run("conv_step_profiled", || step(&mut conv));
+    litho_telemetry::flush();
+    std::fs::remove_file(&path).ok();
+
+    let overhead =
+        (with.median.as_secs_f64() - base.median.as_secs_f64()) / base.median.as_secs_f64();
+    let pct = overhead * 100.0;
+    let ok = pct < 5.0;
+    println!(
+        "profiling overhead (spans + pool accounting + JSONL sink): {pct:+.2}% (budget 5.00%) -> {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -5,11 +5,15 @@
 //! Both files use the ledger [`Baseline`] JSON format
 //! (`{"tol_pct": N, "metrics": {"<bench>": <best secs/iter>, ...}}`),
 //! written by the bench binaries' `--json-out=FILE` flag (best-of-N — see
-//! the microbench module for why minimums, not medians, are gated). Bench
-//! times are wall-clock, so every metric is lower-is-better; a baseline
-//! bench missing from the current file fails the gate (a vanished bench
-//! is itself a regression). Current-only benches are reported but do not
-//! gate — they become binding once promoted into the baseline.
+//! the microbench module for why minimums, not medians, are gated). Plain
+//! metrics are wall-clock times and gate lower-is-better; derived roofline
+//! metrics gate by suffix: `_gflops` (achieved GFLOP/s) and `_util`
+//! (worker-pool utilization) are rates and gate higher-is-better, while
+//! `_ai` (arithmetic intensity) is a shape constant recorded for context
+//! and never gated. A baseline bench missing from the current file fails
+//! the gate (a vanished bench is itself a regression). Current-only
+//! benches are reported but do not gate — they become binding once
+//! promoted into the baseline.
 //!
 //! When both files carry the `_calibration` metric (a fixed workload
 //! timed at bench time), current times are rescaled by
@@ -33,7 +37,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use litho_ledger::{Baseline, GateCheck, GateOutcome};
-use lithogan_bench::microbench::{fmt_duration, CALIBRATION_METRIC};
+use lithogan_bench::microbench::{
+    fmt_duration, AI_SUFFIX, CALIBRATION_METRIC, GFLOPS_SUFFIX, UTIL_SUFFIX,
+};
 
 enum Args {
     Gate {
@@ -143,9 +149,18 @@ fn host_speed_scale(current: &Baseline, baseline: &Baseline) -> Option<f64> {
     (cur > 0.0 && base > 0.0).then_some((base / cur).min(1.0))
 }
 
-/// Gates current bench times against the baseline; all metrics are
-/// durations, hence lower-is-better regardless of name. `scale` rescales
-/// current times to the baseline host's speed before comparing.
+/// True for rate metrics (`_gflops`, `_util`): higher is better, and the
+/// gate floor is `baseline * (1 - tol)` instead of a ceiling.
+fn is_rate(key: &str) -> bool {
+    key.ends_with(GFLOPS_SUFFIX) || key.ends_with(UTIL_SUFFIX)
+}
+
+/// Gates current bench metrics against the baseline. Plain metrics are
+/// durations (lower-is-better, current times rescaled by `scale` to the
+/// baseline host's speed); `_gflops` rates gate higher-is-better with the
+/// inverse rescaling (a slower host's achieved rate is discounted *up*,
+/// never down); `_util` is host-speed-independent and compared raw; `_ai`
+/// is never gated.
 fn gate_benches(
     current: &Baseline,
     baseline: &Baseline,
@@ -159,13 +174,18 @@ fn gate_benches(
         tol_pct,
     };
     for (key, base) in &baseline.metrics {
-        if key == CALIBRATION_METRIC {
+        if key == CALIBRATION_METRIC || key.ends_with(AI_SUFFIX) {
             continue;
         }
-        let actual = lookup(current, key).map(|v| v * scale);
-        let pass = match actual {
-            None => false,
-            Some(v) => v <= base * (1.0 + tol) + f64::EPSILON,
+        let raw = lookup(current, key);
+        let (actual, pass) = if key.ends_with(GFLOPS_SUFFIX) {
+            let v = raw.map(|v| v / scale);
+            (v, v.is_some_and(|v| v >= base * (1.0 - tol) - f64::EPSILON))
+        } else if key.ends_with(UTIL_SUFFIX) {
+            (raw, raw.is_some_and(|v| v >= base * (1.0 - tol) - f64::EPSILON))
+        } else {
+            let v = raw.map(|v| v * scale);
+            (v, v.is_some_and(|v| v <= base * (1.0 + tol) + f64::EPSILON))
         };
         outcome.checks.push(GateCheck {
             metric: key.clone(),
@@ -175,6 +195,16 @@ fn gate_benches(
         });
     }
     outcome
+}
+
+/// Formats a metric value: duration units for times, plain numbers for
+/// the rate metrics (GFLOP/s and utilization are not durations).
+fn fmt_value(key: &str, v: f64) -> String {
+    if is_rate(key) {
+        format!("{v:.3}")
+    } else {
+        fmt_duration(Duration::from_secs_f64(v.max(0.0)))
+    }
 }
 
 /// [`GateOutcome::render`] formats values as `{:.4}`, unreadable for
@@ -198,7 +228,7 @@ fn render(outcome: &GateOutcome) -> String {
     for c in &outcome.checks {
         let (actual, ratio) = match c.actual {
             Some(v) => (
-                fmt_duration(Duration::from_secs_f64(v.max(0.0))),
+                fmt_value(&c.metric, v),
                 format!("{:.2}x", if c.baseline > 0.0 { v / c.baseline } else { f64::INFINITY }),
             ),
             None => ("missing".to_string(), "-".to_string()),
@@ -207,7 +237,7 @@ fn render(outcome: &GateOutcome) -> String {
             out,
             "{:<w$} {:>12} {:>12} {:>8}  {}",
             c.metric,
-            fmt_duration(Duration::from_secs_f64(c.baseline.max(0.0))),
+            fmt_value(&c.metric, c.baseline),
             actual,
             ratio,
             if c.pass { "ok" } else { "REGRESSED" }
@@ -273,7 +303,9 @@ fn main() -> ExitCode {
         .metrics
         .iter()
         .filter(|(k, _)| {
-            k != CALIBRATION_METRIC && !baseline.metrics.iter().any(|(b, _)| b == k)
+            k != CALIBRATION_METRIC
+                && !k.ends_with(AI_SUFFIX)
+                && !baseline.metrics.iter().any(|(b, _)| b == k)
         })
         .map(|(k, _)| k.as_str())
         .collect();
@@ -353,6 +385,59 @@ mod tests {
         assert!(!outcome.passed());
         // The calibration metric itself is never a gated check.
         assert!(outcome.checks.iter().all(|c| c.metric != CALIBRATION_METRIC));
+    }
+
+    #[test]
+    fn rate_metrics_gate_higher_is_better() {
+        // A GFLOP/s drop beyond tolerance fails; a rise always passes.
+        let baseline = base(&[("matmul_gflops", 10.0), ("matmul_util", 0.9)]);
+        let ok = base(&[("matmul_gflops", 9.0), ("matmul_util", 0.85)]);
+        assert!(gate_benches(&ok, &baseline, Some(15.0), 1.0).passed());
+        let fast = base(&[("matmul_gflops", 20.0), ("matmul_util", 1.0)]);
+        assert!(gate_benches(&fast, &baseline, Some(0.0), 1.0).passed());
+        let slow = base(&[("matmul_gflops", 8.0), ("matmul_util", 0.9)]);
+        assert!(!gate_benches(&slow, &baseline, Some(15.0), 1.0).passed());
+        let starved = base(&[("matmul_gflops", 10.0), ("matmul_util", 0.5)]);
+        assert!(!gate_benches(&starved, &baseline, Some(15.0), 1.0).passed());
+    }
+
+    #[test]
+    fn throttled_host_discounts_rates_up_but_not_utilization() {
+        // Host at half speed: times double, achieved GFLOP/s halve, but
+        // pool utilization is speed-independent. The calibration scale
+        // must rescue the rate and leave utilization alone.
+        let baseline = base(&[
+            (CALIBRATION_METRIC, 1.0),
+            ("conv", 1.0),
+            ("conv_gflops", 10.0),
+            ("conv_util", 0.9),
+        ]);
+        let current = base(&[
+            (CALIBRATION_METRIC, 2.0),
+            ("conv", 2.0),
+            ("conv_gflops", 5.0),
+            ("conv_util", 0.9),
+        ]);
+        let scale = host_speed_scale(&current, &baseline).unwrap();
+        assert!(gate_benches(&current, &baseline, Some(0.0), scale).passed());
+        // A genuine utilization collapse still fails on the slow host.
+        let current = base(&[
+            (CALIBRATION_METRIC, 2.0),
+            ("conv", 2.0),
+            ("conv_gflops", 5.0),
+            ("conv_util", 0.4),
+        ]);
+        assert!(!gate_benches(&current, &baseline, Some(15.0), scale).passed());
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_never_gated() {
+        // Even a wildly different _ai value produces no check at all.
+        let baseline = base(&[("conv_ai", 32.0), ("conv", 1.0)]);
+        let current = base(&[("conv_ai", 1.0), ("conv", 1.0)]);
+        let outcome = gate_benches(&current, &baseline, Some(0.0), 1.0);
+        assert!(outcome.passed());
+        assert!(outcome.checks.iter().all(|c| c.metric != "conv_ai"));
     }
 
     #[test]

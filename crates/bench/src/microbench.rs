@@ -23,6 +23,20 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use litho_ledger::Baseline;
+use litho_tensor::profile::KernelCost;
+
+/// Suffix of derived achieved-GFLOP/s metrics written by
+/// [`MicroBench::run_costed`]. Rate metrics merge by *maximum* in
+/// [`MicroBench::flush_json`] and gate as higher-is-better in `perf_gate`.
+pub const GFLOPS_SUFFIX: &str = "_gflops";
+
+/// Suffix of derived worker-pool-utilization metrics (busy time over
+/// wall time across all pool threads during the bench). Higher is better.
+pub const UTIL_SUFFIX: &str = "_util";
+
+/// Suffix of derived arithmetic-intensity metrics (FLOPs per byte). A
+/// shape constant, recorded for roofline context and never gated.
+pub const AI_SUFFIX: &str = "_ai";
 
 /// Synthetic metric embedded in every `--json-out` file: the time of a
 /// fixed integer workload measured at flush time. `perf_gate` divides the
@@ -150,11 +164,7 @@ impl MicroBench {
         entries.extend(self.results.borrow().iter().cloned());
         for (name, best) in entries {
             match base.metrics.iter_mut().find(|(k, _)| *k == name) {
-                // Min-merge: re-running a bench into the same file keeps the
-                // best observed time, so retries wash out transient host
-                // contention windows that hit mid-run (which the flush-time
-                // calibration spin cannot see).
-                Some(slot) => slot.1 = slot.1.min(best),
+                Some(slot) => slot.1 = merge_metric(&name, slot.1, best),
                 None => base.metrics.push((name, best)),
             }
         }
@@ -219,6 +229,65 @@ impl MicroBench {
         );
         stats
     }
+
+    /// Times `f` like [`Self::run`] and derives roofline companion
+    /// metrics from the static `cost` of one iteration: `<name>_gflops`
+    /// (achieved GFLOP/s at the best-observed time), `<name>_ai`
+    /// (arithmetic intensity — a shape constant, recorded for context)
+    /// and `<name>_util` (worker-pool utilization over the timed region,
+    /// when the pool did any work). The companions ride into `--json-out`
+    /// next to the time; rate metrics merge by maximum and gate as
+    /// higher-is-better in `perf_gate`.
+    pub fn run_costed<R>(&self, name: &str, cost: KernelCost, f: impl FnMut() -> R) -> BenchStats {
+        litho_tensor::pool::set_profiling(true);
+        let base = litho_tensor::pool::stats();
+        let stats = self.run(name, f);
+        let pool = litho_tensor::pool::stats().delta_since(&base);
+        let best = stats.min.as_secs_f64();
+        let mut line = String::new();
+        let mut results = self.results.borrow_mut();
+        if cost.flops > 0 {
+            let gflops = cost.gflops(best);
+            results.push((format!("{name}{GFLOPS_SUFFIX}"), gflops));
+            line.push_str(&format!("{gflops:.2} GFLOP/s"));
+        }
+        if cost.bytes > 0 {
+            let ai = cost.arithmetic_intensity();
+            results.push((format!("{name}{AI_SUFFIX}"), ai));
+            line.push_str(&format!(
+                "{}AI {ai:.2} ({})",
+                if line.is_empty() { "" } else { ", " },
+                cost.bound().as_str()
+            ));
+        }
+        if let Some(util) = pool.utilization() {
+            results.push((format!("{name}{UTIL_SUFFIX}"), util));
+            line.push_str(&format!(
+                "{}pool {:.0}%",
+                if line.is_empty() { "" } else { ", " },
+                util * 100.0
+            ));
+        }
+        if !line.is_empty() {
+            println!("{:<32}   {line}", "");
+        }
+        stats
+    }
+}
+
+/// Per-metric merge policy when several passes accumulate into one
+/// `--json-out` file: times keep the minimum (scheduler and frequency
+/// noise only ever add time), rate metrics (`_gflops`, `_util`) keep the
+/// maximum for the same reason, and `_ai` — a shape constant — takes the
+/// latest value so a cost-model fix propagates.
+fn merge_metric(name: &str, old: f64, new: f64) -> f64 {
+    if name.ends_with(GFLOPS_SUFFIX) || name.ends_with(UTIL_SUFFIX) {
+        old.max(new)
+    } else if name.ends_with(AI_SUFFIX) {
+        new
+    } else {
+        old.min(new)
+    }
 }
 
 /// Formats a duration with an auto-selected unit.
@@ -281,6 +350,39 @@ mod tests {
         let get = |k: &str| merged.metrics.iter().find(|(m, _)| m == k).map(|(_, v)| *v);
         assert_eq!(get("spin"), Some(0.0), "existing faster entry must win");
         assert!(get(CALIBRATION_METRIC).unwrap() > 0.0, "calibration added");
+    }
+
+    #[test]
+    fn merge_metric_is_direction_aware() {
+        // Times: min wins.
+        assert_eq!(merge_metric("conv", 1.0, 2.0), 1.0);
+        assert_eq!(merge_metric("conv", 2.0, 1.0), 1.0);
+        // Rates: max wins.
+        assert_eq!(merge_metric("conv_gflops", 10.0, 12.0), 12.0);
+        assert_eq!(merge_metric("conv_gflops", 12.0, 10.0), 12.0);
+        assert_eq!(merge_metric("conv_util", 0.5, 0.8), 0.8);
+        // Shape constants: latest wins, even when smaller.
+        assert_eq!(merge_metric("conv_ai", 32.0, 16.0), 16.0);
+    }
+
+    #[test]
+    fn run_costed_records_roofline_companions() {
+        let mb = MicroBench {
+            samples: 3,
+            min_sample: Duration::from_micros(50),
+            ..MicroBench::default()
+        };
+        mb.run_costed("spin", KernelCost::gemm(64, 64, 64), || {
+            black_box((0..256u64).sum::<u64>())
+        });
+        let results = mb.results.borrow();
+        let get = |k: &str| results.iter().find(|(m, _)| m == k).map(|(_, v)| *v);
+        assert!(get("spin").is_some());
+        assert!(get("spin_gflops").unwrap() > 0.0);
+        let ai = KernelCost::gemm(64, 64, 64).arithmetic_intensity();
+        assert!((get("spin_ai").unwrap() - ai).abs() < 1e-12);
+        // `spin_util` is absent unless a concurrent test drove the global
+        // pool during the bench window, so it is deliberately unasserted.
     }
 
     #[test]

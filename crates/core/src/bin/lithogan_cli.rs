@@ -20,9 +20,10 @@ use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig
 use litho_health::DiagnosisKind;
 use litho_layout::image::{overlay_panel, write_ppm};
 use litho_ledger::{
-    dashboard_svg, fingerprint_file, fmt_unix, gate, health_svg, load_index, load_run, reindex,
-    render_compare, render_health, render_report, render_snapshot, render_trend, trend, trend_svg,
-    Baseline, DatasetInfo, RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
+    dashboard_svg, fingerprint_file, flamegraph_svg, fmt_unix, fold_lines, gate, health_svg,
+    load_index, load_run, reindex, render_attribution, render_compare, render_health,
+    render_report, render_snapshot, render_trend, trend, trend_svg, Baseline, DatasetInfo,
+    RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
 };
 use litho_metrics::MetricAccumulator;
 use litho_sim::ProcessConfig;
@@ -66,6 +67,10 @@ enum Command {
     },
     Report {
         run: String,
+    },
+    Profile {
+        run: String,
+        top: usize,
     },
     Health {
         run: String,
@@ -125,6 +130,7 @@ fn usage() -> String {
          lithogan-cli eval     --data FILE --model FILE\n  \
          lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR\n  \
          lithogan-cli report   <run-id|run-dir>\n  \
+         lithogan-cli profile  <run-id|run-dir> [--top N]\n  \
          lithogan-cli health   <run-id|run-dir> [--fail-on LIST]\n  \
          lithogan-cli compare  <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n  \
          lithogan-cli runs     ls [--status S] [--command C] [--dataset FP] [--last N]\n  \
@@ -200,6 +206,19 @@ fn command_help(cmd: &str) -> String {
              counters. Also writes runs/<id>/dashboard.svg (loss curves, EDE\n\
              histogram, stage latency). The argument is a directory path or a\n\
              run id resolved under --runs-root."
+        }
+        "profile" => {
+            "lithogan-cli profile <run-id|run-dir> [--top N]\n\n\
+             Folds a run's trace.jsonl into a self-time profile: writes\n\
+             runs/<id>/flamegraph.svg (icicle layout, frames tinted by the\n\
+             roofline verdict of their kernel cost model) and\n\
+             runs/<id>/flamegraph.folded (Brendan-Gregg folded-stack text),\n\
+             and prints a top-N attribution table ranked by self time with\n\
+             achieved GFLOP/s, arithmetic intensity and compute- vs\n\
+             memory-bound verdict per instrumented kernel.\n\n  \
+             --top N         table rows (default 20)\n\n\
+             The classification threshold is the host machine balance,\n\
+             LITHO_MACHINE_BALANCE (FLOPs per byte, default 8)."
         }
         "compare" => {
             "lithogan-cli compare <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n\n\
@@ -430,6 +449,16 @@ fn parse(args: &[String]) -> Result<Command> {
                 _ => Err(bad("report takes exactly one <run-id|run-dir>")),
             }
         }
+        Some("profile") => {
+            let pos = positionals();
+            match pos.as_slice() {
+                [run] => Ok(Command::Profile {
+                    run: run.clone(),
+                    top: get("--top").map_or(Ok(20), |v| v.parse().map_err(|_| bad("--top")))?,
+                }),
+                _ => Err(bad("profile takes exactly one <run-id|run-dir>")),
+            }
+        }
         Some("health") => {
             let pos = positionals();
             match pos.as_slice() {
@@ -536,6 +565,7 @@ impl Command {
             Command::Eval { .. } => "eval",
             Command::Predict { .. } => "predict",
             Command::Report { .. } => "report",
+            Command::Profile { .. } => "profile",
             Command::Health { .. } => "health",
             Command::Compare { .. } => "compare",
             Command::RunsLs { .. } | Command::RunsTrend { .. } | Command::RunsGc { .. } => "runs",
@@ -661,6 +691,10 @@ fn init_telemetry(
         litho_telemetry::set_run_id(Some(ledger.run_id()));
     }
     litho_telemetry::enable();
+    // Per-job pool accounting is cheap (two clock reads per participant)
+    // and only meaningful with somewhere to report to, so it follows the
+    // telemetry switch.
+    litho_tensor::pool::set_profiling(true);
     litho_telemetry::emit_run_metadata(&[(
         "command",
         litho_telemetry::Value::Str(command.to_string()),
@@ -921,6 +955,22 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             let svg_path = data.dir.join("dashboard.svg");
             std::fs::write(&svg_path, dashboard_svg(&data)).map_err(io_err)?;
             println!("dashboard:  {}", svg_path.display());
+            Ok(())
+        }
+        Command::Profile { run, top } => {
+            let data = resolve_run(&run, &opts.runs_root)?;
+            let Some(trace) = &data.trace else {
+                return Err(bad(format!(
+                    "run {run:?} has no telemetry trace — rerun without --no-run"
+                )));
+            };
+            print!("{}", render_attribution(trace, top));
+            let svg_path = data.dir.join("flamegraph.svg");
+            std::fs::write(&svg_path, flamegraph_svg(trace)).map_err(io_err)?;
+            let folded_path = data.dir.join("flamegraph.folded");
+            std::fs::write(&folded_path, fold_lines(trace)).map_err(io_err)?;
+            println!("flamegraph: {}", svg_path.display());
+            println!("folded:     {}", folded_path.display());
             Ok(())
         }
         Command::Health { run, fail_on } => {
@@ -1238,6 +1288,15 @@ fn main() {
     let outcome = init_telemetry(&opts, cmd.name(), ledger.as_mut()).and_then(|()| {
         let result = run(cmd, &opts, &mut ledger);
         if let Some(ledger) = &mut ledger {
+            // Compute-plane profile of the whole invocation: pool stats
+            // accumulate from process start, so the totals are the run's.
+            if let Some(util) = litho_tensor::pool::stats().utilization() {
+                ledger.set_pool_utilization(util);
+            }
+            let ws = litho_tensor::peak_workspace_bytes();
+            if ws > 0 {
+                ledger.set_peak_workspace_bytes(ws);
+            }
             // An aborted training run is recorded as such, distinct from
             // both a clean finish and an ordinary error.
             match &result {
@@ -1349,6 +1408,30 @@ mod tests {
             "train", "--data", "d", "--health-stride", "x", "--out", "m"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_profile_command() {
+        let cmd = parse(&strs(&["profile", "train-1-2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                run: "train-1-2".into(),
+                top: 20,
+            }
+        );
+        assert!(!cmd.records_run());
+        assert_eq!(cmd.name(), "profile");
+        assert_eq!(
+            parse(&strs(&["profile", "r", "--top", "5"])).unwrap(),
+            Command::Profile {
+                run: "r".into(),
+                top: 5,
+            }
+        );
+        assert!(parse(&strs(&["profile"])).is_err());
+        assert!(parse(&strs(&["profile", "a", "b"])).is_err());
+        assert!(parse(&strs(&["profile", "r", "--top", "x"])).is_err());
     }
 
     #[test]
@@ -1565,8 +1648,8 @@ mod tests {
         assert!(usage().contains("--runs-root"));
         // Every per-command help mentions the global observability flags.
         for cmd in [
-            "generate", "train", "eval", "predict", "report", "health", "compare", "runs",
-            "reindex", "watch",
+            "generate", "train", "eval", "predict", "report", "profile", "health", "compare",
+            "runs", "reindex", "watch",
         ] {
             let text = command_help(cmd);
             assert!(text.contains("--trace"), "{cmd} help lacks --trace");

@@ -209,6 +209,7 @@ impl Cgan {
         }
 
         let _span = litho_telemetry::span("train/epoch");
+        let pool_base = litho_tensor::pool::stats();
         let epoch_start = std::time::Instant::now();
         let mut g_total = 0.0f64;
         let mut d_total = 0.0f64;
@@ -262,6 +263,15 @@ impl Cgan {
             litho_telemetry::observe("train.epoch_seconds", elapsed);
             litho_telemetry::counter_add("train.epochs", 1);
             litho_telemetry::counter_add("train.samples", pairs.len() as u64);
+            // Worker-pool profile of this epoch's parallel regions (only
+            // populated when pool profiling is on; see pool::set_profiling).
+            let pool = litho_tensor::pool::stats().delta_since(&pool_base);
+            if let Some(util) = pool.utilization() {
+                litho_telemetry::gauge_set("pool.utilization", util);
+            }
+            if let Some(balance) = pool.balance() {
+                litho_telemetry::gauge_set("pool.balance", balance);
+            }
         }
         if let Some(h) = self.health.as_mut() {
             h.end_gan_epoch(epoch, g_mean as f64, d_mean as f64)?;

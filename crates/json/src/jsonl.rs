@@ -228,6 +228,56 @@ mod tests {
     }
 
     #[test]
+    fn tailer_handles_empty_and_just_created_files() {
+        let dir = scratch("empty");
+        let path = dir.join("stream.jsonl");
+        // A just-created, zero-byte file (a writer that opened its stream
+        // but has not flushed a line yet): empty batches, no error, the
+        // offset pinned to the start.
+        fs::File::create(&path).unwrap();
+        let mut tailer = JsonlTailer::new(&path);
+        assert!(tailer.poll().unwrap().is_empty());
+        assert!(tailer.poll().unwrap().is_empty());
+        assert_eq!(tailer.offset(), 0);
+        // The first real line is released by the next poll.
+        fs::write(&path, "{\"n\":5}\n").unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].get("n").unwrap().as_u64(), Some(5));
+        assert_eq!(tailer.skipped_lines(), 0);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tailer_resets_when_file_is_truncated_mid_run() {
+        let dir = scratch("midrun");
+        let path = dir.join("stream.jsonl");
+        fs::write(&path, "{\"n\":0}\n{\"n\":1}\n{\"n\":2}\n").unwrap();
+        let mut tailer = JsonlTailer::new(&path);
+        assert_eq!(tailer.poll().unwrap().len(), 3);
+
+        // A writer restart truncates the stream to zero bytes; the next
+        // poll must drop its stale offset instead of seeking past EOF.
+        fs::write(&path, "").unwrap();
+        assert!(tailer.poll().unwrap().is_empty());
+        assert_eq!(tailer.offset(), 0);
+
+        // The restarted writer's stream is consumed from the top.
+        fs::write(&path, "{\"n\":7}\n{\"n\":8}\n").unwrap();
+        let ns: Vec<u64> = tailer
+            .poll()
+            .unwrap()
+            .iter()
+            .map(|v| v.get("n").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ns, vec![7, 8]);
+        assert_eq!(tailer.skipped_lines(), 0);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn tailer_counts_corrupt_complete_lines_and_survives_truncation() {
         let dir = scratch("corrupt");
         let path = dir.join("stream.jsonl");

@@ -29,8 +29,9 @@ use crate::manifest::{load_manifest, load_records, RunManifest};
 pub const INDEX_SCHEMA: u32 = 1;
 
 /// The headline metrics an index record carries (the paper's Tables 3–4
-/// axes plus sample count and inference throughput).
-pub const HEADLINE_METRICS: [&str; 7] = [
+/// axes plus sample count, inference throughput and the compute-plane
+/// profile: pool utilization and peak workspace footprint).
+pub const HEADLINE_METRICS: [&str; 9] = [
     "samples",
     "ede_mean_nm",
     "pixel_accuracy",
@@ -38,6 +39,8 @@ pub const HEADLINE_METRICS: [&str; 7] = [
     "mean_iou",
     "center_error_nm",
     "samples_per_sec",
+    "pool_utilization",
+    "peak_workspace_bytes",
 ];
 
 /// One line of `runs/index.jsonl`: the fleet-level summary of one run.
@@ -242,10 +245,17 @@ pub fn record_from_parts(
     health: Option<String>,
 ) -> IndexRecord {
     let mut metrics = summary.map(headline_metrics).unwrap_or_default();
-    // Throughput lives in the manifest, not the sample aggregate, so it
-    // survives both the live finalize path and a `reindex` rebuild.
+    // Throughput and the compute-plane profile live in the manifest, not
+    // the sample aggregate, so they survive both the live finalize path
+    // and a `reindex` rebuild.
     if let Some(sps) = manifest.samples_per_sec {
         metrics.push(("samples_per_sec".to_string(), sps));
+    }
+    if let Some(util) = manifest.pool_utilization {
+        metrics.push(("pool_utilization".to_string(), util));
+    }
+    if let Some(ws) = manifest.peak_workspace_bytes {
+        metrics.push(("peak_workspace_bytes".to_string(), ws as f64));
     }
     IndexRecord {
         schema_version: INDEX_SCHEMA,
@@ -509,6 +519,8 @@ mod tests {
                 center_error_nm: Some(1.0),
             })
             .unwrap();
+        ledger.set_pool_utilization(0.82);
+        ledger.set_peak_workspace_bytes(123_456);
         ledger.finalize(true).unwrap();
 
         let parse = load_index(&root).unwrap();
@@ -518,6 +530,9 @@ mod tests {
         assert_eq!(rec.seed, Some(3));
         assert_eq!(rec.metric("ede_mean_nm"), Some(5.0));
         assert_eq!(rec.metric("samples"), Some(1.0));
+        // The compute-plane profile rides the manifest into the index.
+        assert_eq!(rec.metric("pool_utilization"), Some(0.82));
+        assert_eq!(rec.metric("peak_workspace_bytes"), Some(123_456.0));
         assert_eq!(rec.health, None, "no health stream on this run");
 
         // Wipe the index; reindex reconstructs the same summary from the

@@ -15,6 +15,10 @@
 //! * [`load_run`] + [`render_report`] + [`dashboard_svg`] — the
 //!   `lithogan_cli report <run>` view: metric table, span aggregates
 //!   with exact quantiles, critical path, and an SVG dashboard;
+//! * [`flamegraph_svg`] + [`render_attribution`] + [`fold_lines`] — the
+//!   `lithogan_cli profile <run>` view: a self-time flamegraph SVG with
+//!   roofline tinting, a top-N attribution table, and the folded-stack
+//!   text form;
 //! * [`render_compare`] — `lithogan_cli compare <run-a> <run-b>` delta
 //!   table;
 //! * [`gate`] against a committed [`Baseline`] — the CI regression gate
@@ -41,6 +45,7 @@ mod compare;
 mod health;
 pub mod index;
 mod manifest;
+pub mod profile;
 mod report;
 mod svg;
 mod trace;
@@ -57,6 +62,7 @@ pub use manifest::{
     fingerprint_file, load_manifest, load_records, DatasetInfo, RunLedger, RunManifest,
     MANIFEST_SCHEMA,
 };
+pub use profile::{flamegraph_svg, fold_lines, render_attribution};
 pub use report::{load_run, render_report, RunData};
 pub use svg::dashboard_svg;
 pub use trace::{

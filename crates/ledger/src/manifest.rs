@@ -133,6 +133,13 @@ pub struct RunManifest {
     /// Inference throughput over the run's evaluated samples, a
     /// `runs trend`-able headline performance metric.
     pub samples_per_sec: Option<f64>,
+    /// Mean worker-pool utilization over the run's parallel regions
+    /// (busy time over threads × wall, 0..1); `None` on manifests from
+    /// before pool profiling or when the pool never ran a job.
+    pub pool_utilization: Option<f64>,
+    /// Largest single workspace buffer requested during the run, bytes
+    /// ([`litho_tensor::peak_workspace_bytes`]).
+    pub peak_workspace_bytes: Option<u64>,
 }
 
 impl RunManifest {
@@ -173,6 +180,12 @@ impl RunManifest {
         }
         if let Some(sps) = self.samples_per_sec {
             members.push(("samples_per_sec".into(), Json::Num(sps)));
+        }
+        if let Some(util) = self.pool_utilization {
+            members.push(("pool_utilization".into(), Json::Num(util)));
+        }
+        if let Some(ws) = self.peak_workspace_bytes {
+            members.push(("peak_workspace_bytes".into(), Json::Num(ws as f64)));
         }
         members.push(("status".into(), Json::Str(self.status.clone())));
         if let Some(wall) = self.wall_clock_s {
@@ -243,6 +256,8 @@ impl RunManifest {
             tensor_alloc_bytes: v.get("tensor_alloc_bytes").and_then(Json::as_u64),
             threads: v.get("threads").and_then(Json::as_u64).map(|n| n as usize),
             samples_per_sec: v.get("samples_per_sec").and_then(Json::as_f64),
+            pool_utilization: v.get("pool_utilization").and_then(Json::as_f64),
+            peak_workspace_bytes: v.get("peak_workspace_bytes").and_then(Json::as_u64),
         })
     }
 }
@@ -337,6 +352,8 @@ impl RunLedger {
             tensor_alloc_bytes: None,
             threads: Some(litho_tensor::pool::effective_threads()),
             samples_per_sec: None,
+            pool_utilization: None,
+            peak_workspace_bytes: None,
         };
         let ledger = RunLedger {
             dir,
@@ -402,6 +419,17 @@ impl RunLedger {
     /// manifest (and the index, as a headline metric) at finalize.
     pub fn set_samples_per_sec(&mut self, samples_per_sec: f64) {
         self.manifest.samples_per_sec = Some(samples_per_sec);
+    }
+
+    /// Records the run's mean worker-pool utilization (0..1); stamped
+    /// into the manifest (and the index) at finalize.
+    pub fn set_pool_utilization(&mut self, utilization: f64) {
+        self.manifest.pool_utilization = Some(utilization);
+    }
+
+    /// Records the largest single workspace buffer the run requested.
+    pub fn set_peak_workspace_bytes(&mut self, bytes: u64) {
+        self.manifest.peak_workspace_bytes = Some(bytes);
     }
 
     /// Appends one per-sample record to `samples.jsonl`.

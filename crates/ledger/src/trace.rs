@@ -89,6 +89,25 @@ pub struct SpanAgg {
     pub p95_us: f64,
     pub p99_us: f64,
     pub max_us: f64,
+    /// Sum of the `flops` cost annotations across this path's spans
+    /// (0 when the kernel carried no cost model).
+    pub flops: u64,
+    /// Sum of the `bytes` cost annotations across this path's spans.
+    pub bytes: u64,
+}
+
+impl SpanAgg {
+    /// Achieved GFLOP/s over the aggregate (annotated FLOPs over total
+    /// span time); `None` when no cost annotations were recorded.
+    pub fn gflops(&self) -> Option<f64> {
+        (self.flops > 0 && self.total_us > 0.0).then(|| self.flops as f64 / self.total_us / 1e3)
+    }
+
+    /// Arithmetic intensity (FLOPs per byte) of the aggregate; `None`
+    /// when no byte annotations were recorded.
+    pub fn arithmetic_intensity(&self) -> Option<f64> {
+        (self.bytes > 0).then(|| self.flops as f64 / self.bytes as f64)
+    }
 }
 
 /// One point of the training loss curve, from `train_epoch` events.
@@ -139,6 +158,7 @@ fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
 /// Aggregates a decoded trace.
 pub fn analyze(parse: &TraceParse) -> TraceAnalysis {
     let mut durations: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut costs: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut analysis = TraceAnalysis {
         skipped_lines: parse.skipped_lines,
@@ -156,6 +176,13 @@ pub fn analyze(parse: &TraceParse) -> TraceAnalysis {
             "span" => {
                 if let Some(dur) = ev.fields.get("dur_us").and_then(Json::as_f64) {
                     durations.entry(ev.name.clone()).or_default().push(dur);
+                    let flops = ev.fields.get("flops").and_then(Json::as_u64).unwrap_or(0);
+                    let bytes = ev.fields.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+                    if flops > 0 || bytes > 0 {
+                        let slot = costs.entry(ev.name.clone()).or_insert((0, 0));
+                        slot.0 += flops;
+                        slot.1 += bytes;
+                    }
                 }
             }
             "counter" => {
@@ -220,6 +247,8 @@ pub fn analyze(parse: &TraceParse) -> TraceAnalysis {
             p95_us: exact_quantile(&sorted, 0.95),
             p99_us: exact_quantile(&sorted, 0.99),
             max_us: sorted.last().copied().unwrap_or(0.0),
+            flops: costs.get(path).map_or(0, |c| c.0),
+            bytes: costs.get(path).map_or(0, |c| c.1),
         });
     }
     analysis.counters = counters.into_iter().collect();
@@ -345,6 +374,25 @@ mod tests {
             .iter()
             .any(|(k, v)| k == "threads" && v == "8"));
         assert_eq!(analysis.span_of_time_us, 4);
+    }
+
+    #[test]
+    fn cost_annotations_aggregate_per_path() {
+        let text = "\
+{\"ts_us\":1,\"kind\":\"span\",\"name\":\"gemm[4x4x4]\",\"dur_us\":500.0,\"depth\":0,\"flops\":1000000,\"bytes\":4000}\n\
+{\"ts_us\":2,\"kind\":\"span\",\"name\":\"gemm[4x4x4]\",\"dur_us\":500.0,\"depth\":0,\"flops\":1000000,\"bytes\":4000}\n\
+{\"ts_us\":3,\"kind\":\"span\",\"name\":\"plain\",\"dur_us\":10.0,\"depth\":0}\n";
+        let analysis = analyze(&parse_trace_str(text));
+        let g = analysis.span("gemm[4x4x4]").unwrap();
+        assert_eq!(g.flops, 2_000_000);
+        assert_eq!(g.bytes, 8_000);
+        // 2e6 FLOPs over 1000 µs = 2 GFLOP/s; AI = 250.
+        assert!((g.gflops().unwrap() - 2.0).abs() < 1e-9);
+        assert!((g.arithmetic_intensity().unwrap() - 250.0).abs() < 1e-9);
+        let p = analysis.span("plain").unwrap();
+        assert_eq!((p.flops, p.bytes), (0, 0));
+        assert_eq!(p.gflops(), None);
+        assert_eq!(p.arithmetic_intensity(), None);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct WatchSnapshot {
     /// Seconds until the last planned epoch, extrapolated from the
     /// cadence of the epoch events observed so far.
     pub eta_s: Option<f64>,
+    /// Latest `pool.utilization` gauge (0..1) from the trace, when the
+    /// run is pool-profiled.
+    pub pool_utilization: Option<f64>,
+    /// Most recently closed instrumented kernel span (`gemm[MxNxK]`,
+    /// `im2col[RxC]`, …) — what the compute plane was last doing.
+    pub current_kernel: Option<String>,
     /// Live diagnosis lines (`kind subject`) over the health stream so
     /// far; empty for a healthy (or health-less) run.
     pub diagnoses: Vec<String>,
@@ -95,6 +101,8 @@ pub struct WatchSession {
     health: JsonlTailer,
     epochs: Vec<(u64, f64, f64, u64)>, // (epoch, g_loss, d_loss, ts_us)
     health_records: Vec<HealthRecord>,
+    pool_utilization: Option<f64>,
+    current_kernel: Option<String>,
 }
 
 impl WatchSession {
@@ -107,6 +115,8 @@ impl WatchSession {
             trace: None,
             epochs: Vec::new(),
             health_records: Vec::new(),
+            pool_utilization: None,
+            current_kernel: None,
         }
     }
 
@@ -165,6 +175,12 @@ impl WatchSession {
                         .and_then(|j| j.as_f64())
                         .unwrap_or(f64::NAN);
                     self.epochs.push((epoch, g, d, ev.ts_us));
+                } else if ev.kind == "gauge" && ev.name == "pool.utilization" {
+                    self.pool_utilization = ev.fields.get("value").and_then(|j| j.as_f64());
+                } else if ev.kind == "span" && ev.name.contains('[') {
+                    // Instrumented kernel spans are named `kernel[shape]`.
+                    let leaf = ev.name.rsplit('/').next().unwrap_or(&ev.name);
+                    self.current_kernel = Some(leaf.to_string());
                 }
             }
         }
@@ -202,10 +218,12 @@ impl WatchSession {
             }),
         };
         // ETA from the epoch-event cadence: events are stamped relative
-        // to telemetry start, so ts/count is the mean epoch duration.
+        // to telemetry start, so ts/count is the mean epoch duration. No
+        // cadence exists until at least one epoch has completed — the
+        // guard keeps the division away from `done == 0`.
+        let done = self.epochs.len() as u64;
         let eta_s = match (epochs_total, self.epochs.last(), finished) {
-            (Some(total), Some(&(last_epoch_no, _, _, ts_us)), false) if ts_us > 0 => {
-                let done = self.epochs.len() as u64;
+            (Some(total), Some(&(last_epoch_no, _, _, ts_us)), false) if ts_us > 0 && done > 0 => {
                 let remaining = total.saturating_sub(last_epoch_no + 1);
                 Some(ts_us as f64 / 1e6 / done as f64 * remaining as f64)
             }
@@ -226,6 +244,8 @@ impl WatchSession {
             epochs_total,
             last_epoch,
             eta_s,
+            pool_utilization: self.pool_utilization,
+            current_kernel: self.current_kernel.clone(),
             diagnoses,
             health_records: self.health_records.len(),
             finished,
@@ -300,6 +320,12 @@ pub fn render_snapshot(snap: &WatchSnapshot) -> String {
     }
     if let Some(eta) = snap.eta_s {
         line.push_str(&format!(" eta {eta:.0}s"));
+    }
+    if let Some(util) = snap.pool_utilization {
+        line.push_str(&format!(" pool {:.0}%", util * 100.0));
+    }
+    if let (Some(kernel), false) = (&snap.current_kernel, snap.finished) {
+        line.push_str(&format!(" kernel {kernel}"));
     }
     if !snap.diagnoses.is_empty() {
         line.push_str(&format!(" health: {}", snap.diagnoses.join("; ")));
@@ -391,6 +417,34 @@ mod tests {
         let line = render_snapshot(&snap);
         assert!(line.contains("[ok]"));
         assert!(line.contains("epoch 4/4"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pool_gauges_and_kernel_spans_surface_live() {
+        let dir = scratch("pool");
+        let run = dir.join("train-1-1");
+        fs::create_dir_all(&run).unwrap();
+        write_manifest(&run, "running", 4);
+        // A trace with kernel spans and a pool gauge but zero completed
+        // epochs: the ETA must stay absent, not divide by zero.
+        fs::write(
+            run.join("trace.jsonl"),
+            "{\"ts_us\":100,\"kind\":\"span\",\"name\":\"train/epoch/gemm[64x64x64]\",\"dur_us\":50.0,\"depth\":2}\n\
+             {\"ts_us\":200,\"kind\":\"span\",\"name\":\"im2col[75x4096]\",\"dur_us\":30.0,\"depth\":0}\n\
+             {\"ts_us\":300,\"kind\":\"gauge\",\"name\":\"pool.utilization\",\"value\":0.85}\n",
+        )
+        .unwrap();
+        let mut session = WatchSession::new(&run);
+        let snap = session.poll().unwrap();
+        assert_eq!(snap.epochs_done, 0);
+        assert_eq!(snap.eta_s, None, "no cadence before the first epoch");
+        assert_eq!(snap.pool_utilization, Some(0.85));
+        assert_eq!(snap.current_kernel.as_deref(), Some("im2col[75x4096]"));
+        let line = render_snapshot(&snap);
+        assert!(line.contains("pool 85%"), "{line}");
+        assert!(line.contains("kernel im2col[75x4096]"), "{line}");
 
         fs::remove_dir_all(&dir).ok();
     }

@@ -6,8 +6,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use litho_ledger::{
-    analyze, dashboard_svg, gate, health_svg, load_run, parse_trace_str, render_compare,
-    render_health, render_report, Baseline,
+    analyze, dashboard_svg, flamegraph_svg, fold_lines, gate, health_svg, load_run,
+    parse_trace_str, render_attribution, render_compare, render_health, render_report, Baseline,
 };
 
 fn fixture_run() -> PathBuf {
@@ -64,6 +64,53 @@ fn fixture_summary_aggregates_records() {
     assert_eq!(epoch.total_us, 230.0);
     // 230 total minus forward (78) and backward (105) children.
     assert!((epoch.self_us - 47.0).abs() < 1e-9);
+}
+
+#[test]
+fn profile_outputs_match_golden_files_and_reconcile() {
+    let run = load_run(&fixture_run()).unwrap();
+    let trace = run.trace.as_ref().expect("trace.jsonl present");
+
+    let svg = flamegraph_svg(trace);
+    let table = render_attribution(trace, 20);
+    let svg_golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/flamegraph.svg");
+    let table_golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/profile.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&svg_golden, &svg).unwrap();
+        fs::write(&table_golden, &table).unwrap();
+    }
+    assert_eq!(
+        svg,
+        fs::read_to_string(&svg_golden).expect("golden flamegraph committed"),
+        "flamegraph drifted from tests/golden/flamegraph.svg; \
+         run UPDATE_GOLDEN=1 cargo test -p litho-ledger and review the diff"
+    );
+    assert_eq!(
+        table,
+        fs::read_to_string(&table_golden).expect("golden attribution committed"),
+        "attribution drifted from tests/golden/profile.txt; \
+         run UPDATE_GOLDEN=1 cargo test -p litho-ledger and review the diff"
+    );
+
+    // The folded stream the SVG is built from must reconcile with the
+    // analyzer's self-time ledger within 1%.
+    let folded: f64 = fold_lines(trace)
+        .lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse::<f64>().expect("folded self_us is numeric"))
+        .sum();
+    let analyzer: f64 = trace.spans.iter().map(|s| s.self_us).sum();
+    assert!(analyzer > 0.0);
+    assert!(
+        (folded - analyzer).abs() / analyzer < 0.01,
+        "folded total {folded} vs analyzer self-time {analyzer}"
+    );
+
+    // Roofline verdicts land in the attribution: the fixture carries a
+    // compute-bound GEMM and a memory-bound im2col at known shapes.
+    assert!(table.contains("gemm[64x1024x75]"));
+    assert!(table.contains("compute-bound"));
+    assert!(table.contains("memory-bound"));
 }
 
 #[test]

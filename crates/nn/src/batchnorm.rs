@@ -87,6 +87,10 @@ impl Layer for BatchNorm2d {
         }
         let plane = h * w;
         let count = (n * plane) as f32;
+        let _span = litho_tensor::profile::kernel_span(
+            || format!("batchnorm[{n}x{c}x{h}x{w}]"),
+            litho_tensor::profile::KernelCost::batchnorm(n * c * plane),
+        );
         let src = input.as_slice();
         let mut out = Tensor::zeros(&[n, c, h, w]);
 
@@ -172,6 +176,10 @@ impl Layer for BatchNorm2d {
         }
         let plane = h * w;
         let count = (n * plane) as f32;
+        let _span = litho_tensor::profile::kernel_span(
+            || format!("batchnorm_bwd[{n}x{c}x{h}x{w}]"),
+            litho_tensor::profile::KernelCost::batchnorm(n * c * plane),
+        );
         let dy = grad_output.as_slice();
         let xh = cache.x_hat.as_slice();
         let gamma = self.gamma.value.as_slice();

@@ -17,6 +17,7 @@ pub(crate) fn ensure_shape(t: &mut Tensor, dims: &[usize]) {
         return;
     }
     let volume: usize = dims.iter().product();
+    litho_tensor::note_workspace_bytes((volume * 4) as u64);
     if t.len() == volume {
         t.reshape_in_place(dims).expect("volume was checked");
     } else {

@@ -260,20 +260,53 @@ pub(crate) fn emit(kind: EventKind, name: &str, fields: &[(&str, Value)]) {
     });
 }
 
-/// Internal: called by [`Span`] on completion.
-pub(crate) fn record_span(path: &str, depth: usize, dur: Duration) {
+/// Internal: called by [`Span`] on completion. Caller annotations ride on
+/// the close event; `flops` / `bytes` annotations additionally yield the
+/// derived roofline fields (`gflops`, achieved GFLOP/s, and `ai`,
+/// arithmetic intensity in FLOPs/byte).
+pub(crate) fn record_span_with(
+    path: &str,
+    depth: usize,
+    dur: Duration,
+    extra: &[(&'static str, Value)],
+) {
     if !is_enabled() {
         return;
     }
     global().registry.lock().unwrap().record_span(path, dur);
-    emit(
-        EventKind::Span,
-        path,
-        &[
-            ("dur_us", Value::F64(dur.as_secs_f64() * 1e6)),
-            ("depth", Value::U64(depth as u64)),
-        ],
-    );
+    if extra.is_empty() {
+        emit(
+            EventKind::Span,
+            path,
+            &[
+                ("dur_us", Value::F64(dur.as_secs_f64() * 1e6)),
+                ("depth", Value::U64(depth as u64)),
+            ],
+        );
+        return;
+    }
+    let mut fields: Vec<(&str, Value)> = Vec::with_capacity(2 + extra.len() + 2);
+    fields.push(("dur_us", Value::F64(dur.as_secs_f64() * 1e6)));
+    fields.push(("depth", Value::U64(depth as u64)));
+    fields.extend(extra.iter().cloned());
+    let lookup = |key: &str| {
+        extra.iter().find_map(|(k, v)| match v {
+            Value::U64(n) if *k == key => Some(*n),
+            _ => None,
+        })
+    };
+    if let Some(flops) = lookup("flops") {
+        let secs = dur.as_secs_f64();
+        if secs > 0.0 {
+            fields.push(("gflops", Value::F64(flops as f64 / secs / 1e9)));
+        }
+        if let Some(bytes) = lookup("bytes") {
+            if bytes > 0 {
+                fields.push(("ai", Value::F64(flops as f64 / bytes as f64)));
+            }
+        }
+    }
+    emit(EventKind::Span, path, &fields);
 }
 
 /// A point-in-time copy of the aggregated registry, for reports and tests.

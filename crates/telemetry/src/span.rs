@@ -9,6 +9,8 @@ use std::borrow::Cow;
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
+use crate::sink::Value;
+
 thread_local! {
     /// Full paths of the spans currently open on this thread.
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -21,15 +23,26 @@ pub struct Span {
     /// Full `/`-separated path; empty for inert (disabled) spans.
     path: String,
     depth: usize,
+    /// Caller-attached fields emitted with the span's close event (e.g.
+    /// a kernel's static cost model).
+    extra: Vec<(&'static str, Value)>,
 }
 
 impl Span {
+    /// A public inert span: records nothing on drop. Useful for callers
+    /// that decide per invocation whether a scope is worth tracing (e.g.
+    /// kernels below a work threshold).
+    pub fn inert() -> Span {
+        Span::noop()
+    }
+
     /// An inert span: no timing, no allocation beyond the empty struct.
     pub(crate) fn noop() -> Span {
         Span {
             start: None,
             path: String::new(),
             depth: 0,
+            extra: Vec::new(),
         }
     }
 
@@ -53,6 +66,16 @@ impl Span {
             start: Some(Instant::now()),
             path,
             depth,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attach an extra field to this span's close event. Inert spans
+    /// ignore the call. `flops` / `bytes` annotations additionally yield
+    /// derived `gflops` / `ai` fields when the span closes.
+    pub fn annotate(&mut self, key: &'static str, value: Value) {
+        if self.start.is_some() {
+            self.extra.push((key, value));
         }
     }
 
@@ -86,7 +109,7 @@ impl Span {
                 stack.remove(pos);
             }
         });
-        crate::record_span(&self.path, self.depth, dur);
+        crate::record_span_with(&self.path, self.depth, dur, &self.extra);
         dur
     }
 }

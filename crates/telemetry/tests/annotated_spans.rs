@@ -1,0 +1,67 @@
+//! Span annotations ride the close event, and `flops`/`bytes`
+//! annotations yield derived roofline fields. Single test — the sink
+//! slot is global.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use litho_telemetry::{JsonlSink, Value};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn annotations_and_derived_roofline_fields() {
+    let buf = SharedBuf::default();
+    litho_telemetry::set_sink(Some(Box::new(JsonlSink::new(buf.clone()))));
+    litho_telemetry::enable();
+
+    {
+        let mut span = litho_telemetry::span("gemm[8x8x8]");
+        span.annotate("flops", Value::U64(1024));
+        span.annotate("bytes", Value::U64(512));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    {
+        // No annotations: close event keeps the legacy two-field shape.
+        let _plain = litho_telemetry::span("plain");
+    }
+    {
+        // Inert spans ignore annotations entirely.
+        let mut inert = litho_telemetry::Span::inert();
+        inert.annotate("flops", Value::U64(7));
+        assert!(!inert.is_active());
+    }
+
+    litho_telemetry::flush();
+    litho_telemetry::set_sink(None);
+    litho_telemetry::reset();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+
+    let annotated = lines[0];
+    assert!(annotated.contains("\"name\":\"gemm[8x8x8]\""), "{annotated}");
+    assert!(annotated.contains("\"flops\":1024"), "{annotated}");
+    assert!(annotated.contains("\"bytes\":512"), "{annotated}");
+    // ai = 1024 / 512; gflops is duration-dependent but must be present
+    // and positive.
+    assert!(annotated.contains("\"ai\":2"), "{annotated}");
+    assert!(annotated.contains("\"gflops\":"), "{annotated}");
+
+    let plain = lines[1];
+    assert!(plain.contains("\"name\":\"plain\""), "{plain}");
+    assert!(!plain.contains("gflops"), "{plain}");
+}

@@ -12,6 +12,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 
+/// Largest single workspace buffer requested so far (bytes). Layer
+/// workspaces (im2col matrices, batchnorm caches, …) report their size on
+/// every grow-on-demand reshape; the max is the run's peak transient
+/// kernel footprint, recorded into `manifest.json` alongside the churn
+/// counter above.
+static PEAK_WORKSPACE_BYTES: AtomicU64 = AtomicU64::new(0);
+
 /// Internal: called by `Tensor` constructors with the element count.
 pub(crate) fn record_elements(elements: usize) {
     ALLOCATED_BYTES.fetch_add(
@@ -28,6 +35,20 @@ pub fn allocated_bytes() -> u64 {
 /// Resets the counter to zero (benchmarks measuring a single section).
 pub fn reset_allocated_bytes() {
     ALLOCATED_BYTES.store(0, Ordering::Relaxed);
+    PEAK_WORKSPACE_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Reports one workspace buffer's current size; the running max is
+/// [`peak_workspace_bytes`]. One relaxed `fetch_max` — callers may invoke
+/// it on every workspace reuse, not just growth.
+pub fn note_workspace_bytes(bytes: u64) {
+    PEAK_WORKSPACE_BYTES.fetch_max(bytes, Ordering::Relaxed);
+}
+
+/// Largest single workspace buffer reported by [`note_workspace_bytes`]
+/// so far.
+pub fn peak_workspace_bytes() -> u64 {
+    PEAK_WORKSPACE_BYTES.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

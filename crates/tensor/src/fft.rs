@@ -185,6 +185,10 @@ pub fn fft2_in_place(
     }
     check_pow2(h)?;
     check_pow2(w)?;
+    let _span = crate::profile::kernel_span(
+        || format!("fft2[{h}x{w}]"),
+        crate::profile::KernelCost::fft2(h, w),
+    );
 
     // Rows.
     for row in data.chunks_mut(w) {

@@ -138,6 +138,10 @@ pub fn im2col_into(input: &Tensor, spec: &Im2ColSpec, out: &mut Tensor) -> Resul
     if rows * cols == 0 {
         return Ok(());
     }
+    let _span = crate::profile::kernel_span(
+        || format!("im2col[{rows}x{cols}]"),
+        crate::profile::KernelCost::im2col(rows, cols),
+    );
 
     let fill_row = |row: usize, dst_row: &mut [f32]| {
         let taps = spec.kernel_h * spec.kernel_w;
@@ -251,6 +255,10 @@ pub fn col2im_into(
     if dst.is_empty() {
         return Ok(());
     }
+    let _span = crate::profile::kernel_span(
+        || format!("col2im[{rows}x{ncols}]"),
+        crate::profile::KernelCost::col2im(rows, ncols),
+    );
     let taps = spec.kernel_h * spec.kernel_w;
     let base = pool::SendPtr::new(dst.as_mut_ptr());
     let dst_len = dst.len();

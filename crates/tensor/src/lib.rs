@@ -14,6 +14,8 @@
 //! * [`fft`] — radix-2 complex FFT (1-D and 2-D) used by the partially
 //!   coherent optical model for fast kernel convolution.
 //! * [`ops`] — spatial helpers (pad, crop, shift, flip, bilinear resize).
+//! * [`profile`] — static FLOPs/bytes cost models and the roofline
+//!   classification behind the kernel profiling telemetry.
 //! * [`rng`] — vendored deterministic PRNGs (SplitMix64, xoshiro256++) so
 //!   the workspace builds with no external dependencies.
 //!
@@ -39,11 +41,12 @@ mod im2col;
 mod matmul;
 pub mod ops;
 pub mod pool;
+pub mod profile;
 pub mod rng;
 mod shape;
 mod tensor;
 
-pub use alloc::{allocated_bytes, reset_allocated_bytes};
+pub use alloc::{allocated_bytes, note_workspace_bytes, peak_workspace_bytes, reset_allocated_bytes};
 pub use error::TensorError;
 pub use fft::Complex;
 pub use im2col::{col2im, col2im_into, im2col, im2col_into, Im2ColSpec};

@@ -164,6 +164,10 @@ pub fn matmul_bias_into(
     if m == 0 || n == 0 {
         return;
     }
+    let _span = crate::profile::kernel_span(
+        || format!("gemm[{m}x{n}x{k}]"),
+        crate::profile::KernelCost::gemm(m, n, k),
+    );
 
     let work = m * n * k.max(1);
     let threads = pool::effective_threads().min((work / WORK_PER_TASK).max(1));

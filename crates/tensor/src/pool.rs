@@ -22,10 +22,11 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Hard cap on pool size; protects against absurd `LITHO_THREADS` values.
 const MAX_THREADS: usize = 256;
@@ -41,6 +42,117 @@ thread_local! {
     /// True on pool worker threads and on the caller thread while it is
     /// executing its share of a job: nested `parallel_for` runs inline.
     static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Profiling toggle: when false (the default) the accounting below costs
+/// one relaxed load per job, nothing more.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide accounting of pooled parallel regions, all relaxed
+/// atomics so [`stats`] is a cheap, lock-free snapshot.
+static STAT_JOBS: AtomicU64 = AtomicU64::new(0);
+static STAT_TASKS: AtomicU64 = AtomicU64::new(0);
+static STAT_STOLEN: AtomicU64 = AtomicU64::new(0);
+static STAT_BUSY_US: AtomicU64 = AtomicU64::new(0);
+static STAT_THREAD_US: AtomicU64 = AtomicU64::new(0);
+static STAT_PMAX_US: AtomicU64 = AtomicU64::new(0);
+
+/// Enables (or disables) worker-pool profiling. Off by default; the CLI
+/// and bench harness turn it on alongside telemetry. Accounting covers
+/// *pooled* regions only — `parallel_for` calls that run inline (single
+/// task, one thread, or nested) never touch the pool and are not counted.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether worker-pool profiling is currently enabled.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of the pool's profiling counters. Two snapshots
+/// bracket a region of interest; [`PoolStats::delta_since`] yields the
+/// region's own numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted to the pool (one per pooled `parallel_for`).
+    pub jobs: u64,
+    /// Total task indices handed out across all jobs.
+    pub tasks: u64,
+    /// Tasks claimed by helper workers rather than the submitting thread.
+    pub stolen_tasks: u64,
+    /// Sum over all job participants of their task-draining time, µs.
+    pub busy_us: u64,
+    /// Sum over jobs of `wall × pool size`, µs — the capacity the whole
+    /// pool had available while each job ran.
+    pub thread_us: u64,
+    /// Sum over jobs of `slowest participant's busy time × participants`,
+    /// µs — the capacity the *engaged* participants had, bounded by the
+    /// straggler. Denominator of [`PoolStats::balance`].
+    pub pmax_us: u64,
+}
+
+impl PoolStats {
+    /// Counter deltas relative to an earlier snapshot.
+    pub fn delta_since(&self, base: &PoolStats) -> PoolStats {
+        PoolStats {
+            jobs: self.jobs.saturating_sub(base.jobs),
+            tasks: self.tasks.saturating_sub(base.tasks),
+            stolen_tasks: self.stolen_tasks.saturating_sub(base.stolen_tasks),
+            busy_us: self.busy_us.saturating_sub(base.busy_us),
+            thread_us: self.thread_us.saturating_sub(base.thread_us),
+            pmax_us: self.pmax_us.saturating_sub(base.pmax_us),
+        }
+    }
+
+    /// Threads-normalized utilization in `[0, 1]`: busy time over the
+    /// capacity of the *whole* pool for the jobs' wall time. `None` until
+    /// a pooled job has been profiled.
+    pub fn utilization(&self) -> Option<f64> {
+        (self.thread_us > 0).then(|| (self.busy_us as f64 / self.thread_us as f64).min(1.0))
+    }
+
+    /// Load balance in `(0, 1]`: mean participant busy time over the
+    /// slowest participant's. 1.0 means every participant finished
+    /// together; low values mean a straggler serialized the job.
+    pub fn balance(&self) -> Option<f64> {
+        (self.pmax_us > 0).then(|| (self.busy_us as f64 / self.pmax_us as f64).min(1.0))
+    }
+}
+
+/// Lock-free snapshot of the profiling counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        jobs: STAT_JOBS.load(Ordering::Relaxed),
+        tasks: STAT_TASKS.load(Ordering::Relaxed),
+        stolen_tasks: STAT_STOLEN.load(Ordering::Relaxed),
+        busy_us: STAT_BUSY_US.load(Ordering::Relaxed),
+        thread_us: STAT_THREAD_US.load(Ordering::Relaxed),
+        pmax_us: STAT_PMAX_US.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the profiling counters to zero (benchmarks measuring a single
+/// section).
+pub fn reset_stats() {
+    STAT_JOBS.store(0, Ordering::Relaxed);
+    STAT_TASKS.store(0, Ordering::Relaxed);
+    STAT_STOLEN.store(0, Ordering::Relaxed);
+    STAT_BUSY_US.store(0, Ordering::Relaxed);
+    STAT_THREAD_US.store(0, Ordering::Relaxed);
+    STAT_PMAX_US.store(0, Ordering::Relaxed);
+}
+
+/// Per-job accumulator shared by every participant; allocated only while
+/// profiling is enabled.
+struct JobProfile {
+    /// Sum of participant busy times, µs.
+    busy_us: AtomicU64,
+    /// Slowest participant's busy time, µs.
+    max_busy_us: AtomicU64,
+    /// Tasks claimed by helper workers.
+    stolen: AtomicU64,
 }
 
 /// Sets the pool size explicitly (the `--threads N` CLI flag). `n = 0`
@@ -184,6 +296,8 @@ struct Job {
     /// Count of workers that have drained the task queue, plus condvar.
     done: Arc<(Mutex<usize>, Condvar)>,
     panicked: Arc<AtomicBool>,
+    /// Busy/steal accounting; `None` when profiling is off.
+    profile: Option<Arc<JobProfile>>,
 }
 
 struct Pool {
@@ -207,7 +321,7 @@ impl Pool {
                     .spawn(move || {
                         IN_POOL_TASK.with(|c| c.set(true));
                         while let Ok(job) = rx.recv() {
-                            run_tasks(&job);
+                            run_tasks(&job, false);
                             let (lock, cv) = &*job.done;
                             let mut d = lock.lock().unwrap_or_else(|e| e.into_inner());
                             *d += 1;
@@ -232,13 +346,22 @@ impl Pool {
                 f as *const (dyn Fn(usize) + Sync),
             )
         });
+        let profiling = profiling_enabled();
         let job = Job {
             f: raw,
             next: Arc::new(AtomicUsize::new(0)),
             tasks,
             done: Arc::new((Mutex::new(0usize), Condvar::new())),
             panicked: Arc::new(AtomicBool::new(false)),
+            profile: profiling.then(|| {
+                Arc::new(JobProfile {
+                    busy_us: AtomicU64::new(0),
+                    max_busy_us: AtomicU64::new(0),
+                    stolen: AtomicU64::new(0),
+                })
+            }),
         };
+        let wall_start = profiling.then(Instant::now);
         // The caller runs tasks too, so at most `tasks - 1` helpers are
         // worth waking.
         let helpers = self.workers.len().min(tasks.saturating_sub(1));
@@ -250,13 +373,14 @@ impl Pool {
                 tasks: job.tasks,
                 done: Arc::clone(&job.done),
                 panicked: Arc::clone(&job.panicked),
+                profile: job.profile.clone(),
             };
             if worker.tx.send(clone).is_ok() {
                 sent += 1;
             }
         }
         IN_POOL_TASK.with(|c| c.set(true));
-        run_tasks(&job);
+        run_tasks(&job, true);
         IN_POOL_TASK.with(|c| c.set(false));
         let (lock, cv) = &*job.done;
         let mut d = lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -264,6 +388,20 @@ impl Pool {
             d = cv.wait(d).unwrap_or_else(|e| e.into_inner());
         }
         drop(d);
+        // Every participant has settled, so the job profile is final.
+        if let (Some(prof), Some(wall_start)) = (&job.profile, wall_start) {
+            let wall_us = wall_start.elapsed().as_micros() as u64;
+            let participants = (sent + 1) as u64;
+            STAT_JOBS.fetch_add(1, Ordering::Relaxed);
+            STAT_TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
+            STAT_STOLEN.fetch_add(prof.stolen.load(Ordering::Relaxed), Ordering::Relaxed);
+            STAT_BUSY_US.fetch_add(prof.busy_us.load(Ordering::Relaxed), Ordering::Relaxed);
+            STAT_THREAD_US.fetch_add(wall_us * self.size as u64, Ordering::Relaxed);
+            STAT_PMAX_US.fetch_add(
+                prof.max_busy_us.load(Ordering::Relaxed) * participants,
+                Ordering::Relaxed,
+            );
+        }
         assert!(
             !job.panicked.load(Ordering::SeqCst),
             "a parallel_for task panicked"
@@ -271,16 +409,29 @@ impl Pool {
     }
 }
 
-/// Claims and runs tasks from `job` until the queue is drained.
-fn run_tasks(job: &Job) {
+/// Claims and runs tasks from `job` until the queue is drained. `caller`
+/// distinguishes the submitting thread from helper workers for the
+/// stolen-task accounting.
+fn run_tasks(job: &Job, caller: bool) {
     let f = unsafe { &*job.f.0 };
+    let busy_start = job.profile.as_ref().map(|_| Instant::now());
+    let mut claimed = 0u64;
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.tasks {
             break;
         }
+        claimed += 1;
         if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
             job.panicked.store(true, Ordering::SeqCst);
+        }
+    }
+    if let (Some(prof), Some(busy_start)) = (&job.profile, busy_start) {
+        let busy_us = busy_start.elapsed().as_micros() as u64;
+        prof.busy_us.fetch_add(busy_us, Ordering::Relaxed);
+        prof.max_busy_us.fetch_max(busy_us, Ordering::Relaxed);
+        if !caller {
+            prof.stolen.fetch_add(claimed, Ordering::Relaxed);
         }
     }
 }
@@ -352,6 +503,50 @@ mod tests {
         });
         assert!(data.iter().all(|&v| v == 1));
         configure_threads(0);
+    }
+
+    #[test]
+    fn stats_account_pooled_jobs() {
+        let _guard = config_lock();
+        configure_threads(4);
+        set_profiling(true);
+        let before = stats();
+        let sink = AtomicUsize::new(0);
+        parallel_for(64, |i| {
+            // Enough work per task that workers get a chance to claim some.
+            let mut acc = i;
+            for _ in 0..20_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            sink.fetch_add(acc & 1, Ordering::Relaxed);
+        });
+        let delta = stats().delta_since(&before);
+        set_profiling(false);
+        configure_threads(0);
+        // Concurrent tests may add pooled jobs of their own while
+        // profiling is on, so assert lower bounds.
+        assert!(delta.jobs >= 1, "{delta:?}");
+        assert!(delta.tasks >= 64, "{delta:?}");
+        assert!(delta.busy_us <= delta.thread_us, "{delta:?}");
+        let util = delta.utilization().expect("one job profiled");
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+        let balance = delta.balance().expect("one job profiled");
+        assert!(balance > 0.0 && balance <= 1.0, "balance {balance}");
+        assert!(delta.stolen_tasks <= delta.tasks);
+    }
+
+    #[test]
+    fn stats_untouched_when_profiling_disabled() {
+        let _guard = config_lock();
+        configure_threads(3);
+        set_profiling(false);
+        let before = stats();
+        parallel_for(16, |_| {});
+        let delta = stats().delta_since(&before);
+        configure_threads(0);
+        assert_eq!(delta, PoolStats::default());
+        assert_eq!(PoolStats::default().utilization(), None);
+        assert_eq!(PoolStats::default().balance(), None);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Static cost models and roofline classification for the compute kernels.
+//!
+//! Each kernel family gets a closed-form estimate of the floating-point
+//! work it performs and the bytes it moves through memory. Instrumented
+//! kernels attach the estimate to their telemetry span (see
+//! [`kernel_span`]), so every span in a trace carries enough information
+//! to compute achieved GFLOP/s and arithmetic intensity — and with them a
+//! measured compute-bound vs memory-bound verdict per kernel per shape.
+//!
+//! The models are deliberately simple (no cache modeling): `bytes` counts
+//! each logical operand stream once per pass, which is the standard
+//! "perfect cache" lower bound used in roofline analysis. The
+//! classification threshold is the machine balance — peak FLOPs over peak
+//! memory bandwidth — a property of the host, not the kernel; it defaults
+//! to a typical desktop-CPU value and can be overridden with the
+//! `LITHO_MACHINE_BALANCE` environment variable (FLOPs per byte).
+
+use std::sync::OnceLock;
+
+use litho_telemetry::Value;
+
+/// Spans are only emitted for kernel invocations whose cost (max of FLOPs
+/// and bytes) reaches this floor; smaller calls are too cheap to be worth
+/// a trace line and too frequent to pay one.
+pub const PROFILE_SPAN_MIN_WORK: u64 = 1 << 18;
+
+/// Default machine balance (FLOPs per byte of DRAM traffic) used when
+/// `LITHO_MACHINE_BALANCE` is not set: a few hundred f32 GFLOP/s against
+/// a few tens of GB/s, the shape of most desktop and CI hosts.
+pub const DEFAULT_MACHINE_BALANCE: f64 = 8.0;
+
+/// Static cost estimate for one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCost {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes moved between the kernel and memory (perfect-cache bound).
+    pub bytes: u64,
+}
+
+impl KernelCost {
+    /// GEMM `C[m,n] += A[m,k] · B[k,n]`: `2mnk` FLOPs; reads A and B,
+    /// reads and writes C.
+    pub fn gemm(m: usize, n: usize, k: usize) -> KernelCost {
+        KernelCost {
+            flops: 2 * (m * n * k) as u64,
+            bytes: 4 * (m * k + k * n + 2 * m * n) as u64,
+        }
+    }
+
+    /// im2col lowering into a `[rows, cols]` matrix: pure data movement —
+    /// one read and one write per output element.
+    pub fn im2col(rows: usize, cols: usize) -> KernelCost {
+        KernelCost {
+            flops: 0,
+            bytes: 8 * (rows * cols) as u64,
+        }
+    }
+
+    /// col2im scatter-add from a `[rows, cols]` matrix: one add per
+    /// element; reads the matrix, reads and writes the image accumulator.
+    pub fn col2im(rows: usize, cols: usize) -> KernelCost {
+        KernelCost {
+            flops: (rows * cols) as u64,
+            bytes: 12 * (rows * cols) as u64,
+        }
+    }
+
+    /// Batch normalization over `elements` values (forward or backward):
+    /// ~8 FLOPs per element (moment accumulation plus normalize/affine),
+    /// three passes over the data.
+    pub fn batchnorm(elements: usize) -> KernelCost {
+        KernelCost {
+            flops: 8 * elements as u64,
+            bytes: 12 * elements as u64,
+        }
+    }
+
+    /// 2-D radix-2 complex FFT over an `h × w` grid: the standard
+    /// `5·N·log2(N)` estimate with `N = h·w`, two read+write passes over
+    /// complex-f64 data (rows then columns; 16 bytes per point, 4 accesses).
+    pub fn fft2(h: usize, w: usize) -> KernelCost {
+        let n = (h * w) as u64;
+        let log2n = (h * w).max(2).ilog2() as u64;
+        KernelCost {
+            flops: 5 * n * log2n,
+            bytes: 64 * n,
+        }
+    }
+
+    /// Component-wise sum: the cost of a composite operation that runs
+    /// both kernels (e.g. an im2col lowering followed by its GEMM).
+    pub fn plus(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    /// The larger of the two cost axes — the instrumentation threshold
+    /// compares this against [`PROFILE_SPAN_MIN_WORK`].
+    pub fn work(&self) -> u64 {
+        self.flops.max(self.bytes)
+    }
+
+    /// FLOPs per byte moved; zero for pure data-movement kernels.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.bytes as f64
+    }
+
+    /// Achieved GFLOP/s for an invocation that took `secs` seconds.
+    pub fn gflops(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / secs / 1e9
+    }
+
+    /// Roofline verdict for this cost against the host's machine balance.
+    pub fn bound(&self) -> RooflineBound {
+        RooflineBound::classify(self.arithmetic_intensity(), machine_balance())
+    }
+}
+
+/// Which roofline ceiling an arithmetic intensity sits under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RooflineBound {
+    /// Intensity at or above the machine balance: peak FLOPs is the limit.
+    Compute,
+    /// Intensity below the machine balance: memory bandwidth is the limit.
+    Memory,
+}
+
+impl RooflineBound {
+    /// Classify an arithmetic intensity against a machine balance.
+    pub fn classify(ai: f64, balance: f64) -> RooflineBound {
+        if ai >= balance {
+            RooflineBound::Compute
+        } else {
+            RooflineBound::Memory
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RooflineBound::Compute => "compute-bound",
+            RooflineBound::Memory => "memory-bound",
+        }
+    }
+}
+
+/// The host's machine balance in FLOPs per byte: `LITHO_MACHINE_BALANCE`
+/// when set to a positive number, else [`DEFAULT_MACHINE_BALANCE`].
+pub fn machine_balance() -> f64 {
+    static BALANCE: OnceLock<f64> = OnceLock::new();
+    *BALANCE.get_or_init(|| {
+        std::env::var("LITHO_MACHINE_BALANCE")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|b| b.is_finite() && *b > 0.0)
+            .unwrap_or(DEFAULT_MACHINE_BALANCE)
+    })
+}
+
+/// Opens a telemetry span named `name` carrying `cost` as `flops`/`bytes`
+/// annotations (from which the close event derives `gflops` and `ai`).
+/// Returns an inert span — without evaluating `name` — when telemetry is
+/// disabled or the invocation is below [`PROFILE_SPAN_MIN_WORK`].
+pub fn kernel_span(name: impl FnOnce() -> String, cost: KernelCost) -> litho_telemetry::Span {
+    if !litho_telemetry::is_enabled() || cost.work() < PROFILE_SPAN_MIN_WORK {
+        return litho_telemetry::Span::inert();
+    }
+    let mut span = litho_telemetry::span(name());
+    span.annotate("flops", Value::U64(cost.flops));
+    span.annotate("bytes", Value::U64(cost.bytes));
+    span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cost_matches_closed_form() {
+        let c = KernelCost::gemm(256, 256, 256);
+        assert_eq!(c.flops, 2 * 256 * 256 * 256);
+        assert_eq!(c.bytes, 4 * (4 * 256 * 256));
+        // AI of a square GEMM is k/8 = 32: compute-bound under any
+        // plausible balance.
+        assert!((c.arithmetic_intensity() - 32.0).abs() < 1e-12);
+        assert_eq!(
+            RooflineBound::classify(c.arithmetic_intensity(), DEFAULT_MACHINE_BALANCE),
+            RooflineBound::Compute
+        );
+    }
+
+    #[test]
+    fn data_movement_kernels_are_memory_bound() {
+        for c in [
+            KernelCost::im2col(75, 4096),
+            KernelCost::col2im(75, 4096),
+            KernelCost::batchnorm(1 << 20),
+        ] {
+            assert_eq!(
+                RooflineBound::classify(c.arithmetic_intensity(), DEFAULT_MACHINE_BALANCE),
+                RooflineBound::Memory,
+                "{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_cost_scales_n_log_n() {
+        let small = KernelCost::fft2(128, 128);
+        let big = KernelCost::fft2(256, 256);
+        assert!(big.flops > 4 * small.flops); // 4x the points, higher log
+        assert_eq!(big.bytes, 64 * 256 * 256);
+    }
+
+    #[test]
+    fn gflops_and_work() {
+        let c = KernelCost::gemm(64, 64, 64);
+        assert_eq!(c.work(), c.flops.max(c.bytes));
+        let g = c.gflops(1e-3);
+        assert!((g - c.flops as f64 / 1e-3 / 1e9).abs() < 1e-9);
+        assert_eq!(c.gflops(0.0), 0.0);
+    }
+}

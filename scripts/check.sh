@@ -24,6 +24,14 @@ run=$(ls "$work/runs" | grep '^train-')
 test -s "$work/runs/$run/dashboard.svg"
 "$cli" --runs-root "$work/runs" compare "$run" --gate ci/baseline.json
 
+echo "==> compute-plane profile"
+"$cli" --runs-root "$work/runs" profile "$run" --top 10 | grep -q "self-time attribution"
+test -s "$work/runs/$run/flamegraph.svg"
+test -s "$work/runs/$run/flamegraph.folded"
+# A malformed SVG (truncated render, unbalanced document) fails here.
+head -c 64 "$work/runs/$run/flamegraph.svg" | grep -q '^<svg '
+tail -c 16 "$work/runs/$run/flamegraph.svg" | grep -q '</svg>'
+
 echo "==> model-health gate"
 test -s "$work/runs/$run/health.jsonl"
 "$cli" --runs-root "$work/runs" health "$run" --fail-on nan,dead-layer
