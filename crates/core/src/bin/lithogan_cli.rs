@@ -22,14 +22,15 @@ use litho_layout::image::{overlay_panel, write_ppm};
 use litho_ledger::{
     dashboard_svg, fingerprint_file, flamegraph_svg, fmt_unix, fold_lines, gate, health_svg,
     load_index, load_run, reindex, render_attribution, render_compare, render_health,
-    render_report, render_snapshot, render_trend, trend, trend_svg, Baseline, DatasetInfo,
-    RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
+    render_report, render_snapshot, render_trend, trend, trend_svg, validate_run_id, Baseline,
+    DatasetInfo, RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
 };
 use litho_metrics::MetricAccumulator;
 use litho_sim::ProcessConfig;
 use litho_tensor::TensorError;
 use lithogan::{
-    AbortCondition, HealthConfig, HealthMonitor, LithoGan, NetConfig, Result, TrainConfig,
+    run_dash, AbortCondition, DashConfig, HealthConfig, HealthMonitor, LithoGan, NetConfig, Result,
+    TrainConfig,
 };
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -88,6 +89,7 @@ enum Command {
         command: Option<String>,
         dataset: Option<String>,
         last: Option<usize>,
+        json: bool,
     },
     RunsTrend {
         metrics: String,
@@ -107,6 +109,9 @@ enum Command {
         interval_ms: u64,
         timeout_s: Option<u64>,
         wait_s: u64,
+    },
+    Dash {
+        addr: String,
     },
     Help,
     HelpFor(String),
@@ -133,11 +138,12 @@ fn usage() -> String {
          lithogan-cli profile  <run-id|run-dir> [--top N]\n  \
          lithogan-cli health   <run-id|run-dir> [--fail-on LIST]\n  \
          lithogan-cli compare  <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n  \
-         lithogan-cli runs     ls [--status S] [--command C] [--dataset FP] [--last N]\n  \
+         lithogan-cli runs     ls [--status S] [--command C] [--dataset FP] [--last N] [--json]\n  \
          lithogan-cli runs     trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P] [--out FILE]\n  \
          lithogan-cli runs     gc --keep N [--baseline FILE]\n  \
          lithogan-cli reindex\n  \
          lithogan-cli watch    <run-id|run-dir> [--interval-ms N] [--timeout-s N]\n  \
+         lithogan-cli dash     [--addr HOST:PORT]\n  \
          lithogan-cli help     [command]\n\
          {GLOBAL_FLAGS_HELP}"
     )
@@ -232,7 +238,7 @@ fn command_help(cmd: &str) -> String {
              (records <run-a>'s id, which `runs gc` then protects)"
         }
         "runs" => {
-            "lithogan-cli runs ls    [--status S] [--command C] [--dataset FP] [--last N]\n\
+            "lithogan-cli runs ls    [--status S] [--command C] [--dataset FP] [--last N] [--json]\n\
              lithogan-cli runs trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P]\n                         \
              [--drift-runs N] [--out FILE]\n\
              lithogan-cli runs gc    --keep N [--baseline FILE]\n\n\
@@ -245,7 +251,9 @@ fn command_help(cmd: &str) -> String {
              aborted matches any aborted(...))\n  \
              --command C     keep runs of this command (train, eval, ...)\n  \
              --dataset FP    keep runs whose dataset fingerprint starts with FP\n  \
-             --last N        keep only the N most recent\n\n\
+             --last N        keep only the N most recent\n  \
+             --json          one index record per line as JSON, byte-identical\n                  \
+             to the index lines and the dash /api/runs entries\n\n\
              trend aligned per-run table of the metric plus a self-contained\n                   \
              trend.svg (written to <runs-root>/trend.svg unless --out).\n                   \
              Drift detection is streak-based: a run is off when beyond\n                   \
@@ -274,6 +282,29 @@ fn command_help(cmd: &str) -> String {
              so `watch` can stand in for the run's own exit code.\n\n  \
              --interval-ms N poll interval (default 200)\n  \
              --timeout-s N   give up after N seconds (default: wait forever)"
+        }
+        "dash" => {
+            "lithogan-cli dash [--addr HOST:PORT]\n\n\
+             Serves the runs fleet over HTTP until POST /shutdown, Ctrl-C or\n\
+             SIGTERM. Endpoints:\n\n  \
+             GET /                       HTML fleet page\n  \
+             GET /metrics                Prometheus text exposition: run counts\n                              \
+             by status, latest headline metrics per\n                              \
+             command, drift-detector state, live gauges\n                              \
+             for in-flight runs, dash self metrics\n  \
+             GET /api/runs               all index records as JSON\n  \
+             GET /api/runs/<id>          one run: index record + manifest\n  \
+             GET /runs/<id>/dashboard.svg   report dashboard, rendered on demand\n  \
+             GET /runs/<id>/health.svg      health sparkline panel\n  \
+             GET /runs/<id>/trend.svg       fleet trends (ede/throughput/pool)\n  \
+             GET /runs/<id>/flamegraph.svg  self-time flamegraph\n  \
+             POST /shutdown              clean stop\n\n  \
+             --addr HOST:PORT address to bind (default 127.0.0.1:9091; port 0\n                   \
+             picks an ephemeral port, announced on stdout)\n\n\
+             The daemon records itself in the runs ledger: request counters and\n\
+             latency quantiles land in its trace.jsonl and its manifest is\n\
+             finalized on shutdown, so `runs trend` works on dash runs too.\n\
+             Addresses in --runs-root; disable the self-run with --no-run."
         }
         _ => return usage(),
     };
@@ -499,6 +530,7 @@ fn parse(args: &[String]) -> Result<Command> {
                 last: get("--last")
                     .map(|v| v.parse().map_err(|_| bad("--last")))
                     .transpose()?,
+                json: has("--json"),
             }),
             Some("trend") => {
                 // The subcommand word is positional too; skip it.
@@ -548,6 +580,9 @@ fn parse(args: &[String]) -> Result<Command> {
                 _ => Err(bad("watch takes exactly one <run-id|run-dir>")),
             }
         }
+        Some("dash") => Ok(Command::Dash {
+            addr: get("--addr").unwrap_or_else(|| "127.0.0.1:9091".into()),
+        }),
         Some("help") => Ok(match args.get(1) {
             Some(cmd) => Command::HelpFor(cmd.clone()),
             None => Command::Help,
@@ -571,6 +606,7 @@ impl Command {
             Command::RunsLs { .. } | Command::RunsTrend { .. } | Command::RunsGc { .. } => "runs",
             Command::Reindex => "reindex",
             Command::Watch { .. } => "watch",
+            Command::Dash { .. } => "dash",
             Command::Help | Command::HelpFor(_) => "help",
         }
     }
@@ -583,6 +619,7 @@ impl Command {
                 | Command::Train { .. }
                 | Command::Eval { .. }
                 | Command::Predict { .. }
+                | Command::Dash { .. }
         )
     }
 
@@ -654,6 +691,7 @@ impl Command {
                 kv("index", index.to_string()),
                 kv("out_dir", out_dir.clone()),
             ],
+            Command::Dash { addr } => vec![kv("addr", addr.clone())],
             _ => Vec::new(),
         }
     }
@@ -725,12 +763,15 @@ fn dataset_info(path: &str, ds: &Dataset) -> Result<DatasetInfo> {
 }
 
 /// Resolves a `report`/`compare` operand: a run directory path, or a run
-/// id under the runs root.
+/// id under the runs root. An argument that is neither an existing run
+/// directory nor a valid single-component run id is rejected, so
+/// `report ../../x` can never escape the runs root.
 fn resolve_run(arg: &str, runs_root: &str) -> Result<RunData> {
     let direct = Path::new(arg);
     let dir = if direct.join("manifest.json").exists() {
         direct.to_path_buf()
     } else {
+        validate_run_id(arg).map_err(io_err)?;
         Path::new(runs_root).join(arg)
     };
     load_run(&dir).map_err(|e| bad(format!("run {arg:?}: {e}")))
@@ -1041,6 +1082,7 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             command,
             dataset,
             last,
+            json,
         } => {
             let root = Path::new(&opts.runs_root);
             let parse = load_index(root).map_err(io_err)?;
@@ -1068,6 +1110,14 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             if let Some(n) = last {
                 let cut = records.len().saturating_sub(n);
                 records.drain(..cut);
+            }
+            if json {
+                // Same serializer as the index lines and /api/runs, so
+                // downstream tooling sees one schema.
+                for r in &records {
+                    println!("{}", r.to_jsonl());
+                }
+                return Ok(());
             }
             if records.is_empty() {
                 println!("no runs match under {}", root.display());
@@ -1217,6 +1267,7 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             let dir = if direct.join("manifest.json").exists() || direct.is_dir() {
                 direct.to_path_buf()
             } else {
+                validate_run_id(&run).map_err(io_err)?;
                 Path::new(&opts.runs_root).join(&run)
             };
             let cfg = WatchConfig {
@@ -1244,6 +1295,15 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             } else {
                 Err(bad(format!("run finished with status {:?}", snap.status)))
             }
+        }
+        Command::Dash { addr } => {
+            let cfg = DashConfig {
+                addr,
+                runs_root: PathBuf::from(&opts.runs_root),
+                // Exclude the dash's own (running) ledger from live tails.
+                run_id: ledger.as_ref().map(|l| l.run_id().to_string()),
+            };
+            run_dash(&cfg).map_err(io_err)
         }
     }
 }
@@ -1504,6 +1564,17 @@ mod tests {
                 command: None,
                 dataset: None,
                 last: Some(5),
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&strs(&["runs", "ls", "--json", "--command", "train"])).unwrap(),
+            Command::RunsLs {
+                status: None,
+                command: Some("train".into()),
+                dataset: None,
+                last: None,
+                json: true,
             }
         );
         // In `runs trend`, --gate is boolean: the metric stays positional.
@@ -1559,6 +1630,31 @@ mod tests {
         assert!(!cmd.records_run());
         assert!(parse(&strs(&["watch"])).is_err());
         assert!(parse(&strs(&["watch", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn parses_dash() {
+        let cmd = parse(&strs(&["dash"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Dash {
+                addr: "127.0.0.1:9091".into(),
+            }
+        );
+        // The daemon is itself a recorded run, with its address in the
+        // manifest config.
+        assert!(cmd.records_run());
+        assert_eq!(cmd.name(), "dash");
+        assert_eq!(
+            cmd.config_pairs(),
+            vec![("addr".to_string(), "127.0.0.1:9091".to_string())]
+        );
+        assert_eq!(
+            parse(&strs(&["dash", "--addr", "0.0.0.0:0"])).unwrap(),
+            Command::Dash {
+                addr: "0.0.0.0:0".into(),
+            }
+        );
     }
 
     #[test]
@@ -1649,7 +1745,7 @@ mod tests {
         // Every per-command help mentions the global observability flags.
         for cmd in [
             "generate", "train", "eval", "predict", "report", "profile", "health", "compare",
-            "runs", "reindex", "watch",
+            "runs", "reindex", "watch", "dash",
         ] {
             let text = command_help(cmd);
             assert!(text.contains("--trace"), "{cmd} help lacks --trace");

@@ -1,0 +1,326 @@
+//! The `lithogan-cli dash` observability daemon.
+//!
+//! Serves the runs fleet over HTTP (see DESIGN §4f for the endpoint and
+//! exposition schema):
+//!
+//! * `GET /` — minimal HTML fleet page;
+//! * `GET /metrics` — Prometheus text exposition: index-level gauges,
+//!   drift-detector state, live gauges for in-flight runs, and the
+//!   dash's own request accounting;
+//! * `GET /api/runs`, `GET /api/runs/<id>` — JSON over the same
+//!   [`litho_ledger::IndexRecord`] serializer as `runs ls --json`;
+//! * `GET /runs/<id>/{dashboard,health,trend,flamegraph}.svg` — the
+//!   ledger renderers, invoked on demand;
+//! * `POST /shutdown` — clean stop (what tests and the CI smoke use).
+//!
+//! The daemon itself is a ledger run: request counts and latency go
+//! through litho-telemetry into its `trace.jsonl` (quantile summaries
+//! land at shutdown via [`litho_telemetry::emit_histogram_summaries`]),
+//! and `main` finalizes its manifest when [`run_dash`] returns — so
+//! `runs trend` can watch the watcher. Ctrl-C / SIGTERM funnel into the
+//! same atomic-flag + connect-to-self shutdown the `/shutdown` route
+//! uses: the signal handler only stores a flag (async-signal-safe), a
+//! watchdog thread performs the actual wakeup.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use litho_http::{Request, Response, Server, ShutdownHandle};
+use litho_ledger::json::Json;
+use litho_ledger::{
+    dashboard_svg, flamegraph_svg, fleet_html, health_svg, load_index, load_run,
+    prometheus_exposition, trend, trend_svg, validate_run_id, DashSelfMetrics, LatencySummary,
+    LiveTails, TrendConfig, DASH_TREND_METRICS,
+};
+
+/// `Content-Type` of the Prometheus text exposition format.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Configuration for one dash daemon.
+#[derive(Debug, Clone)]
+pub struct DashConfig {
+    /// `HOST:PORT` to bind; port 0 picks an ephemeral port (announced on
+    /// stdout as `dash listening on http://…`).
+    pub addr: String,
+    /// The fleet to serve.
+    pub runs_root: PathBuf,
+    /// The dash's own run-ledger id, excluded from live-run tailing so
+    /// the daemon does not watch itself.
+    pub run_id: Option<String>,
+}
+
+/// Shared request-handler state.
+struct DashState {
+    runs_root: PathBuf,
+    tails: Mutex<LiveTails>,
+    started: Instant,
+    requests: AtomicU64,
+    responses_by_code: Mutex<BTreeMap<u16, u64>>,
+    shutdown: ShutdownHandle,
+}
+
+/// Set by the SIGINT/SIGTERM handler; nothing else happens in signal
+/// context.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // `signal` is in the C library std already links; declaring it here
+    // keeps the workspace std-only. The handler must be async-signal-safe,
+    // hence the bare atomic store.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Runs the daemon until `/shutdown` or a termination signal. Blocking;
+/// returns once the accept loop has drained and the workers joined.
+///
+/// # Errors
+///
+/// Bind/accept errors.
+pub fn run_dash(cfg: &DashConfig) -> io::Result<()> {
+    let server = Server::bind(cfg.addr.as_str())?;
+    let addr = server.local_addr();
+    let state = Arc::new(DashState {
+        runs_root: cfg.runs_root.clone(),
+        tails: Mutex::new(LiveTails::new(&cfg.runs_root, cfg.run_id.clone())),
+        started: Instant::now(),
+        requests: AtomicU64::new(0),
+        responses_by_code: Mutex::new(BTreeMap::new()),
+        shutdown: server.shutdown_handle(),
+    });
+    install_signal_handlers();
+    let watchdog = server.shutdown_handle();
+    std::thread::Builder::new()
+        .name("dash-watchdog".into())
+        .spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                watchdog.shutdown();
+                return;
+            }
+            if watchdog.is_shutdown() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        })?;
+    // The announce line is the contract with scripts starting dash on an
+    // ephemeral port: parse the URL off stdout.
+    println!(
+        "dash listening on http://{addr} (runs root {})",
+        cfg.runs_root.display()
+    );
+    io::stdout().flush()?;
+    let handler_state = Arc::clone(&state);
+    server.serve(Arc::new(move |req: &Request| handle(&handler_state, req)))?;
+    // Latency histograms never stream per-sample; persist the final
+    // quantiles into the run's trace before main finalizes the manifest.
+    litho_telemetry::emit_histogram_summaries();
+    println!(
+        "dash: shut down after {} request(s)",
+        state.requests.load(Ordering::Relaxed)
+    );
+    Ok(())
+}
+
+/// Accounting wrapper around [`route`]: request counter, per-code
+/// counters and a latency histogram, through both the local state (for
+/// `/metrics` self-exposition) and litho-telemetry (for the dash run's
+/// own trace).
+fn handle(state: &DashState, req: &Request) -> Response {
+    let t0 = Instant::now();
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    litho_telemetry::counter_add("http.requests", 1);
+    let response = route(state, req);
+    litho_telemetry::observe_duration("http.request_s", t0.elapsed());
+    litho_telemetry::counter_add(&format!("http.responses.{}", response.status), 1);
+    *state
+        .responses_by_code
+        .lock()
+        .unwrap()
+        .entry(response.status)
+        .or_default() += 1;
+    response
+}
+
+fn route(state: &DashState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/shutdown") => {
+            state.shutdown.shutdown();
+            Response::text(200, "shutting down\n")
+        }
+        ("GET", "/") => fleet_page(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/api/runs") => api_runs(state),
+        ("GET", path) if path.starts_with("/api/runs/") => {
+            api_run(state, &path["/api/runs/".len()..])
+        }
+        ("GET", path) if path.starts_with("/runs/") => artifact(state, &path["/runs/".len()..]),
+        ("GET", path) => Response::not_found(path),
+        _ => Response::method_not_allowed(),
+    }
+}
+
+fn fleet_page(state: &DashState) -> Response {
+    let records = match load_index(&state.runs_root) {
+        Ok(parse) => parse.records,
+        Err(e) => return Response::text(500, format!("index: {e}\n")),
+    };
+    let live = state.tails.lock().unwrap().poll().unwrap_or_default();
+    Response::ok("text/html; charset=utf-8", fleet_html(&records, &live))
+}
+
+fn metrics(state: &DashState) -> Response {
+    let records = match load_index(&state.runs_root) {
+        Ok(parse) => parse.records,
+        Err(e) => return Response::text(500, format!("index: {e}\n")),
+    };
+    let live = match state.tails.lock().unwrap().poll() {
+        Ok(live) => live,
+        Err(e) => return Response::text(500, format!("live tails: {e}\n")),
+    };
+    let me = self_metrics(state);
+    let text = prometheus_exposition(&records, &live, Some(&me), &TrendConfig::default());
+    Response::ok(METRICS_CONTENT_TYPE, text)
+}
+
+fn self_metrics(state: &DashState) -> DashSelfMetrics {
+    // Latency quantiles come from the telemetry registry; with telemetry
+    // off (--no-run --metrics-out unset) the histogram is simply absent.
+    let latency = litho_telemetry::snapshot()
+        .histograms
+        .into_iter()
+        .find(|(name, _)| name == "http.request_s")
+        .map(|(_, h)| LatencySummary {
+            count: h.count,
+            sum_s: h.sum,
+            p50_s: h.p50,
+            p95_s: h.p95,
+            p99_s: h.p99,
+        });
+    DashSelfMetrics {
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        requests_total: state.requests.load(Ordering::Relaxed),
+        responses_by_code: state
+            .responses_by_code
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(code, count)| (*code, *count))
+            .collect(),
+        latency,
+    }
+}
+
+fn api_runs(state: &DashState) -> Response {
+    match load_index(&state.runs_root) {
+        Ok(parse) => {
+            let arr = Json::Arr(parse.records.iter().map(|r| r.to_json()).collect());
+            Response::ok("application/json", arr.to_string_compact())
+        }
+        Err(e) => Response::text(500, format!("index: {e}\n")),
+    }
+}
+
+fn api_run(state: &DashState, id: &str) -> Response {
+    if let Err(e) = validate_run_id(id) {
+        return Response::bad_request(&e.to_string());
+    }
+    let index = load_index(&state.runs_root)
+        .ok()
+        .and_then(|parse| parse.records.into_iter().find(|r| r.run_id == id))
+        .map(|r| r.to_json());
+    // A still-running run has no index line yet; the on-disk manifest is
+    // the authority either way.
+    let manifest = std::fs::read_to_string(state.runs_root.join(id).join("manifest.json"))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    if index.is_none() && manifest.is_none() {
+        return Response::not_found(&format!("run {id}"));
+    }
+    let artifacts = Json::Obj(
+        ["dashboard", "health", "trend", "flamegraph"]
+            .iter()
+            .map(|kind| {
+                (
+                    format!("{kind}_svg"),
+                    Json::Str(format!("/runs/{id}/{kind}.svg")),
+                )
+            })
+            .collect(),
+    );
+    let body = Json::Obj(vec![
+        ("run_id".to_string(), Json::Str(id.to_string())),
+        ("index".to_string(), index.unwrap_or(Json::Null)),
+        ("manifest".to_string(), manifest.unwrap_or(Json::Null)),
+        ("artifacts".to_string(), artifacts),
+    ]);
+    Response::ok("application/json", body.to_string_compact())
+}
+
+/// `GET /runs/<id>/<kind>.svg` — render one run view on demand.
+fn artifact(state: &DashState, rest: &str) -> Response {
+    let Some((id, file)) = rest.split_once('/') else {
+        return Response::not_found(rest);
+    };
+    if let Err(e) = validate_run_id(id) {
+        return Response::bad_request(&e.to_string());
+    }
+    let dir = state.runs_root.join(id);
+    match file {
+        "dashboard.svg" => match load_run(&dir) {
+            Ok(data) => Response::ok("image/svg+xml", dashboard_svg(&data)),
+            Err(e) => Response::not_found(&format!("run {id}: {e}")),
+        },
+        "health.svg" => match load_run(&dir) {
+            Ok(data) => match &data.health {
+                Some(h) => Response::ok("image/svg+xml", health_svg(id, h)),
+                None => Response::not_found(&format!("run {id} has no health stream")),
+            },
+            Err(e) => Response::not_found(&format!("run {id}: {e}")),
+        },
+        "flamegraph.svg" => match load_run(&dir) {
+            Ok(data) => match &data.trace {
+                Some(t) => Response::ok("image/svg+xml", flamegraph_svg(t)),
+                None => Response::not_found(&format!("run {id} has no telemetry trace")),
+            },
+            Err(e) => Response::not_found(&format!("run {id}: {e}")),
+        },
+        // Fleet-level trends, anchored on a run that must exist so the
+        // route namespace stays consistent with the other views.
+        "trend.svg" => {
+            if !dir.join("manifest.json").is_file() {
+                return Response::not_found(&format!("run {id}"));
+            }
+            match load_index(&state.runs_root) {
+                Ok(parse) => {
+                    let cfg = TrendConfig::default();
+                    let trends: Vec<_> = DASH_TREND_METRICS
+                        .iter()
+                        .map(|m| trend(&parse.records, m, None, &cfg))
+                        .collect();
+                    Response::ok("image/svg+xml", trend_svg(&trends))
+                }
+                Err(e) => Response::text(500, format!("index: {e}\n")),
+            }
+        }
+        other => Response::not_found(other),
+    }
+}

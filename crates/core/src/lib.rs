@@ -42,6 +42,7 @@
 mod baseline;
 mod cgan;
 mod center;
+pub mod dash;
 mod health;
 mod lithogan;
 mod netconfig;
@@ -50,6 +51,7 @@ mod unet;
 pub use baseline::{BaselinePrediction, ThresholdBaseline};
 pub use cgan::{Cgan, ReconLoss, TrainConfig, TrainHistory, TrainPair};
 pub use center::CenterCnn;
+pub use dash::{run_dash, DashConfig};
 pub use health::{HealthConfig, HealthMonitor};
 pub use lithogan::{LithoGan, LithoGanPrediction};
 pub use netconfig::NetConfig;

@@ -1,0 +1,382 @@
+//! End-to-end tests for the `dash` observability daemon: every route
+//! against the committed fleet fixtures, a golden check of the
+//! `/metrics` Prometheus exposition, run-id traversal rejection at the
+//! HTTP boundary, concurrent `/metrics` clients while a real background
+//! `train` appends to its trace (the JsonlTailer-under-poll-loop case),
+//! and the clean-shutdown contract: the daemon finalizes its own run
+//! manifest and exits 0.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use litho_ledger::{load_index, prometheus_exposition, TrendConfig};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lithogan_cli"))
+}
+
+/// Fresh scratch directory per call; std-only stand-in for tempfile.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lithogan-dash-cli-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+fn fixture(set: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/fleet")
+        .join(set)
+}
+
+fn reindex(runs: &Path) {
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(runs)
+        .arg("reindex")
+        .output()
+        .unwrap();
+    run_ok(&out);
+}
+
+/// Spawns `dash --addr 127.0.0.1:0` and returns (child, "host:port")
+/// parsed off the stdout announce line.
+fn spawn_dash(runs: &Path, extra: &[&str]) -> (Child, String) {
+    let mut child = cli()
+        .args(["--runs-root"])
+        .arg(runs)
+        .args(["dash", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.split("http://").nth(1) {
+                    let addr = rest.split_whitespace().next().unwrap().to_string();
+                    // Keep draining stdout so the child never blocks on a
+                    // full pipe.
+                    std::thread::spawn(move || for _ in lines.by_ref() {});
+                    return (child, addr);
+                }
+            }
+            _ => {
+                child.kill().ok();
+                child.wait().ok();
+                panic!("dash exited before announcing its address");
+            }
+        }
+        assert!(Instant::now() < deadline, "no announce line within 30s");
+    }
+}
+
+/// One raw HTTP/1.1 request over a fresh connection; returns
+/// (status, head, body).
+fn http(addr: &str, method: &str, path: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: dash\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head");
+    let head = String::from_utf8(raw[..split].to_vec()).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head, raw[split + 4..].to_vec())
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let (status, _, body) = http(addr, "GET", path);
+    (status, String::from_utf8_lossy(&body).into_owned())
+}
+
+fn shutdown_and_wait(mut child: Child, addr: &str) {
+    let (status, _, _) = http(addr, "POST", "/shutdown");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(code) = child.try_wait().unwrap() {
+            assert!(code.success(), "dash exited {code}");
+            return;
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("dash did not exit within 30s of /shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn dash_serves_every_route_over_the_fixture_fleet() {
+    let dir = scratch("routes");
+    let runs = dir.join("runs");
+    copy_tree(&fixture("clean"), &runs);
+    reindex(&runs);
+    let (child, addr) = spawn_dash(&runs, &[]);
+
+    // HTML fleet page lists the runs and links the API.
+    let (status, body) = get(&addr, "/");
+    assert_eq!(status, 200);
+    assert!(body.contains("train-1700000100-1"), "fleet page:\n{body}");
+    assert!(body.contains("/api/runs"), "fleet page:\n{body}");
+
+    // Prometheus exposition: typed families, fixture counts, no NaN.
+    let (status, text) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(text.contains("# TYPE lithogan_runs_total gauge"), "{text}");
+    assert!(text.contains("lithogan_runs_total{status=\"ok\"} 4"), "{text}");
+    assert!(
+        text.contains("lithogan_latest_metric{command=\"train\",metric=\"ede_mean_nm\"}"),
+        "{text}"
+    );
+    // The daemon's own accounting shows up once it has served requests.
+    assert!(text.contains("lithogan_dash_http_requests_total"), "{text}");
+    assert!(!text.contains("NaN"), "absent metrics must be absent:\n{text}");
+
+    // JSON API: the full index, then one run with manifest + artifacts.
+    let (status, body) = get(&addr, "/api/runs");
+    assert_eq!(status, 200);
+    assert_eq!(body.matches("\"run_id\"").count(), 4, "{body}");
+    let (status, body) = get(&addr, "/api/runs/train-1700000100-1");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"manifest\""), "{body}");
+    assert!(body.contains("/runs/train-1700000100-1/dashboard.svg"), "{body}");
+    assert_eq!(get(&addr, "/api/runs/no-such-run").0, 404);
+
+    // SVG renders on demand; missing streams are 404, not 500.
+    let (status, svg) = get(&addr, "/runs/train-1700000100-1/dashboard.svg");
+    assert_eq!(status, 200);
+    assert!(svg.starts_with("<svg"), "{svg}");
+    let (status, svg) = get(&addr, "/runs/train-1700000100-1/trend.svg");
+    assert_eq!(status, 200);
+    assert!(svg.starts_with("<svg"), "{svg}");
+    // Fixture runs carry no health.jsonl / trace.jsonl.
+    assert_eq!(get(&addr, "/runs/train-1700000100-1/health.svg").0, 404);
+    assert_eq!(get(&addr, "/runs/train-1700000100-1/flamegraph.svg").0, 404);
+
+    // Run-id traversal is rejected at the HTTP boundary.
+    assert_eq!(get(&addr, "/api/runs/../secrets").0, 400);
+    assert_eq!(get(&addr, "/runs/../../etc/dashboard.svg").0, 400);
+    // Percent-encoded traversal still carries a literal ".." — rejected
+    // too (the server never percent-decodes paths).
+    assert_eq!(get(&addr, "/runs/..%2F..%2Fetc/dashboard.svg").0, 400);
+
+    assert_eq!(get(&addr, "/no-such-page").0, 404);
+    assert_eq!(http(&addr, "DELETE", "/").0, 405);
+
+    shutdown_and_wait(child, &addr);
+
+    // The daemon recorded itself: finalized manifest, indexed run, and
+    // its request histogram summarized into the trace.
+    let index = fs::read_to_string(runs.join("index.jsonl")).unwrap();
+    assert!(index.contains("\"command\":\"dash\""), "index:\n{index}");
+    let dash_dir = fs::read_dir(&runs)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("dash-"))
+        .expect("dash run dir");
+    let manifest = fs::read_to_string(dash_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"status\":\"ok\""), "manifest:\n{manifest}");
+    let trace = fs::read_to_string(dash_dir.join("trace.jsonl")).unwrap();
+    assert!(trace.contains("hist_summary"), "trace:\n{trace}");
+    assert!(trace.contains("http.request_s"), "trace:\n{trace}");
+}
+
+#[test]
+fn metrics_exposition_matches_the_committed_golden() {
+    let dir = scratch("golden");
+    let runs = dir.join("runs");
+    copy_tree(&fixture("clean"), &runs);
+    copy_tree(&fixture("regressed"), &runs);
+    reindex(&runs);
+
+    // Pure function of the index: no live runs, no self metrics — the
+    // same records the daemon would serve.
+    let records = load_index(&runs).unwrap().records;
+    let text = prometheus_exposition(&records, &[], None, &TrendConfig::default());
+
+    let golden_path = fixture("metrics.golden.txt");
+    // `BLESS=1 cargo test -p lithogan --test dash_cli` regenerates it.
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden_path, &text).unwrap();
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert_eq!(
+        text, golden,
+        "exposition drifted from {}; if intentional, update the golden",
+        golden_path.display()
+    );
+
+    // Schema guarantees the golden encodes: every sample line's family is
+    // declared with # HELP and # TYPE, and absent metrics stay absent.
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let family = line.split(['{', ' ']).next().unwrap();
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "undeclared family {family}"
+        );
+        assert!(
+            text.contains(&format!("# HELP {family} ")),
+            "family {family} lacks HELP"
+        );
+    }
+    assert!(!text.contains("NaN"), "{text}");
+}
+
+/// Spawns a background `train` against `runs` and returns the child once
+/// its run directory exists.
+#[allow(clippy::zombie_processes)]
+fn spawn_train(dir: &Path, data: &Path) -> (Child, String) {
+    let runs = dir.join("runs");
+    let mut child = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["train", "--data"])
+        .arg(data)
+        .args(["--seed", "7", "--epochs", "3", "--out"])
+        .arg(dir.join("model.lgm"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(entries) = fs::read_dir(&runs) {
+            if let Some(run) = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("train-"))
+            {
+                return (child, run.file_name().unwrap().to_string_lossy().into_owned());
+            }
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("train never created a run dir");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn concurrent_metrics_clients_while_a_train_appends() {
+    let dir = scratch("live");
+    let runs = dir.join("runs");
+    let data = dir.join("data.lgd");
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["generate", "--clips", "10", "--size", "32", "--out"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    run_ok(&out);
+
+    let (dash, addr) = spawn_dash(&runs, &[]);
+    let (mut train, train_id) = spawn_train(&dir, &data);
+
+    // 8 clients hammer /metrics while the trainer appends to its trace;
+    // every response must be a complete, well-formed exposition — the
+    // tailer never surfaces a torn line as a sample.
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut epochs_seen: Vec<u64> = Vec::new();
+                for _ in 0..25 {
+                    let (status, text) = get(&addr, "/metrics");
+                    assert_eq!(status, 200);
+                    assert!(text.ends_with('\n'), "truncated exposition:\n{text}");
+                    if let Some(line) = text
+                        .lines()
+                        .find(|l| l.starts_with("lithogan_live_epochs_total"))
+                    {
+                        let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                        epochs_seen.push(v as u64);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                epochs_seen
+            })
+        })
+        .collect();
+    for client in clients {
+        let epochs = client.join().unwrap();
+        // Live gauges only ever advance while a run is tailed.
+        assert!(
+            epochs.windows(2).all(|w| w[0] <= w[1]),
+            "epoch gauge went backwards: {epochs:?}"
+        );
+    }
+
+    assert!(train.wait().unwrap().success());
+    // Once the trainer finalized, the fleet view shows it as a completed
+    // run (the live session retires on its own).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, text) = get(&addr, "/metrics");
+        assert_eq!(status, 200);
+        if text.contains("lithogan_runs_total{status=\"ok\"} 2") {
+            assert!(
+                !text.contains(&format!("lithogan_live_epochs_total{{run=\"{train_id}\"}}")),
+                "finished run still tailed:\n{text}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "train never reached the index:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    shutdown_and_wait(dash, &addr);
+}

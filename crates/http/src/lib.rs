@@ -1,0 +1,703 @@
+//! A std-only HTTP/1.1 server for long-running observability daemons.
+//!
+//! `lithogan_cli dash` (and, later, `serve`) need a TCP front end that
+//! the hermetic build can carry: no async runtime, no external crates,
+//! just `std::net`. The design mirrors the `litho_tensor::pool` worker
+//! pool in miniature:
+//!
+//! * [`Server::bind`] opens a [`std::net::TcpListener`];
+//! * [`Server::serve`] runs a blocking accept loop that feeds accepted
+//!   connections into a small fixed pool of worker threads over a
+//!   `Mutex<VecDeque>` + `Condvar` queue (bounded: when the queue is
+//!   deeper than [`MAX_QUEUED`] the connection is answered `503`
+//!   inline rather than queued without limit);
+//! * each worker parses one request ([`Request`]), calls the handler,
+//!   and writes a fixed-length `Connection: close` response
+//!   ([`Response`]) — no chunked encoding, no keep-alive, so a response
+//!   is always one well-formed write;
+//! * [`ShutdownHandle::shutdown`] stores an atomic flag and then
+//!   connects to the listener itself, waking the blocked `accept` so
+//!   the loop observes the flag, drains the queue and joins the
+//!   workers — a clean exit without signals-in-the-accept-path tricks.
+//!
+//! Parsing is deliberately strict and small: request line + headers
+//! capped at [`MAX_HEAD_BYTES`], bodies at [`MAX_BODY_BYTES`], anything
+//! malformed is a `400`. The server never interprets paths — routing
+//! belongs to the handler.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Cap on request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a declared request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Connections queued beyond this are refused with `503`.
+pub const MAX_QUEUED: usize = 64;
+/// Per-connection socket read/write timeout, so a stalled client can
+/// never pin a worker forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Uppercase method as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, percent-encoding untouched.
+    pub path: String,
+    /// Decoded `k=v` query pairs, in order; flags without `=` carry an
+    /// empty value.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A fixed-length response; the server adds `Content-Length` and
+/// `Connection: close` when writing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: String,
+    /// Extra headers beyond content type/length.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: content_type.to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// `404 Not Found` with a short plain-text body.
+    pub fn not_found(what: &str) -> Response {
+        Response::text(404, format!("not found: {what}\n"))
+    }
+
+    /// `400 Bad Request`.
+    pub fn bad_request(why: &str) -> Response {
+        Response::text(400, format!("bad request: {why}\n"))
+    }
+
+    /// `405 Method Not Allowed`.
+    pub fn method_not_allowed() -> Response {
+        Response::text(405, "method not allowed\n")
+    }
+
+    const fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+
+    /// Serializes status line, headers and body as one buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Errors surfaced to the client as a status code during parsing.
+#[derive(Debug, PartialEq)]
+enum ParseError {
+    /// Malformed request line/headers/body framing.
+    Bad(&'static str),
+    /// Head grew past [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The connection closed before a full request arrived (no response
+    /// owed — this is also the silent path for shutdown wakeup probes).
+    Disconnected,
+    Io(io::ErrorKind),
+}
+
+fn decode_percent(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (decode_percent(k), decode_percent(v)),
+            None => (decode_percent(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request off a stream. Splits head from body at the first
+/// blank line, honoring `Content-Length` (chunked uploads are rejected —
+/// this server never needs them).
+fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            if pos > MAX_HEAD_BYTES {
+                return Err(ParseError::HeadTooLarge);
+            }
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| ParseError::Io(e.kind()))?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(ParseError::Disconnected)
+            } else {
+                Err(ParseError::Bad("truncated request head"))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Bad("non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Bad("malformed request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad("malformed request line"));
+    }
+    if method.is_empty() || target.is_empty() {
+        return Err(ParseError::Bad("malformed request line"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad("malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| ParseError::Bad("unparsable content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::Bad("body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| ParseError::Io(e.kind()))?;
+        if n == 0 {
+            return Err(ParseError::Bad("truncated body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The handler the server dispatches every parsed request to.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Remote control for a running [`Server::serve`] loop. Clone-cheap;
+/// usable from any thread (including a request handler answering a
+/// shutdown route).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: sets the flag, then connects to the listener
+    /// so a blocked `accept` wakes up and observes it. Idempotent.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Release);
+        // The probe connection is closed immediately without sending
+        // anything; the worker that picks it up sees a clean disconnect.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// True once [`Self::shutdown`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Connection queue shared between the accept loop and the workers.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    closed: AtomicBool,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.queue.lock().unwrap().push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.queue.lock().unwrap();
+        loop {
+            if let Some(stream) = guard.pop_front() {
+                return Some(stream);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            guard = self.ready.wait(guard).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+}
+
+/// A bound listener plus its shutdown flag. The accept loop itself runs
+/// in [`Server::serve`] on the calling thread.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+    workers: usize,
+    /// Requests fully served (a response was written), across workers.
+    served: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution/bind errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            flag: Arc::new(AtomicBool::new(false)),
+            workers: worker_count(),
+            served: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests fully served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// A handle that can stop [`Self::serve`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.flag),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept loop until the shutdown handle fires: accepted
+    /// connections go to a fixed pool of worker threads; on shutdown the
+    /// queue is drained, the workers joined, and the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than the transient kinds
+    /// (`Interrupted`, `ConnectionAborted`, `WouldBlock`).
+    pub fn serve(&self, handler: Arc<Handler>) -> io::Result<()> {
+        let queue = Arc::new(ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        let mut workers = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let queue = Arc::clone(&queue);
+            let handler = Arc::clone(&handler);
+            let served = Arc::clone(&self.served);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("litho-http-{i}"))
+                    .spawn(move || {
+                        while let Some(mut stream) = queue.pop() {
+                            handle_connection(&mut stream, handler.as_ref(), &served);
+                        }
+                    })
+                    .expect("spawn litho-http worker"),
+            );
+        }
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.flag.load(Ordering::Acquire) {
+                        // The wakeup probe itself (or a straggler racing
+                        // it); drop it and stop accepting.
+                        break Ok(());
+                    }
+                    let depth = queue.queue.lock().unwrap().len();
+                    if depth >= MAX_QUEUED {
+                        refuse_overloaded(stream);
+                        continue;
+                    }
+                    queue.push(stream);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    if self.flag.load(Ordering::Acquire) {
+                        break Ok(());
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+            if self.flag.load(Ordering::Acquire) {
+                break Ok(());
+            }
+        };
+        queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        result
+    }
+}
+
+/// Worker-thread count: enough to overlap slow renders with fast metric
+/// scrapes, bounded so a dash never competes with the compute pool.
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
+
+fn refuse_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.write_all(&Response::text(503, "overloaded\n").to_bytes());
+}
+
+fn handle_connection(stream: &mut TcpStream, handler: &Handler, served: &AtomicU64) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match read_request(stream) {
+        Ok(request) => handler(&request),
+        // Nothing arrived (client closed, or the shutdown wakeup probe):
+        // nothing is owed.
+        Err(ParseError::Disconnected) => return,
+        Err(ParseError::HeadTooLarge) => Response::text(431, "request head too large\n"),
+        Err(ParseError::Bad(why)) => Response::bad_request(why),
+        Err(ParseError::Io(_)) => return,
+    };
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        served.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        request(addr, "GET", target, &[], b"")
+    }
+
+    fn request(
+        addr: SocketAddr,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: test\r\n");
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn echo_server() -> (Arc<Server>, ShutdownHandle, std::thread::JoinHandle<io::Result<()>>) {
+        let server = Arc::new(Server::bind("127.0.0.1:0").unwrap());
+        let handle = server.shutdown_handle();
+        let serving = Arc::clone(&server);
+        let join = std::thread::spawn(move || {
+            serving.serve(Arc::new(|req: &Request| match req.path.as_str() {
+                "/echo" => Response::ok(
+                    "text/plain",
+                    format!(
+                        "{} q={} body={}",
+                        req.method,
+                        req.query_param("q").unwrap_or("-"),
+                        String::from_utf8_lossy(&req.body)
+                    ),
+                ),
+                "/slow" => {
+                    std::thread::sleep(Duration::from_millis(30));
+                    Response::ok("text/plain", "slow done")
+                }
+                other => Response::not_found(other),
+            }))
+        });
+        (server, handle, join)
+    }
+
+    #[test]
+    fn parses_request_line_query_headers_and_body() {
+        let (server, handle, join) = echo_server();
+        let addr = server.local_addr();
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/echo?q=a%20b&flag",
+            &[("X-Extra", "1")],
+            b"hello",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST q=a b body=hello");
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert!(server.requests_served() >= 2);
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_hang() {
+        let (server, handle, join) = echo_server();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "raw: {raw}");
+
+        // Oversized head: 431.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 1024)
+        );
+        stream.write_all(huge.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 431"), "raw: {raw}");
+
+        // A connect-then-close probe is ignored silently.
+        drop(TcpStream::connect(addr).unwrap());
+        let (status, _) = get(addr, "/echo");
+        assert_eq!(status, 200);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_all_complete() {
+        let (server, handle, join) = echo_server();
+        let addr = server.local_addr();
+        let clients: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let path = if i % 4 == 0 { "/slow" } else { "/echo?q=x" };
+                    let (status, _) = get(addr, path);
+                    status
+                })
+            })
+            .collect();
+        for c in clients {
+            assert_eq!(c.join().unwrap(), 200);
+        }
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(server.requests_served(), 16);
+    }
+
+    #[test]
+    fn shutdown_unblocks_accept_and_is_idempotent() {
+        let (server, handle, join) = echo_server();
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        handle.shutdown();
+        assert!(handle.is_shutdown());
+        join.join().unwrap().unwrap();
+        // A handler-thread shutdown (the /shutdown route case) must not
+        // deadlock either: the response is written by a worker while the
+        // accept loop exits.
+        let server2 = Arc::new(Server::bind("127.0.0.1:0").unwrap());
+        let handle2 = server2.shutdown_handle();
+        let addr = server2.local_addr();
+        let route_handle = handle2.clone();
+        let serving = Arc::clone(&server2);
+        let join = std::thread::spawn(move || {
+            serving.serve(Arc::new(move |req: &Request| {
+                if req.path == "/shutdown" {
+                    route_handle.shutdown();
+                    Response::ok("text/plain", "shutting down\n")
+                } else {
+                    Response::not_found(&req.path)
+                }
+            }))
+        });
+        let (status, body) = get(addr, "/shutdown");
+        assert_eq!(status, 200);
+        assert_eq!(body, "shutting down\n");
+        join.join().unwrap().unwrap();
+        let _ = server;
+    }
+
+    #[test]
+    fn percent_decoding_and_query_edge_cases() {
+        assert_eq!(decode_percent("a%2Fb+c%ZZ"), "a/b c%ZZ");
+        let q = parse_query("a=1&b&&c=x%20y");
+        assert_eq!(
+            q,
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), String::new()),
+                ("c".to_string(), "x y".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let r = Response::ok("application/json", "{}".as_bytes().to_vec());
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -71,8 +71,10 @@ impl IndexRecord {
         self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
     }
 
-    /// Renders as one JSONL line (no trailing newline).
-    pub fn to_jsonl(&self) -> String {
+    /// The canonical JSON form of this record — the single serializer
+    /// behind index lines, `runs ls --json` and the dash `/api/runs`
+    /// responses, so all three agree byte-for-byte.
+    pub fn to_json(&self) -> Json {
         let mut members = vec![
             (
                 "schema_version".to_string(),
@@ -109,7 +111,12 @@ impl IndexRecord {
         if let Some(health) = &self.health {
             members.push(("health".to_string(), Json::Str(health.clone())));
         }
-        Json::Obj(members).to_string_compact()
+        Json::Obj(members)
+    }
+
+    /// Renders as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().to_string_compact()
     }
 
     /// Decodes one index line; `schema_version` defaults to 1 for

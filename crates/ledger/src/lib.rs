@@ -42,6 +42,7 @@
 pub use litho_json as json;
 
 mod compare;
+pub mod dash;
 mod health;
 pub mod index;
 mod manifest;
@@ -53,14 +54,18 @@ pub mod trend;
 pub mod watch;
 
 pub use compare::{gate, render_compare, run_metrics, Baseline, GateCheck, GateOutcome};
+pub use dash::{
+    fleet_html, prometheus_exposition, DashSelfMetrics, LatencySummary, LiveTails,
+    DASH_TREND_METRICS,
+};
 pub use health::{health_svg, load_health, render_health, HealthAnalysis, LayerHealth, UpdateHealth};
 pub use index::{
     append_index, index_record_for_run, load_index, reindex, scan_run_dirs, GcOutcome, IndexParse,
     IndexRecord, ReindexOutcome, INDEX_SCHEMA,
 };
 pub use manifest::{
-    fingerprint_file, load_manifest, load_records, DatasetInfo, RunLedger, RunManifest,
-    MANIFEST_SCHEMA,
+    fingerprint_file, load_manifest, load_records, validate_run_id, DatasetInfo, RunLedger,
+    RunManifest, MANIFEST_SCHEMA,
 };
 pub use profile::{flamegraph_svg, fold_lines, render_attribution};
 pub use report::{load_run, render_report, RunData};

@@ -262,6 +262,28 @@ impl RunManifest {
     }
 }
 
+/// Validates a user-supplied run id before it is joined onto a runs
+/// root. Ledger-minted ids are always a single path component
+/// (`<command>-<unix>-<pid>`), so anything with a separator or a parent
+/// reference is an attempt to escape the root (`report ../../etc/x`),
+/// not a run id. Shared by every CLI subcommand and dash route that
+/// resolves `<runs-root>/<id>`.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidInput`] naming the offending id when it is
+/// empty, contains `/` or `\`, or contains a `..` component.
+pub fn validate_run_id(id: &str) -> io::Result<()> {
+    let bad = id.is_empty() || id.contains('/') || id.contains('\\') || id.contains("..");
+    if bad {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid run id {id:?}: run ids are a single path component"),
+        ));
+    }
+    Ok(())
+}
+
 /// Peak resident set size of this process in bytes, from the `VmHWM`
 /// line of `/proc/self/status`. Returns `None` on platforms without a
 /// proc filesystem (macOS, Windows) — callers record `null`.
@@ -686,6 +708,17 @@ mod tests {
             dir = ledger.dir().to_path_buf();
         }
         assert_eq!(load_manifest(&dir).unwrap().status, "error");
+    }
+
+    #[test]
+    fn run_id_validation_rejects_traversal() {
+        for ok in ["train-1700000100-1", "dash-1-2-3", "bench.table3"] {
+            assert!(validate_run_id(ok).is_ok(), "{ok} should be valid");
+        }
+        for bad in ["", "..", "../etc", "a/b", "a\\b", "runs/../../etc/passwd", "a..b"] {
+            let err = validate_run_id(bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{bad}");
+        }
     }
 
     #[test]

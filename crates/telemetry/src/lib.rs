@@ -314,6 +314,37 @@ pub fn snapshot() -> Snapshot {
     global().registry.lock().unwrap().snapshot()
 }
 
+/// Emit one `hist_summary` event per registered histogram to the sink.
+///
+/// [`observe`] aggregates into the registry only — individual samples
+/// never reach the JSONL stream (a request-latency histogram would
+/// otherwise dominate a long-running daemon's trace). Long-lived
+/// processes call this once at shutdown so the final quantiles land in
+/// `trace.jsonl` next to the run's manifest, making histograms as
+/// durable as spans without the per-sample volume.
+pub fn emit_histogram_summaries() {
+    if !is_enabled() {
+        return;
+    }
+    for (name, h) in snapshot().histograms {
+        emit(
+            EventKind::Event,
+            "hist_summary",
+            &[
+                ("hist", Value::Str(name)),
+                ("count", Value::U64(h.count)),
+                ("sum", Value::F64(h.sum)),
+                ("mean", Value::F64(h.mean)),
+                ("min", Value::F64(h.min)),
+                ("max", Value::F64(h.max)),
+                ("p50", Value::F64(h.p50)),
+                ("p95", Value::F64(h.p95)),
+                ("p99", Value::F64(h.p99)),
+            ],
+        );
+    }
+}
+
 /// Render the summary table (counters, gauges, histograms and the nested
 /// span tree) as a string.
 pub fn report() -> String {

@@ -1,0 +1,61 @@
+//! Shutdown-time histogram persistence: [`litho_telemetry::observe`]
+//! aggregates into the registry only, so a long-running daemon calls
+//! [`litho_telemetry::emit_histogram_summaries`] once at exit to land
+//! the final quantiles in its JSONL trace. Single test — the sink slot
+//! is global.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use litho_telemetry::JsonlSink;
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn histogram_summaries_reach_the_sink_only_on_request() {
+    let buf = SharedBuf::default();
+    litho_telemetry::set_sink(Some(Box::new(JsonlSink::new(buf.clone()))));
+    litho_telemetry::enable();
+
+    for i in 1..=100u64 {
+        litho_telemetry::observe("http.request_s", i as f64 / 1000.0);
+    }
+    litho_telemetry::flush();
+    assert!(
+        buf.0.lock().unwrap().is_empty(),
+        "observations alone must not reach the sink"
+    );
+
+    litho_telemetry::emit_histogram_summaries();
+    litho_telemetry::flush();
+    litho_telemetry::set_sink(None);
+    litho_telemetry::reset();
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "one summary per histogram:\n{text}");
+    let line = lines[0];
+    assert!(line.contains("\"kind\":\"event\""), "{line}");
+    assert!(line.contains("\"name\":\"hist_summary\""), "{line}");
+    assert!(line.contains("\"hist\":\"http.request_s\""), "{line}");
+    assert!(line.contains("\"count\":100"), "{line}");
+    assert!(line.contains("\"min\":0.001"), "{line}");
+    assert!(line.contains("\"max\":0.1"), "{line}");
+    for q in ["\"p50\":", "\"p95\":", "\"p99\":", "\"sum\":", "\"mean\":"] {
+        assert!(line.contains(q), "missing {q}: {line}");
+    }
+
+    // Disabled: a no-op, not a panic.
+    litho_telemetry::emit_histogram_summaries();
+}

@@ -25,7 +25,9 @@ test -s "$work/runs/$run/dashboard.svg"
 "$cli" --runs-root "$work/runs" compare "$run" --gate ci/baseline.json
 
 echo "==> compute-plane profile"
-"$cli" --runs-root "$work/runs" profile "$run" --top 10 | grep -q "self-time attribution"
+# grep without -q reads to EOF: -q exits at first match and the CLI
+# panics on EPIPE mid-table.
+"$cli" --runs-root "$work/runs" profile "$run" --top 10 | grep "self-time attribution" > /dev/null
 test -s "$work/runs/$run/flamegraph.svg"
 test -s "$work/runs/$run/flamegraph.folded"
 # A malformed SVG (truncated render, unbalanced document) fails here.
@@ -43,6 +45,28 @@ echo "==> fleet index + trend gate"
 "$cli" --runs-root "$work/runs" runs ls
 "$cli" --runs-root "$work/runs" runs trend ede_mean_nm --gate
 test -s "$work/runs/trend.svg"
+
+echo "==> dash smoke"
+# Ephemeral port, announced on stdout as "dash listening on http://ADDR".
+"$cli" --runs-root "$work/runs" dash --addr 127.0.0.1:0 > "$work/dash.out" &
+dash_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's|.*http://\([^ ]*\).*|\1|p' "$work/dash.out")
+  [ -n "$addr" ] && break
+  kill -0 "$dash_pid" 2>/dev/null || { cat "$work/dash.out"; exit 1; }
+  sleep 0.1
+done
+test -n "$addr"
+# Plain grep (no -q) so curl never sees a closed pipe mid-response.
+curl -fsS "http://$addr/metrics" | grep '^# TYPE lithogan_runs_total gauge' > /dev/null
+curl -fsS "http://$addr/metrics" | grep 'lithogan_runs_total{status="ok"}' > /dev/null
+curl -fsS "http://$addr/api/runs" | grep '"run_id"' > /dev/null
+curl -fsS "http://$addr/runs/$run/dashboard.svg" -o "$work/dash.svg"
+head -c 16 "$work/dash.svg" | grep -q '^<svg'
+curl -fsS -X POST "http://$addr/shutdown" | grep 'shutting down' > /dev/null
+wait "$dash_pid"
+grep -q '"command":"dash"' "$work/runs/index.jsonl"
 
 echo "==> kernel perf gate"
 # Retry on failure: --json-out min-merges across runs, so transient host
