@@ -1,0 +1,251 @@
+//! Engine state-machine tests: rules × synthetic fleet state across
+//! multiple evaluations, including the persisted round-trip through
+//! `runs/alerts.jsonl`.
+
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, SystemTime};
+
+use litho_alert::{
+    append_alerts, evaluate, load_alerts, parse_rules, AlertRule, AlertState, Comparison,
+    EngineContext, RuleKind, ALERTS_SCHEMA,
+};
+use litho_ledger::{IndexRecord, INDEX_SCHEMA};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "litho-alert-engine-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_rec(run_id: &str, command: &str, started: u64, metric: Option<f64>, health: Option<&str>) -> IndexRecord {
+    IndexRecord {
+        schema_version: INDEX_SCHEMA,
+        run_id: run_id.to_string(),
+        command: command.to_string(),
+        started_unix_s: started,
+        seed: Some(1),
+        dataset_fingerprint: None,
+        status: "ok".to_string(),
+        wall_clock_s: Some(1.0),
+        metrics: metric.map(|v| vec![("ede_mean_nm".to_string(), v)]).unwrap_or_default(),
+        health: health.map(str::to_string),
+    }
+}
+
+fn threshold_rule(for_evals: u64) -> AlertRule {
+    AlertRule {
+        name: "ede-too-high".to_string(),
+        severity: "page".to_string(),
+        command: Some("train".to_string()),
+        last: None,
+        for_evals,
+        kind: RuleKind::Threshold {
+            metric: "ede_mean_nm".to_string(),
+            op: Comparison::Above,
+            value: 10.0,
+        },
+    }
+}
+
+#[test]
+fn threshold_pending_firing_resolved_lifecycle() {
+    let root = scratch("lifecycle");
+    let rules = vec![threshold_rule(2)];
+    let bad = [run_rec("train-100-1", "train", 100, Some(42.0), None)];
+    let good = [run_rec("train-200-1", "train", 200, Some(5.0), None)];
+
+    // Eval 1: condition holds, for=2 → pending.
+    let ctx = |records, now| EngineContext { records, runs_root: &root, now_unix_s: now };
+    let e1 = evaluate(&rules, &ctx(&bad, 1000), &[]);
+    assert_eq!(e1.active.len(), 1);
+    assert_eq!(e1.active[0].state, AlertState::Pending);
+    assert_eq!(e1.active[0].streak, 1);
+    assert_eq!(e1.active[0].first_seen_unix_s, 1000);
+    assert_eq!(e1.transitions.len(), 1);
+    append_alerts(&root, &e1.transitions).unwrap();
+
+    // Eval 2: still bad → firing, first-seen preserved.
+    let prior = load_alerts(&root).unwrap().active();
+    let e2 = evaluate(&rules, &ctx(&bad, 2000), &prior);
+    assert_eq!(e2.active[0].state, AlertState::Firing);
+    assert_eq!(e2.active[0].streak, 2);
+    assert_eq!(e2.active[0].first_seen_unix_s, 1000);
+    assert_eq!(e2.active[0].last_seen_unix_s, 2000);
+    assert_eq!(e2.firing().len(), 1);
+    append_alerts(&root, &e2.transitions).unwrap();
+
+    // Eval 3: still bad, still firing → steady state, nothing appended.
+    let prior = load_alerts(&root).unwrap().active();
+    let e3 = evaluate(&rules, &ctx(&bad, 3000), &prior);
+    assert_eq!(e3.active[0].state, AlertState::Firing);
+    assert!(e3.transitions.is_empty());
+
+    // Eval 4: a healthy newer run → resolved, cleared from active.
+    let both = [bad[0].clone(), good[0].clone()];
+    let e4 = evaluate(&rules, &ctx(&both, 4000), &prior);
+    assert!(e4.active.is_empty());
+    assert_eq!(e4.transitions.len(), 1);
+    assert_eq!(e4.transitions[0].state, AlertState::Resolved);
+    assert!(e4.transitions[0].reason.contains("condition cleared"));
+    append_alerts(&root, &e4.transitions).unwrap();
+
+    // The log replays to one resolved alert; a fresh trip restarts it.
+    let load = load_alerts(&root).unwrap();
+    assert_eq!(load.alerts.len(), 1);
+    assert_eq!(load.alerts[0].state, AlertState::Resolved);
+    assert!(load.active().is_empty());
+    let e5 = evaluate(&rules, &ctx(&bad, 5000), &load.active());
+    assert_eq!(e5.active[0].state, AlertState::Pending);
+    assert_eq!(e5.active[0].first_seen_unix_s, 5000);
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn health_rule_matches_latest_run_per_command() {
+    let root = scratch("health");
+    let rules = parse_rules(
+        "[[rule]]\nname = \"unhealthy\"\nkind = \"health\"\ndiagnoses = \"nan\"\nseverity = \"page\"\n",
+    )
+    .unwrap();
+    let records = [
+        run_rec("train-100-1", "train", 100, Some(5.0), Some("nan-poisoned")),
+        run_rec("eval-150-1", "eval", 150, None, Some("ok")),
+    ];
+    let ctx = EngineContext { records: &records, runs_root: &root, now_unix_s: 1000 };
+    let out = evaluate(&rules, &ctx, &[]);
+    assert_eq!(out.active.len(), 1);
+    assert_eq!(out.active[0].subject, "train-100-1");
+    assert_eq!(out.active[0].state, AlertState::Firing); // default for=1
+    assert!(out.active[0].reason.contains("nan-poisoned"));
+
+    // A newer healthy train run supersedes the poisoned one.
+    let healed = [
+        records[0].clone(),
+        records[1].clone(),
+        run_rec("train-200-1", "train", 200, Some(5.0), Some("ok")),
+    ];
+    let ctx2 = EngineContext { records: &healed, runs_root: &root, now_unix_s: 2000 };
+    let out2 = evaluate(&rules, &ctx2, &out.active);
+    assert!(out2.active.is_empty());
+    assert_eq!(out2.transitions[0].state, AlertState::Resolved);
+
+    // Diagnosis filter: a mode-collapse verdict doesn't match "nan".
+    let collapsed = [run_rec("train-300-1", "train", 300, None, Some("mode-collapse"))];
+    let ctx3 = EngineContext { records: &collapsed, runs_root: &root, now_unix_s: 3000 };
+    assert!(evaluate(&rules, &ctx3, &[]).active.is_empty());
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn drift_rule_rides_the_trend_streak_detector() {
+    let root = scratch("drift");
+    let rules = parse_rules(
+        "[[rule]]\nname = \"ede-drift\"\nkind = \"drift\"\nmetric = \"ede_mean_nm\"\ndrift_runs = 2\n",
+    )
+    .unwrap();
+    // Stable fleet at 10, then two runs 50% off-median: a confirmed drift.
+    let records: Vec<IndexRecord> = [10.0, 10.0, 10.0, 10.0, 15.0, 15.0]
+        .iter()
+        .enumerate()
+        .map(|(i, v)| run_rec(&format!("train-{i}-1"), "train", 100 + i as u64, Some(*v), None))
+        .collect();
+    let ctx = EngineContext { records: &records, runs_root: &root, now_unix_s: 1000 };
+    let out = evaluate(&rules, &ctx, &[]);
+    assert_eq!(out.active.len(), 1);
+    assert_eq!(out.active[0].subject, "fleet/ede_mean_nm");
+    assert_eq!(out.active[0].state, AlertState::Firing);
+    assert!(out.active[0].reason.contains("drifting for 2 runs"), "{}", out.active[0].reason);
+    assert_eq!(out.active[0].value, Some(15.0));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn last_window_scopes_threshold_rules() {
+    let root = scratch("window");
+    // Latest train run is bad, but scoping to the last 1 eval-command
+    // run hides it; with the window the old regression is invisible.
+    let mut rule = threshold_rule(1);
+    rule.last = Some(1);
+    let records = [
+        run_rec("train-100-1", "train", 100, Some(42.0), None),
+        run_rec("train-200-1", "train", 200, Some(5.0), None),
+    ];
+    let ctx = EngineContext { records: &records, runs_root: &root, now_unix_s: 1000 };
+    assert!(evaluate(&[rule.clone()], &ctx, &[]).active.is_empty());
+    // Without the window the latest metric still decides: quiet too.
+    rule.last = None;
+    assert!(evaluate(&[rule], &ctx, &[]).active.is_empty());
+    fs::remove_dir_all(&root).ok();
+}
+
+fn write_running_manifest(dir: &Path, run_id: &str) {
+    fs::create_dir_all(dir).unwrap();
+    fs::write(
+        dir.join("manifest.json"),
+        format!(
+            "{{\"schema_version\":2,\"run_id\":\"{run_id}\",\"command\":\"train\",\
+             \"started_unix_s\":100,\"status\":\"running\",\"args\":[],\"config\":{{}},\
+             \"metrics\":{{}},\"artifacts\":[]}}"
+        ),
+    )
+    .unwrap();
+}
+
+#[test]
+fn stale_rule_flags_idle_running_runs() {
+    let root = scratch("stale");
+    let rules = parse_rules(
+        "[[rule]]\nname = \"stuck\"\nkind = \"stale\"\nafter_s = 60\n",
+    )
+    .unwrap();
+    let dir = root.join("train-100-1");
+    write_running_manifest(&dir, "train-100-1");
+
+    // Backdate every run file two minutes: well past the 60s budget.
+    let old = SystemTime::now() - Duration::from_secs(120);
+    let f = File::options().write(true).open(dir.join("manifest.json")).unwrap();
+    f.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
+    drop(f);
+
+    let now = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap()
+        .as_secs();
+    let ctx = EngineContext { records: &[], runs_root: &root, now_unix_s: now };
+    let out = evaluate(&rules, &ctx, &[]);
+    assert_eq!(out.active.len(), 1);
+    assert_eq!(out.active[0].subject, "train-100-1");
+    assert!(out.active[0].reason.contains("no file activity"));
+
+    // Fresh activity clears it.
+    let f = File::options().write(true).open(dir.join("manifest.json")).unwrap();
+    f.set_times(fs::FileTimes::new().set_modified(SystemTime::now())).unwrap();
+    drop(f);
+    let out2 = evaluate(&rules, &ctx, &out.active);
+    assert!(out2.active.is_empty());
+    assert_eq!(out2.transitions[0].state, AlertState::Resolved);
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn schema_version_rides_every_record() {
+    let root = scratch("schema");
+    let rules = vec![threshold_rule(1)];
+    let bad = [run_rec("train-100-1", "train", 100, Some(42.0), None)];
+    let ctx = EngineContext { records: &bad, runs_root: &root, now_unix_s: 1000 };
+    let out = evaluate(&rules, &ctx, &[]);
+    assert!(out.transitions.iter().all(|t| t.schema_version == ALERTS_SCHEMA));
+    fs::remove_dir_all(&root).ok();
+}

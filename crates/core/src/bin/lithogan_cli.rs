@@ -104,6 +104,11 @@ enum Command {
         baseline: Option<String>,
     },
     Reindex,
+    Alerts {
+        rules: Option<String>,
+        gate: bool,
+        json: bool,
+    },
     Watch {
         run: String,
         interval_ms: u64,
@@ -142,6 +147,7 @@ fn usage() -> String {
          lithogan-cli runs     trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P] [--out FILE]\n  \
          lithogan-cli runs     gc --keep N [--baseline FILE]\n  \
          lithogan-cli reindex\n  \
+         lithogan-cli alerts   [--rules FILE] [--gate] [--json]\n  \
          lithogan-cli watch    <run-id|run-dir> [--interval-ms N] [--timeout-s N]\n  \
          lithogan-cli dash     [--addr HOST:PORT]\n  \
          lithogan-cli help     [command]\n\
@@ -272,14 +278,36 @@ fn command_help(cmd: &str) -> String {
              verdict) and swaps it in atomically. Use after crashes, manual\n\
              deletion or to adopt pre-index run directories."
         }
+        "alerts" => {
+            "lithogan-cli alerts [--rules FILE] [--gate] [--json]\n\n\
+             Evaluates the fleet's alert rules against the runs index, the\n\
+             health verdicts, the trend drift detector and live run activity,\n\
+             then prints the active alerts and appends state transitions\n\
+             (pending -> firing -> resolved, deduplicated by fingerprint) to\n\
+             <runs-root>/alerts.jsonl. Rules come from --rules FILE, else\n\
+             <runs-root>/alerts.toml, else a built-in set (page on unhealthy\n\
+             runs, warn on ede_mean_nm drift and stalled runs). See\n\
+             `help alerts-rules`-style docs in DESIGN.md §4g for the rule\n\
+             schema (threshold / drift / health / stale).\n\n  \
+             --rules FILE    alert rule config (TOML subset)\n  \
+             --gate          exit nonzero while any alert is firing (CI)\n  \
+             --json          also print active alerts as JSONL records\n\n\
+             Crashed or aborted runs additionally ship a post-mortem in\n\
+             runs/<id>/incident/: the telemetry flight-recorder ring, panic\n\
+             message + backtrace, manifest snapshot, process counters and the\n\
+             last per-layer tensor stats."
+        }
         "watch" => {
             "lithogan-cli watch <run-id|run-dir> [--interval-ms N] [--timeout-s N]\n\n\
              Live-follows an in-flight run: incrementally tails its\n\
              trace.jsonl and health.jsonl (tolerating torn lines from the\n\
              concurrent writer), rendering epoch progress, loss deltas, an\n\
-             ETA from the epoch cadence and live health verdicts. Exits 0\n\
-             when the run finishes ok, nonzero when it errors or aborts —\n\
-             so `watch` can stand in for the run's own exit code.\n\n  \
+             ETA from the epoch cadence and live health verdicts. Alert\n\
+             transitions appended to <runs-root>/alerts.jsonl while watching\n\
+             are echoed live. Exits 0 when the run finishes ok, nonzero when\n\
+             it errors or aborts — so `watch` can stand in for the run's own\n\
+             exit code. A run directory removed mid-watch (e.g. by\n\
+             `runs gc`) is a hard error, not an endless wait.\n\n  \
              --interval-ms N poll interval (default 200)\n  \
              --timeout-s N   give up after N seconds (default: wait forever)"
         }
@@ -294,6 +322,8 @@ fn command_help(cmd: &str) -> String {
              for in-flight runs, dash self metrics\n  \
              GET /api/runs               all index records as JSON\n  \
              GET /api/runs/<id>          one run: index record + manifest\n  \
+             GET /api/alerts             active alerts as JSON (evaluates the\n                              \
+             alert rules on each request)\n  \
              GET /runs/<id>/dashboard.svg   report dashboard, rendered on demand\n  \
              GET /runs/<id>/health.svg      health sparkline panel\n  \
              GET /runs/<id>/trend.svg       fleet trends (ede/throughput/pool)\n  \
@@ -564,6 +594,11 @@ fn parse(args: &[String]) -> Result<Command> {
             _ => Err(bad("runs takes a subcommand: ls, trend or gc")),
         },
         Some("reindex") => Ok(Command::Reindex),
+        Some("alerts") => Ok(Command::Alerts {
+            rules: get("--rules"),
+            gate: has("--gate"),
+            json: has("--json"),
+        }),
         Some("watch") => {
             let pos = positionals();
             match pos.as_slice() {
@@ -605,6 +640,7 @@ impl Command {
             Command::Compare { .. } => "compare",
             Command::RunsLs { .. } | Command::RunsTrend { .. } | Command::RunsGc { .. } => "runs",
             Command::Reindex => "reindex",
+            Command::Alerts { .. } => "alerts",
             Command::Watch { .. } => "watch",
             Command::Dash { .. } => "dash",
             Command::Help | Command::HelpFor(_) => "help",
@@ -1257,6 +1293,41 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             }
             Ok(())
         }
+        Command::Alerts { rules, gate, json } => {
+            let root = Path::new(&opts.runs_root);
+            let rules =
+                litho_alert::load_rules(root, rules.as_deref().map(Path::new)).map_err(io_err)?;
+            let records = load_index(root).map_err(io_err)?.records;
+            let prior = litho_alert::load_alerts(root).map_err(io_err)?;
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let ctx = litho_alert::EngineContext {
+                records: &records,
+                runs_root: root,
+                now_unix_s: now,
+            };
+            let outcome = litho_alert::evaluate(&rules, &ctx, &prior.active());
+            litho_alert::append_alerts(root, &outcome.transitions).map_err(io_err)?;
+            for t in &outcome.transitions {
+                eprintln!("{}", litho_alert::render_transition(t));
+            }
+            print!("{}", litho_alert::render_alerts_table(&outcome.active));
+            if json {
+                for a in &outcome.active {
+                    println!("{}", a.to_json());
+                }
+            }
+            let firing = outcome.firing().len();
+            if gate {
+                if firing > 0 {
+                    return Err(bad(format!("alerts gate: {firing} alert(s) firing")));
+                }
+                println!("alerts gate: PASS");
+            }
+            Ok(())
+        }
         Command::Watch {
             run,
             interval_ms,
@@ -1277,17 +1348,33 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             };
             eprintln!("watching {}", dir.display());
             let mut session = WatchSession::new(&dir);
+            // Alert transitions appended while watching are echoed live;
+            // the initial drain swallows history so only new ones print.
+            let mut alerts_tail = litho_ledger::json::jsonl::JsonlTailer::new(
+                litho_alert::alerts_path(Path::new(&opts.runs_root)),
+            );
+            let _ = alerts_tail.poll();
             // Snapshots can differ in unrendered fields (e.g. the health
             // record count); only print when the visible line changes.
             let mut last_line = String::new();
             let snap = session
-                .follow(&cfg, |snap| {
-                    let line = render_snapshot(snap);
-                    if line != last_line {
-                        eprintln!("{line}");
-                        last_line = line;
-                    }
-                })
+                .follow_with(
+                    &cfg,
+                    |snap| {
+                        let line = render_snapshot(snap);
+                        if line != last_line {
+                            eprintln!("{line}");
+                            last_line = line;
+                        }
+                    },
+                    || {
+                        for v in alerts_tail.poll().unwrap_or_default() {
+                            if let Some(rec) = litho_alert::AlertRecord::from_json(&v) {
+                                eprintln!("{}", litho_alert::render_transition(&rec));
+                            }
+                        }
+                    },
+                )
                 .map_err(|e| bad(format!("watch {run:?}: {e}")))?;
             println!("{}", render_snapshot(&snap));
             if snap.succeeded() {
@@ -1335,6 +1422,9 @@ fn main() {
         ) {
             Ok(ledger) => {
                 eprintln!("run: {}", ledger.dir().display());
+                // Crash forensics: ring the last telemetry events and
+                // dump an incident bundle if this run panics or aborts.
+                lithogan::incident::arm(ledger.dir(), litho_telemetry::DEFAULT_FLIGHT_CAPACITY);
                 Some(ledger)
             }
             Err(err) => {
@@ -1360,9 +1450,18 @@ fn main() {
             // An aborted training run is recorded as such, distinct from
             // both a clean finish and an ordinary error.
             match &result {
-                Err(TensorError::Aborted(reason)) => ledger
-                    .finalize_with_status(&format!("aborted({reason})"))
-                    .map_err(io_err)?,
+                Err(TensorError::Aborted(reason)) => {
+                    // Ship the post-mortem before finalize stamps the
+                    // manifest, so the bundle snapshots the dying state.
+                    match lithogan::incident::dump(&format!("aborted({reason})"), None) {
+                        Ok(Some(bundle)) => eprintln!("incident: {}", bundle.display()),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("warning: incident bundle failed: {e}"),
+                    }
+                    ledger
+                        .finalize_with_status(&format!("aborted({reason})"))
+                        .map_err(io_err)?
+                }
                 other => ledger.finalize(other.is_ok()).map_err(io_err)?,
             }
         }
@@ -1616,6 +1715,26 @@ mod tests {
     }
 
     #[test]
+    fn parses_alerts() {
+        assert_eq!(
+            parse(&strs(&["alerts"])).unwrap(),
+            Command::Alerts {
+                rules: None,
+                gate: false,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&strs(&["alerts", "--rules", "alerts.toml", "--gate", "--json"])).unwrap(),
+            Command::Alerts {
+                rules: Some("alerts.toml".into()),
+                gate: true,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
     fn parses_watch() {
         let cmd = parse(&strs(&["watch", "train-1-2", "--timeout-s", "30"])).unwrap();
         assert_eq!(
@@ -1745,7 +1864,7 @@ mod tests {
         // Every per-command help mentions the global observability flags.
         for cmd in [
             "generate", "train", "eval", "predict", "report", "profile", "health", "compare",
-            "runs", "reindex", "watch", "dash",
+            "runs", "reindex", "alerts", "watch", "dash",
         ] {
             let text = command_help(cmd);
             assert!(text.contains("--trace"), "{cmd} help lacks --trace");

@@ -9,6 +9,11 @@
 //!   dash's own request accounting;
 //! * `GET /api/runs`, `GET /api/runs/<id>` — JSON over the same
 //!   [`litho_ledger::IndexRecord`] serializer as `runs ls --json`;
+//! * `GET /api/alerts` — evaluates the fleet's alert rules on demand
+//!   (same engine as `lithogan_cli alerts`), persists any state
+//!   transitions to `runs/alerts.jsonl`, and returns the active alerts
+//!   as JSON; the fleet page shows firing alerts as a banner and
+//!   `/metrics` exposes them as `lithogan_alerts_*` families;
 //! * `GET /runs/<id>/{dashboard,health,trend,flamegraph}.svg` — the
 //!   ledger renderers, invoked on demand;
 //! * `POST /shutdown` — clean stop (what tests and the CI smoke use).
@@ -23,18 +28,20 @@
 //! watchdog thread performs the actual wakeup.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::{self, Write as _};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use litho_alert::{AlertRecord, AlertRule, EngineContext, EvalOutcome};
 use litho_http::{Request, Response, Server, ShutdownHandle};
 use litho_ledger::json::Json;
 use litho_ledger::{
     dashboard_svg, flamegraph_svg, fleet_html, health_svg, load_index, load_run,
-    prometheus_exposition, trend, trend_svg, validate_run_id, DashSelfMetrics, LatencySummary,
-    LiveTails, TrendConfig, DASH_TREND_METRICS,
+    prometheus_exposition, trend, trend_svg, validate_run_id, DashSelfMetrics, IndexRecord,
+    LatencySummary, LiveTails, TrendConfig, DASH_TREND_METRICS,
 };
 
 /// `Content-Type` of the Prometheus text exposition format.
@@ -143,12 +150,17 @@ pub fn run_dash(cfg: &DashConfig) -> io::Result<()> {
 /// Accounting wrapper around [`route`]: request counter, per-code
 /// counters and a latency histogram, through both the local state (for
 /// `/metrics` self-exposition) and litho-telemetry (for the dash run's
-/// own trace).
+/// own trace). Every response carries `Cache-Control: no-store`: the
+/// dash serves live fleet state, and a cached fleet page or metrics
+/// scrape is worse than a slow one.
 fn handle(state: &DashState, req: &Request) -> Response {
     let t0 = Instant::now();
     state.requests.fetch_add(1, Ordering::Relaxed);
     litho_telemetry::counter_add("http.requests", 1);
-    let response = route(state, req);
+    let mut response = route(state, req);
+    response
+        .headers
+        .push(("Cache-Control".to_string(), "no-store".to_string()));
     litho_telemetry::observe_duration("http.request_s", t0.elapsed());
     litho_telemetry::counter_add(&format!("http.responses.{}", response.status), 1);
     *state
@@ -169,6 +181,7 @@ fn route(state: &DashState, req: &Request) -> Response {
         ("GET", "/") => fleet_page(state),
         ("GET", "/metrics") => metrics(state),
         ("GET", "/api/runs") => api_runs(state),
+        ("GET", "/api/alerts") => api_alerts(state),
         ("GET", path) if path.starts_with("/api/runs/") => {
             api_run(state, &path["/api/runs/".len()..])
         }
@@ -178,13 +191,46 @@ fn route(state: &DashState, req: &Request) -> Response {
     }
 }
 
+/// One alert-engine pass over the fleet: rules from
+/// `<runs_root>/alerts.toml` (or the defaults), prior state replayed
+/// from `runs/alerts.jsonl`, transitions appended back best-effort.
+/// Shared by the fleet page, `/metrics` and `/api/alerts`, so every
+/// surface shows the same evaluation the CLI would.
+fn eval_alerts(state: &DashState, records: &[IndexRecord]) -> (Vec<AlertRule>, EvalOutcome) {
+    let rules = litho_alert::load_rules(&state.runs_root, None)
+        .unwrap_or_else(|_| litho_alert::default_rules());
+    let prior = litho_alert::load_alerts(&state.runs_root)
+        .map(|load| load.active())
+        .unwrap_or_default();
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let outcome = litho_alert::evaluate(
+        &rules,
+        &EngineContext {
+            records,
+            runs_root: &state.runs_root,
+            now_unix_s: now,
+        },
+        &prior,
+    );
+    let _ = litho_alert::append_alerts(&state.runs_root, &outcome.transitions);
+    (rules, outcome)
+}
+
 fn fleet_page(state: &DashState) -> Response {
     let records = match load_index(&state.runs_root) {
         Ok(parse) => parse.records,
         Err(e) => return Response::text(500, format!("index: {e}\n")),
     };
     let live = state.tails.lock().unwrap().poll().unwrap_or_default();
-    Response::ok("text/html; charset=utf-8", fleet_html(&records, &live))
+    let (_, alerts) = eval_alerts(state, &records);
+    let banner = litho_alert::alerts_html(&alerts.active);
+    Response::ok(
+        "text/html; charset=utf-8",
+        fleet_html(&records, &live, &banner),
+    )
 }
 
 fn metrics(state: &DashState) -> Response {
@@ -197,8 +243,37 @@ fn metrics(state: &DashState) -> Response {
         Err(e) => return Response::text(500, format!("live tails: {e}\n")),
     };
     let me = self_metrics(state);
-    let text = prometheus_exposition(&records, &live, Some(&me), &TrendConfig::default());
+    let mut text = prometheus_exposition(&records, &live, Some(&me), &TrendConfig::default());
+    let (rules, alerts) = eval_alerts(state, &records);
+    text.push_str(&litho_alert::alerts_exposition(&rules, &alerts.active));
     Response::ok(METRICS_CONTENT_TYPE, text)
+}
+
+fn api_alerts(state: &DashState) -> Response {
+    let records = match load_index(&state.runs_root) {
+        Ok(parse) => parse.records,
+        Err(e) => return Response::text(500, format!("index: {e}\n")),
+    };
+    let (_, alerts) = eval_alerts(state, &records);
+    let active: Vec<AlertRecord> = alerts.active;
+    let firing = active
+        .iter()
+        .filter(|a| a.state == litho_alert::AlertState::Firing)
+        .count();
+    // AlertRecord serializes itself (it is the alerts.jsonl line format);
+    // splice those objects into the envelope verbatim.
+    let mut body = String::with_capacity(64 + active.len() * 256);
+    body.push_str("{\"firing\":");
+    let _ = write!(body, "{firing}");
+    body.push_str(",\"active\":[");
+    for (i, a) in active.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&a.to_json());
+    }
+    body.push_str("]}");
+    Response::ok("application/json; charset=utf-8", body)
 }
 
 fn self_metrics(state: &DashState) -> DashSelfMetrics {
@@ -233,7 +308,7 @@ fn api_runs(state: &DashState) -> Response {
     match load_index(&state.runs_root) {
         Ok(parse) => {
             let arr = Json::Arr(parse.records.iter().map(|r| r.to_json()).collect());
-            Response::ok("application/json", arr.to_string_compact())
+            Response::ok("application/json; charset=utf-8", arr.to_string_compact())
         }
         Err(e) => Response::text(500, format!("index: {e}\n")),
     }
@@ -272,7 +347,7 @@ fn api_run(state: &DashState, id: &str) -> Response {
         ("manifest".to_string(), manifest.unwrap_or(Json::Null)),
         ("artifacts".to_string(), artifacts),
     ]);
-    Response::ok("application/json", body.to_string_compact())
+    Response::ok("application/json; charset=utf-8", body.to_string_compact())
 }
 
 /// `GET /runs/<id>/<kind>.svg` — render one run view on demand.

@@ -143,7 +143,7 @@ impl NetHook {
             st.poisoned = true;
         }
         let epoch = st.epoch;
-        st.writer.append(&HealthRecord::Layer(LayerRecord {
+        let record = LayerRecord {
             net: self.net.to_string(),
             pass,
             epoch,
@@ -158,7 +158,11 @@ impl NetHook {
             zero_frac: stats.zero_frac as f64,
             nan: stats.nan_count as u64,
             inf: stats.inf_count as u64,
-        }));
+        };
+        // Crash forensics keeps the freshest snapshot per layer so an
+        // incident bundle can show the net's state at death.
+        crate::incident::record_layer_stats(&record);
+        st.writer.append(&HealthRecord::Layer(record));
     }
 }
 

@@ -1,0 +1,252 @@
+//! Crash forensics: the incident bundle writer and the process-wide
+//! panic hook.
+//!
+//! Once a run is *armed* (the CLI arms every ledger-backed run), the
+//! telemetry flight recorder rings the last N events in memory, and
+//! this module keeps the last per-layer health stats alongside. When
+//! the run dies — a panic anywhere in the process, or the `--abort-on`
+//! health bail — [`dump`] freezes everything into
+//! `runs/<id>/incident/`, a self-contained post-mortem:
+//!
+//! | file            | contents                                        |
+//! |-----------------|-------------------------------------------------|
+//! | `ring.jsonl`    | flight-recorder dump, oldest event first        |
+//! | `panic.txt`     | reason, panic payload/location, full backtrace  |
+//! | `manifest.json` | manifest snapshot at the moment of death        |
+//! | `counters.json` | peak RSS, tensor/workspace bytes, pool stats    |
+//! | `stats.jsonl`   | last sampled `TensorStats` per layer            |
+//!
+//! The dump path allocates but never panics: every write is best-effort
+//! so a failing disk can't turn one crash into two. The panic hook
+//! chains the previously installed hook, so default backtrace printing
+//! (and test-harness capture) keeps working.
+
+use std::backtrace::Backtrace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::panic::{self, PanicHookInfo};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, Once};
+
+use litho_health::{HealthRecord, LayerRecord};
+
+/// Run directory to dump into, when armed.
+static ARMED_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Last sampled layer stats, keyed by `(net, pass, layer)` so forward
+/// and backward snapshots of every layer survive independently.
+#[allow(clippy::type_complexity)]
+static LAST_STATS: Mutex<Option<BTreeMap<(String, &'static str, u64), LayerRecord>>> =
+    Mutex::new(None);
+
+/// Arms crash forensics for `run_dir`: starts the telemetry flight
+/// recorder with a ring of `ring_capacity` events, begins retaining
+/// per-layer stats, and installs the panic hook (once per process).
+/// Re-arming switches the target directory and clears retained state.
+pub fn arm(run_dir: &Path, ring_capacity: usize) {
+    litho_telemetry::flight_arm(ring_capacity);
+    *ARMED_DIR.lock().unwrap() = Some(run_dir.to_path_buf());
+    *LAST_STATS.lock().unwrap() = Some(BTreeMap::new());
+    install_panic_hook();
+}
+
+/// Disarms forensics (the flight ring too). Used by tests; production
+/// runs stay armed until process exit.
+pub fn disarm() {
+    litho_telemetry::flight_disarm();
+    *ARMED_DIR.lock().unwrap() = None;
+    *LAST_STATS.lock().unwrap() = None;
+}
+
+/// Whether a run is currently armed.
+pub fn armed() -> bool {
+    ARMED_DIR.lock().unwrap().is_some()
+}
+
+/// Retains the latest stats snapshot for one layer; called by the
+/// health monitor's hook on every sampled pass. Cheap map insert, no-op
+/// when disarmed.
+pub fn record_layer_stats(record: &LayerRecord) {
+    let mut guard = LAST_STATS.lock().unwrap();
+    if let Some(map) = guard.as_mut() {
+        map.insert(
+            (record.net.clone(), record.pass.as_str(), record.layer),
+            record.clone(),
+        );
+    }
+}
+
+fn install_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info: &PanicHookInfo| {
+            // Best effort; a second panic here would abort the process.
+            let payload = panic_payload(info);
+            let location = info
+                .location()
+                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+                .unwrap_or_else(|| "unknown location".to_string());
+            let _ = dump("panic", Some(&format!("panicked at {location}: {payload}")));
+            previous(info);
+        }));
+    });
+}
+
+fn panic_payload(info: &PanicHookInfo) -> String {
+    if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Writes the incident bundle for the armed run. `reason` is the
+/// short machine-readable cause (`panic`, `aborted(nan)`, …); `detail`
+/// carries the panic message when there is one. Returns the bundle
+/// directory, or `Ok(None)` when no run is armed.
+pub fn dump(reason: &str, detail: Option<&str>) -> io::Result<Option<PathBuf>> {
+    let Some(run_dir) = ARMED_DIR.lock().unwrap().clone() else {
+        return Ok(None);
+    };
+    let dir = run_dir.join("incident");
+    fs::create_dir_all(&dir)?;
+
+    // Ring dump: the last moments of telemetry, oldest first.
+    let ring = litho_telemetry::flight_snapshot();
+    let mut ring_text = String::with_capacity(ring.len() * 128);
+    for line in &ring {
+        ring_text.push_str(line);
+        ring_text.push('\n');
+    }
+    fs::write(dir.join("ring.jsonl"), ring_text)?;
+
+    // Reason + backtrace. `force_capture` ignores RUST_BACKTRACE so the
+    // bundle is complete even when the environment never opted in.
+    let mut panic_text = format!("reason: {reason}\n");
+    if let Some(d) = detail {
+        let _ = writeln!(panic_text, "detail: {d}");
+    }
+    let _ = writeln!(panic_text, "\nbacktrace:\n{}", Backtrace::force_capture());
+    fs::write(dir.join("panic.txt"), panic_text)?;
+
+    // Manifest snapshot: whatever the ledger last persisted. The live
+    // manifest may still say "running" — that's the point: it captures
+    // the run as it looked when it died.
+    match fs::read(run_dir.join("manifest.json")) {
+        Ok(bytes) => fs::write(dir.join("manifest.json"), bytes)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    // Process counters at the moment of death.
+    let pool = litho_tensor::pool::stats();
+    let mut counters = String::with_capacity(256);
+    counters.push('{');
+    let _ = write!(counters, "\"reason\":");
+    litho_ledger::json::write_str(&mut counters, reason);
+    let _ = write!(
+        counters,
+        ",\"peak_rss_bytes\":{},\"tensor_alloc_bytes\":{},\"peak_workspace_bytes\":{},\
+         \"ring_events\":{},\"threads\":{}",
+        litho_ledger::peak_rss_bytes()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        litho_tensor::allocated_bytes(),
+        litho_tensor::peak_workspace_bytes(),
+        ring.len(),
+        litho_tensor::pool::effective_threads(),
+    );
+    if let Some(u) = pool.utilization() {
+        let _ = write!(counters, ",\"pool_utilization\":{u:.4}");
+    }
+    counters.push_str("}\n");
+    fs::write(dir.join("counters.json"), counters)?;
+
+    // Last per-layer stats, as health.jsonl-format lines.
+    let stats = LAST_STATS.lock().unwrap();
+    let mut stats_text = String::new();
+    if let Some(map) = stats.as_ref() {
+        for rec in map.values() {
+            stats_text.push_str(&HealthRecord::Layer(rec.clone()).to_jsonl());
+            stats_text.push('\n');
+        }
+    }
+    fs::write(dir.join("stats.jsonl"), stats_text)?;
+
+    Ok(Some(dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_health::Pass;
+
+    fn layer(net: &str, pass: Pass, layer_idx: u64, mean: f64) -> LayerRecord {
+        LayerRecord {
+            net: net.to_string(),
+            pass,
+            epoch: 1,
+            step: 7,
+            layer: layer_idx,
+            name: format!("conv{layer_idx}"),
+            count: 16,
+            mean,
+            std: 1.0,
+            l2: 4.0,
+            abs_max: 2.0,
+            zero_frac: 0.0,
+            nan: 0,
+            inf: 0,
+        }
+    }
+
+    // One test: the armed state is process-global, and the parallel
+    // test harness must not interleave arm/disarm cycles.
+    #[test]
+    fn arm_dump_bundle_disarm() {
+        let dir = std::env::temp_dir().join(format!("litho-incident-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("manifest.json"), "{\"status\":\"running\"}").unwrap();
+
+        assert!(dump("noop", None).unwrap().is_none()); // disarmed: no bundle
+
+        arm(&dir, 16);
+        assert!(armed());
+        litho_telemetry::flight_note_line("{\"milestone\":\"epoch 1\"}");
+        record_layer_stats(&layer("generator", Pass::Forward, 0, 0.5));
+        record_layer_stats(&layer("generator", Pass::Forward, 0, 0.7)); // supersedes
+        record_layer_stats(&layer("generator", Pass::Backward, 0, 0.1));
+
+        let bundle = dump("aborted(nan)", Some("poisoned at epoch 1")).unwrap().unwrap();
+        assert_eq!(bundle, dir.join("incident"));
+        let ring = fs::read_to_string(bundle.join("ring.jsonl")).unwrap();
+        assert!(ring.contains("epoch 1"));
+        let panic_txt = fs::read_to_string(bundle.join("panic.txt")).unwrap();
+        assert!(panic_txt.contains("reason: aborted(nan)"));
+        assert!(panic_txt.contains("poisoned at epoch 1"));
+        assert!(panic_txt.contains("backtrace:"));
+        assert_eq!(
+            fs::read_to_string(bundle.join("manifest.json")).unwrap(),
+            "{\"status\":\"running\"}"
+        );
+        let counters = fs::read_to_string(bundle.join("counters.json")).unwrap();
+        assert!(counters.contains("\"reason\":\"aborted(nan)\""));
+        assert!(counters.contains("\"tensor_alloc_bytes\":"));
+        let stats = fs::read_to_string(bundle.join("stats.jsonl")).unwrap();
+        // Last-wins per (net, pass, layer): two snapshots survive, the
+        // newer forward mean replaced the older one.
+        assert_eq!(stats.lines().filter(|l| !l.is_empty()).count(), 2);
+        assert!(stats.contains("0.7"));
+        assert!(!stats.contains("0.5"));
+
+        disarm();
+        assert!(!armed());
+        assert!(dump("noop", None).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

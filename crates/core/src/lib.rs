@@ -44,6 +44,7 @@ mod cgan;
 mod center;
 pub mod dash;
 mod health;
+pub mod incident;
 mod lithogan;
 mod netconfig;
 mod unet;

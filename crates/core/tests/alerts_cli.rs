@@ -1,0 +1,342 @@
+//! End-to-end tests for the alerting engine and crash forensics: a
+//! genuinely poisoned training run must leave a complete
+//! `runs/<id>/incident/` bundle and light up every alert surface — the
+//! `alerts` CLI and its `--gate`, `runs/alerts.jsonl`, the dash's
+//! `/api/alerts`, `/metrics` families and fleet-page banner — plus a
+//! committed golden of the alert evaluation over the fixture fleet.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use litho_alert::{default_rules, evaluate, load_alerts, EngineContext};
+use litho_ledger::reindex;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lithogan_cli"))
+}
+
+/// Fresh scratch directory per call; std-only stand-in for tempfile.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lithogan-alerts-cli-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+fn fixture(set: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/fleet")
+        .join(set)
+}
+
+/// Spawns `dash --addr 127.0.0.1:0` and returns (child, "host:port")
+/// parsed off the stdout announce line.
+fn spawn_dash(runs: &Path) -> (Child, String) {
+    let mut child = cli()
+        .args(["--runs-root"])
+        .arg(runs)
+        .args(["dash", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.split("http://").nth(1) {
+                    let addr = rest.split_whitespace().next().unwrap().to_string();
+                    std::thread::spawn(move || for _ in lines.by_ref() {});
+                    return (child, addr);
+                }
+            }
+            _ => {
+                child.kill().ok();
+                child.wait().ok();
+                panic!("dash exited before announcing its address");
+            }
+        }
+        assert!(Instant::now() < deadline, "no announce line within 30s");
+    }
+}
+
+/// One raw HTTP/1.1 request over a fresh connection; returns
+/// (status, head, body) so header assertions are possible.
+fn http(addr: &str, method: &str, path: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: dash\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head");
+    let head = String::from_utf8(raw[..split].to_vec()).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head, raw[split + 4..].to_vec())
+}
+
+fn shutdown_and_wait(mut child: Child, addr: &str) {
+    let (status, _, _) = http(addr, "POST", "/shutdown");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(code) = child.try_wait().unwrap() {
+            assert!(code.success(), "dash exited {code}");
+            return;
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("dash did not exit within 30s of /shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The acceptance path of the whole feature: poison a real training run,
+/// watch it die, then verify the incident bundle and every alert
+/// surface agrees the fleet is on fire.
+#[test]
+fn poisoned_train_fires_alerts_and_dumps_incident() {
+    let dir = scratch("poison");
+    let runs = dir.join("runs");
+    let data = dir.join("data.lgd");
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["generate", "--clips", "6", "--size", "32", "--out"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    run_ok(&out);
+
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["train", "--data"])
+        .arg(&data)
+        .args(["--seed", "7", "--epochs", "2", "--out"])
+        .arg(dir.join("model.lgm"))
+        // Stride 1: every step samples layer stats, so the bundle's
+        // stats.jsonl is non-empty no matter how fast the abort lands.
+        .args(["--poison-nan-at-epoch", "0", "--abort-on", "nan", "--health-stride", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "poisoned train must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("incident:"), "stderr:\n{stderr}");
+
+    // The incident bundle is complete: every file present and non-empty.
+    let run = fs::read_dir(&runs)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("train-"))
+        .expect("train run dir");
+    let incident = run.join("incident");
+    for file in ["ring.jsonl", "panic.txt", "manifest.json", "counters.json", "stats.jsonl"] {
+        let meta = fs::metadata(incident.join(file))
+            .unwrap_or_else(|e| panic!("incident bundle missing {file}: {e}"));
+        assert!(meta.len() > 0, "incident/{file} is empty");
+    }
+    let panic_txt = fs::read_to_string(incident.join("panic.txt")).unwrap();
+    assert!(panic_txt.contains("reason: aborted(nan"), "{panic_txt}");
+    assert!(panic_txt.contains("backtrace:"), "{panic_txt}");
+    let counters = fs::read_to_string(incident.join("counters.json")).unwrap();
+    assert!(counters.contains("\"tensor_alloc_bytes\":"), "{counters}");
+    let stats = fs::read_to_string(incident.join("stats.jsonl")).unwrap();
+    assert!(stats.contains("\"layer\""), "{stats}");
+
+    // `alerts` fires the default health rule and persists the state.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .arg("alerts")
+        .output()
+        .unwrap();
+    let stdout = run_ok(&out);
+    assert!(stdout.contains("unhealthy-run"), "stdout:\n{stdout}");
+    assert!(stdout.contains("firing"), "stdout:\n{stdout}");
+    let log = fs::read_to_string(runs.join("alerts.jsonl")).expect("alerts.jsonl written");
+    assert!(log.contains("\"state\":\"firing\""), "alerts.jsonl:\n{log}");
+    assert!(log.contains("\"rule\":\"unhealthy-run\""), "alerts.jsonl:\n{log}");
+
+    // --json emits the active records as JSONL.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["alerts", "--json"])
+        .output()
+        .unwrap();
+    let stdout = run_ok(&out);
+    assert!(stdout.contains("\"rule\":\"unhealthy-run\""), "stdout:\n{stdout}");
+
+    // The gate goes red while an alert is firing.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["alerts", "--gate"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "alerts --gate must fail while firing");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("firing"), "stderr:\n{stderr}");
+
+    // Dash surfaces: JSON API, Prometheus families, fleet banner, and
+    // the no-store cache policy on every response.
+    let (dash, addr) = spawn_dash(&runs);
+    let (status, head, body) = http(&addr, "GET", "/api/alerts");
+    let body = String::from_utf8_lossy(&body).into_owned();
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json; charset=utf-8"), "{head}");
+    assert!(head.contains("Cache-Control: no-store"), "{head}");
+    assert!(body.contains("\"rule\":\"unhealthy-run\""), "{body}");
+    assert!(body.contains("\"state\":\"firing\""), "{body}");
+
+    let (status, head, body) = http(&addr, "GET", "/metrics");
+    let text = String::from_utf8_lossy(&body).into_owned();
+    assert_eq!(status, 200);
+    assert!(head.contains("Cache-Control: no-store"), "{head}");
+    assert!(text.contains("# TYPE lithogan_alerts_firing gauge"), "{text}");
+    assert!(
+        text.contains("lithogan_alerts_firing{rule=\"unhealthy-run\",severity=\"page\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("lithogan_alerts_active{state=\"firing\"} 1"), "{text}");
+
+    let (status, head, body) = http(&addr, "GET", "/");
+    let html = String::from_utf8_lossy(&body).into_owned();
+    assert_eq!(status, 200);
+    assert!(head.contains("Cache-Control: no-store"), "{head}");
+    assert!(html.contains("class=\"alerts\""), "fleet page lacks the banner:\n{html}");
+    assert!(html.contains("unhealthy-run"), "{html}");
+
+    let (_, head, _) = http(&addr, "GET", "/api/runs");
+    assert!(head.contains("application/json; charset=utf-8"), "{head}");
+    shutdown_and_wait(dash, &addr);
+}
+
+/// A healthy fleet produces no alerts and a green gate; a broken rules
+/// file is rejected with the offending file named.
+#[test]
+fn alerts_gate_passes_on_a_clean_fleet() {
+    let dir = scratch("clean");
+    let runs = dir.join("runs");
+    copy_tree(&fixture("clean"), &runs);
+    reindex(&runs).unwrap();
+
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["alerts", "--gate"])
+        .output()
+        .unwrap();
+    let stdout = run_ok(&out);
+    assert!(stdout.contains("no active alerts"), "stdout:\n{stdout}");
+    assert!(stdout.contains("alerts gate: PASS"), "stdout:\n{stdout}");
+    // Nothing fired, nothing persisted.
+    assert!(!runs.join("alerts.jsonl").exists());
+
+    let rules = dir.join("bad.toml");
+    fs::write(&rules, "[[rule]]\nname = \"x\"\nkind = \"health\"\nbogus = 1\n").unwrap();
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["alerts", "--rules"])
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.toml"), "stderr:\n{stderr}");
+    assert!(stderr.contains("unknown key"), "stderr:\n{stderr}");
+}
+
+/// The alert evaluation over the committed regressed fleet, pinned by a
+/// golden: same records, same rules, same clock → byte-identical table
+/// and JSONL. `BLESS=1 cargo test -p lithogan --test alerts_cli`
+/// regenerates it.
+#[test]
+fn alert_evaluation_matches_the_committed_golden() {
+    let dir = scratch("golden");
+    let runs = dir.join("runs");
+    copy_tree(&fixture("clean"), &runs);
+    copy_tree(&fixture("regressed"), &runs);
+    let records = reindex(&runs).unwrap().records;
+
+    // Fixed clock: the fixture's timestamps are 1.7e9-era, and `now`
+    // stamps first/last-seen, so the rendered table is deterministic.
+    let outcome = evaluate(
+        &default_rules(),
+        &EngineContext {
+            records: &records,
+            runs_root: &runs,
+            now_unix_s: 1_700_001_000,
+        },
+        &[],
+    );
+    litho_alert::append_alerts(&runs, &outcome.transitions).unwrap();
+
+    let mut text = litho_alert::render_alerts_table(&outcome.active);
+    text.push_str("---\n");
+    for rec in &outcome.transitions {
+        text.push_str(&rec.to_jsonl());
+    }
+
+    let golden_path = fixture("alerts.golden.txt");
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden_path, &text).unwrap();
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert_eq!(
+        text, golden,
+        "alert evaluation drifted from {}; if intentional, update the golden",
+        golden_path.display()
+    );
+
+    // What was just persisted replays to the same active set.
+    let load = load_alerts(&runs).unwrap();
+    assert_eq!(load.alerts.len(), outcome.transitions.len());
+    assert_eq!(load.active().len(), outcome.active.len());
+}

@@ -140,6 +140,18 @@ fn reindex_ls_and_trend_over_fixture_fleet() {
     assert!(stderr.contains("drift"), "stderr:\n{stderr}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("DRIFT"), "stdout:\n{stdout}");
+
+    // --last scopes the trend window: only the newest 2 runs are
+    // considered, so the oldest fixture run drops out of the table.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["runs", "trend", "ede_mean_nm", "--last", "2"])
+        .output()
+        .unwrap();
+    let stdout = run_ok(&out);
+    assert!(!stdout.contains("train-1700000100-1"), "stdout:\n{stdout}");
+    assert!(stdout.contains("train-1700000600-6"), "stdout:\n{stdout}");
 }
 
 #[test]
@@ -338,6 +350,71 @@ fn watch_propagates_an_aborted_runs_failure() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("aborted"), "stderr:\n{stderr}");
     assert!(!child.wait().unwrap().success(), "the aborted train itself fails");
+}
+
+/// A run directory removed mid-watch (e.g. by `runs gc`) is a hard
+/// error, not an eternal wait — and alert transitions appended to
+/// `runs/alerts.jsonl` while watching are echoed live.
+#[test]
+fn watch_errors_when_run_directory_vanishes() {
+    let dir = scratch("watch-vanish");
+    let runs = dir.join("runs");
+    let run = runs.join("train-77-7");
+    fs::create_dir_all(&run).unwrap();
+    fs::write(
+        run.join("manifest.json"),
+        "{\"schema_version\":2,\"run_id\":\"train-77-7\",\"command\":\"train\",\
+         \"started_unix_s\":1,\"config\":{},\"status\":\"running\"}\n",
+    )
+    .unwrap();
+
+    let mut child = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["watch", "train-77-7", "--interval-ms", "25", "--timeout-s", "60"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Let the watcher see the live run, then fire an alert transition
+    // and finally yank the directory out from under it.
+    std::thread::sleep(Duration::from_millis(300));
+    let alert = litho_alert::AlertRecord {
+        schema_version: litho_alert::ALERTS_SCHEMA,
+        rule: "unhealthy-run".to_string(),
+        kind: "health".to_string(),
+        severity: "page".to_string(),
+        state: litho_alert::AlertState::Firing,
+        fingerprint: litho_alert::fingerprint("unhealthy-run", "train-77-7"),
+        subject: "train-77-7".to_string(),
+        reason: "health verdict: nan".to_string(),
+        value: None,
+        streak: 1,
+        first_seen_unix_s: 1,
+        last_seen_unix_s: 1,
+    };
+    litho_alert::append_alerts(&runs, std::slice::from_ref(&alert)).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    fs::remove_dir_all(&run).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().unwrap().is_none() {
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("watch kept waiting on a vanished run directory");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "vanished run dir must be a hard error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("vanished"), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("alert [firing] unhealthy-run"),
+        "live alert transition not echoed\nstderr:\n{stderr}"
+    );
 }
 
 #[test]

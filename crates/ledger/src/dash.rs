@@ -408,8 +408,15 @@ pub fn prometheus_exposition(
 }
 
 /// The minimal HTML fleet page behind `GET /`: one row per indexed run
-/// linking its JSON and SVG views, newest first.
-pub fn fleet_html(records: &[IndexRecord], live: &[(String, WatchSnapshot)]) -> String {
+/// linking its JSON and SVG views, newest first. `banner` is a
+/// pre-rendered (already escaped) HTML fragment inserted above the
+/// table — the dash passes the firing-alerts banner here so this crate
+/// stays independent of the alert engine; pass `""` for none.
+pub fn fleet_html(
+    records: &[IndexRecord],
+    live: &[(String, WatchSnapshot)],
+    banner: &str,
+) -> String {
     let mut rows = String::new();
     for (id, snap) in live {
         let _ = write!(
@@ -446,7 +453,9 @@ pub fn fleet_html(records: &[IndexRecord], live: &[(String, WatchSnapshot)]) -> 
          <style>body{{font:14px system-ui;margin:2em}}table{{border-collapse:collapse}}\
          td,th{{border:1px solid #ccc;padding:4px 8px;text-align:left}}</style>\
          </head><body><h1>lithogan fleet</h1>\
-         <p><a href=\"/metrics\">/metrics</a> · <a href=\"/api/runs\">/api/runs</a></p>\
+         <p><a href=\"/metrics\">/metrics</a> · <a href=\"/api/runs\">/api/runs</a> · \
+         <a href=\"/api/alerts\">/api/alerts</a></p>\
+         {banner}\
          <table><tr><th>run</th><th>command</th><th>status</th><th>metrics</th>\
          <th>views</th></tr>{rows}</table></body></html>"
     )
@@ -567,8 +576,10 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         let records = vec![rec("r\"1\"", "tr\\ain", 1, "ok", &[("ede_mean_nm", 1.0)])];
-        let html = fleet_html(&records, &[]);
+        let html = fleet_html(&records, &[], "");
         assert!(html.contains("<code>r\"1\"</code>"));
+        let bannered = fleet_html(&records, &[], "<div class=\"alerts\">1 firing</div>");
+        assert!(bannered.contains("<div class=\"alerts\">1 firing</div>"));
         let text = prometheus_exposition(&records, &[], None, &TrendConfig::default());
         assert!(text.contains("command=\"tr\\\\ain\""), "{text}");
     }

@@ -64,8 +64,8 @@ pub use index::{
     IndexRecord, ReindexOutcome, INDEX_SCHEMA,
 };
 pub use manifest::{
-    fingerprint_file, load_manifest, load_records, validate_run_id, DatasetInfo, RunLedger,
-    RunManifest, MANIFEST_SCHEMA,
+    fingerprint_file, load_manifest, load_records, peak_rss_bytes, validate_run_id, DatasetInfo,
+    RunLedger, RunManifest, MANIFEST_SCHEMA,
 };
 pub use profile::{flamegraph_svg, fold_lines, render_attribution};
 pub use report::{load_run, render_report, RunData};

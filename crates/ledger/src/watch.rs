@@ -103,6 +103,9 @@ pub struct WatchSession {
     health_records: Vec<HealthRecord>,
     pool_utilization: Option<f64>,
     current_kernel: Option<String>,
+    /// True once a manifest has been observed; a later disappearance of
+    /// the whole directory is then a hard error, not "waiting".
+    seen_manifest: bool,
 }
 
 impl WatchSession {
@@ -117,6 +120,7 @@ impl WatchSession {
             health_records: Vec::new(),
             pool_utilization: None,
             current_kernel: None,
+            seen_manifest: false,
         }
     }
 
@@ -148,6 +152,22 @@ impl WatchSession {
     /// errors).
     pub fn poll(&mut self) -> io::Result<WatchSnapshot> {
         let manifest = load_manifest(&self.dir).ok();
+        match &manifest {
+            Some(_) => self.seen_manifest = true,
+            // The run existed and is now gone wholesale (`runs gc`, a
+            // manual rm): tailing a vanished directory would spin on
+            // "waiting" forever. Surface it as a hard error instead.
+            None if self.seen_manifest && !self.dir.exists() => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "run directory {} vanished mid-watch (removed by `runs gc`?)",
+                        self.dir.display()
+                    ),
+                ));
+            }
+            None => {}
+        }
         if let Some(m) = &manifest {
             let path = self.trace_path(m);
             match &self.trace {
@@ -264,12 +284,30 @@ impl WatchSession {
     pub fn follow(
         &mut self,
         cfg: &WatchConfig,
+        on_update: impl FnMut(&WatchSnapshot),
+    ) -> io::Result<WatchSnapshot> {
+        self.follow_with(cfg, on_update, || {})
+    }
+
+    /// [`WatchSession::follow`] plus an `on_poll` hook invoked once per
+    /// poll cycle regardless of snapshot changes — the CLI drains side
+    /// channels there (e.g. live alert transitions from
+    /// `runs/alerts.jsonl`) without coupling this crate to them.
+    ///
+    /// # Errors
+    ///
+    /// As [`WatchSession::follow`].
+    pub fn follow_with(
+        &mut self,
+        cfg: &WatchConfig,
         mut on_update: impl FnMut(&WatchSnapshot),
+        mut on_poll: impl FnMut(),
     ) -> io::Result<WatchSnapshot> {
         let started = Instant::now();
         let mut last: Option<WatchSnapshot> = None;
         loop {
             let snap = self.poll()?;
+            on_poll();
             if snap.status == "waiting" && started.elapsed() > cfg.wait_create {
                 return Err(io::Error::new(
                     io::ErrorKind::NotFound,
@@ -508,6 +546,50 @@ mod tests {
         assert_eq!(last.epochs_done, 2);
         assert!(updates >= 2, "one update per epoch at minimum: {updates}");
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vanished_run_directory_is_a_hard_error_not_waiting() {
+        let dir = scratch("vanished");
+        let run = dir.join("train-1-1");
+        fs::create_dir_all(&run).unwrap();
+        write_manifest(&run, "running", 2);
+        let mut session = WatchSession::new(&run);
+        assert_eq!(session.poll().unwrap().status, "running");
+
+        // `runs gc` (or a manual rm) takes the whole directory away.
+        fs::remove_dir_all(&run).unwrap();
+        let err = session.poll().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("vanished mid-watch"), "{err}");
+
+        // follow_with propagates the same error out of the loop.
+        fs::create_dir_all(&run).unwrap();
+        write_manifest(&run, "running", 2);
+        let mut session = WatchSession::new(&run);
+        let cfg = WatchConfig {
+            interval: Duration::from_millis(5),
+            timeout: Some(Duration::from_secs(10)),
+            wait_create: Duration::from_secs(5),
+        };
+        let run2 = run.clone();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            fs::remove_dir_all(&run2).unwrap();
+        });
+        let mut polls = 0;
+        let err = session
+            .follow_with(&cfg, |_| {}, || polls += 1)
+            .unwrap_err();
+        killer.join().unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("vanished mid-watch"), "{err}");
+        assert!(polls >= 1, "on_poll must tick before the error: {polls}");
+
+        // A manifest that never appeared keeps the old "waiting" grace
+        // path: NotFound only after wait_create, with the original
+        // message.
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,123 @@
+//! Torn-final-line recovery in `runs/index.jsonl`, exercised by
+//! actually killing a writer process mid-append (not just simulating
+//! the resulting bytes): a child process is SIGKILLed while holding a
+//! half-written index line, then every reader must skip the tear and
+//! `reindex` must rebuild the file byte-identically to its intact
+//! state.
+//!
+//! The child is this same test binary re-invoked with
+//! `LITHO_TORN_WRITER` set (the standard self-exec trick for hermetic
+//! process tests): it appends half an index record with `O_APPEND`,
+//! then parks forever until the parent kills it.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use litho_ledger::{load_index, prometheus_exposition, reindex, LiveTails, RunLedger, TrendConfig};
+
+const WRITER_ENV: &str = "LITHO_TORN_WRITER";
+
+/// Child-process body: half an index append, then park. Runs inside
+/// the `kill_writer_mid_append_then_recover` test of the re-invoked
+/// binary (the env var gates it), never in a normal test run.
+fn torn_writer_child(root: &str) {
+    let half = "{\"schema_version\":1,\"run_id\":\"train-999";
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(PathBuf::from(root).join("index.jsonl"))
+        .unwrap();
+    f.write_all(half.as_bytes()).unwrap();
+    f.flush().unwrap();
+    // Signal readiness via a marker file, then hang until killed.
+    fs::write(PathBuf::from(root).join("writer-ready"), b"1").unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[test]
+fn kill_writer_mid_append_then_recover() {
+    if let Ok(root) = std::env::var(WRITER_ENV) {
+        torn_writer_child(&root);
+        unreachable!();
+    }
+
+    let root = std::env::temp_dir().join(format!("litho-torn-index-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&root).unwrap();
+
+    // Two intact runs land in the index the normal way.
+    for seed in [1u64, 2] {
+        let mut ledger = RunLedger::create(
+            &root,
+            "train",
+            Some(seed),
+            vec![("epochs".into(), "2".into())],
+            None,
+        )
+        .unwrap();
+        ledger.finalize(true).unwrap();
+    }
+    let clean_bytes = fs::read(root.join("index.jsonl")).unwrap();
+    assert_eq!(clean_bytes.iter().filter(|b| **b == b'\n').count(), 2);
+
+    // Re-invoke this test binary as the writer and SIGKILL it while it
+    // holds a half-appended line.
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(&exe)
+        .arg("kill_writer_mid_append_then_recover")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env(WRITER_ENV, root.to_str().unwrap())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let ready = root.join("writer-ready");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !ready.exists() {
+        assert!(Instant::now() < deadline, "torn writer never signalled");
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "torn writer exited early"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().unwrap(); // SIGKILL: no destructors, the tear stays
+    child.wait().unwrap();
+
+    let torn_bytes = fs::read(root.join("index.jsonl")).unwrap();
+    assert!(torn_bytes.len() > clean_bytes.len());
+    assert!(!torn_bytes.ends_with(b"\n"), "final line must be torn");
+
+    // `runs ls` path: the torn tail is skipped, both runs survive.
+    let parse = load_index(&root).unwrap();
+    assert!(parse.truncated_tail);
+    assert_eq!(parse.records.len(), 2);
+
+    // Dash path: the same loader feeds /metrics without error.
+    let mut live = LiveTails::new(&root, None);
+    let text = prometheus_exposition(
+        &parse.records,
+        &live.poll().unwrap(),
+        None,
+        &TrendConfig::default(),
+    );
+    assert!(text.contains("lithogan_runs_total{status=\"ok\"} 2"));
+
+    // Reindex drops the tear and rebuilds the intact index
+    // byte-identically.
+    let outcome = reindex(&root).unwrap();
+    assert_eq!(outcome.records.len(), 2);
+    let rebuilt = fs::read(root.join("index.jsonl")).unwrap();
+    assert_eq!(
+        rebuilt, clean_bytes,
+        "reindex must reproduce the pre-tear index bytes exactly"
+    );
+
+    fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,162 @@
+//! Flight recorder: a fixed-size ring buffer of the most recent
+//! telemetry events, kept in memory so a crash handler can dump the
+//! last moments of a run into `runs/<id>/incident/`.
+//!
+//! The ring is deliberately lock-light. Writers reserve a slot with one
+//! relaxed `fetch_add` on a shared cursor and then lock *only their own
+//! slot's* mutex, so concurrent recorders from worker-pool threads never
+//! serialize against each other (two writers contend only when the ring
+//! has wrapped all the way around to the same slot). Events are stored
+//! pre-rendered as JSONL lines — the same representation
+//! [`crate::JsonlSink`] writes — which keeps the dump path trivial and
+//! the capture path free of any deferred formatting surprises.
+//!
+//! Arming the recorder is independent of enabling telemetry or
+//! installing a sink: `arm(capacity)` alone makes [`crate::emit`] tee
+//! every routed event into the ring even when no sink is configured.
+//! When disarmed (the default) the only cost on the emit path is one
+//! relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::sink::Event;
+
+/// Default ring capacity used by callers that don't care: enough for a
+/// few epochs of layer stats plus the tail of kernel spans.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+struct Ring {
+    slots: Vec<Mutex<Option<String>>>,
+    /// Total number of records ever written; `cursor % slots.len()` is
+    /// the next slot to overwrite.
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, line: String) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.slots.len() as u64) as usize;
+        *self.slots[idx].lock().unwrap() = Some(line);
+    }
+
+    /// Oldest-first copy of the current contents.
+    fn snapshot(&self) -> Vec<String> {
+        let cap = self.slots.len() as u64;
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let start = cursor.saturating_sub(cap);
+        let mut out = Vec::with_capacity((cursor - start) as usize);
+        for seq in start..cursor {
+            let idx = (seq % cap) as usize;
+            if let Some(line) = self.slots[idx].lock().unwrap().as_ref() {
+                out.push(line.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Fast-path gate checked on every emit; avoids touching the `RwLock`
+/// when the recorder is disarmed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn ring() -> &'static RwLock<Option<Ring>> {
+    static RING: RwLock<Option<Ring>> = RwLock::new(None);
+    &RING
+}
+
+/// Arms the flight recorder with a ring of `capacity` events (clamped to
+/// at least 1). Re-arming replaces the ring and discards prior contents.
+pub fn flight_arm(capacity: usize) {
+    *ring().write().unwrap() = Some(Ring::new(capacity));
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms the recorder and drops the ring.
+pub fn flight_disarm() {
+    ARMED.store(false, Ordering::Release);
+    *ring().write().unwrap() = None;
+}
+
+/// Whether the recorder is currently armed.
+pub fn flight_armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Oldest-first JSONL lines currently held in the ring (empty when
+/// disarmed). Safe to call from a panic hook: read lock plus per-slot
+/// locks, no allocation beyond the returned vector.
+pub fn flight_snapshot() -> Vec<String> {
+    match ring().read().unwrap().as_ref() {
+        Some(r) => r.snapshot(),
+        None => Vec::new(),
+    }
+}
+
+/// Records one already-assembled event. Called from [`crate::emit`];
+/// also usable directly for out-of-band lines (e.g. health records).
+pub(crate) fn flight_record(event: &Event) {
+    if !flight_armed() {
+        return;
+    }
+    let line = event.to_jsonl();
+    if let Some(r) = ring().read().unwrap().as_ref() {
+        r.push(line);
+    }
+}
+
+/// Records a raw pre-rendered JSONL line (no trailing newline) into the
+/// ring, letting non-telemetry streams — health records, CLI milestones
+/// — share the same crash context.
+pub fn flight_note_line(line: &str) {
+    if !flight_armed() {
+        return;
+    }
+    if let Some(r) = ring().read().unwrap().as_ref() {
+        r.push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The ring is process-global, so every scenario lives in one test
+    // to avoid cross-test interference under the parallel harness.
+    #[test]
+    fn arm_record_wrap_snapshot_disarm() {
+        assert!(!flight_armed());
+        assert!(flight_snapshot().is_empty());
+        flight_note_line("{\"dropped\":true}"); // disarmed: no-op
+        assert!(flight_snapshot().is_empty());
+
+        flight_arm(3);
+        assert!(flight_armed());
+        for i in 0..5 {
+            flight_note_line(&format!("{{\"i\":{i}}}"));
+        }
+        // Capacity 3, five writes: the ring keeps the last three,
+        // oldest first.
+        assert_eq!(
+            flight_snapshot(),
+            vec!["{\"i\":2}", "{\"i\":3}", "{\"i\":4}"]
+        );
+
+        // Re-arming discards prior contents.
+        flight_arm(8);
+        assert!(flight_snapshot().is_empty());
+        flight_note_line("{\"fresh\":1}");
+        assert_eq!(flight_snapshot(), vec!["{\"fresh\":1}"]);
+
+        flight_disarm();
+        assert!(!flight_armed());
+        assert!(flight_snapshot().is_empty());
+    }
+}

@@ -29,12 +29,17 @@
 //! litho_telemetry::reset();
 //! ```
 
+mod flight;
 mod histogram;
 mod registry;
 mod report;
 mod sink;
 mod span;
 
+pub use flight::{
+    flight_arm, flight_armed, flight_disarm, flight_note_line, flight_snapshot,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use histogram::Histogram;
 pub use registry::{HistogramSnapshot, Snapshot, SpanStatSnapshot};
 pub use report::report_to_string;
@@ -229,14 +234,15 @@ pub fn emit_run_metadata(extra: &[(&str, Value)]) {
     emit(EventKind::Meta, "run_meta", &fields);
 }
 
-/// Internal: route one event to the installed sink (if any), appending
-/// the ambient run/sample ids when they are set.
+/// Internal: route one event to the installed sink (if any) and, when
+/// the flight recorder is armed, into its ring — appending the ambient
+/// run/sample ids when they are set.
 pub(crate) fn emit(kind: EventKind, name: &str, fields: &[(&str, Value)]) {
     let g = global();
     let mut slot = g.sink.lock().unwrap();
-    let Some(sink) = slot.as_mut() else {
+    if slot.is_none() && !flight::flight_armed() {
         return;
-    };
+    }
     let run = g.run_id.lock().unwrap().clone();
     let sample = g.sample_id.load(Ordering::Relaxed);
     let mut extended;
@@ -252,12 +258,16 @@ pub(crate) fn emit(kind: EventKind, name: &str, fields: &[(&str, Value)]) {
         }
         &extended
     };
-    sink.emit(&Event {
+    let event = Event {
         ts_us: ts_us(),
         kind,
         name,
         fields,
-    });
+    };
+    if let Some(sink) = slot.as_mut() {
+        sink.emit(&event);
+    }
+    flight::flight_record(&event);
 }
 
 /// Internal: called by [`Span`] on completion. Caller annotations ride on

@@ -68,6 +68,23 @@ curl -fsS -X POST "http://$addr/shutdown" | grep 'shutting down' > /dev/null
 wait "$dash_pid"
 grep -q '"command":"dash"' "$work/runs/index.jsonl"
 
+echo "==> alerts + incident-forensics gate"
+# A poisoned run must die, leave a complete incident bundle, and trip
+# the health alert on every surface; the alerts gate must go red.
+if "$cli" --runs-root "$work/runs" train --data "$work/data.lgd" --epochs 2 --seed 3 \
+    --poison-nan-at-epoch 0 --abort-on nan --health-stride 1 --out "$work/model3.lgm"; then
+  echo "poisoned train unexpectedly succeeded"; exit 1
+fi
+bad=$(ls -t "$work/runs" | grep '^train-' | head -n 1)
+for f in ring.jsonl panic.txt manifest.json counters.json stats.jsonl; do
+  test -s "$work/runs/$bad/incident/$f"
+done
+"$cli" --runs-root "$work/runs" alerts | grep firing > /dev/null
+grep '"state":"firing"' "$work/runs/alerts.jsonl" > /dev/null
+if "$cli" --runs-root "$work/runs" alerts --gate; then
+  echo "alerts --gate unexpectedly passed while an alert is firing"; exit 1
+fi
+
 echo "==> kernel perf gate"
 # Retry on failure: --json-out min-merges across runs, so transient host
 # contention washes out while a genuine regression fails every attempt.
