@@ -62,6 +62,18 @@ pub enum RuleKind {
         tol_pct: Option<f64>,
         drift_runs: Option<usize>,
     },
+    /// Per-family drift: runs the streak detector over every
+    /// `metric{family=...}` slice key present in the window (or just the
+    /// named family), one incident per drifting family. Catches a slice
+    /// regressing while the fleet-wide aggregate stays flat.
+    SliceDrift {
+        metric: String,
+        /// Restrict to one clip family; `None` watches every family the
+        /// index has seen for this metric.
+        family: Option<String>,
+        tol_pct: Option<f64>,
+        drift_runs: Option<usize>,
+    },
     /// Latest run per command carries a non-ok health verdict. `None`
     /// diagnoses matches any verdict; otherwise at least one listed
     /// diagnosis must appear in it.
@@ -75,6 +87,7 @@ impl RuleKind {
         match self {
             RuleKind::Threshold { .. } => "threshold",
             RuleKind::Drift { .. } => "drift",
+            RuleKind::SliceDrift { .. } => "slice_drift",
             RuleKind::Health { .. } => "health",
             RuleKind::Stale { .. } => "stale",
         }
@@ -98,7 +111,8 @@ pub struct AlertRule {
 }
 
 /// The default rule set used when no `alerts.toml` exists: page on any
-/// unhealthy latest run, warn on fleet EDE drift, warn on stalled runs.
+/// unhealthy latest run, warn on fleet EDE drift (aggregate and
+/// per-family), warn on stalled runs.
 pub fn default_rules() -> Vec<AlertRule> {
     vec![
         AlertRule {
@@ -117,6 +131,19 @@ pub fn default_rules() -> Vec<AlertRule> {
             for_evals: 1,
             kind: RuleKind::Drift {
                 metric: "ede_mean_nm".to_string(),
+                tol_pct: None,
+                drift_runs: None,
+            },
+        },
+        AlertRule {
+            name: "slice-ede-drift".to_string(),
+            severity: "warn".to_string(),
+            command: None,
+            last: None,
+            for_evals: 1,
+            kind: RuleKind::SliceDrift {
+                metric: "ede_mean_nm".to_string(),
+                family: None,
                 tol_pct: None,
                 drift_runs: None,
             },
@@ -352,6 +379,14 @@ fn finish_rule(raw: &mut RawRule) -> Result<AlertRule, String> {
             tol_pct: raw.take_num("tol_pct")?,
             drift_runs: raw.take_count("drift_runs")?.map(|n| n as usize),
         },
+        "slice_drift" => RuleKind::SliceDrift {
+            metric: raw
+                .take_str("metric")?
+                .ok_or_else(|| format!("rule at line {at}: slice_drift rule needs `metric`"))?,
+            family: raw.take_str("family")?,
+            tol_pct: raw.take_num("tol_pct")?,
+            drift_runs: raw.take_count("drift_runs")?.map(|n| n as usize),
+        },
         "health" => {
             let diagnoses = match raw.take_str("diagnoses")? {
                 None => None,
@@ -371,7 +406,7 @@ fn finish_rule(raw: &mut RawRule) -> Result<AlertRule, String> {
         other => {
             return Err(format!(
                 "rule at line {at}: unknown kind {other:?} \
-                 (expected threshold, drift, health or stale)"
+                 (expected threshold, drift, slice_drift, health or stale)"
             ))
         }
     };
@@ -424,6 +459,13 @@ tol_pct = 12.5
 drift_runs = 3
 
 [[rule]]
+name = "chain-drift"
+kind = "slice_drift"
+metric = "ede_mean_nm"
+family = "chain1d"
+tol_pct = 8.0
+
+[[rule]]
 name = "nan-watch"
 kind = "health"
 diagnoses = "nan,collapse"
@@ -434,7 +476,7 @@ kind = "stale"
 after_s = 600
 "#;
         let rules = parse_rules(text).unwrap();
-        assert_eq!(rules.len(), 4);
+        assert_eq!(rules.len(), 5);
         assert_eq!(rules[0].name, "ede-regression");
         assert_eq!(rules[0].severity, "page");
         assert_eq!(rules[0].command.as_deref(), Some("train"));
@@ -458,12 +500,21 @@ after_s = 600
         );
         assert_eq!(
             rules[2].kind,
+            RuleKind::SliceDrift {
+                metric: "ede_mean_nm".into(),
+                family: Some("chain1d".into()),
+                tol_pct: Some(8.0),
+                drift_runs: None,
+            }
+        );
+        assert_eq!(
+            rules[3].kind,
             RuleKind::Health {
                 diagnoses: Some(vec![DiagnosisKind::NanPoisoned, DiagnosisKind::ModeCollapse]),
             }
         );
-        assert_eq!(rules[3].kind, RuleKind::Stale { after_s: 600 });
-        assert_eq!(rules[3].severity, "warn"); // default
+        assert_eq!(rules[4].kind, RuleKind::Stale { after_s: 600 });
+        assert_eq!(rules[4].severity, "warn"); // default
     }
 
     #[test]
@@ -503,6 +554,24 @@ after_s = 600
     #[test]
     fn default_rules_cover_health_drift_stale() {
         let kinds: Vec<&str> = default_rules().iter().map(|r| r.kind.kind_str()).collect();
-        assert_eq!(kinds, vec!["health", "drift", "stale"]);
+        assert_eq!(kinds, vec!["health", "drift", "slice_drift", "stale"]);
+    }
+
+    #[test]
+    fn slice_drift_without_family_watches_all_families() {
+        let text = "[[rule]]\nname = \"s\"\nkind = \"slice_drift\"\nmetric = \"ede_mean_nm\"\n";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(
+            rules[0].kind,
+            RuleKind::SliceDrift {
+                metric: "ede_mean_nm".into(),
+                family: None,
+                tol_pct: None,
+                drift_runs: None,
+            }
+        );
+        // Missing metric is an error, like plain drift.
+        let err = parse_rules("[[rule]]\nname = \"s\"\nkind = \"slice_drift\"\n").unwrap_err();
+        assert!(err.contains("slice_drift rule needs `metric`"), "{err}");
     }
 }

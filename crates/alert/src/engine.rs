@@ -22,7 +22,9 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::UNIX_EPOCH;
 
-use litho_ledger::{load_manifest, scan_run_dirs, trend, IndexRecord};
+use litho_ledger::{
+    load_manifest, scan_run_dirs, slice_metric_key, split_slice_key, trend, IndexRecord,
+};
 
 use crate::config::{drift_config, AlertRule, Comparison, RuleKind};
 use crate::record::{fingerprint, AlertRecord, AlertState, ALERTS_SCHEMA};
@@ -218,6 +220,52 @@ pub fn evaluate_rule(rule: &AlertRule, ctx: &EngineContext) -> Vec<Incident> {
                 ),
                 value: Some(drift.worst),
             }]
+        }
+        RuleKind::SliceDrift {
+            metric,
+            family,
+            tol_pct,
+            drift_runs,
+        } => {
+            let recs: Vec<IndexRecord> = window(rule, ctx.records).into_iter().cloned().collect();
+            // Which families to watch: the configured one, or every
+            // family the windowed index has recorded for this metric.
+            let families: Vec<String> = match family {
+                Some(f) => vec![f.clone()],
+                None => {
+                    let mut fams: Vec<String> = recs
+                        .iter()
+                        .flat_map(|r| r.metrics.iter().map(|(k, _)| k.as_str()))
+                        .filter_map(split_slice_key)
+                        .filter(|(base, _)| base == metric)
+                        .map(|(_, fam)| fam.to_string())
+                        .collect();
+                    fams.sort();
+                    fams.dedup();
+                    fams
+                }
+            };
+            let cfg = drift_config(*tol_pct, *drift_runs);
+            let mut out = Vec::new();
+            for fam in families {
+                let key = slice_metric_key(metric, &fam);
+                let t = trend(&recs, &key, None, &cfg);
+                let Some(drift) = t.drift else {
+                    continue;
+                };
+                out.push(Incident {
+                    subject: format!("fleet/{metric}/family={fam}"),
+                    reason: format!(
+                        "{metric}[{fam}] drifting for {} runs since {} (worst {}, median {})",
+                        drift.runs,
+                        drift.start_run_id,
+                        fmt_val(drift.worst),
+                        t.reference.map(fmt_val).unwrap_or_else(|| "-".into()),
+                    ),
+                    value: Some(drift.worst),
+                });
+            }
+            out
         }
         RuleKind::Health { diagnoses } => {
             let recs = window(rule, ctx.records);

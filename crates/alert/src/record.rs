@@ -63,7 +63,7 @@ pub struct AlertRecord {
     pub schema_version: u32,
     /// Name of the rule that produced this alert.
     pub rule: String,
-    /// Rule kind discriminator (`threshold`/`drift`/`health`/`stale`).
+    /// Rule kind discriminator (`threshold`/`drift`/`slice_drift`/`health`/`stale`).
     pub kind: String,
     /// Severity copied from the rule (`warn`/`page`).
     pub severity: String,

@@ -171,6 +171,50 @@ fn drift_rule_rides_the_trend_streak_detector() {
 }
 
 #[test]
+fn slice_drift_fires_per_family_while_aggregate_stays_flat() {
+    let root = scratch("slice-drift");
+    let rules = parse_rules(
+        "[[rule]]\nname = \"slice-drift\"\nkind = \"slice_drift\"\nmetric = \"ede_mean_nm\"\ndrift_runs = 2\n",
+    )
+    .unwrap();
+    // The chain1d slice walks 50% off-median while the aggregate and the
+    // isolated slice sit still — exactly the regression an aggregate
+    // drift rule cannot see.
+    let chain = [4.0, 4.0, 4.0, 4.0, 6.0, 6.0];
+    let records: Vec<IndexRecord> = chain
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let mut r = run_rec(&format!("train-{i}-1"), "train", 100 + i as u64, Some(10.0), None);
+            r.metrics.push(("ede_mean_nm{family=chain1d}".to_string(), *v));
+            r.metrics.push(("ede_mean_nm{family=isolated}".to_string(), 2.0));
+            r
+        })
+        .collect();
+    let ctx = EngineContext { records: &records, runs_root: &root, now_unix_s: 1000 };
+    let out = evaluate(&rules, &ctx, &[]);
+    assert_eq!(out.active.len(), 1, "only the drifting family should fire");
+    assert_eq!(out.active[0].subject, "fleet/ede_mean_nm/family=chain1d");
+    assert_eq!(out.active[0].state, AlertState::Firing);
+    assert!(
+        out.active[0].reason.contains("ede_mean_nm[chain1d] drifting for 2 runs"),
+        "{}",
+        out.active[0].reason
+    );
+    assert_eq!(out.active[0].value, Some(6.0));
+
+    // Pinning `family` to a quiet slice keeps the rule silent even
+    // though another family is drifting.
+    let pinned = parse_rules(
+        "[[rule]]\nname = \"iso-drift\"\nkind = \"slice_drift\"\nmetric = \"ede_mean_nm\"\nfamily = \"isolated\"\ndrift_runs = 2\n",
+    )
+    .unwrap();
+    assert!(evaluate(&pinned, &ctx, &[]).active.is_empty());
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn last_window_scopes_threshold_rules() {
     let root = scratch("window");
     // Latest train run is bad, but scoping to the last 1 eval-command

@@ -25,6 +25,8 @@ fn record(i: u64) -> SampleRecord {
         ede_mean_nm: Some(3.0),
         ede_edges_nm: Some([2.0, 4.0, 3.0, 3.0]),
         center_error_nm: Some(0.5),
+        clip_fingerprint: Some(format!("{i:016x}")),
+        family: Some("chain1d".to_string()),
     }
 }
 

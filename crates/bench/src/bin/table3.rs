@@ -28,6 +28,10 @@ fn mean_summary(list: &[MetricSummary]) -> MetricSummary {
         class_accuracy: list.iter().map(|s| s.class_accuracy).sum::<f64>() / n,
         mean_iou: list.iter().map(|s| s.mean_iou).sum::<f64>() / n,
         center_error_nm: list.iter().map(|s| s.center_error_nm).sum::<f64>() / n,
+        skipped: list.iter().map(|s| s.skipped).sum(),
+        // Per-seed slice aggregates don't average meaningfully here; the
+        // table reports the paper's aggregate axes only.
+        slices: Vec::new(),
     }
 }
 

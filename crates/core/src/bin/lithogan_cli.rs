@@ -20,10 +20,11 @@ use litho_dataset::{generate, load_dataset, save_dataset, Dataset, DatasetConfig
 use litho_health::DiagnosisKind;
 use litho_layout::image::{overlay_panel, write_ppm};
 use litho_ledger::{
-    dashboard_svg, fingerprint_file, flamegraph_svg, fmt_unix, fold_lines, gate, health_svg,
-    load_index, load_run, reindex, render_attribution, render_compare, render_health,
-    render_report, render_snapshot, render_trend, trend, trend_svg, validate_run_id, Baseline,
-    DatasetInfo, RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
+    dashboard_svg, diff_eval, fingerprint_file, flamegraph_svg, fmt_unix, fold_lines, gate,
+    health_svg, load_index, load_run, reindex, render_attribution, render_compare,
+    render_diff_eval, render_health, render_report, render_snapshot, render_trend, render_triage,
+    slice_metric_key, trend, trend_svg, triage_svg, validate_run_id, Baseline, DatasetInfo,
+    RunData, RunLedger, TrendConfig, WatchConfig, WatchSession,
 };
 use litho_metrics::MetricAccumulator;
 use litho_sim::ProcessConfig;
@@ -69,6 +70,10 @@ enum Command {
     Report {
         run: String,
     },
+    Triage {
+        run: String,
+        worst: usize,
+    },
     Profile {
         run: String,
         top: usize,
@@ -93,11 +98,18 @@ enum Command {
     },
     RunsTrend {
         metrics: String,
+        slice: Option<String>,
         last: Option<usize>,
         gate: bool,
         tol_pct: Option<f64>,
         drift_runs: Option<usize>,
         out: Option<String>,
+    },
+    RunsDiffEval {
+        a: String,
+        b: String,
+        gate: bool,
+        tol_pct: Option<f64>,
     },
     RunsGc {
         keep: usize,
@@ -140,11 +152,13 @@ fn usage() -> String {
          lithogan-cli eval     --data FILE --model FILE\n  \
          lithogan-cli predict  --data FILE --model FILE --index I --out-dir DIR\n  \
          lithogan-cli report   <run-id|run-dir>\n  \
+         lithogan-cli triage   <run-id|run-dir> [--worst K]\n  \
          lithogan-cli profile  <run-id|run-dir> [--top N]\n  \
          lithogan-cli health   <run-id|run-dir> [--fail-on LIST]\n  \
          lithogan-cli compare  <run-a> [<run-b>] [--gate FILE] [--tol-pct N] [--write-baseline FILE]\n  \
          lithogan-cli runs     ls [--status S] [--command C] [--dataset FP] [--last N] [--json]\n  \
-         lithogan-cli runs     trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P] [--out FILE]\n  \
+         lithogan-cli runs     trend <metric[,metric...]> [--slice family=F] [--last N] [--gate] [--tol-pct P] [--out FILE]\n  \
+         lithogan-cli runs     diff-eval <run-a> <run-b> [--gate] [--tol-pct P]\n  \
          lithogan-cli runs     gc --keep N [--baseline FILE]\n  \
          lithogan-cli reindex\n  \
          lithogan-cli alerts   [--rules FILE] [--gate] [--json]\n  \
@@ -219,6 +233,18 @@ fn command_help(cmd: &str) -> String {
              histogram, stage latency). The argument is a directory path or a\n\
              run id resolved under --runs-root."
         }
+        "triage" => {
+            "lithogan-cli triage <run-id|run-dir> [--worst K]\n\n\
+             Ranks a run's per-sample records by EDE — contours that vanished\n\
+             outrank every numeric error — and prints the worst K as a table\n\
+             (sample index, clip fingerprint, family, mean and per-edge EDE).\n\
+             Also writes runs/<id>/triage.svg: a self-contained gallery with\n\
+             one schematic panel per clip (mask target, golden contour,\n\
+             predicted contour displaced by the recorded per-edge EDE).\n\
+             Legacy records without clip identity still rank; their clip and\n\
+             family columns show \"-\".\n\n  \
+             --worst K       panels/rows to show (default 10)"
+        }
         "profile" => {
             "lithogan-cli profile <run-id|run-dir> [--top N]\n\n\
              Folds a run's trace.jsonl into a self-time profile: writes\n\
@@ -245,8 +271,9 @@ fn command_help(cmd: &str) -> String {
         }
         "runs" => {
             "lithogan-cli runs ls    [--status S] [--command C] [--dataset FP] [--last N] [--json]\n\
-             lithogan-cli runs trend <metric[,metric...]> [--last N] [--gate] [--tol-pct P]\n                         \
-             [--drift-runs N] [--out FILE]\n\
+             lithogan-cli runs trend <metric[,metric...]> [--slice family=F] [--last N] [--gate]\n                         \
+             [--tol-pct P] [--drift-runs N] [--out FILE]\n\
+             lithogan-cli runs diff-eval <run-a> <run-b> [--gate] [--tol-pct P]\n\
              lithogan-cli runs gc    --keep N [--baseline FILE]\n\n\
              Fleet-level views over the append-only runs index\n\
              (<runs-root>/index.jsonl, maintained by every finalizing run;\n\
@@ -265,7 +292,17 @@ fn command_help(cmd: &str) -> String {
              Drift detection is streak-based: a run is off when beyond\n                   \
              --tol-pct (default 10) of the fleet median, and --drift-runs\n                   \
              (default 2) consecutive off runs confirm a drift.\n  \
+             --slice family=F  trend the per-family slice of each metric\n                  \
+             (e.g. ede_mean_nm restricted to chain1d clips); runs\n                  \
+             without that slice abstain rather than read as zero\n  \
              --gate          exit nonzero when a drift is confirmed (CI)\n\n\
+             diff-eval  join two runs' samples.jsonl by clip fingerprint and\n                   \
+             bucket every shared clip: regressed / improved /\n                   \
+             unchanged vs --tol-pct (default 10), plus clips only one\n                   \
+             run evaluated (new / missing). Records without\n                   \
+             fingerprints (legacy ledgers) are counted but can't join.\n  \
+             --tol-pct P     allowed per-clip EDE growth in percent\n  \
+             --gate          exit nonzero when any clip regressed (CI)\n\n\
              gc    remove all but the newest --keep N run directories, never\n                   \
              touching running runs or the run recorded in the baseline\n                   \
              (--baseline FILE, default ci/baseline.json when present),\n                   \
@@ -286,9 +323,10 @@ fn command_help(cmd: &str) -> String {
              (pending -> firing -> resolved, deduplicated by fingerprint) to\n\
              <runs-root>/alerts.jsonl. Rules come from --rules FILE, else\n\
              <runs-root>/alerts.toml, else a built-in set (page on unhealthy\n\
-             runs, warn on ede_mean_nm drift and stalled runs). See\n\
-             `help alerts-rules`-style docs in DESIGN.md §4g for the rule\n\
-             schema (threshold / drift / health / stale).\n\n  \
+             runs, warn on ede_mean_nm drift — aggregate and per-family —\n\
+             and stalled runs). See `help alerts-rules`-style docs in\n\
+             DESIGN.md §4g for the rule schema (threshold / drift /\n\
+             slice_drift / health / stale).\n\n  \
              --rules FILE    alert rule config (TOML subset)\n  \
              --gate          exit nonzero while any alert is firing (CI)\n  \
              --json          also print active alerts as JSONL records\n\n\
@@ -510,6 +548,17 @@ fn parse(args: &[String]) -> Result<Command> {
                 _ => Err(bad("report takes exactly one <run-id|run-dir>")),
             }
         }
+        Some("triage") => {
+            let pos = positionals();
+            match pos.as_slice() {
+                [run] => Ok(Command::Triage {
+                    run: run.clone(),
+                    worst: get("--worst")
+                        .map_or(Ok(10), |v| v.parse().map_err(|_| bad("--worst")))?,
+                }),
+                _ => Err(bad("triage takes exactly one <run-id|run-dir>")),
+            }
+        }
         Some("profile") => {
             let pos = positionals();
             match pos.as_slice() {
@@ -571,6 +620,7 @@ fn parse(args: &[String]) -> Result<Command> {
                 };
                 Ok(Command::RunsTrend {
                     metrics,
+                    slice: get("--slice"),
                     last: get("--last")
                         .map(|v| v.parse().map_err(|_| bad("--last")))
                         .transpose()?,
@@ -584,6 +634,22 @@ fn parse(args: &[String]) -> Result<Command> {
                     out: get("--out"),
                 })
             }
+            Some("diff-eval") => {
+                // `--gate` is boolean here, like in `runs trend`.
+                let pos = positionals_with(&["augment", "help", "health", "gate"]);
+                let (a, b) = match pos.as_slice() {
+                    [_, a, b] => (a.clone(), b.clone()),
+                    _ => return Err(bad("runs diff-eval takes <run-a> <run-b>")),
+                };
+                Ok(Command::RunsDiffEval {
+                    a,
+                    b,
+                    gate: has("--gate"),
+                    tol_pct: get("--tol-pct")
+                        .map(|v| v.parse().map_err(|_| bad("--tol-pct")))
+                        .transpose()?,
+                })
+            }
             Some("gc") => Ok(Command::RunsGc {
                 keep: get("--keep")
                     .ok_or_else(|| bad("runs gc requires --keep N"))?
@@ -591,7 +657,7 @@ fn parse(args: &[String]) -> Result<Command> {
                     .map_err(|_| bad("--keep"))?,
                 baseline: get("--baseline"),
             }),
-            _ => Err(bad("runs takes a subcommand: ls, trend or gc")),
+            _ => Err(bad("runs takes a subcommand: ls, trend, diff-eval or gc")),
         },
         Some("reindex") => Ok(Command::Reindex),
         Some("alerts") => Ok(Command::Alerts {
@@ -635,10 +701,14 @@ impl Command {
             Command::Eval { .. } => "eval",
             Command::Predict { .. } => "predict",
             Command::Report { .. } => "report",
+            Command::Triage { .. } => "triage",
             Command::Profile { .. } => "profile",
             Command::Health { .. } => "health",
             Command::Compare { .. } => "compare",
-            Command::RunsLs { .. } | Command::RunsTrend { .. } | Command::RunsGc { .. } => "runs",
+            Command::RunsLs { .. }
+            | Command::RunsTrend { .. }
+            | Command::RunsDiffEval { .. }
+            | Command::RunsGc { .. } => "runs",
             Command::Reindex => "reindex",
             Command::Alerts { .. } => "alerts",
             Command::Watch { .. } => "watch",
@@ -843,7 +913,14 @@ fn eval_into_ledger(
     }
     for (i, (prediction, s)) in predictions.iter().zip(samples).enumerate() {
         litho_telemetry::set_sample_id(Some(i as u64));
-        let record = acc.add_pair(prediction, &s.golden)?;
+        // Clip identity rides every record so `triage` / `runs diff-eval`
+        // can join this run against any other run of the same dataset.
+        let record = acc.add_pair_identified(
+            prediction,
+            &s.golden,
+            &s.clip.fingerprint(),
+            s.family.name(),
+        )?;
         if let Some(ledger) = ledger {
             ledger.append_record(&record).map_err(io_err)?;
         }
@@ -987,6 +1064,15 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
                 "test samples {}\nEDE        {:.2} ± {:.2} nm\npixel acc  {:.4}\nclass acc  {:.4}\nmean IoU   {:.4}\ncentre err {:.2} nm",
                 s.samples, s.ede_mean_nm, s.ede_std_nm, s.pixel_accuracy, s.class_accuracy, s.mean_iou, s.center_error_nm
             );
+            for sl in &s.slices {
+                let ede = sl
+                    .ede_mean_nm
+                    .map_or("-".to_string(), |v| format!("{v:.2} nm"));
+                println!(
+                    "  {:<9} {:>4} samples, EDE {ede}, mIoU {:.4}",
+                    sl.family, sl.samples, sl.mean_iou
+                );
+            }
             Ok(())
         }
         Command::Predict {
@@ -1009,7 +1095,12 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             litho_telemetry::set_sample_id(None);
             if let Some(ledger) = ledger {
                 let mut acc = MetricAccumulator::new(ds.config.golden_nm_per_px());
-                let record = acc.add_pair(&p.adjusted, &sample.golden)?;
+                let record = acc.add_pair_identified(
+                    &p.adjusted,
+                    &sample.golden,
+                    &sample.clip.fingerprint(),
+                    sample.family.name(),
+                )?;
                 ledger.append_record(&record).map_err(io_err)?;
             }
             std::fs::create_dir_all(&out_dir).map_err(io_err)?;
@@ -1032,6 +1123,23 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             let svg_path = data.dir.join("dashboard.svg");
             std::fs::write(&svg_path, dashboard_svg(&data)).map_err(io_err)?;
             println!("dashboard:  {}", svg_path.display());
+            Ok(())
+        }
+        Command::Triage { run, worst } => {
+            let data = resolve_run(&run, &opts.runs_root)?;
+            print!(
+                "{}",
+                render_triage(&data.manifest.run_id, &data.records, worst)
+            );
+            let nm_per_px = data
+                .manifest
+                .dataset
+                .as_ref()
+                .map_or(1.0, |d| d.nm_per_px);
+            let svg_path = data.dir.join("triage.svg");
+            let svg = triage_svg(&data.manifest.run_id, &data.records, worst, nm_per_px);
+            std::fs::write(&svg_path, svg).map_err(io_err)?;
+            println!("gallery:    {}", svg_path.display());
             Ok(())
         }
         Command::Profile { run, top } => {
@@ -1197,6 +1305,7 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
         }
         Command::RunsTrend {
             metrics,
+            slice,
             last,
             gate: gate_on,
             tol_pct,
@@ -1218,9 +1327,23 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
             if let Some(n) = drift_runs {
                 cfg.drift_runs = n.max(1);
             }
+            // `--slice family=F` redirects every metric to its per-family
+            // slice key; runs without that slice simply have no value for
+            // the key, so they abstain from the trend and its drift gate.
+            let family = match &slice {
+                Some(spec) => match spec.strip_prefix("family=") {
+                    Some(f) if !f.is_empty() => Some(f.to_string()),
+                    _ => return Err(bad("--slice takes family=<name>")),
+                },
+                None => None,
+            };
             let mut trends = Vec::new();
             for metric in metrics.split(',').map(str::trim).filter(|m| !m.is_empty()) {
-                let t = trend(&records, metric, last, &cfg);
+                let key = match &family {
+                    Some(f) => slice_metric_key(metric, f),
+                    None => metric.to_string(),
+                };
+                let t = trend(&records, &key, last, &cfg);
                 print!("{}", render_trend(&t));
                 trends.push(t);
             }
@@ -1243,6 +1366,30 @@ fn run(cmd: Command, opts: &GlobalOpts, ledger: &mut Option<RunLedger>) -> Resul
                     )));
                 }
                 println!("trend gate: PASS");
+            }
+            Ok(())
+        }
+        Command::RunsDiffEval {
+            a,
+            b,
+            gate: gate_on,
+            tol_pct,
+        } => {
+            let run_a = resolve_run(&a, &opts.runs_root)?;
+            let run_b = resolve_run(&b, &opts.runs_root)?;
+            let d = diff_eval(
+                &run_a.manifest.run_id,
+                &run_a.records,
+                &run_b.manifest.run_id,
+                &run_b.records,
+                tol_pct.unwrap_or(10.0),
+            );
+            print!("{}", render_diff_eval(&d));
+            if gate_on && !d.gate_passed() {
+                return Err(bad(format!(
+                    "diff-eval gate failed: {} clip(s) regressed",
+                    d.regressed.len()
+                )));
             }
             Ok(())
         }
@@ -1692,6 +1839,7 @@ mod tests {
             t,
             Command::RunsTrend {
                 metrics: "ede_mean_nm,mean_iou".into(),
+                slice: None,
                 last: Some(10),
                 gate: true,
                 tol_pct: Some(7.5),
@@ -1701,6 +1849,15 @@ mod tests {
         );
         assert!(!t.records_run());
         assert_eq!(t.name(), "runs");
+        // --slice keeps the metric positional.
+        match parse(&strs(&["runs", "trend", "ede_mean_nm", "--slice", "family=chain1d"])).unwrap()
+        {
+            Command::RunsTrend { metrics, slice, .. } => {
+                assert_eq!(metrics, "ede_mean_nm");
+                assert_eq!(slice.as_deref(), Some("family=chain1d"));
+            }
+            other => panic!("expected runs trend, got {other:?}"),
+        }
         assert_eq!(
             parse(&strs(&["runs", "gc", "--keep", "3"])).unwrap(),
             Command::RunsGc {
@@ -1712,6 +1869,49 @@ mod tests {
         assert!(parse(&strs(&["runs"])).is_err());
         assert!(parse(&strs(&["runs", "trend"])).is_err());
         assert!(parse(&strs(&["runs", "gc"])).is_err());
+    }
+
+    #[test]
+    fn parses_triage_and_diff_eval() {
+        let cmd = parse(&strs(&["triage", "train-1-2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Triage {
+                run: "train-1-2".into(),
+                worst: 10,
+            }
+        );
+        assert!(!cmd.records_run());
+        assert_eq!(cmd.name(), "triage");
+        assert_eq!(
+            parse(&strs(&["triage", "r", "--worst", "3"])).unwrap(),
+            Command::Triage {
+                run: "r".into(),
+                worst: 3,
+            }
+        );
+        assert!(parse(&strs(&["triage"])).is_err());
+        assert!(parse(&strs(&["triage", "a", "b"])).is_err());
+        assert!(parse(&strs(&["triage", "r", "--worst", "x"])).is_err());
+
+        // --gate is boolean in diff-eval: both runs stay positional.
+        let cmd = parse(&strs(&[
+            "runs", "diff-eval", "run-a", "run-b", "--gate", "--tol-pct", "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::RunsDiffEval {
+                a: "run-a".into(),
+                b: "run-b".into(),
+                gate: true,
+                tol_pct: Some(5.0),
+            }
+        );
+        assert!(!cmd.records_run());
+        assert_eq!(cmd.name(), "runs");
+        assert!(parse(&strs(&["runs", "diff-eval", "a"])).is_err());
+        assert!(parse(&strs(&["runs", "diff-eval", "a", "b", "c"])).is_err());
     }
 
     #[test]
@@ -1863,8 +2063,8 @@ mod tests {
         assert!(usage().contains("--runs-root"));
         // Every per-command help mentions the global observability flags.
         for cmd in [
-            "generate", "train", "eval", "predict", "report", "profile", "health", "compare",
-            "runs", "reindex", "alerts", "watch", "dash",
+            "generate", "train", "eval", "predict", "report", "triage", "profile", "health",
+            "compare", "runs", "reindex", "alerts", "watch", "dash",
         ] {
             let text = command_help(cmd);
             assert!(text.contains("--trace"), "{cmd} help lacks --trace");

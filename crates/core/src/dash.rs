@@ -9,13 +9,17 @@
 //!   dash's own request accounting;
 //! * `GET /api/runs`, `GET /api/runs/<id>` — JSON over the same
 //!   [`litho_ledger::IndexRecord`] serializer as `runs ls --json`;
+//! * `GET /api/eval/<id>` — eval forensics for one run: the aggregate
+//!   metric summary, per-clip-family slices and the worst-clip ranking,
+//!   rebuilt from `samples.jsonl` on demand. Absent values are absent
+//!   fields, never `NaN`;
 //! * `GET /api/alerts` — evaluates the fleet's alert rules on demand
 //!   (same engine as `lithogan_cli alerts`), persists any state
 //!   transitions to `runs/alerts.jsonl`, and returns the active alerts
 //!   as JSON; the fleet page shows firing alerts as a banner and
 //!   `/metrics` exposes them as `lithogan_alerts_*` families;
-//! * `GET /runs/<id>/{dashboard,health,trend,flamegraph}.svg` — the
-//!   ledger renderers, invoked on demand;
+//! * `GET /runs/<id>/{dashboard,triage,health,trend,flamegraph}.svg` —
+//!   the ledger renderers, invoked on demand;
 //! * `POST /shutdown` — clean stop (what tests and the CI smoke use).
 //!
 //! The daemon itself is a ledger run: request counts and latency go
@@ -40,9 +44,10 @@ use litho_http::{Request, Response, Server, ShutdownHandle};
 use litho_ledger::json::Json;
 use litho_ledger::{
     dashboard_svg, flamegraph_svg, fleet_html, health_svg, load_index, load_run,
-    prometheus_exposition, trend, trend_svg, validate_run_id, DashSelfMetrics, IndexRecord,
-    LatencySummary, LiveTails, TrendConfig, DASH_TREND_METRICS,
+    prometheus_exposition, rank_worst, trend, trend_svg, triage_svg, validate_run_id,
+    DashSelfMetrics, IndexRecord, LatencySummary, LiveTails, TrendConfig, DASH_TREND_METRICS,
 };
+use litho_metrics::MetricSummary;
 
 /// `Content-Type` of the Prometheus text exposition format.
 const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
@@ -184,6 +189,9 @@ fn route(state: &DashState, req: &Request) -> Response {
         ("GET", "/api/alerts") => api_alerts(state),
         ("GET", path) if path.starts_with("/api/runs/") => {
             api_run(state, &path["/api/runs/".len()..])
+        }
+        ("GET", path) if path.starts_with("/api/eval/") => {
+            api_eval(state, &path["/api/eval/".len()..])
         }
         ("GET", path) if path.starts_with("/runs/") => artifact(state, &path["/runs/".len()..]),
         ("GET", path) => Response::not_found(path),
@@ -331,7 +339,7 @@ fn api_run(state: &DashState, id: &str) -> Response {
         return Response::not_found(&format!("run {id}"));
     }
     let artifacts = Json::Obj(
-        ["dashboard", "health", "trend", "flamegraph"]
+        ["dashboard", "triage", "health", "trend", "flamegraph"]
             .iter()
             .map(|kind| {
                 (
@@ -350,6 +358,89 @@ fn api_run(state: &DashState, id: &str) -> Response {
     Response::ok("application/json; charset=utf-8", body.to_string_compact())
 }
 
+/// Serializes a metric summary for `/api/eval/<id>`. Absent box metrics
+/// (an all-skipped slice) become absent fields, never `NaN`.
+fn summary_json(s: &MetricSummary) -> Json {
+    let num = |v: f64| Json::Num(if v.is_finite() { v } else { 0.0 });
+    let mut slices = Vec::with_capacity(s.slices.len());
+    for slice in &s.slices {
+        let mut obj = vec![
+            ("family".to_string(), Json::Str(slice.family.clone())),
+            ("samples".to_string(), num(slice.samples as f64)),
+            ("skipped".to_string(), num(slice.skipped as f64)),
+        ];
+        if let Some(v) = slice.ede_mean_nm {
+            obj.push(("ede_mean_nm".to_string(), num(v)));
+        }
+        if let Some(v) = slice.center_error_nm {
+            obj.push(("center_error_nm".to_string(), num(v)));
+        }
+        obj.push(("pixel_accuracy".to_string(), num(slice.pixel_accuracy)));
+        obj.push(("class_accuracy".to_string(), num(slice.class_accuracy)));
+        obj.push(("mean_iou".to_string(), num(slice.mean_iou)));
+        slices.push(Json::Obj(obj));
+    }
+    Json::Obj(vec![
+        ("samples".to_string(), num(s.samples as f64)),
+        ("skipped".to_string(), num(s.skipped as f64)),
+        ("ede_mean_nm".to_string(), num(s.ede_mean_nm)),
+        ("ede_std_nm".to_string(), num(s.ede_std_nm)),
+        (
+            "ede_edge_mean_nm".to_string(),
+            Json::Arr(s.ede_edge_mean_nm.iter().map(|v| num(*v)).collect()),
+        ),
+        ("pixel_accuracy".to_string(), num(s.pixel_accuracy)),
+        ("class_accuracy".to_string(), num(s.class_accuracy)),
+        ("mean_iou".to_string(), num(s.mean_iou)),
+        ("center_error_nm".to_string(), num(s.center_error_nm)),
+        ("slices".to_string(), Json::Arr(slices)),
+    ])
+}
+
+/// `GET /api/eval/<id>` — per-run eval forensics: aggregate summary,
+/// per-family slices and the worst-clip ranking, from `samples.jsonl`.
+fn api_eval(state: &DashState, id: &str) -> Response {
+    if let Err(e) = validate_run_id(id) {
+        return Response::bad_request(&e.to_string());
+    }
+    let data = match load_run(&state.runs_root.join(id)) {
+        Ok(data) => data,
+        Err(e) => return Response::not_found(&format!("run {id}: {e}")),
+    };
+    let num = |v: f64| Json::Num(v);
+    let mut worst = Vec::new();
+    for r in rank_worst(&data.records, 10) {
+        let mut obj = vec![("sample".to_string(), num(r.sample as f64))];
+        if let Some(fp) = &r.clip_fingerprint {
+            obj.push(("clip_fingerprint".to_string(), Json::Str(fp.clone())));
+        }
+        if let Some(family) = &r.family {
+            obj.push(("family".to_string(), Json::Str(family.clone())));
+        }
+        if let Some(v) = r.ede_mean_nm {
+            obj.push(("ede_mean_nm".to_string(), num(v)));
+        }
+        worst.push(Json::Obj(obj));
+    }
+    let body = Json::Obj(vec![
+        ("run_id".to_string(), Json::Str(id.to_string())),
+        (
+            "summary".to_string(),
+            data.summary.as_ref().map_or(Json::Null, summary_json),
+        ),
+        ("worst".to_string(), Json::Arr(worst)),
+        (
+            "skipped_records".to_string(),
+            num(data.skipped_records as f64),
+        ),
+        (
+            "triage_svg".to_string(),
+            Json::Str(format!("/runs/{id}/triage.svg")),
+        ),
+    ]);
+    Response::ok("application/json; charset=utf-8", body.to_string_compact())
+}
+
 /// `GET /runs/<id>/<kind>.svg` — render one run view on demand.
 fn artifact(state: &DashState, rest: &str) -> Response {
     let Some((id, file)) = rest.split_once('/') else {
@@ -362,6 +453,20 @@ fn artifact(state: &DashState, rest: &str) -> Response {
     match file {
         "dashboard.svg" => match load_run(&dir) {
             Ok(data) => Response::ok("image/svg+xml", dashboard_svg(&data)),
+            Err(e) => Response::not_found(&format!("run {id}: {e}")),
+        },
+        "triage.svg" => match load_run(&dir) {
+            Ok(data) => {
+                let nm_per_px = data
+                    .manifest
+                    .dataset
+                    .as_ref()
+                    .map_or(1.0, |d| d.nm_per_px);
+                Response::ok(
+                    "image/svg+xml",
+                    triage_svg(id, &data.records, 10, nm_per_px),
+                )
+            }
             Err(e) => Response::not_found(&format!("run {id}: {e}")),
         },
         "health.svg" => match load_run(&dir) {

@@ -195,6 +195,22 @@ fn dash_serves_every_route_over_the_fixture_fleet() {
     let (status, svg) = get(&addr, "/runs/train-1700000100-1/trend.svg");
     assert_eq!(status, 200);
     assert!(svg.starts_with("<svg"), "{svg}");
+    let (status, svg) = get(&addr, "/runs/train-1700000100-1/triage.svg");
+    assert_eq!(status, 200);
+    assert!(svg.starts_with("<svg"), "{svg}");
+    assert!(svg.contains("train-1700000100-1"), "{svg}");
+
+    // Eval forensics API: summary + per-family slices + worst clips.
+    let (status, body) = get(&addr, "/api/eval/train-1700000100-1");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"summary\""), "{body}");
+    assert!(body.contains("\"slices\""), "{body}");
+    assert!(body.contains("\"worst\""), "{body}");
+    assert!(body.contains("\"clip_fingerprint\":\"00000000deadbee0\""), "{body}");
+    assert!(body.contains("/runs/train-1700000100-1/triage.svg"), "{body}");
+    assert!(!body.contains("NaN"), "absent slice metrics must be absent:\n{body}");
+    assert_eq!(get(&addr, "/api/eval/no-such-run").0, 404);
+    assert_eq!(get(&addr, "/api/eval/../secrets").0, 400);
     // Fixture runs carry no health.jsonl / trace.jsonl.
     assert_eq!(get(&addr, "/runs/train-1700000100-1/health.svg").0, 404);
     assert_eq!(get(&addr, "/runs/train-1700000100-1/flamegraph.svg").0, 404);

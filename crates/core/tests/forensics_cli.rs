@@ -1,0 +1,201 @@
+//! End-to-end tests for the eval-forensics surfaces: `triage` (ranked
+//! table + SVG gallery), `runs diff-eval` pinned by a committed golden
+//! with its `--gate` contract, and ledger back-compat — samples.jsonl
+//! lines written before clip identity existed must still load with the
+//! identity fields absent, and still count in diff-eval as unjoinable.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use litho_ledger::load_run;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lithogan_cli"))
+}
+
+/// Fresh scratch directory per call; std-only stand-in for tempfile.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lithogan-forensics-cli-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+fn fixture(set: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/fleet")
+        .join(set)
+}
+
+/// Copies the clean + regressed fixture fleets into one runs root.
+fn fixture_fleet(tag: &str) -> PathBuf {
+    let runs = scratch(tag).join("runs");
+    copy_tree(&fixture("clean"), &runs);
+    copy_tree(&fixture("regressed"), &runs);
+    runs
+}
+
+/// The diff-eval table over the committed fixture runs, pinned by a
+/// golden: clean tip vs regressed tip share two clips (both regressed)
+/// and the regressed run evaluates one clip the clean run never saw.
+/// `BLESS=1 cargo test -p lithogan --test forensics_cli` regenerates it.
+#[test]
+fn diff_eval_table_matches_the_committed_golden() {
+    let runs = fixture_fleet("diff-golden");
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["runs", "diff-eval", "train-1700000400-4", "train-1700000600-6"])
+        .output()
+        .unwrap();
+    // Without --gate a regression is reported, not fatal.
+    let text = run_ok(&out);
+
+    let golden_path = fixture("diff_eval.golden.txt");
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden_path, &text).unwrap();
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert_eq!(
+        text, golden,
+        "diff-eval output drifted from {}; if intentional, update the golden",
+        golden_path.display()
+    );
+
+    // Spot-check the semantics the golden encodes.
+    assert!(text.contains("gate: FAIL"), "{text}");
+    assert!(text.contains("00000000deadbee2"), "new clip missing:\n{text}");
+    assert!(!text.contains("NaN"), "{text}");
+}
+
+#[test]
+fn diff_eval_gate_fails_on_regression_and_passes_clean() {
+    let runs = fixture_fleet("diff-gate");
+
+    // clean tip -> regressed tip: every shared clip grew past 10%.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["runs", "diff-eval", "train-1700000400-4", "train-1700000600-6", "--gate"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "gate must fail on a regressed pair");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("diff-eval gate failed"), "stderr:\n{stderr}");
+
+    // Two clean runs with identical per-clip EDE: gate passes.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["runs", "diff-eval", "train-1700000100-1", "train-1700000400-4", "--gate"])
+        .output()
+        .unwrap();
+    let text = run_ok(&out);
+    assert!(text.contains("gate: PASS"), "{text}");
+
+    // A generous tolerance waves the regressed pair through.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args([
+            "runs", "diff-eval", "train-1700000400-4", "train-1700000600-6",
+            "--gate", "--tol-pct", "90",
+        ])
+        .output()
+        .unwrap();
+    assert!(run_ok(&out).contains("gate: PASS"));
+}
+
+/// Ledger back-compat: `train-1700000200-2` is committed with
+/// pre-identity samples.jsonl lines. They must parse with the identity
+/// fields absent (None, not empty strings), aggregate normally, and
+/// surface in diff-eval as unjoinable rather than erroring.
+#[test]
+fn legacy_samples_without_identity_still_load() {
+    let runs = fixture_fleet("legacy");
+    let data = load_run(&runs.join("train-1700000200-2")).unwrap();
+    assert_eq!(data.records.len(), 2);
+    for rec in &data.records {
+        assert!(rec.clip_fingerprint.is_none(), "legacy line grew a fingerprint");
+        assert!(rec.family.is_none(), "legacy line grew a family");
+        // Round-trip keeps the legacy shape: no identity keys at all.
+        let line = rec.to_jsonl();
+        assert!(!line.contains("clip_fingerprint"), "{line}");
+        assert!(!line.contains("\"family\""), "{line}");
+    }
+    // The aggregate is oblivious to missing identity...
+    let summary = data.summary.expect("legacy run still aggregates");
+    assert!((summary.ede_mean_nm - 3.1).abs() < 1e-9);
+    // ...but no slice can exist without families.
+    assert!(summary.slices.is_empty());
+
+    // diff-eval against an identified run: nothing joins, and the
+    // legacy side's records are counted instead of silently dropped.
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["runs", "diff-eval", "train-1700000200-2", "train-1700000100-1"])
+        .output()
+        .unwrap();
+    let text = run_ok(&out);
+    assert!(text.contains("unjoinable records"), "{text}");
+    assert!(text.contains("2 in A"), "{text}");
+    assert!(text.contains("gate: PASS"), "{text}");
+}
+
+/// `triage` over a fixture run: ranked table on stdout and a
+/// well-formed, self-contained SVG gallery on disk.
+#[test]
+fn triage_renders_table_and_svg_gallery() {
+    let runs = fixture_fleet("triage");
+    let out = cli()
+        .args(["--runs-root"])
+        .arg(&runs)
+        .args(["triage", "train-1700000600-6", "--worst", "2"])
+        .output()
+        .unwrap();
+    let text = run_ok(&out);
+    assert!(text.contains("worst 2 of 3 samples"), "{text}");
+    assert!(text.contains("00000000deadbee0"), "{text}");
+    assert!(text.contains("isolated"), "{text}");
+
+    let svg_path = runs.join("train-1700000600-6").join("triage.svg");
+    assert!(text.contains("triage.svg"), "gallery path not announced:\n{text}");
+    let svg = fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg "), "not an svg: {}", &svg[..svg.len().min(80)]);
+    assert!(svg.trim_end().ends_with("</svg>"), "truncated svg");
+    assert!(svg.contains("train-1700000600-6"), "run id missing from gallery");
+    assert!(!svg.contains("NaN"), "gallery leaked a NaN");
+    // Self-contained: no external fetches from the gallery.
+    assert!(!svg.contains("href="), "gallery must not reference external resources");
+}

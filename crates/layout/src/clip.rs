@@ -79,6 +79,36 @@ impl Clip {
         false
     }
 
+    /// Stable FNV-1a fingerprint of the clip geometry, formatted like the
+    /// run-ledger dataset fingerprint (`{hash:016x}`). Two clips share a
+    /// fingerprint iff their drawn geometry is bit-identical, which is
+    /// what lets eval tooling join per-clip records across runs.
+    pub fn fingerprint(&self) -> String {
+        fn eat(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= b as u64;
+                *hash = hash.wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+        fn rect(hash: &mut u64, r: &Rect) {
+            for v in [r.x0, r.y0, r.x1, r.y1] {
+                eat(hash, &v.to_le_bytes());
+            }
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        eat(&mut hash, &self.extent_nm.to_le_bytes());
+        rect(&mut hash, &self.target);
+        eat(&mut hash, &(self.neighbors.len() as u32).to_le_bytes());
+        for r in &self.neighbors {
+            rect(&mut hash, r);
+        }
+        eat(&mut hash, &(self.srafs.len() as u32).to_le_bytes());
+        for r in &self.srafs {
+            rect(&mut hash, r);
+        }
+        format!("{hash:016x}")
+    }
+
     /// Returns a copy cropped to the central `crop_nm` window, with
     /// coordinates rebased so the crop's top-left is the new origin.
     /// Shapes entirely outside the window are dropped; straddling shapes
@@ -142,6 +172,21 @@ mod tests {
         clip.neighbors
             .push(Rect::centered_square(1030.0, 1024.0, 60.0));
         assert!(clip.has_overlaps());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_geometry_sensitive() {
+        let clip = sample_clip();
+        let fp = clip.fingerprint();
+        assert_eq!(fp.len(), 16);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(fp, sample_clip().fingerprint(), "same geometry, same id");
+        let mut moved = sample_clip();
+        moved.target = Rect::centered_square(1025.0, 1024.0, 60.0);
+        assert_ne!(fp, moved.fingerprint());
+        let mut extra = sample_clip();
+        extra.srafs.push(Rect::centered(900.0, 900.0, 100.0, 30.0));
+        assert_ne!(fp, extra.fingerprint());
     }
 
     #[test]

@@ -26,6 +26,21 @@ impl ClipFamily {
         ClipFamily::Chain1d,
         ClipFamily::Array2d,
     ];
+
+    /// Stable lowercase tag used wherever a family is serialized (sample
+    /// records, slice metric keys, Prometheus labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ClipFamily::Isolated => "isolated",
+            ClipFamily::Chain1d => "chain1d",
+            ClipFamily::Array2d => "array2d",
+        }
+    }
+
+    /// Inverse of [`Self::name`].
+    pub fn from_name(name: &str) -> Option<ClipFamily> {
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
 }
 
 /// Generates random contact-layer clips for a process node.
@@ -142,6 +157,14 @@ mod tests {
 
     fn generator() -> ClipGenerator {
         ClipGenerator::new(&ProcessConfig::n10())
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in ClipFamily::ALL {
+            assert_eq!(ClipFamily::from_name(family.name()), Some(family));
+        }
+        assert_eq!(ClipFamily::from_name("no-such-family"), None);
     }
 
     #[test]

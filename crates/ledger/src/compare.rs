@@ -14,10 +14,12 @@ use std::path::Path;
 use crate::json::Json;
 use crate::report::{fmt_us, metric_rows, RunData};
 
-/// Is a larger value of this metric an improvement?
+/// Is a larger value of this metric an improvement? Slice-qualified keys
+/// (`ede_mean_nm{family=chain1d}`) follow their base metric.
 fn higher_is_better(key: &str) -> bool {
+    let base = crate::index::split_slice_key(key).map_or(key, |(metric, _)| metric);
     matches!(
-        key,
+        base,
         "pixel_accuracy" | "class_accuracy" | "mean_iou" | "samples_per_sec"
     )
 }
@@ -31,6 +33,12 @@ pub fn run_metrics(run: &RunData) -> Vec<(String, f64)> {
         out.push(("samples".to_string(), s.samples as f64));
         for (k, v) in metric_rows(s) {
             out.push((k.to_string(), v));
+        }
+        out.push(("skipped_pairs".to_string(), s.skipped as f64));
+        for slice in &s.slices {
+            if let Some(ede) = slice.ede_mean_nm {
+                out.push((crate::index::slice_metric_key("ede_mean_nm", &slice.family), ede));
+            }
         }
     }
     if let Some(wall) = run.manifest.wall_clock_s {

@@ -244,6 +244,46 @@ pub fn prometheus_exposition(
         }
     }
 
+    // Per-clip-family slices of the headline metrics, joined back out of
+    // the slice-qualified index keys (`ede_mean_nm{family=chain1d}`).
+    // Like the latest-metric family: newest run of the command that
+    // recorded the slice wins, and an absent slice emits no sample.
+    family(
+        &mut out,
+        "lithogan_slice_metric",
+        "gauge",
+        "Latest per-clip-family slice of a headline metric, per command.",
+    );
+    let mut commands: Vec<&str> = records.iter().map(|r| r.command.as_str()).collect();
+    commands.sort_unstable();
+    commands.dedup();
+    for command in commands {
+        let mut keys: Vec<&str> = records
+            .iter()
+            .filter(|r| r.command == command)
+            .flat_map(|r| r.metrics.iter().map(|(k, _)| k.as_str()))
+            .filter(|k| crate::index::split_slice_key(k).is_some())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let latest = records
+                .iter()
+                .rev()
+                .filter(|r| r.command == command)
+                .find_map(|r| r.metric(key));
+            if let Some(value) = latest {
+                let (metric, fam) = crate::index::split_slice_key(key).expect("filtered above");
+                sample(
+                    &mut out,
+                    "lithogan_slice_metric",
+                    &[("command", command), ("metric", metric), ("family", fam)],
+                    value,
+                );
+            }
+        }
+    }
+
     // Drift-detector state, same machinery as `runs trend --gate`.
     let drifts: Vec<_> = DASH_TREND_METRICS
         .iter()
@@ -438,7 +478,9 @@ pub fn fleet_html(
             rows,
             "<tr><td><code>{id}</code></td><td>{}</td><td>{}</td><td>{}</td>\
              <td><a href=\"/api/runs/{id}\">json</a> \
+             <a href=\"/api/eval/{id}\">eval</a> \
              <a href=\"/runs/{id}/dashboard.svg\">dashboard</a> \
+             <a href=\"/runs/{id}/triage.svg\">triage</a> \
              <a href=\"/runs/{id}/health.svg\">health</a> \
              <a href=\"/runs/{id}/trend.svg\">trend</a> \
              <a href=\"/runs/{id}/flamegraph.svg\">flamegraph</a></td></tr>",
@@ -522,6 +564,43 @@ mod tests {
             "absent metrics must be absent, not NaN: {text}"
         );
         assert!(!text.contains("command=\"eval\",metric=\"ede_mean_nm\""));
+    }
+
+    #[test]
+    fn slice_metrics_join_family_out_of_the_key() {
+        let records = vec![
+            rec(
+                "t1",
+                "train",
+                1,
+                "ok",
+                &[
+                    ("ede_mean_nm", 4.0),
+                    ("ede_mean_nm{family=isolated}", 3.0),
+                    ("ede_mean_nm{family=chain1d}", 5.0),
+                ],
+            ),
+            // Newest run lacks the chain1d slice (no chain1d clips in its
+            // split): the chain1d sample falls back to t1, never NaN.
+            rec(
+                "t2",
+                "train",
+                2,
+                "ok",
+                &[("ede_mean_nm", 4.5), ("ede_mean_nm{family=isolated}", 3.5)],
+            ),
+        ];
+        let text = prometheus_exposition(&records, &[], None, &TrendConfig::default());
+        assert!(text.contains("# TYPE lithogan_slice_metric gauge\n"), "{text}");
+        assert!(text.contains(
+            "lithogan_slice_metric{command=\"train\",metric=\"ede_mean_nm\",family=\"isolated\"} 3.5\n"
+        ));
+        assert!(text.contains(
+            "lithogan_slice_metric{command=\"train\",metric=\"ede_mean_nm\",family=\"chain1d\"} 5\n"
+        ));
+        assert!(!text.contains("NaN"));
+        // The aggregate key stays out of the slice family.
+        assert!(!text.contains("lithogan_slice_metric{command=\"train\",metric=\"ede_mean_nm\"} "));
     }
 
     #[test]

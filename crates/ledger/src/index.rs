@@ -214,16 +214,42 @@ pub fn load_index(root: &Path) -> io::Result<IndexParse> {
     })
 }
 
-/// Extracts the headline subset of an aggregated metric summary.
+/// Builds the slice-qualified form of a headline metric key, e.g.
+/// `ede_mean_nm{family=chain1d}`. These keys ride the same
+/// `metrics` object of an index record as the aggregate keys, which is
+/// what lets `runs trend --slice` and the `slice_drift` alert rule reuse
+/// the unmodified trend machinery.
+pub fn slice_metric_key(metric: &str, family: &str) -> String {
+    format!("{metric}{{family={family}}}")
+}
+
+/// Splits a slice-qualified key into `(metric, family)`; `None` for
+/// plain aggregate keys.
+pub fn split_slice_key(key: &str) -> Option<(&str, &str)> {
+    let (metric, rest) = key.split_once('{')?;
+    let family = rest.strip_prefix("family=")?.strip_suffix('}')?;
+    Some((metric, family))
+}
+
+/// Extracts the headline subset of an aggregated metric summary,
+/// including one `ede_mean_nm{family=<f>}` entry per family slice that
+/// recorded any box metrics (an all-skipped slice stays absent, never
+/// NaN).
 pub fn headline_metrics(s: &MetricSummary) -> Vec<(String, f64)> {
-    vec![
+    let mut out = vec![
         ("samples".to_string(), s.samples as f64),
         ("ede_mean_nm".to_string(), s.ede_mean_nm),
         ("pixel_accuracy".to_string(), s.pixel_accuracy),
         ("class_accuracy".to_string(), s.class_accuracy),
         ("mean_iou".to_string(), s.mean_iou),
         ("center_error_nm".to_string(), s.center_error_nm),
-    ]
+    ];
+    for slice in &s.slices {
+        if let Some(ede) = slice.ede_mean_nm {
+            out.push((slice_metric_key("ede_mean_nm", &slice.family), ede));
+        }
+    }
+    out
 }
 
 /// The health verdict of a run directory: `None` without a health
@@ -524,6 +550,8 @@ mod tests {
                 ede_mean_nm: Some(5.0),
                 ede_edges_nm: Some([5.0; 4]),
                 center_error_nm: Some(1.0),
+                clip_fingerprint: Some("00000000deadbeef".to_string()),
+                family: Some("isolated".to_string()),
             })
             .unwrap();
         ledger.set_pool_utilization(0.82);
@@ -550,6 +578,48 @@ mod tests {
         let rebuilt = load_index(&root).unwrap();
         assert_eq!(rebuilt.records, parse.records);
 
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn slice_keys_split_and_reach_the_index() {
+        assert_eq!(slice_metric_key("ede_mean_nm", "chain1d"), "ede_mean_nm{family=chain1d}");
+        assert_eq!(
+            split_slice_key("ede_mean_nm{family=chain1d}"),
+            Some(("ede_mean_nm", "chain1d"))
+        );
+        assert_eq!(split_slice_key("ede_mean_nm"), None);
+        assert_eq!(split_slice_key("ede_mean_nm{node=N10}"), None);
+
+        let root = temp_root("slices");
+        let mut ledger = RunLedger::create(&root, "eval", None, Vec::new(), None).unwrap();
+        let rec = |i: u64, ede: f64, family: &str| SampleRecord {
+            sample: i,
+            pixel_accuracy: 0.9,
+            class_accuracy: 0.8,
+            mean_iou: 0.7,
+            ede_mean_nm: Some(ede),
+            ede_edges_nm: Some([ede; 4]),
+            center_error_nm: Some(0.5),
+            clip_fingerprint: Some(format!("{i:016x}")),
+            family: Some(family.to_string()),
+        };
+        ledger.append_record(&rec(0, 2.0, "isolated")).unwrap();
+        ledger.append_record(&rec(1, 6.0, "chain1d")).unwrap();
+        ledger.finalize(true).unwrap();
+
+        let parse = load_index(&root).unwrap();
+        let idx = &parse.records[0];
+        assert_eq!(idx.metric("ede_mean_nm"), Some(4.0));
+        assert_eq!(idx.metric(&slice_metric_key("ede_mean_nm", "isolated")), Some(2.0));
+        assert_eq!(idx.metric(&slice_metric_key("ede_mean_nm", "chain1d")), Some(6.0));
+        assert_eq!(idx.metric(&slice_metric_key("ede_mean_nm", "array2d")), None);
+
+        // The reindex path re-derives the identical slice metrics from
+        // samples.jsonl.
+        fs::remove_file(index_path(&root)).unwrap();
+        reindex(&root).unwrap();
+        assert_eq!(load_index(&root).unwrap().records, parse.records);
         fs::remove_dir_all(&root).ok();
     }
 

@@ -43,6 +43,7 @@ pub use litho_json as json;
 
 mod compare;
 pub mod dash;
+mod diff;
 mod health;
 pub mod index;
 mod manifest;
@@ -51,17 +52,19 @@ mod report;
 mod svg;
 mod trace;
 pub mod trend;
+mod triage;
 pub mod watch;
 
 pub use compare::{gate, render_compare, run_metrics, Baseline, GateCheck, GateOutcome};
+pub use diff::{diff_eval, render_diff_eval, DiffEntry, DiffEval};
 pub use dash::{
     fleet_html, prometheus_exposition, DashSelfMetrics, LatencySummary, LiveTails,
     DASH_TREND_METRICS,
 };
 pub use health::{health_svg, load_health, render_health, HealthAnalysis, LayerHealth, UpdateHealth};
 pub use index::{
-    append_index, index_record_for_run, load_index, reindex, scan_run_dirs, GcOutcome, IndexParse,
-    IndexRecord, ReindexOutcome, INDEX_SCHEMA,
+    append_index, index_record_for_run, load_index, reindex, scan_run_dirs, slice_metric_key,
+    split_slice_key, GcOutcome, IndexParse, IndexRecord, ReindexOutcome, INDEX_SCHEMA,
 };
 pub use manifest::{
     fingerprint_file, load_manifest, load_records, peak_rss_bytes, validate_run_id, DatasetInfo,
@@ -75,4 +78,5 @@ pub use trace::{
     TraceAnalysis, TraceEvent, TraceParse,
 };
 pub use trend::{fmt_unix, render_trend, trend, trend_svg, Drift, Trend, TrendConfig, TrendPoint};
+pub use triage::{rank_worst, render_triage, triage_svg};
 pub use watch::{render_snapshot, EpochProgress, WatchConfig, WatchSession, WatchSnapshot};

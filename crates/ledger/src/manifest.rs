@@ -140,6 +140,12 @@ pub struct RunManifest {
     /// Largest single workspace buffer requested during the run, bytes
     /// ([`litho_tensor::peak_workspace_bytes`]).
     pub peak_workspace_bytes: Option<u64>,
+    /// Evaluated pairs excluded from box-based metrics because a side had
+    /// no foreground ([`MetricAccumulator::skipped`]). Stamped at
+    /// finalize; `None` on manifests that predate the field or on runs
+    /// that evaluated nothing. A large value next to a low EDE means the
+    /// model collapsed to empty output.
+    pub eval_skipped: Option<usize>,
 }
 
 impl RunManifest {
@@ -186,6 +192,9 @@ impl RunManifest {
         }
         if let Some(ws) = self.peak_workspace_bytes {
             members.push(("peak_workspace_bytes".into(), Json::Num(ws as f64)));
+        }
+        if let Some(skipped) = self.eval_skipped {
+            members.push(("eval_skipped".into(), Json::Num(skipped as f64)));
         }
         members.push(("status".into(), Json::Str(self.status.clone())));
         if let Some(wall) = self.wall_clock_s {
@@ -258,6 +267,10 @@ impl RunManifest {
             samples_per_sec: v.get("samples_per_sec").and_then(Json::as_f64),
             pool_utilization: v.get("pool_utilization").and_then(Json::as_f64),
             peak_workspace_bytes: v.get("peak_workspace_bytes").and_then(Json::as_u64),
+            eval_skipped: v
+                .get("eval_skipped")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize),
         })
     }
 }
@@ -376,6 +389,7 @@ impl RunLedger {
             samples_per_sec: None,
             pool_utilization: None,
             peak_workspace_bytes: None,
+            eval_skipped: None,
         };
         let ledger = RunLedger {
             dir,
@@ -514,6 +528,9 @@ impl RunLedger {
         }
         self.manifest.status = status.to_string();
         self.manifest.wall_clock_s = Some(self.started.elapsed().as_secs_f64());
+        if let Some(acc) = &self.summary {
+            self.manifest.eval_skipped = Some(acc.skipped());
+        }
         self.manifest.peak_rss_bytes = peak_rss_bytes();
         self.manifest.tensor_alloc_bytes = Some(litho_tensor::allocated_bytes());
         self.write_manifest()?;
@@ -570,6 +587,14 @@ pub fn record_from_json(v: &Json) -> Option<SampleRecord> {
         Some(Json::Null) | None => Some(None),
         _ => None,
     };
+    // Clip identity landed after the first ledgers shipped; absent (or
+    // null) reads as `None`, same as the manifest `schema_version`
+    // precedent, so legacy samples.jsonl lines keep parsing.
+    let opt_str = |key: &str| match v.get(key) {
+        Some(Json::Str(s)) => Some(Some(s.clone())),
+        Some(Json::Null) | None => Some(None),
+        _ => None,
+    };
     let edges = match v.get("ede_edges_nm") {
         Some(Json::Arr(items)) if items.len() == 4 => {
             let mut edges = [0.0; 4];
@@ -589,6 +614,8 @@ pub fn record_from_json(v: &Json) -> Option<SampleRecord> {
         ede_mean_nm: opt_num("ede_mean_nm")?,
         ede_edges_nm: edges,
         center_error_nm: opt_num("center_error_nm")?,
+        clip_fingerprint: opt_str("clip_fingerprint")?,
+        family: opt_str("family")?,
     })
 }
 
@@ -612,6 +639,8 @@ mod tests {
             ede_mean_nm: Some(1.25),
             ede_edges_nm: Some([1.0, 1.5, 1.0, 1.5]),
             center_error_nm: Some(0.5),
+            clip_fingerprint: Some(format!("{i:016x}")),
+            family: Some("isolated".to_string()),
         }
     }
 
@@ -643,6 +672,50 @@ mod tests {
         let (records, skipped) = load_records(ledger.dir()).unwrap();
         assert_eq!(skipped, 0);
         assert_eq!(records, vec![record(0), record(1)]);
+    }
+
+    #[test]
+    fn legacy_sample_lines_without_identity_still_parse() {
+        // The exact shape every ledger wrote before clip identity existed.
+        let legacy = r#"{"sample":0,"pixel_accuracy":0.95,"class_accuracy":0.9,"mean_iou":0.85,"ede_mean_nm":3.0,"ede_edges_nm":[3.0,3.0,3.0,3.0],"center_error_nm":0.5}"#;
+        let rec = record_from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(rec.clip_fingerprint, None, "absent reads as null");
+        assert_eq!(rec.family, None);
+        assert_eq!(rec.ede_mean_nm, Some(3.0));
+        // Explicit nulls decode identically to absence.
+        let nulled = r#"{"sample":0,"pixel_accuracy":1,"class_accuracy":1,"mean_iou":1,"ede_mean_nm":null,"ede_edges_nm":null,"center_error_nm":null,"clip_fingerprint":null,"family":null}"#;
+        let rec = record_from_json(&Json::parse(nulled).unwrap()).unwrap();
+        assert_eq!(rec.clip_fingerprint, None);
+        assert_eq!(rec.family, None);
+        // A wrong-typed identity field rejects the line rather than
+        // silently dropping the tag.
+        let bad = r#"{"sample":0,"pixel_accuracy":1,"class_accuracy":1,"mean_iou":1,"family":7}"#;
+        assert!(record_from_json(&Json::parse(bad).unwrap()).is_none());
+        // Tagged records round-trip through the writer in litho-metrics.
+        let tagged = record(3);
+        let back = record_from_json(&Json::parse(&tagged.to_jsonl()).unwrap()).unwrap();
+        assert_eq!(back, tagged);
+    }
+
+    #[test]
+    fn finalize_stamps_eval_skipped() {
+        let root = temp_dir("skipped");
+        let mut ledger = RunLedger::create(&root, "eval", None, Vec::new(), None).unwrap();
+        ledger.append_record(&record(0)).unwrap();
+        let mut empty = record(1);
+        empty.ede_mean_nm = None;
+        empty.ede_edges_nm = None;
+        empty.center_error_nm = None;
+        ledger.append_record(&empty).unwrap();
+        ledger.finalize(true).unwrap();
+        let m = load_manifest(ledger.dir()).unwrap();
+        assert_eq!(m.eval_skipped, Some(1));
+        assert_eq!(RunManifest::from_json_str(&m.to_json_string()).unwrap(), m);
+        // Runs that evaluate nothing don't carry the field.
+        let root2 = temp_dir("skipped_none");
+        let mut ledger = RunLedger::create(&root2, "generate", None, Vec::new(), None).unwrap();
+        ledger.finalize(true).unwrap();
+        assert_eq!(load_manifest(ledger.dir()).unwrap().eval_skipped, None);
     }
 
     #[test]

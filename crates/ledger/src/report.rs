@@ -168,6 +168,41 @@ pub fn render_report(run: &RunData) -> String {
             for (name, value) in metric_rows(s) {
                 let _ = writeln!(out, "  {name:<20} {value:>10.4}");
             }
+            // Empty-foreground pairs are excluded from the box metrics
+            // above; surfacing the count keeps a model that collapses to
+            // empty output from reading as "low EDE".
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>10}",
+                "skipped_pairs",
+                format!("{}", s.skipped)
+            );
+            if !s.slices.is_empty() {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "slices (per clip family):");
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>7} {:>7} {:>12} {:>12} {:>10} {:>10}",
+                    "family", "samples", "skipped", "ede_mean_nm", "center_nm", "pixel_acc", "mean_iou"
+                );
+                for slice in &s.slices {
+                    let opt = |v: Option<f64>| match v {
+                        Some(v) => format!("{v:.4}"),
+                        None => "-".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {:<10} {:>7} {:>7} {:>12} {:>12} {:>10.4} {:>10.4}",
+                        slice.family,
+                        slice.samples,
+                        slice.skipped,
+                        opt(slice.ede_mean_nm),
+                        opt(slice.center_error_nm),
+                        slice.pixel_accuracy,
+                        slice.mean_iou,
+                    );
+                }
+            }
         }
         None => {
             let _ = writeln!(out);

@@ -17,8 +17,11 @@ use crate::index::IndexRecord;
 
 /// Metrics where larger values are better (accuracies/IoU); everything
 /// else — error distances, wall clock, memory — is lower-is-better.
+/// Slice-qualified keys (`ede_mean_nm{family=chain1d}`) inherit the
+/// direction of their base metric.
 pub(crate) fn higher_is_better(key: &str) -> bool {
-    matches!(key, "pixel_accuracy" | "class_accuracy" | "mean_iou")
+    let base = crate::index::split_slice_key(key).map_or(key, |(metric, _)| metric);
+    matches!(base, "pixel_accuracy" | "class_accuracy" | "mean_iou")
 }
 
 /// Tuning for the drift detector.
@@ -595,6 +598,31 @@ mod tests {
         assert!(t.drift.is_none());
         assert_eq!(t.points.len(), 2);
         assert_eq!(t.reference, Some(0.4));
+    }
+
+    #[test]
+    fn slice_qualified_keys_trend_like_their_base_metric() {
+        assert!(higher_is_better("mean_iou{family=array2d}"));
+        assert!(!higher_is_better("ede_mean_nm{family=array2d}"));
+        let key = crate::index::slice_metric_key("ede_mean_nm", "chain1d");
+        let mut records: Vec<IndexRecord> = (0..3)
+            .map(|i| {
+                let mut r = rec(&format!("r{i}"), 100 + i, None);
+                r.metrics = vec![(key.clone(), 3.0)];
+                r
+            })
+            .collect();
+        for i in 0..2 {
+            let mut r = rec(&format!("bad{i}"), 200 + i, None);
+            r.metrics = vec![(key.clone(), 5.0)];
+            records.push(r);
+        }
+        let t = trend(&records, &key, None, &TrendConfig::default());
+        assert!(t.drift.is_some(), "one family regressing drifts on its slice key");
+        // Runs that never recorded the slice abstain, as with any metric.
+        let t = trend(&records, "ede_mean_nm{family=isolated}", None, &TrendConfig::default());
+        assert!(t.reference.is_none());
+        assert!(t.drift.is_none());
     }
 
     #[test]

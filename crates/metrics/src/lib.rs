@@ -46,7 +46,7 @@ pub use epe::{epe, epe_centered_square, EpeValue};
 pub use histogram::Histogram;
 pub use record::SampleRecord;
 pub use segmentation::{class_accuracy, confusion, mean_iou, pixel_accuracy, Confusion};
-pub use summary::{MetricAccumulator, MetricSummary};
+pub use summary::{MetricAccumulator, MetricSummary, SliceSummary};
 
 pub use litho_tensor::{Result, Tensor, TensorError};
 

@@ -31,6 +31,14 @@ pub struct SampleRecord {
     pub ede_edges_nm: Option<[f64; 4]>,
     /// Euclidean centre error, nm.
     pub center_error_nm: Option<f64>,
+    /// FNV-1a fingerprint of the source clip's geometry (same scheme and
+    /// format as the manifest dataset fingerprint). `None` on records
+    /// written before clip identity existed, or when the evaluated pair
+    /// has no clip provenance.
+    pub clip_fingerprint: Option<String>,
+    /// Pattern-family tag of the source clip (`"isolated"`, `"chain1d"`,
+    /// `"array2d"`). `None` on legacy or provenance-less records.
+    pub family: Option<String>,
 }
 
 impl SampleRecord {
@@ -63,7 +71,17 @@ impl SampleRecord {
             ede_mean_nm,
             ede_edges_nm,
             center_error_nm: center,
+            clip_fingerprint: None,
+            family: None,
         })
+    }
+
+    /// Attaches clip provenance (fingerprint + family tag) to the record.
+    #[must_use]
+    pub fn with_identity(mut self, clip_fingerprint: &str, family: &str) -> SampleRecord {
+        self.clip_fingerprint = Some(clip_fingerprint.to_string());
+        self.family = Some(family.to_string());
+        self
     }
 
     /// Renders the record as one JSONL line (no trailing newline).
@@ -108,6 +126,19 @@ impl SampleRecord {
         }
         out.push_str(",\"center_error_nm\":");
         opt(&mut out, self.center_error_nm);
+        // Identity fields are emitted only when present, so records
+        // without clip provenance keep the legacy line shape (and legacy
+        // readers keep working — absent means null).
+        if let Some(fp) = &self.clip_fingerprint {
+            out.push_str(",\"clip_fingerprint\":\"");
+            out.push_str(fp);
+            out.push('"');
+        }
+        if let Some(family) = &self.family {
+            out.push_str(",\"family\":\"");
+            out.push_str(family);
+            out.push('"');
+        }
         out.push('}');
         out
     }
@@ -168,12 +199,23 @@ mod tests {
             ede_mean_nm: Some(1.5),
             ede_edges_nm: Some([1.0, 2.0, 1.5, 1.5]),
             center_error_nm: Some(0.75),
+            clip_fingerprint: None,
+            family: None,
         };
+        // Identity-less records keep the legacy line shape.
         assert_eq!(
             r.to_jsonl(),
             "{\"sample\":7,\"pixel_accuracy\":0.5,\"class_accuracy\":0.25,\
              \"mean_iou\":0.125,\"ede_mean_nm\":1.5,\
              \"ede_edges_nm\":[1,2,1.5,1.5],\"center_error_nm\":0.75}"
+        );
+        let tagged = r.with_identity("00000000deadbeef", "chain1d");
+        assert_eq!(
+            tagged.to_jsonl(),
+            "{\"sample\":7,\"pixel_accuracy\":0.5,\"class_accuracy\":0.25,\
+             \"mean_iou\":0.125,\"ede_mean_nm\":1.5,\
+             \"ede_edges_nm\":[1,2,1.5,1.5],\"center_error_nm\":0.75,\
+             \"clip_fingerprint\":\"00000000deadbeef\",\"family\":\"chain1d\"}"
         );
     }
 }

@@ -2,10 +2,32 @@ use litho_tensor::{Result, Tensor};
 
 use crate::SampleRecord;
 
+/// Aggregate over one pattern-family slice of the evaluated set.
+///
+/// Box-based aggregates are `None` when every record in the slice was
+/// skipped (no bounding box) — absent, never NaN, matching the
+/// sample-record convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceSummary {
+    /// Family tag (`"isolated"`, `"chain1d"`, `"array2d"`).
+    pub family: String,
+    /// Records carrying this family tag.
+    pub samples: usize,
+    /// Of those, pairs skipped for box metrics (a side was empty).
+    pub skipped: usize,
+    /// Mean per-sample EDE over the slice, nm.
+    pub ede_mean_nm: Option<f64>,
+    /// Mean Euclidean centre error over the slice, nm.
+    pub center_error_nm: Option<f64>,
+    pub pixel_accuracy: f64,
+    pub class_accuracy: f64,
+    pub mean_iou: f64,
+}
+
 /// Aggregated evaluation results over a test set — one row of the paper's
 /// Table 3 (EDE mean/std, pixel accuracy, class accuracy, mean IoU) plus
 /// the CNN centre-error statistic of §4.1.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricSummary {
     /// Number of samples accumulated.
     pub samples: usize,
@@ -25,6 +47,20 @@ pub struct MetricSummary {
     pub mean_iou: f64,
     /// Mean Euclidean centre error, nm.
     pub center_error_nm: f64,
+    /// Pairs excluded from the box-based aggregates because a side had no
+    /// foreground. Nonzero here with a low EDE is the signature of a
+    /// model collapsing to empty output.
+    pub skipped: usize,
+    /// Per-family slice aggregates, sorted by family name. Empty when no
+    /// record carried a family tag (legacy ledgers).
+    pub slices: Vec<SliceSummary>,
+}
+
+impl MetricSummary {
+    /// Looks up one family slice by tag.
+    pub fn slice(&self, family: &str) -> Option<&SliceSummary> {
+        self.slices.iter().find(|s| s.family == family)
+    }
 }
 
 /// Streaming accumulator for [`MetricSummary`] over (prediction, golden)
@@ -55,6 +91,54 @@ pub struct MetricAccumulator {
     iou_sum: f64,
     samples: usize,
     skipped: usize,
+    slices: Vec<SliceAcc>,
+}
+
+/// Streaming per-family accumulation behind [`SliceSummary`].
+#[derive(Debug, Clone)]
+struct SliceAcc {
+    family: String,
+    ede_sum: f64,
+    ede_count: usize,
+    center_sum: f64,
+    pixel_sum: f64,
+    class_sum: f64,
+    iou_sum: f64,
+    samples: usize,
+    skipped: usize,
+}
+
+impl SliceAcc {
+    fn new(family: &str) -> Self {
+        SliceAcc {
+            family: family.to_string(),
+            ede_sum: 0.0,
+            ede_count: 0,
+            center_sum: 0.0,
+            pixel_sum: 0.0,
+            class_sum: 0.0,
+            iou_sum: 0.0,
+            samples: 0,
+            skipped: 0,
+        }
+    }
+
+    fn summary(&self) -> SliceSummary {
+        let n = self.samples.max(1) as f64;
+        let boxed = |sum: f64| {
+            (self.ede_count > 0).then(|| sum / self.ede_count as f64)
+        };
+        SliceSummary {
+            family: self.family.clone(),
+            samples: self.samples,
+            skipped: self.skipped,
+            ede_mean_nm: boxed(self.ede_sum),
+            center_error_nm: boxed(self.center_sum),
+            pixel_accuracy: self.pixel_sum / n,
+            class_accuracy: self.class_sum / n,
+            mean_iou: self.iou_sum / n,
+        }
+    }
 }
 
 impl MetricAccumulator {
@@ -70,6 +154,7 @@ impl MetricAccumulator {
             iou_sum: 0.0,
             samples: 0,
             skipped: 0,
+            slices: Vec::new(),
         }
     }
 
@@ -99,21 +184,66 @@ impl MetricAccumulator {
         Ok(record)
     }
 
+    /// Like [`Self::add_pair`], but stamps clip provenance (fingerprint +
+    /// family tag) onto the record *before* accumulating, so the
+    /// per-family slices see it and the ledger line carries identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the two images disagree.
+    pub fn add_pair_identified(
+        &mut self,
+        prediction: &Tensor,
+        golden: &Tensor,
+        clip_fingerprint: &str,
+        family: &str,
+    ) -> Result<SampleRecord> {
+        let record =
+            SampleRecord::compute(self.samples as u64, prediction, golden, self.nm_per_px)?
+                .with_identity(clip_fingerprint, family);
+        self.add_record(&record);
+        Ok(record)
+    }
+
     /// Accumulates an already-computed per-sample record (e.g. replayed
     /// from a run ledger's `samples.jsonl`).
     pub fn add_record(&mut self, record: &SampleRecord) {
         self.pixel_acc_sum += record.pixel_accuracy;
         self.class_acc_sum += record.class_accuracy;
         self.iou_sum += record.mean_iou;
-        match (record.ede_mean_nm, record.ede_edges_nm, record.center_error_nm) {
+        let boxed = match (record.ede_mean_nm, record.ede_edges_nm, record.center_error_nm) {
             (Some(mean), Some(edges), Some(ce)) => {
                 self.ede_values.push(mean);
                 for (sum, e) in self.edge_sums.iter_mut().zip(edges) {
                     *sum += e;
                 }
                 self.center_values.push(ce);
+                true
             }
-            _ => self.skipped += 1,
+            _ => {
+                self.skipped += 1;
+                false
+            }
+        };
+        if let Some(family) = &record.family {
+            let slice = match self.slices.iter_mut().find(|s| s.family == *family) {
+                Some(slice) => slice,
+                None => {
+                    self.slices.push(SliceAcc::new(family));
+                    self.slices.last_mut().expect("just pushed")
+                }
+            };
+            slice.pixel_sum += record.pixel_accuracy;
+            slice.class_sum += record.class_accuracy;
+            slice.iou_sum += record.mean_iou;
+            if boxed {
+                slice.ede_sum += record.ede_mean_nm.expect("boxed record");
+                slice.center_sum += record.center_error_nm.expect("boxed record");
+                slice.ede_count += 1;
+            } else {
+                slice.skipped += 1;
+            }
+            slice.samples += 1;
         }
         self.samples += 1;
     }
@@ -151,6 +281,13 @@ impl MetricAccumulator {
                 0.0
             } else {
                 self.center_values.iter().sum::<f64>() / self.center_values.len() as f64
+            },
+            skipped: self.skipped,
+            slices: {
+                let mut slices: Vec<SliceSummary> =
+                    self.slices.iter().map(SliceAcc::summary).collect();
+                slices.sort_by(|a, b| a.family.cmp(&b.family));
+                slices
             },
         }
     }
@@ -229,5 +366,62 @@ mod tests {
         let s = MetricAccumulator::new(1.0).summary();
         assert_eq!(s.samples, 0);
         assert_eq!(s.pixel_accuracy, 0.0);
+        assert_eq!(s.skipped, 0);
+        assert!(s.slices.is_empty());
+    }
+
+    #[test]
+    fn family_tags_build_sorted_slices() {
+        let mut acc = MetricAccumulator::new(1.0);
+        let golden = square(4, 4, 6);
+        let tag = |mut r: SampleRecord, f: &str| {
+            r.family = Some(f.to_string());
+            r
+        };
+        // Two isolated records (EDE 0 and 1 nm), one chain1d (EDE 1 nm).
+        let exact = SampleRecord::compute(0, &golden, &golden, 1.0).unwrap();
+        let shifted = SampleRecord::compute(1, &square(6, 4, 6), &golden, 1.0).unwrap();
+        acc.add_record(&tag(exact, "isolated"));
+        acc.add_record(&tag(shifted.clone(), "isolated"));
+        acc.add_record(&tag(shifted, "chain1d"));
+        let s = acc.summary();
+        assert_eq!(s.slices.len(), 2);
+        assert_eq!(s.slices[0].family, "chain1d", "sorted by family name");
+        assert_eq!(s.slices[1].family, "isolated");
+        assert_eq!(s.slice("isolated").unwrap().samples, 2);
+        assert_eq!(s.slice("isolated").unwrap().ede_mean_nm, Some(0.5));
+        assert_eq!(s.slice("chain1d").unwrap().ede_mean_nm, Some(1.0));
+        assert_eq!(s.slice("array2d"), None, "absent slice is absent");
+    }
+
+    #[test]
+    fn add_pair_identified_feeds_record_and_slice() {
+        let mut acc = MetricAccumulator::new(1.0);
+        let golden = square(4, 4, 6);
+        let rec = acc
+            .add_pair_identified(&golden, &golden, "00000000deadbeef", "chain1d")
+            .unwrap();
+        assert_eq!(rec.clip_fingerprint.as_deref(), Some("00000000deadbeef"));
+        assert_eq!(rec.family.as_deref(), Some("chain1d"));
+        let s = acc.summary();
+        assert_eq!(s.slice("chain1d").unwrap().samples, 1);
+        assert_eq!(s.slice("chain1d").unwrap().ede_mean_nm, Some(0.0));
+    }
+
+    #[test]
+    fn all_skipped_slice_has_absent_box_metrics() {
+        let mut acc = MetricAccumulator::new(1.0);
+        let golden = square(4, 4, 6);
+        let mut rec = SampleRecord::compute(0, &Tensor::zeros(&[16, 16]), &golden, 1.0).unwrap();
+        rec.family = Some("array2d".to_string());
+        acc.add_record(&rec);
+        let s = acc.summary();
+        assert_eq!(s.skipped, 1);
+        let slice = s.slice("array2d").unwrap();
+        assert_eq!(slice.samples, 1);
+        assert_eq!(slice.skipped, 1);
+        assert_eq!(slice.ede_mean_nm, None, "never NaN");
+        assert_eq!(slice.center_error_nm, None);
+        assert!(slice.pixel_accuracy < 1.0);
     }
 }

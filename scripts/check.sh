@@ -46,6 +46,24 @@ echo "==> fleet index + trend gate"
 "$cli" --runs-root "$work/runs" runs trend ede_mean_nm --gate
 test -s "$work/runs/trend.svg"
 
+echo "==> eval-forensics gate"
+# Committed fixture fleets: clean runs share per-clip EDE, the regressed
+# tip re-evaluates the same clip fingerprints 60% worse.
+fix=crates/core/tests/fixtures/fleet
+mkdir -p "$work/forensics"
+cp -r "$fix/clean/." "$work/forensics/"
+cp -r "$fix/regressed/." "$work/forensics/"
+"$cli" --runs-root "$work/forensics" reindex
+"$cli" --runs-root "$work/forensics" triage train-1700000600-6 --worst 2 | grep "worst 2 of 3 samples" > /dev/null
+# A malformed gallery (truncated render, unbalanced document) fails here.
+head -c 64 "$work/forensics/train-1700000600-6/triage.svg" | grep -q '^<svg '
+tail -c 16 "$work/forensics/train-1700000600-6/triage.svg" | grep -q '</svg>'
+"$cli" --runs-root "$work/forensics" runs trend ede_mean_nm --slice family=chain1d > /dev/null
+"$cli" --runs-root "$work/forensics" runs diff-eval train-1700000100-1 train-1700000400-4 --gate
+if "$cli" --runs-root "$work/forensics" runs diff-eval train-1700000400-4 train-1700000600-6 --gate; then
+  echo "diff-eval --gate unexpectedly passed on the regressed pair"; exit 1
+fi
+
 echo "==> dash smoke"
 # Ephemeral port, announced on stdout as "dash listening on http://ADDR".
 "$cli" --runs-root "$work/runs" dash --addr 127.0.0.1:0 > "$work/dash.out" &
