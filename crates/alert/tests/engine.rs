@@ -35,6 +35,7 @@ fn run_rec(run_id: &str, command: &str, started: u64, metric: Option<f64>, healt
         dataset_fingerprint: None,
         status: "ok".to_string(),
         wall_clock_s: Some(1.0),
+        simd: None,
         metrics: metric.map(|v| vec![("ede_mean_nm".to_string(), v)]).unwrap_or_default(),
         health: health.map(str::to_string),
     }

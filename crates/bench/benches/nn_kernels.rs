@@ -66,9 +66,28 @@ fn bench_conv(mb: &MicroBench) {
 
     let mut deconv = ConvTranspose2d::new(64, 32, 5, 2, 2, 1, &mut rng);
     let z = random_tensor(&[4, 64, 16, 16], 5);
-    mb.run("deconv_fwd_4x64x16x16", || {
-        deconv.forward(&z, Phase::Eval).unwrap()
-    });
+    // Deconv forward = Wᵀ·x GEMM into a [out_c*kh*kw, n*ih*iw] column
+    // matrix, then a col2im scatter — costed so the gate tracks GFLOP/s.
+    let taps = 32 * 5 * 5;
+    let dcols = 4 * 16 * 16;
+    mb.run_costed(
+        "deconv_fwd_4x64x16x16",
+        KernelCost::gemm(taps, dcols, 64).plus(KernelCost::col2im(taps, dcols)),
+        || deconv.forward(&z, Phase::Eval).unwrap(),
+    );
+}
+
+/// The generator's post-conv batchnorm at the paper's second feature map
+/// scale: one full train-mode forward (moments + normalize/affine).
+fn bench_batchnorm(mb: &MicroBench) {
+    let mut bn = litho_nn::BatchNorm2d::new(64);
+    let x = random_tensor(&[4, 64, 64, 64], 9);
+    let elements = 4 * 64 * 64 * 64;
+    mb.run_costed(
+        "batchnorm_4x64x64x64",
+        KernelCost::batchnorm(elements),
+        || bn.forward(&x, Phase::Train).unwrap(),
+    );
 }
 
 /// The paper's full-resolution first generator layer: 3->64, 5x5/2 on a
@@ -116,6 +135,7 @@ fn main() {
     bench_matmul(&mb);
     bench_conv(&mb);
     bench_conv_paper(&mb);
+    bench_batchnorm(&mb);
     bench_fft(&mb);
     mb.flush_json().expect("writing --json-out");
     lithogan_bench::finish_telemetry();

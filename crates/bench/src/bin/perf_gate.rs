@@ -111,12 +111,15 @@ fn lookup(base: &Baseline, key: &str) -> Option<f64> {
 
 /// Per-metric median across bench passes, preserving the first file's
 /// metric order and `tol_pct`. Metrics missing from some passes take the
-/// median of the passes that have them.
+/// median of the passes that have them. Source provenance (which binary
+/// claims which metric names) is unioned across passes so the blessed
+/// baseline keeps the stale-key bookkeeping `--json-out` relies on.
 fn merge_median(passes: &[Baseline]) -> Baseline {
     let mut merged = Baseline {
         tol_pct: passes.first().map_or(15.0, |p| p.tol_pct),
         run_id: None,
         metrics: Vec::new(),
+        sources: Vec::new(),
     };
     for pass in passes {
         for (key, _) in &pass.metrics {
@@ -132,6 +135,18 @@ fn merge_median(passes: &[Baseline]) -> Baseline {
                 (vals[n / 2 - 1] + vals[n / 2]) / 2.0
             };
             merged.metrics.push((key.clone(), median));
+        }
+        for (src, names) in &pass.sources {
+            match merged.sources.iter_mut().find(|(s, _)| s == src) {
+                Some(slot) => {
+                    for name in names {
+                        if !slot.1.contains(name) {
+                            slot.1.push(name.clone());
+                        }
+                    }
+                }
+                None => merged.sources.push((src.clone(), names.clone())),
+            }
         }
     }
     merged
@@ -332,6 +347,7 @@ mod tests {
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect(),
+            sources: Vec::new(),
         }
     }
 

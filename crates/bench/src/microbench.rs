@@ -95,6 +95,9 @@ pub struct MicroBench {
     samples: usize,
     min_sample: Duration,
     json_out: Option<PathBuf>,
+    /// Provenance name this binary claims its metrics under in the
+    /// merged file's `sources` map (see [`MicroBench::flush_json`]).
+    source: Option<String>,
     /// `(name, min seconds/iter)` of every completed bench, drained by
     /// [`MicroBench::flush_json`].
     results: RefCell<Vec<(String, f64)>>,
@@ -106,8 +109,25 @@ impl Default for MicroBench {
             samples: 15,
             min_sample: Duration::from_millis(20),
             json_out: None,
+            source: None,
             results: RefCell::new(Vec::new()),
         }
+    }
+}
+
+/// The bench binary's provenance name: the executable file stem with
+/// cargo's trailing `-<16 hex>` disambiguation hash stripped
+/// (`nn_kernels-1d38f2a6c90b74e5` → `nn_kernels`).
+fn source_from_exe() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?.to_string();
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            Some(name.to_string())
+        }
+        _ => Some(stem),
     }
 }
 
@@ -116,7 +136,10 @@ impl MicroBench {
     /// `--min-sample-ms=N` and `--json-out=FILE` process arguments
     /// (`--quick` halves samples and the minimum sample duration).
     pub fn from_args() -> Self {
-        let mut mb = MicroBench::default();
+        let mut mb = MicroBench {
+            source: source_from_exe(),
+            ..MicroBench::default()
+        };
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--samples=") {
                 mb.samples = v.parse().expect("--samples=N");
@@ -138,10 +161,26 @@ impl MicroBench {
         self
     }
 
+    /// Explicit provenance name (tests; [`Self::from_args`] derives it
+    /// from the executable name).
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
     /// Merges this process's best-observed times into the `--json-out`
     /// file (read-merge-write, so `nn_kernels` and `pipeline` can share
     /// one `BENCH_KERNELS.json`); an existing entry only improves, never
     /// worsens. A no-op without `--json-out`.
+    ///
+    /// Each binary also *claims* the metric names it emitted under its
+    /// provenance name in the file's `sources` map, and any key it
+    /// claimed on a previous pass but no longer emits — a renamed or
+    /// deleted bench — is dropped from the merged file (unless another
+    /// binary also claims it). Without that, read-merge-write accretes
+    /// stale rows forever and the perf gate ends up comparing against
+    /// benches that no longer exist. `_calibration` is shared by every
+    /// binary and is never claimed or dropped.
     ///
     /// # Errors
     ///
@@ -157,9 +196,38 @@ impl MicroBench {
                 tol_pct: 15.0,
                 run_id: None,
                 metrics: Vec::new(),
+                sources: Vec::new(),
             },
             Err(e) => return Err(e),
         };
+        if let Some(source) = &self.source {
+            let emitted: Vec<String> =
+                self.results.borrow().iter().map(|(k, _)| k.clone()).collect();
+            let stale: Vec<String> = base
+                .sources
+                .iter()
+                .find(|(s, _)| s == source)
+                .map(|(_, claimed)| {
+                    claimed
+                        .iter()
+                        .filter(|k| {
+                            !emitted.iter().any(|e| e == *k)
+                                // Another binary still emits it — keep.
+                                && !base
+                                    .sources
+                                    .iter()
+                                    .any(|(s, names)| s != source && names.contains(k))
+                        })
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
+            base.metrics.retain(|(k, _)| !stale.contains(k));
+            match base.sources.iter_mut().find(|(s, _)| s == source) {
+                Some(slot) => slot.1 = emitted,
+                None => base.sources.push((source.clone(), emitted)),
+            }
+        }
         let mut entries = vec![(CALIBRATION_METRIC.to_string(), calibration_secs())];
         entries.extend(self.results.borrow().iter().cloned());
         for (name, best) in entries {
@@ -353,6 +421,56 @@ mod tests {
     }
 
     #[test]
+    fn flush_json_drops_stale_keys_of_its_own_source_only() {
+        let path = std::env::temp_dir().join(format!(
+            "litho_bench_staledrop_{}.json",
+            std::process::id()
+        ));
+        // A previous pass of `kern` emitted `old_bench` (since renamed)
+        // and `spin`; `other` still claims `shared`. `_calibration` is
+        // never claimed by anyone.
+        std::fs::write(
+            &path,
+            concat!(
+                r#"{"tol_pct":15,"metrics":{"old_bench":1.0,"spin":9.0,"shared":2.0,"_calibration":0.5},"#,
+                r#""sources":{"kern":["old_bench","spin"],"other":["shared"]}}"#
+            ),
+        )
+        .unwrap();
+        let mb = MicroBench {
+            samples: 3,
+            min_sample: Duration::from_micros(50),
+            ..MicroBench::default()
+        }
+        .with_json_out(&path)
+        .with_source("kern");
+        mb.run("spin", || black_box((0..64u64).sum::<u64>()));
+        mb.flush_json().unwrap();
+        let merged =
+            Baseline::from_json_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let get = |k: &str| merged.metrics.iter().find(|(m, _)| m == k).map(|(_, v)| *v);
+        assert_eq!(get("old_bench"), None, "stale own key dropped");
+        assert!(get("spin").is_some_and(|v| v < 9.0), "re-emitted key min-merged");
+        assert_eq!(get("shared"), Some(2.0), "other binary's row untouched");
+        assert!(get(CALIBRATION_METRIC).is_some(), "calibration never dropped");
+        let kern = merged.sources.iter().find(|(s, _)| s == "kern").unwrap();
+        assert_eq!(kern.1, vec!["spin".to_string()], "claims updated");
+        assert!(merged.sources.iter().any(|(s, _)| s == "other"));
+    }
+
+    #[test]
+    fn source_name_strips_cargo_hash() {
+        // The test binary itself is `microbench-<hash>` — whatever the
+        // stem, the derived name must not keep a 16-hex-digit suffix.
+        let src = source_from_exe().unwrap();
+        assert!(!src.is_empty());
+        if let Some((_, tail)) = src.rsplit_once('-') {
+            assert!(!(tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit())));
+        }
+    }
+
+    #[test]
     fn merge_metric_is_direction_aware() {
         // Times: min wins.
         assert_eq!(merge_metric("conv", 1.0, 2.0), 1.0);
@@ -373,7 +491,9 @@ mod tests {
             ..MicroBench::default()
         };
         mb.run_costed("spin", KernelCost::gemm(64, 64, 64), || {
-            black_box((0..256u64).sum::<u64>())
+            // black_box the bound too: a constant range const-folds in
+            // release and the whole loop can time at 0 ns.
+            black_box((0..black_box(4096u64)).sum::<u64>())
         });
         let results = mb.results.borrow();
         let get = |k: &str| results.iter().find(|(m, _)| m == k).map(|(_, v)| *v);

@@ -142,7 +142,9 @@ global flags (accepted by every command, --flag VALUE or --flag=VALUE):\n  \
   --runs-root DIR     where run ledgers are created/resolved (default: runs)\n  \
   --no-run            do not record this invocation under runs/\n  \
   --threads N         worker-pool width for the compute kernels; 0 = auto\n                      \
-(default: LITHO_THREADS env var, else the detected core count)";
+(default: LITHO_THREADS env var, else the detected core count)\n  \
+  --simd LEVEL        kernel level: auto, avx2 or scalar (default: LITHO_SIMD\n                      \
+env var, else CPUID detection; never exceeds the host ISA)";
 
 fn usage() -> String {
     format!(
@@ -388,6 +390,8 @@ struct GlobalOpts {
     no_run: bool,
     /// Worker-pool width override (`Some(0)` = auto-detect).
     threads: Option<usize>,
+    /// Kernel-level override (`--simd auto|avx2|scalar`).
+    simd: Option<litho_tensor::KernelLevel>,
 }
 
 impl Default for GlobalOpts {
@@ -398,8 +402,16 @@ impl Default for GlobalOpts {
             runs_root: "runs".to_string(),
             no_run: false,
             threads: None,
+            simd: None,
         }
     }
+}
+
+/// Parses a `--simd` operand (`auto` resolves via CPUID inside
+/// [`litho_tensor::parse_level`]).
+fn parse_simd_arg(value: &str) -> Result<litho_tensor::KernelLevel> {
+    litho_tensor::parse_level(value)
+        .ok_or_else(|| bad(format!("--simd: unknown level {value:?} (auto|avx2|scalar)")))
 }
 
 /// Strips the global flags out of `args` so subcommand parsing never sees
@@ -440,6 +452,13 @@ fn split_global_args(args: &[String]) -> Result<(Vec<String>, GlobalOpts)> {
                 opts.threads = Some(args[i + 1].parse().map_err(|_| bad("--threads"))?);
                 i += 1;
             }
+            "--simd" => {
+                if i + 1 >= args.len() {
+                    return Err(bad("--simd requires a level (auto|avx2|scalar)"));
+                }
+                opts.simd = Some(parse_simd_arg(&args[i + 1])?);
+                i += 1;
+            }
             // `--flag=value` spelling, matching the bench binaries.
             _ if arg.starts_with("--metrics-out=") => {
                 opts.metrics_out = Some(arg["--metrics-out=".len()..].to_string());
@@ -453,6 +472,9 @@ fn split_global_args(args: &[String]) -> Result<(Vec<String>, GlobalOpts)> {
                         .parse()
                         .map_err(|_| bad("--threads"))?,
                 );
+            }
+            _ if arg.starts_with("--simd=") => {
+                opts.simd = Some(parse_simd_arg(&arg["--simd=".len()..])?);
             }
             _ => rest.push(args[i].clone()),
         }
@@ -1558,6 +1580,11 @@ fn main() {
     // Before the ledger opens, so the manifest records the effective width.
     if let Some(n) = opts.threads {
         litho_tensor::pool::configure_threads(n);
+    }
+    // Likewise: the manifest's `simd` field records the *effective* kernel
+    // level, already clamped to what the host can execute.
+    if let Some(level) = opts.simd {
+        litho_tensor::configure_simd(level);
     }
     let mut ledger = if cmd.records_run() && !opts.no_run {
         match RunLedger::create(

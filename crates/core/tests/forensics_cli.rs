@@ -12,7 +12,13 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use litho_ledger::load_run;
 
 fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_lithogan_cli"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lithogan_cli"));
+    // E2e suites test CLI/ledger plumbing, not kernel numerics (that is
+    // crates/tensor/tests/simd_levels.rs), so spawned processes always run
+    // at the host's fastest level — an outer LITHO_SIMD=scalar pass must
+    // not slow live trainers past the suites' timeouts.
+    cmd.env("LITHO_SIMD", "auto");
+    cmd
 }
 
 /// Fresh scratch directory per call; std-only stand-in for tempfile.

@@ -11,7 +11,14 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_lithogan_cli"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lithogan_cli"));
+    // This suite exercises the ledger/CLI plumbing, not kernel numerics
+    // (crates/tensor/tests/simd_levels.rs owns the level policy), so the
+    // spawned processes always run at the host's fastest kernel level:
+    // an outer LITHO_SIMD=scalar pass would otherwise push the live
+    // debug-build trainer past the watch timeouts.
+    cmd.env("LITHO_SIMD", "auto");
+    cmd
 }
 
 /// Fresh scratch directory per call; std-only stand-in for tempfile.

@@ -141,6 +141,12 @@ pub struct Baseline {
     /// it. Absent in baselines written before this field existed.
     pub run_id: Option<String>,
     pub metrics: Vec<(String, f64)>,
+    /// Which bench binary emitted which metric names — the provenance
+    /// that lets a read-merge-write `--json-out` drop keys a binary has
+    /// stopped emitting without touching other binaries' rows. Empty on
+    /// baselines from before the field existed (nothing is ever dropped
+    /// from those until a source re-claims its names).
+    pub sources: Vec<(String, Vec<String>)>,
 }
 
 impl Baseline {
@@ -167,10 +173,27 @@ impl Baseline {
             }
             _ => return Err(invalid("missing \"metrics\" object".to_string())),
         };
+        let sources = match v.get("sources") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .filter_map(|(src, val)| match val {
+                    Json::Arr(items) => Some((
+                        src.clone(),
+                        items
+                            .iter()
+                            .filter_map(|i| i.as_str().map(str::to_string))
+                            .collect(),
+                    )),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         Ok(Baseline {
             tol_pct: v.get("tol_pct").and_then(Json::as_f64).unwrap_or(0.0),
             run_id: v.get("run_id").and_then(Json::as_str).map(str::to_string),
             metrics,
+            sources,
         })
     }
 
@@ -199,6 +222,22 @@ impl Baseline {
                     .collect(),
             ),
         ));
+        if !self.sources.is_empty() {
+            members.push((
+                "sources".to_string(),
+                Json::Obj(
+                    self.sources
+                        .iter()
+                        .map(|(src, names)| {
+                            (
+                                src.clone(),
+                                Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         let mut out = Json::Obj(members).to_string_compact();
         out.push('\n');
         out
@@ -215,6 +254,7 @@ impl Baseline {
             tol_pct,
             run_id: Some(run.manifest.run_id.clone()),
             metrics,
+            sources: Vec::new(),
         }
     }
 }
@@ -346,12 +386,17 @@ mod tests {
                 ("ede_mean_nm".to_string(), 6.5),
                 ("pixel_accuracy".to_string(), 0.93),
             ],
+            sources: vec![(
+                "nn_kernels".to_string(),
+                vec!["ede_mean_nm".to_string(), "pixel_accuracy".to_string()],
+            )],
         };
         let parsed = Baseline::from_json_str(&b.to_json_string()).unwrap();
         assert_eq!(parsed, b);
-        // Baselines written before run_id existed still parse.
+        // Baselines written before run_id/sources existed still parse.
         let legacy = Baseline::from_json_str("{\"tol_pct\":5,\"metrics\":{\"a\":1}}").unwrap();
         assert_eq!(legacy.run_id, None);
+        assert!(legacy.sources.is_empty());
         assert!(Baseline::from_json_str("{}").is_err());
         assert!(Baseline::from_json_str("{\"metrics\":{\"a\":\"x\"}}").is_err());
     }

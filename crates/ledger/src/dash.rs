@@ -523,6 +523,7 @@ mod tests {
             dataset_fingerprint: None,
             status: status.to_string(),
             wall_clock_s: Some(1.0),
+            simd: None,
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             health: None,
         }

@@ -57,6 +57,9 @@ pub struct IndexRecord {
     /// `running`, `ok`, `error` or `aborted(<reason>)`.
     pub status: String,
     pub wall_clock_s: Option<f64>,
+    /// Effective SIMD kernel level (`"scalar"` / `"avx2"`); `None` on
+    /// records from before runtime kernel dispatch existed.
+    pub simd: Option<String>,
     /// Headline metrics (subset of [`HEADLINE_METRICS`], absent when the
     /// run wrote no sample records).
     pub metrics: Vec<(String, f64)>,
@@ -96,6 +99,9 @@ impl IndexRecord {
         members.push(("status".to_string(), Json::Str(self.status.clone())));
         if let Some(wall) = self.wall_clock_s {
             members.push(("wall_clock_s".to_string(), Json::Num(wall)));
+        }
+        if let Some(simd) = &self.simd {
+            members.push(("simd".to_string(), Json::Str(simd.clone())));
         }
         if !self.metrics.is_empty() {
             members.push((
@@ -144,6 +150,7 @@ impl IndexRecord {
                 .map(str::to_string),
             status: v.get("status")?.as_str()?.to_string(),
             wall_clock_s: v.get("wall_clock_s").and_then(Json::as_f64),
+            simd: v.get("simd").and_then(Json::as_str).map(str::to_string),
             metrics,
             health: v.get("health").and_then(Json::as_str).map(str::to_string),
         })
@@ -299,6 +306,7 @@ pub fn record_from_parts(
         dataset_fingerprint: manifest.dataset.as_ref().map(|d| d.fingerprint.clone()),
         status: manifest.status.clone(),
         wall_clock_s: manifest.wall_clock_s,
+        simd: manifest.simd.clone(),
         metrics,
         health,
     }
@@ -465,6 +473,7 @@ mod tests {
             dataset_fingerprint: Some("00000000deadbeef".to_string()),
             status: status.to_string(),
             wall_clock_s: Some(1.5),
+            simd: Some("avx2".to_string()),
             metrics: vec![("samples".to_string(), 4.0), ("ede_mean_nm".to_string(), ede)],
             health: Some("ok".to_string()),
         }
@@ -486,6 +495,7 @@ mod tests {
             dataset_fingerprint: None,
             status: "error".to_string(),
             wall_clock_s: None,
+            simd: None,
             metrics: Vec::new(),
             health: None,
         };

@@ -130,6 +130,10 @@ pub struct RunManifest {
     /// Effective worker-pool width (`--threads` / `LITHO_THREADS` /
     /// detected cores); `None` on manifests from before the pool existed.
     pub threads: Option<usize>,
+    /// Active SIMD kernel level (`"scalar"` / `"avx2"`, from `--simd` /
+    /// `LITHO_SIMD` / CPUID detection); `None` on manifests from before
+    /// runtime kernel dispatch existed.
+    pub simd: Option<String>,
     /// Inference throughput over the run's evaluated samples, a
     /// `runs trend`-able headline performance metric.
     pub samples_per_sec: Option<f64>,
@@ -183,6 +187,9 @@ impl RunManifest {
         }
         if let Some(threads) = self.threads {
             members.push(("threads".into(), Json::Num(threads as f64)));
+        }
+        if let Some(simd) = &self.simd {
+            members.push(("simd".into(), Json::Str(simd.clone())));
         }
         if let Some(sps) = self.samples_per_sec {
             members.push(("samples_per_sec".into(), Json::Num(sps)));
@@ -264,6 +271,7 @@ impl RunManifest {
             peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_u64),
             tensor_alloc_bytes: v.get("tensor_alloc_bytes").and_then(Json::as_u64),
             threads: v.get("threads").and_then(Json::as_u64).map(|n| n as usize),
+            simd: v.get("simd").and_then(Json::as_str).map(str::to_string),
             samples_per_sec: v.get("samples_per_sec").and_then(Json::as_f64),
             pool_utilization: v.get("pool_utilization").and_then(Json::as_f64),
             peak_workspace_bytes: v.get("peak_workspace_bytes").and_then(Json::as_u64),
@@ -386,6 +394,7 @@ impl RunLedger {
             peak_rss_bytes: None,
             tensor_alloc_bytes: None,
             threads: Some(litho_tensor::pool::effective_threads()),
+            simd: Some(litho_tensor::active_level().name().to_string()),
             samples_per_sec: None,
             pool_utilization: None,
             peak_workspace_bytes: None,

@@ -538,6 +538,7 @@ mod tests {
             dataset_fingerprint: None,
             status: "ok".to_string(),
             wall_clock_s: Some(1.0),
+            simd: None,
             metrics: ede
                 .map(|v| vec![("ede_mean_nm".to_string(), v)])
                 .unwrap_or_default(),

@@ -134,6 +134,9 @@ impl Layer for BatchNorm2d {
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         crate::util::ensure_shape(&mut self.ws_x_hat, &[n, c, h, w]);
         {
+            // Kernel level resolved once per forward; the scalar level is
+            // the exact reference loop, AVX2 fuses gamma*xh+beta per lane.
+            let level = litho_tensor::active_level();
             let gamma = self.gamma.value.as_slice();
             let beta = self.beta.value.as_slice();
             let xh = self.ws_x_hat.as_mut_slice();
@@ -141,12 +144,16 @@ impl Layer for BatchNorm2d {
             for b in 0..n {
                 for ci in 0..c {
                     let off = (b * c + ci) * plane;
-                    let (m, is, g, be) = (mean[ci], inv_std[ci], gamma[ci], beta[ci]);
-                    for i in off..off + plane {
-                        let h_val = (src[i] - m) * is;
-                        xh[i] = h_val;
-                        dst[i] = g * h_val + be;
-                    }
+                    litho_tensor::simd::bn_normalize_affine(
+                        level,
+                        &src[off..off + plane],
+                        &mut xh[off..off + plane],
+                        &mut dst[off..off + plane],
+                        mean[ci],
+                        inv_std[ci],
+                        gamma[ci],
+                        beta[ci],
+                    );
                 }
             }
         }
@@ -183,17 +190,22 @@ impl Layer for BatchNorm2d {
         let dy = grad_output.as_slice();
         let xh = cache.x_hat.as_slice();
         let gamma = self.gamma.value.as_slice();
+        let level = litho_tensor::active_level();
 
-        // Per-channel reductions.
+        // Per-channel reductions; the scalar level folds in the reference
+        // plane order, so it is bit-identical to the naive loop.
         let mut sum_dy = vec![0.0f32; c];
         let mut sum_dy_xh = vec![0.0f32; c];
         for b in 0..n {
             for ci in 0..c {
                 let off = (b * c + ci) * plane;
-                for i in off..off + plane {
-                    sum_dy[ci] += dy[i];
-                    sum_dy_xh[ci] += dy[i] * xh[i];
-                }
+                litho_tensor::simd::bn_sum_and_dot(
+                    level,
+                    &dy[off..off + plane],
+                    &xh[off..off + plane],
+                    &mut sum_dy[ci],
+                    &mut sum_dy_xh[ci],
+                );
             }
         }
 
@@ -218,9 +230,15 @@ impl Layer for BatchNorm2d {
                     let k = gamma[ci] * cache.inv_std[ci];
                     let mean_dy = sum_dy[ci] / count;
                     let mean_dy_xh = sum_dy_xh[ci] / count;
-                    for i in off..off + plane {
-                        out[i] = k * (dy[i] - mean_dy - xh[i] * mean_dy_xh);
-                    }
+                    litho_tensor::simd::bn_backward_dx(
+                        level,
+                        &dy[off..off + plane],
+                        &xh[off..off + plane],
+                        &mut out[off..off + plane],
+                        k,
+                        mean_dy,
+                        mean_dy_xh,
+                    );
                 }
             }
         }

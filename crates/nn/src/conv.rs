@@ -1,8 +1,7 @@
 use litho_tensor::rng::Rng;
 
 use litho_tensor::{
-    col2im, im2col_into, matmul_bias_into, matmul_transpose_a_into, matmul_transpose_b_into,
-    Im2ColSpec, Result, Tensor, TensorError,
+    conv_backward_fused, im2col_into, matmul_bias_into, Im2ColSpec, Result, Tensor, TensorError,
 };
 
 use crate::layer::{Layer, Param, Phase};
@@ -57,7 +56,6 @@ struct ConvWorkspace {
     y_mat: Tensor,
     dy: Tensor,
     dw: Tensor,
-    dcols: Tensor,
 }
 
 impl Default for ConvWorkspace {
@@ -67,7 +65,6 @@ impl Default for ConvWorkspace {
             y_mat: crate::util::empty(),
             dy: crate::util::empty(),
             dw: crate::util::empty(),
-            dcols: crate::util::empty(),
         }
     }
 }
@@ -178,7 +175,6 @@ impl Layer for Conv2d {
         let [n, c, h, w] = cache.input_dims;
         let (oh, ow) = cache.output_hw;
         let ncols = n * oh * ow;
-        let k = c * self.spec.kernel_h * self.spec.kernel_w;
         nchw_to_cm_into(grad_output, &mut self.ws.dy)?; // [out_c, n*oh*ow]
         if self.ws.dy.dims() != [self.out_channels, ncols] {
             return Err(TensorError::ShapeMismatch {
@@ -187,16 +183,20 @@ impl Layer for Conv2d {
             });
         }
 
-        // dW = dy · colsᵀ
+        // dW = dy · colsᵀ and dx = col2im(Wᵀ · dy) in one fused kernel:
+        // the column matrices are consumed in cache-sized windows instead
+        // of materialising the colsᵀ transpose and the full dcols scratch.
         ensure_shape(&mut self.ws.dw, self.weight.value.dims());
-        matmul_transpose_b_into(
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        conv_backward_fused(
+            self.weight.value.as_slice(),
             self.ws.dy.as_slice(),
             cache.cols.as_slice(),
             self.ws.dw.as_mut_slice(),
+            &mut dx,
+            &self.spec,
             self.out_channels,
-            ncols,
-            k,
-        );
+        )?;
         self.weight.grad.add_assign(&self.ws.dw)?;
 
         // db = row sums of dy.
@@ -208,19 +208,9 @@ impl Layer for Conv2d {
             }
         }
 
-        // dx = col2im(Wᵀ · dy)
-        ensure_shape(&mut self.ws.dcols, &[k, ncols]);
-        matmul_transpose_a_into(
-            self.weight.value.as_slice(),
-            self.ws.dy.as_slice(),
-            self.ws.dcols.as_mut_slice(),
-            self.out_channels,
-            k,
-            ncols,
-        );
         // Return the lent cols buffer to the workspace for the next step.
         self.ws.cols = cache.cols;
-        col2im(&self.ws.dcols, &self.spec, n, c, h, w)
+        Ok(dx)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -12,7 +12,9 @@ use crate::{Result, TensorError};
 /// A complex number over `f64`.
 ///
 /// Optics code runs in `f64`; only the final aerial image is narrowed to
-/// `f32` for consumption by the NN stack.
+/// `f32` for consumption by the NN stack. `repr(C)` pins the `(re, im)`
+/// interleaved layout the AVX2 butterfly kernel views as f64 lanes.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
@@ -136,6 +138,32 @@ pub fn fft_in_place(data: &mut [Complex], direction: FftDirection) -> Result<()>
         FftDirection::Inverse => 1.0,
     };
 
+    // Level resolved once per transform: the scalar stage loop is the
+    // reference; the AVX2 path runs two butterflies per 256-bit lane with
+    // twiddles from the *same* `w = w * wlen` recurrence, so only the
+    // butterfly arithmetic (fmaddsub vs mul/add) differs — covered by the
+    // FFT epsilon tier.
+    match crate::simd::active_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only produced after CPUID confirmed AVX2+FMA.
+        crate::simd::KernelLevel::Avx2 => unsafe { avx2::butterfly_stages(data, sign) },
+        _ => butterfly_stages_scalar(data, sign),
+    }
+
+    if direction == FftDirection::Inverse {
+        let inv = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = *x * inv;
+        }
+    }
+    Ok(())
+}
+
+/// The scalar (reference) Cooley–Tukey stage loop, bit-identical to the
+/// textbook formulation: per-block twiddles from the `w = w * wlen`
+/// recurrence, butterflies as plain complex mul/add.
+fn butterfly_stages_scalar(data: &mut [Complex], sign: f64) {
+    let n = data.len();
     let mut len = 2;
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
@@ -154,14 +182,90 @@ pub fn fft_in_place(data: &mut [Complex], direction: FftDirection) -> Result<()>
         }
         len <<= 1;
     }
+}
 
-    if direction == FftDirection::Inverse {
-        let inv = 1.0 / n as f64;
-        for x in data.iter_mut() {
-            *x = *x * inv;
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2+FMA butterfly stages: two complex f64 butterflies per 256-bit
+    //! vector. Twiddles for each stage are materialised once (per-call
+    //! scratch, reused across blocks) with the *same* sequential
+    //! `w = w * wlen` fold as the scalar loop, so twiddle values are
+    //! bit-identical across levels; only the butterfly product uses
+    //! `fmaddsub`, which the FFT epsilon tier covers.
+    use super::Complex;
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Per-thread twiddle table scratch, grown on demand.
+        static TWIDDLES: RefCell<Vec<Complex>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// # Safety
+    ///
+    /// Host must support AVX2 and FMA; `data.len()` must be a power of two.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn butterfly_stages(data: &mut [Complex], sign: f64) {
+        TWIDDLES.with(|cell| {
+            let mut tw = cell.borrow_mut();
+            butterfly_stages_inner(data, sign, &mut tw);
+        });
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn butterfly_stages_inner(data: &mut [Complex], sign: f64, tw: &mut Vec<Complex>) {
+        let n = data.len();
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::from_angle(ang);
+            if half < 2 {
+                // len == 2: twiddle is exactly 1, plain add/sub pairs.
+                let mut i = 0;
+                while i < n {
+                    let u = data[i];
+                    let v = data[i + 1];
+                    data[i] = u + v;
+                    data[i + 1] = u - v;
+                    i += 2;
+                }
+                len <<= 1;
+                continue;
+            }
+            // Same recurrence the scalar loop runs per block, done once per
+            // stage and shared by every block.
+            tw.clear();
+            let mut w = Complex::ONE;
+            for _ in 0..half {
+                tw.push(w);
+                w = w * wlen;
+            }
+            let mut i = 0;
+            while i < n {
+                // `half` is a power of two >= 2, so pairs cover it exactly.
+                let mut j = 0;
+                while j < half {
+                    let pu = data.as_mut_ptr().add(i + j).cast::<f64>();
+                    let pv = data.as_mut_ptr().add(i + j + half).cast::<f64>();
+                    let u = _mm256_loadu_pd(pu);
+                    let v = _mm256_loadu_pd(pv);
+                    let wv = _mm256_loadu_pd(tw.as_ptr().add(j).cast::<f64>());
+                    // Complex multiply v * w on interleaved (re, im) lanes:
+                    // even lanes w.re*v.re - w.im*v.im, odd w.re*v.im + w.im*v.re.
+                    let wr = _mm256_movedup_pd(wv);
+                    let wi = _mm256_permute_pd(wv, 0b1111);
+                    let vs = _mm256_permute_pd(v, 0b0101);
+                    let vw = _mm256_fmaddsub_pd(wr, v, _mm256_mul_pd(wi, vs));
+                    _mm256_storeu_pd(pu, _mm256_add_pd(u, vw));
+                    _mm256_storeu_pd(pv, _mm256_sub_pd(u, vw));
+                    j += 2;
+                }
+                i += len;
+            }
+            len <<= 1;
         }
     }
-    Ok(())
 }
 
 /// In-place 2-D FFT of a row-major `h x w` buffer (both power-of-two).
@@ -385,6 +489,35 @@ mod tests {
         let shifted = shift_kernel_to_origin(&k, h, w);
         assert_eq!(shifted[0], 1.0);
         assert_eq!(shifted.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn avx2_level_within_tier_of_scalar() {
+        use crate::rng::{Rng, SeedableRng};
+        use crate::simd::{detect_level, with_level, KernelLevel};
+        if detect_level() < KernelLevel::Avx2 {
+            return;
+        }
+        let mut rng = crate::rng::StdRng::seed_from_u64(9);
+        for n in [2usize, 4, 8, 64, 512] {
+            let original: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            for dir in [FftDirection::Forward, FftDirection::Inverse] {
+                let mut scalar = original.clone();
+                let mut vectored = original.clone();
+                with_level(KernelLevel::Scalar, || {
+                    fft_in_place(&mut scalar, dir).unwrap();
+                });
+                with_level(KernelLevel::Avx2, || {
+                    fft_in_place(&mut vectored, dir).unwrap();
+                });
+                for (s, v) in scalar.iter().zip(vectored.iter()) {
+                    assert!((s.re - v.re).abs() <= 1e-12 + s.re.abs() * 1e-12, "n {n}");
+                    assert!((s.im - v.im).abs() <= 1e-12 + s.im.abs() * 1e-12, "n {n}");
+                }
+            }
+        }
     }
 
     #[test]

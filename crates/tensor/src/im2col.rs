@@ -12,6 +12,12 @@
 //! stride-1 interiors degenerate to `copy_from_slice`. Per-element order is
 //! unchanged, so results are bit-identical to the naive per-element loops
 //! at any thread count.
+//!
+//! Kernel levels: `im2col` is pure data movement (memcpy/memset interiors),
+//! identical at every level. `col2im`'s stride-1 interior add dispatches on
+//! [`crate::simd::KernelLevel`] — the AVX2 path is lane-parallel elementwise
+//! adds with the same per-element order, so *both* directions stay in the
+//! exact epsilon tier at every level.
 
 use crate::pool;
 use crate::{Result, Tensor, TensorError};
@@ -81,7 +87,7 @@ impl Im2ColSpec {
 /// input pixels, may be negative) against an axis of length `len` with the
 /// given stride: exactly the positions where `ox * stride + off` lands in
 /// bounds.
-fn valid_range(off: isize, stride: usize, len: usize, count: usize) -> (usize, usize) {
+pub(crate) fn valid_range(off: isize, stride: usize, len: usize, count: usize) -> (usize, usize) {
     let lo = if off >= 0 {
         0
     } else {
@@ -259,6 +265,9 @@ pub fn col2im_into(
         || format!("col2im[{rows}x{ncols}]"),
         crate::profile::KernelCost::col2im(rows, ncols),
     );
+    // Resolve the kernel level once on the caller thread; the stride-1
+    // interior add is elementwise, so the AVX2 path stays bit-exact.
+    let level = crate::simd::active_level();
     let taps = spec.kernel_h * spec.kernel_w;
     let base = pool::SendPtr::new(dst.as_mut_ptr());
     let dst_len = dst.len();
@@ -299,9 +308,7 @@ pub fn col2im_into(
                         let seg = &src[col_base + ox_lo..col_base + ox_hi];
                         if spec.stride_w == 1 {
                             let row = &mut dst_plane[dst_row + base_ix..dst_row + base_ix + seg.len()];
-                            for (d, &v) in row.iter_mut().zip(seg.iter()) {
-                                *d += v;
-                            }
+                            crate::simd::add_assign(level, row, seg);
                         } else {
                             for (idx, &v) in seg.iter().enumerate() {
                                 dst_plane[dst_row + base_ix + idx * spec.stride_w] += v;

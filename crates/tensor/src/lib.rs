@@ -14,6 +14,8 @@
 //! * [`fft`] — radix-2 complex FFT (1-D and 2-D) used by the partially
 //!   coherent optical model for fast kernel convolution.
 //! * [`ops`] — spatial helpers (pad, crop, shift, flip, bilinear resize).
+//! * [`simd`] — runtime kernel-level dispatch (`LITHO_SIMD` / `--simd`):
+//!   scalar reference vs AVX2+FMA inner kernels, resolved once per call.
 //! * [`profile`] — static FLOPs/bytes cost models and the roofline
 //!   classification behind the kernel profiling telemetry.
 //! * [`rng`] — vendored deterministic PRNGs (SplitMix64, xoshiro256++) so
@@ -37,6 +39,7 @@
 pub mod alloc;
 mod error;
 pub mod fft;
+mod fused;
 mod im2col;
 mod matmul;
 pub mod ops;
@@ -44,17 +47,20 @@ pub mod pool;
 pub mod profile;
 pub mod rng;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use alloc::{allocated_bytes, note_workspace_bytes, peak_workspace_bytes, reset_allocated_bytes};
 pub use error::TensorError;
 pub use fft::Complex;
+pub use fused::conv_backward_fused;
 pub use im2col::{col2im, col2im_into, im2col, im2col_into, Im2ColSpec};
 pub use matmul::{
     matmul, matmul_bias_into, matmul_into, matmul_transpose_a, matmul_transpose_a_into,
     matmul_transpose_b, matmul_transpose_b_into,
 };
 pub use shape::Shape;
+pub use simd::{active_level, configure_simd, detect_level, parse_level, with_level, KernelLevel};
 pub use tensor::Tensor;
 
 /// Crate-wide result alias.

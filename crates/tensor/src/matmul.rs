@@ -12,10 +12,19 @@
 //! starting from 0.0, exactly like the textbook triple loop, so the
 //! blocked, packed and pool-parallel paths are bit-identical to the serial
 //! naive reference for any tile geometry and any thread count.
+//!
+//! Kernel levels: at [`KernelLevel::Scalar`] the fold is `acc += a*b`
+//! (exact vs the naive reference); at [`KernelLevel::Avx2`] every element
+//! is a sequential *FMA* fold over `p` (vectorised across output columns,
+//! never across `k`), so results are identical across tile positions and
+//! thread counts at a fixed level, and within a small relative tier of the
+//! scalar reference. The level is resolved once per public entry on the
+//! caller thread and passed into pool closures.
 
 use std::cell::RefCell;
 
 use crate::pool;
+use crate::simd::KernelLevel;
 use crate::{Result, Tensor, TensorError};
 
 /// Micro-tile rows: accumulators live in `MR x NR` registers.
@@ -168,11 +177,14 @@ pub fn matmul_bias_into(
         || format!("gemm[{m}x{n}x{k}]"),
         crate::profile::KernelCost::gemm(m, n, k),
     );
+    // Resolve the kernel level once, on the caller thread, so pool workers
+    // inherit it and a single GEMM never mixes implementations.
+    let level = crate::simd::active_level();
 
     let work = m * n * k.max(1);
     let threads = pool::effective_threads().min((work / WORK_PER_TASK).max(1));
     if work < PARALLEL_THRESHOLD || threads <= 1 || m < 2 {
-        gemm_block(a, b, out, 0, m, k, n, bias);
+        gemm_block(a, b, out, 0, m, k, n, n, bias, level);
         return;
     }
 
@@ -181,7 +193,7 @@ pub fn matmul_bias_into(
     pool::parallel_for_chunks(out, rows_per_band * n, |band_idx, chunk| {
         let row_start = band_idx * rows_per_band;
         let rows = chunk.len() / n;
-        gemm_block(a, b, chunk, row_start, rows, k, n, bias);
+        gemm_block(a, b, chunk, row_start, rows, k, n, n, bias, level);
     });
 }
 
@@ -231,13 +243,38 @@ pub fn matmul_transpose_b_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, 
     });
 }
 
+/// Serial GEMM against a strided window of B: `out[m x n] = a * b_win`
+/// where `b_win[p][j] = b[p * bs + j]`. Runs entirely on the calling
+/// thread — the fused conv backward parallelises over batch items above
+/// this call, so nesting the pool here would only add overhead.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_window_serial(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+    level: KernelLevel,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(k == 0 || n == 0 || (k - 1) * bs + n <= b.len());
+    gemm_block(a, b, out, 0, m, k, n, bs, None, level);
+}
+
 /// Blocked GEMM over `rows` output rows starting at absolute row
 /// `row_start`; `chunk` is the corresponding slice of the output. Packs an
 /// `mr x k` panel of A per row tile (interleaved `[p][r]` so the
 /// micro-kernel loads MR contiguous values per reduction step), then walks
 /// NR-wide column tiles whose B loads are contiguous within each row of B.
+///
+/// `bs` is B's row stride (`bs == n` for a plain contiguous operand). The
+/// fused conv backward passes `bs > n` to multiply against a column window
+/// of a wider `dy` matrix in place, instead of materialising the window.
 #[allow(clippy::too_many_arguments)]
-fn gemm_block(
+pub(crate) fn gemm_block(
     a: &[f32],
     b: &[f32],
     chunk: &mut [f32],
@@ -245,7 +282,9 @@ fn gemm_block(
     rows: usize,
     k: usize,
     n: usize,
+    bs: usize,
     bias: Option<&[f32]>,
+    level: KernelLevel,
 ) {
     PACK_A.with(|cell| {
         let mut pack = cell.borrow_mut();
@@ -261,15 +300,157 @@ fn gemm_block(
             while j < n {
                 let nr = NR.min(n - j);
                 if mr == MR && nr == NR {
-                    kernel_full(&pack, b, chunk, i, j, k, n, &tile_bias);
+                    dispatch_full(level, &pack, b, chunk, i, j, k, n, bs, &tile_bias);
                 } else {
-                    kernel_edge(&pack, b, chunk, i, j, mr, nr, k, n, &tile_bias);
+                    dispatch_edge(level, &pack, b, chunk, i, j, mr, nr, k, n, bs, &tile_bias);
                 }
                 j += NR;
             }
             i += MR;
         }
     });
+}
+
+/// Level dispatch for the full tile — one predictable branch per tile.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch_full(
+    level: KernelLevel,
+    pack: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    i: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+    bias: &[f32; MR],
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `KernelLevel::Avx2` is only ever produced by
+        // `simd::clamp_to_host`, which checked AVX2+FMA via CPUID.
+        KernelLevel::Avx2 => unsafe { avx2::kernel_full(pack, b, chunk, i, j, k, n, bs, bias) },
+        _ => kernel_full(pack, b, chunk, i, j, k, n, bs, bias),
+    }
+}
+
+/// Level dispatch for partial tiles. The AVX2-level edge kernel folds with
+/// scalar FMA so an element's result does not depend on which tile kind it
+/// landed in (batched vs single-sample calls tile columns differently).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch_edge(
+    level: KernelLevel,
+    pack: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    i: usize,
+    j: usize,
+    mr: usize,
+    nr: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+    bias: &[f32; MR],
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dispatch_full` — Avx2 implies host AVX2+FMA.
+        KernelLevel::Avx2 => unsafe {
+            avx2::kernel_edge(pack, b, chunk, i, j, mr, nr, k, n, bs, bias)
+        },
+        _ => kernel_edge(pack, b, chunk, i, j, mr, nr, k, n, bs, bias),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2+FMA micro-kernels. Lanes run across output *columns*; the `k`
+    //! reduction stays a sequential per-element FMA fold, so the
+    //! determinism contract (no split reductions) holds unchanged.
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// Full `MR x NR` tile: 4 × `__m256` accumulators, broadcast-A + FMA.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the host supports AVX2 and FMA, and that the
+    /// slice geometry matches [`super::kernel_full`]'s contract.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn kernel_full(
+        pack: &[f32],
+        b: &[f32],
+        chunk: &mut [f32],
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+        bs: usize,
+        bias: &[f32; MR],
+    ) {
+        debug_assert!(pack.len() >= k * MR);
+        debug_assert!(k == 0 || (k - 1) * bs + j + NR <= b.len());
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for p in 0..k {
+            let bp = _mm256_loadu_ps(b.as_ptr().add(p * bs + j));
+            let ap = pack.as_ptr().add(p * MR);
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ap.add(r));
+                *acc_r = _mm256_fmadd_ps(av, bp, *acc_r);
+            }
+        }
+        for (r, &acc_r) in acc.iter().enumerate() {
+            debug_assert!((i + r) * n + j + NR <= chunk.len());
+            let v = _mm256_add_ps(acc_r, _mm256_set1_ps(bias[r]));
+            _mm256_storeu_ps(chunk.as_mut_ptr().add((i + r) * n + j), v);
+        }
+    }
+
+    /// Partial tile at the AVX2 level: same loop structure as the scalar
+    /// edge kernel but folding with `mul_add`, so each element is the same
+    /// sequential FMA fold the full kernel produces — an element's value
+    /// never depends on which tile kind covered it.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the host supports AVX2 and FMA (for the `fma`
+    /// codegen of `mul_add`); slice geometry as in [`super::kernel_edge`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn kernel_edge(
+        pack: &[f32],
+        b: &[f32],
+        chunk: &mut [f32],
+        i: usize,
+        j: usize,
+        mr: usize,
+        nr: usize,
+        k: usize,
+        n: usize,
+        bs: usize,
+        bias: &[f32; MR],
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for p in 0..k {
+            let bp = &b[p * bs + j..p * bs + j + nr];
+            let ap = &pack[p * mr..(p + 1) * mr];
+            for (r, &av) in ap.iter().enumerate() {
+                for (c, &bv) in bp.iter().enumerate() {
+                    acc[r][c] = av.mul_add(bv, acc[r][c]);
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate().take(mr) {
+            let row = &mut chunk[(i + r) * n + j..(i + r) * n + j + nr];
+            let bias_r = bias[r];
+            for (dst, &v) in row.iter_mut().zip(acc_row.iter()) {
+                *dst = v + bias_r;
+            }
+        }
+    }
 }
 
 /// Packs `mr` rows of A starting at `row0` into `pack` with layout
@@ -298,11 +479,12 @@ fn kernel_full(
     j: usize,
     k: usize,
     n: usize,
+    bs: usize,
     bias: &[f32; MR],
 ) {
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..k {
-        let bp: &[f32; NR] = b[p * n + j..p * n + j + NR]
+        let bp: &[f32; NR] = b[p * bs + j..p * bs + j + NR]
             .try_into()
             .expect("NR-wide B strip");
         let ap: &[f32; MR] = pack[p * MR..(p + 1) * MR]
@@ -338,11 +520,12 @@ fn kernel_edge(
     nr: usize,
     k: usize,
     n: usize,
+    bs: usize,
     bias: &[f32; MR],
 ) {
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..k {
-        let bp = &b[p * n + j..p * n + j + nr];
+        let bp = &b[p * bs + j..p * bs + j + nr];
         let ap = &pack[p * mr..(p + 1) * mr];
         for (r, &av) in ap.iter().enumerate() {
             for (c, &bv) in bp.iter().enumerate() {
@@ -408,94 +591,129 @@ mod tests {
     #[test]
     fn matmul_bit_identical_to_naive() {
         // Shapes chosen to exercise full tiles, row/column remainders, and
-        // degenerate m=1 / k=1 cases. Equality is exact: the blocked kernel
-        // must reproduce the naive fold bit for bit.
-        for (case, (m, k, n)) in [
-            (0, (33, 47, 29)),
-            (1, (1, 16, 8)),
-            (2, (4, 1, 9)),
-            (3, (5, 3, 1)),
-            (4, (8, 32, 24)),
-        ]
-        .into_iter()
-        {
-            let a = random_vec(m * k, 7 + case);
-            let b = random_vec(k * n, 100 + case);
-            let expect = naive(&a, &b, m, k, n);
-            let ta = Tensor::from_vec(a, &[m, k]).unwrap();
-            let tb = Tensor::from_vec(b, &[k, n]).unwrap();
-            let c = matmul(&ta, &tb).unwrap();
-            assert_eq!(c.as_slice(), expect.as_slice(), "case {case}");
-        }
+        // degenerate m=1 / k=1 cases. Equality is exact at the scalar
+        // level: the blocked kernel must reproduce the naive fold bit for
+        // bit (the AVX2 level is covered by the epsilon-tier oracle).
+        crate::simd::with_level(KernelLevel::Scalar, || {
+            for (case, (m, k, n)) in [
+                (0, (33, 47, 29)),
+                (1, (1, 16, 8)),
+                (2, (4, 1, 9)),
+                (3, (5, 3, 1)),
+                (4, (8, 32, 24)),
+            ]
+            .into_iter()
+            {
+                let a = random_vec(m * k, 7 + case);
+                let b = random_vec(k * n, 100 + case);
+                let expect = naive(&a, &b, m, k, n);
+                let ta = Tensor::from_vec(a, &[m, k]).unwrap();
+                let tb = Tensor::from_vec(b, &[k, n]).unwrap();
+                let c = matmul(&ta, &tb).unwrap();
+                assert_eq!(c.as_slice(), expect.as_slice(), "case {case}");
+            }
+        });
     }
 
     #[test]
     fn parallel_path_matches_serial() {
         // Big enough to cross PARALLEL_THRESHOLD (128^3 = 2M MACs).
-        let (m, k, n) = (128, 128, 128);
-        let a = random_vec(m * k, 11);
-        let b = random_vec(k * n, 12);
-        let expect = naive(&a, &b, m, k, n);
-        let mut out = vec![0.0; m * n];
-        matmul_into(&a, &b, &mut out, m, k, n);
-        assert_eq!(out, expect);
+        crate::simd::with_level(KernelLevel::Scalar, || {
+            let (m, k, n) = (128, 128, 128);
+            let a = random_vec(m * k, 11);
+            let b = random_vec(k * n, 12);
+            let expect = naive(&a, &b, m, k, n);
+            let mut out = vec![0.0; m * n];
+            matmul_into(&a, &b, &mut out, m, k, n);
+            assert_eq!(out, expect);
+        });
     }
 
     #[test]
     fn fused_bias_matches_separate_sweep() {
-        let (m, k, n) = (7, 13, 21);
-        let a = random_vec(m * k, 21);
-        let b = random_vec(k * n, 22);
-        let bias = random_vec(m, 23);
-        let mut expect = naive(&a, &b, m, k, n);
-        for i in 0..m {
-            for j in 0..n {
-                expect[i * n + j] += bias[i];
+        crate::simd::with_level(KernelLevel::Scalar, || {
+            let (m, k, n) = (7, 13, 21);
+            let a = random_vec(m * k, 21);
+            let b = random_vec(k * n, 22);
+            let bias = random_vec(m, 23);
+            let mut expect = naive(&a, &b, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    expect[i * n + j] += bias[i];
+                }
             }
-        }
-        let mut out = vec![0.0; m * n];
-        matmul_bias_into(&a, &b, &mut out, m, k, n, Some(&bias));
-        assert_eq!(out, expect);
+            let mut out = vec![0.0; m * n];
+            matmul_bias_into(&a, &b, &mut out, m, k, n, Some(&bias));
+            assert_eq!(out, expect);
+        });
     }
 
     #[test]
     fn transpose_a_variant() {
-        let (k, m, n) = (13, 7, 9);
-        let a = random_vec(k * m, 3);
-        let b = random_vec(k * n, 4);
-        // Explicit transpose as the oracle.
-        let mut at = vec![0.0; m * k];
-        for r in 0..k {
-            for c in 0..m {
-                at[c * k + r] = a[r * m + c];
+        crate::simd::with_level(KernelLevel::Scalar, || {
+            let (k, m, n) = (13, 7, 9);
+            let a = random_vec(k * m, 3);
+            let b = random_vec(k * n, 4);
+            // Explicit transpose as the oracle.
+            let mut at = vec![0.0; m * k];
+            for r in 0..k {
+                for c in 0..m {
+                    at[c * k + r] = a[r * m + c];
+                }
             }
-        }
-        let expect = naive(&at, &b, m, k, n);
-        let got = matmul_transpose_a(
-            &Tensor::from_vec(a, &[k, m]).unwrap(),
-            &Tensor::from_vec(b, &[k, n]).unwrap(),
-        )
-        .unwrap();
-        assert_eq!(got.as_slice(), expect.as_slice());
+            let expect = naive(&at, &b, m, k, n);
+            let got = matmul_transpose_a(
+                &Tensor::from_vec(a, &[k, m]).unwrap(),
+                &Tensor::from_vec(b, &[k, n]).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(got.as_slice(), expect.as_slice());
+        });
     }
 
     #[test]
     fn transpose_b_variant() {
-        let (m, k, n) = (6, 11, 8);
-        let a = random_vec(m * k, 5);
-        let b = random_vec(n * k, 6);
-        let mut bt = vec![0.0; k * n];
-        for r in 0..n {
-            for c in 0..k {
-                bt[c * n + r] = b[r * k + c];
+        crate::simd::with_level(KernelLevel::Scalar, || {
+            let (m, k, n) = (6, 11, 8);
+            let a = random_vec(m * k, 5);
+            let b = random_vec(n * k, 6);
+            let mut bt = vec![0.0; k * n];
+            for r in 0..n {
+                for c in 0..k {
+                    bt[c * n + r] = b[r * k + c];
+                }
             }
+            let expect = naive(&a, &bt, m, k, n);
+            let got = matmul_transpose_b(
+                &Tensor::from_vec(a, &[m, k]).unwrap(),
+                &Tensor::from_vec(b, &[n, k]).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(got.as_slice(), expect.as_slice());
+        });
+    }
+
+    #[test]
+    fn avx2_level_within_relative_tier_of_scalar() {
+        if crate::simd::detect_level() < KernelLevel::Avx2 {
+            return; // host cannot exercise the AVX2 path
         }
-        let expect = naive(&a, &bt, m, k, n);
-        let got = matmul_transpose_b(
-            &Tensor::from_vec(a, &[m, k]).unwrap(),
-            &Tensor::from_vec(b, &[n, k]).unwrap(),
-        )
-        .unwrap();
-        assert_eq!(got.as_slice(), expect.as_slice());
+        // FMA keeps *more* precision than mul-then-add, so the two levels
+        // agree to a tight relative tier but not bit-for-bit.
+        let (m, k, n) = (33, 47, 29);
+        let a = random_vec(m * k, 41);
+        let b = random_vec(k * n, 42);
+        let mut scalar = vec![0.0; m * n];
+        let mut vectored = vec![0.0; m * n];
+        crate::simd::with_level(KernelLevel::Scalar, || {
+            matmul_into(&a, &b, &mut scalar, m, k, n);
+        });
+        crate::simd::with_level(KernelLevel::Avx2, || {
+            matmul_into(&a, &b, &mut vectored, m, k, n);
+        });
+        for (i, (&s, &v)) in scalar.iter().zip(vectored.iter()).enumerate() {
+            let tol = 1e-5f32.max(s.abs() * 1e-5);
+            assert!((s - v).abs() <= tol, "element {i}: scalar {s} vs avx2 {v}");
+        }
     }
 }

@@ -1,0 +1,483 @@
+//! Runtime kernel-level dispatch.
+//!
+//! Every SIMD'd kernel family (GEMM, im2col/col2im, batchnorm, FFT) has a
+//! portable scalar implementation and, on x86_64, an AVX2+FMA one. The
+//! level is resolved **once per public kernel entry** — call sites read
+//! [`active_level`] on the caller thread and pass the result into any pool
+//! closures, so a run never mixes levels inside one kernel invocation and
+//! per-element dispatch cost is zero.
+//!
+//! Resolution order (first match wins):
+//! 1. thread-local override installed by [`with_level`] (tests),
+//! 2. process-wide level installed by [`configure_simd`] (`--simd` flag),
+//! 3. `LITHO_SIMD` env var (`auto` | `avx2` | `scalar`),
+//! 4. runtime CPUID detection (`auto`).
+//!
+//! Requesting `avx2` on a host without AVX2+FMA falls back to scalar —
+//! the *effective* level is what [`active_level`] returns and what the
+//! run manifest records, so a ledger entry never claims an ISA the host
+//! could not execute.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which inner-kernel implementation a call site should use.
+///
+/// Ordered: higher levels strictly extend lower ones, and a level is only
+/// ever *lowered* by fallback (unsupported host → `Scalar`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelLevel {
+    /// Portable scalar loops — the exact reference all tiers compare to.
+    Scalar,
+    /// x86_64 AVX2 + FMA intrinsics (8-lane f32, 4-lane f64).
+    Avx2,
+}
+
+impl KernelLevel {
+    /// Stable lowercase name, used by the CLI flag, `LITHO_SIMD`, the
+    /// run manifest `simd` field and `runs/index.jsonl`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelLevel::Scalar => "scalar",
+            KernelLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Parse a user-facing level string (`auto` resolves via detection).
+/// Returns `None` for unknown names so callers can report the bad value.
+pub fn parse_level(s: &str) -> Option<KernelLevel> {
+    match s.to_ascii_lowercase().as_str() {
+        "auto" => Some(detect_level()),
+        "avx2" => Some(clamp_to_host(KernelLevel::Avx2)),
+        "scalar" => Some(KernelLevel::Scalar),
+        _ => None,
+    }
+}
+
+/// Highest level the host can execute, from CPUID.
+pub fn detect_level() -> KernelLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelLevel::Avx2;
+        }
+    }
+    KernelLevel::Scalar
+}
+
+/// Lower `want` to what the host supports (never raises).
+fn clamp_to_host(want: KernelLevel) -> KernelLevel {
+    want.min(detect_level())
+}
+
+// Global configured level: 0 = unset, 1 = Scalar, 2 = Avx2.
+static CONFIGURED: AtomicU8 = AtomicU8::new(0);
+
+fn encode(level: KernelLevel) -> u8 {
+    match level {
+        KernelLevel::Scalar => 1,
+        KernelLevel::Avx2 => 2,
+    }
+}
+
+fn decode(v: u8) -> Option<KernelLevel> {
+    match v {
+        1 => Some(KernelLevel::Scalar),
+        2 => Some(KernelLevel::Avx2),
+        _ => None,
+    }
+}
+
+/// Install a process-wide kernel level (the `--simd` CLI flag). The value
+/// is clamped to host support; the effective level is returned so callers
+/// can record it (run manifest).
+pub fn configure_simd(level: KernelLevel) -> KernelLevel {
+    let eff = clamp_to_host(level);
+    CONFIGURED.store(encode(eff), Ordering::Relaxed);
+    eff
+}
+
+thread_local! {
+    static OVERRIDE: Cell<u8> = const { Cell::new(0) };
+}
+
+/// Run `f` with a thread-local level override — the test hook that lets
+/// the cross-level oracle pin `Scalar`/`Avx2` without races between
+/// parallel test threads. Kernels read the level once at entry on the
+/// caller thread, so the override propagates into pool workers.
+pub fn with_level<T>(level: KernelLevel, f: impl FnOnce() -> T) -> T {
+    let eff = clamp_to_host(level);
+    let prev = OVERRIDE.with(|c| c.replace(encode(eff)));
+    struct Reset(u8);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _reset = Reset(prev);
+    f()
+}
+
+/// The level kernels should use *right now* on this thread.
+///
+/// Order: [`with_level`] override > [`configure_simd`] > `LITHO_SIMD` >
+/// CPUID detection. The env/detect result is cached in the global slot on
+/// first resolution, so steady-state cost is one relaxed atomic load.
+pub fn active_level() -> KernelLevel {
+    if let Some(l) = OVERRIDE.with(|c| decode(c.get())) {
+        return l;
+    }
+    if let Some(l) = decode(CONFIGURED.load(Ordering::Relaxed)) {
+        return l;
+    }
+    let resolved = match std::env::var("LITHO_SIMD") {
+        Ok(v) => parse_level(&v).unwrap_or_else(detect_level),
+        Err(_) => detect_level(),
+    };
+    CONFIGURED.store(encode(resolved), Ordering::Relaxed);
+    resolved
+}
+
+// ---------------------------------------------------------------------------
+// Shared level-dispatched elementwise helpers.
+//
+// These are the inner loops used by col2im's stride-1 scatter interior and
+// batchnorm's normalize/affine and reduction passes. The caller resolves
+// the level once per kernel invocation and passes it in, keeping dispatch
+// out of per-element code.
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i]`. Pure elementwise adds — per-element result is
+/// identical to the scalar loop at every level, so this stays in the
+/// *exact* epsilon tier.
+#[inline]
+pub fn add_assign(level: KernelLevel, dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only produced by clamp_to_host (CPUID-checked).
+        KernelLevel::Avx2 => unsafe { x86::add_assign(dst, src) },
+        _ => {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+    }
+}
+
+/// Batchnorm normalize + affine: `xh[i] = (src[i] - mean) * inv_std` and
+/// `dst[i] = gamma * xh[i] + beta`.
+///
+/// Scalar level matches the reference loop exactly. The AVX2 level fuses
+/// `gamma * xh + beta` into one FMA per element (no reduction, no
+/// reordering), so it sits in a tight relative tier of scalar.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn bn_normalize_affine(
+    level: KernelLevel,
+    src: &[f32],
+    xh: &mut [f32],
+    dst: &mut [f32],
+    mean: f32,
+    inv_std: f32,
+    gamma: f32,
+    beta: f32,
+) {
+    debug_assert_eq!(src.len(), xh.len());
+    debug_assert_eq!(src.len(), dst.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies host AVX2+FMA (CPUID-checked at resolve).
+        KernelLevel::Avx2 => unsafe {
+            x86::bn_normalize_affine(src, xh, dst, mean, inv_std, gamma, beta)
+        },
+        _ => {
+            for i in 0..src.len() {
+                let h = (src[i] - mean) * inv_std;
+                xh[i] = h;
+                dst[i] = gamma * h + beta;
+            }
+        }
+    }
+}
+
+/// Batchnorm backward reductions, continuing the caller's running fold:
+/// `*sum += Σ dy[i]` and `*dot += Σ dy[i] * xh[i]`.
+///
+/// The scalar level folds element-by-element straight into the
+/// accumulators — bit-identical to the reference loop when called in the
+/// same plane order. The AVX2 level reduces 8 f32 lanes per slice and adds
+/// the partial, which reorders the sum — batchnorm's epsilon tier covers
+/// the difference.
+#[inline]
+pub fn bn_sum_and_dot(level: KernelLevel, dy: &[f32], xh: &[f32], sum: &mut f32, dot: &mut f32) {
+    debug_assert_eq!(dy.len(), xh.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies host AVX2+FMA.
+        KernelLevel::Avx2 => unsafe { x86::bn_sum_and_dot(dy, xh, sum, dot) },
+        _ => {
+            for (&d, &h) in dy.iter().zip(xh.iter()) {
+                *sum += d;
+                *dot += d * h;
+            }
+        }
+    }
+}
+
+/// Batchnorm backward dx: `out[i] = k * (dy[i] - mean_dy - xh[i] * mean_dy_xh)`.
+///
+/// Elementwise with one FMA per element at the AVX2 level (no reduction).
+#[inline]
+pub fn bn_backward_dx(
+    level: KernelLevel,
+    dy: &[f32],
+    xh: &[f32],
+    out: &mut [f32],
+    k: f32,
+    mean_dy: f32,
+    mean_dy_xh: f32,
+) {
+    debug_assert_eq!(dy.len(), xh.len());
+    debug_assert_eq!(dy.len(), out.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies host AVX2+FMA.
+        KernelLevel::Avx2 => unsafe { x86::bn_backward_dx(dy, xh, out, k, mean_dy, mean_dy_xh) },
+        _ => {
+            for i in 0..dy.len() {
+                out[i] = k * (dy[i] - mean_dy - xh[i] * mean_dy_xh);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2/FMA bodies for the shared helpers. All are lane-parallel over
+    //! *independent* elements except `bn_sum_and_dot`, whose lane
+    //! accumulators reorder the reduction (covered by the epsilon tier).
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Host must support AVX2; `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, s));
+            i += 8;
+        }
+        for j in i..n {
+            *dst.get_unchecked_mut(j) += *src.get_unchecked(j);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Host must support AVX2+FMA; all three slices the same length.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn bn_normalize_affine(
+        src: &[f32],
+        xh: &mut [f32],
+        dst: &mut [f32],
+        mean: f32,
+        inv_std: f32,
+        gamma: f32,
+        beta: f32,
+    ) {
+        let n = src.len();
+        let mv = _mm256_set1_ps(mean);
+        let isv = _mm256_set1_ps(inv_std);
+        let gv = _mm256_set1_ps(gamma);
+        let bv = _mm256_set1_ps(beta);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(src.as_ptr().add(i));
+            let h = _mm256_mul_ps(_mm256_sub_ps(x, mv), isv);
+            _mm256_storeu_ps(xh.as_mut_ptr().add(i), h);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fmadd_ps(gv, h, bv));
+            i += 8;
+        }
+        for j in i..n {
+            let h = (*src.get_unchecked(j) - mean) * inv_std;
+            *xh.get_unchecked_mut(j) = h;
+            *dst.get_unchecked_mut(j) = gamma.mul_add(h, beta);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Host must support AVX2+FMA; `dy.len() == xh.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn bn_sum_and_dot(
+        dy: &[f32],
+        xh: &[f32],
+        sum: &mut f32,
+        dot: &mut f32,
+    ) {
+        let n = dy.len();
+        let mut sumv = _mm256_setzero_ps();
+        let mut dotv = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dy.as_ptr().add(i));
+            let h = _mm256_loadu_ps(xh.as_ptr().add(i));
+            sumv = _mm256_add_ps(sumv, d);
+            dotv = _mm256_fmadd_ps(d, h, dotv);
+            i += 8;
+        }
+        let mut s = [0.0f32; 8];
+        let mut t = [0.0f32; 8];
+        _mm256_storeu_ps(s.as_mut_ptr(), sumv);
+        _mm256_storeu_ps(t.as_mut_ptr(), dotv);
+        let mut psum = ((s[0] + s[4]) + (s[1] + s[5])) + ((s[2] + s[6]) + (s[3] + s[7]));
+        let mut pdot = ((t[0] + t[4]) + (t[1] + t[5])) + ((t[2] + t[6]) + (t[3] + t[7]));
+        for j in i..n {
+            let d = *dy.get_unchecked(j);
+            let h = *xh.get_unchecked(j);
+            psum += d;
+            pdot = d.mul_add(h, pdot);
+        }
+        *sum += psum;
+        *dot += pdot;
+    }
+
+    /// # Safety
+    ///
+    /// Host must support AVX2+FMA; all three slices the same length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn bn_backward_dx(
+        dy: &[f32],
+        xh: &[f32],
+        out: &mut [f32],
+        k: f32,
+        mean_dy: f32,
+        mean_dy_xh: f32,
+    ) {
+        let n = dy.len();
+        let kv = _mm256_set1_ps(k);
+        let mdv = _mm256_set1_ps(mean_dy);
+        let mdxv = _mm256_set1_ps(mean_dy_xh);
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dy.as_ptr().add(i));
+            let h = _mm256_loadu_ps(xh.as_ptr().add(i));
+            // dy - mean_dy - xh*mean_dy_xh, with the product as one fnmadd.
+            let inner = _mm256_fnmadd_ps(h, mdxv, _mm256_sub_ps(d, mdv));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(kv, inner));
+            i += 8;
+        }
+        for j in i..n {
+            let inner = (-*xh.get_unchecked(j)).mul_add(mean_dy_xh, *dy.get_unchecked(j) - mean_dy);
+            *out.get_unchecked_mut(j) = k * inner;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_level_known_names() {
+        assert_eq!(parse_level("scalar"), Some(KernelLevel::Scalar));
+        assert_eq!(parse_level("SCALAR"), Some(KernelLevel::Scalar));
+        assert!(parse_level("auto").is_some());
+        assert_eq!(parse_level("neon"), None);
+        // avx2 request resolves to at most the host's capability.
+        let l = parse_level("avx2").unwrap();
+        assert!(l <= detect_level());
+    }
+
+    #[test]
+    fn with_level_overrides_and_restores() {
+        with_level(KernelLevel::Scalar, || {
+            assert_eq!(active_level(), KernelLevel::Scalar);
+            // Nested override wins, then unwinds.
+            with_level(KernelLevel::Avx2, || {
+                assert_eq!(active_level(), detect_level().min(KernelLevel::Avx2));
+            });
+            assert_eq!(active_level(), KernelLevel::Scalar);
+        });
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for l in [KernelLevel::Scalar, KernelLevel::Avx2] {
+            // `auto` aside, parse(name) == clamp(l); on an AVX2 host it's l.
+            assert!(parse_level(l.name()).is_some());
+        }
+    }
+
+    fn ramp(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32 * 0.37 + seed).sin()).collect()
+    }
+
+    #[test]
+    fn add_assign_exact_across_levels() {
+        if detect_level() < KernelLevel::Avx2 {
+            return;
+        }
+        // Lengths straddling the 8-lane width, plus an unaligned offset.
+        for len in [0, 1, 7, 8, 9, 31, 64] {
+            let src = ramp(len + 3, 0.1);
+            let base = ramp(len + 3, 0.7);
+            let mut scalar = base.clone();
+            let mut vectored = base.clone();
+            add_assign(KernelLevel::Scalar, &mut scalar[3..], &src[3..]);
+            add_assign(KernelLevel::Avx2, &mut vectored[3..], &src[3..]);
+            assert_eq!(scalar, vectored, "len {len}"); // exact tier
+        }
+    }
+
+    #[test]
+    fn bn_helpers_within_tier_across_levels() {
+        if detect_level() < KernelLevel::Avx2 {
+            return;
+        }
+        for len in [1, 5, 8, 13, 100] {
+            let src = ramp(len, 0.3);
+            let dy = ramp(len, 1.1);
+            let (mean, inv_std, gamma, beta) = (0.2f32, 1.7f32, 0.9f32, -0.4f32);
+            let mut xh_s = vec![0.0; len];
+            let mut y_s = vec![0.0; len];
+            let mut xh_v = vec![0.0; len];
+            let mut y_v = vec![0.0; len];
+            bn_normalize_affine(
+                KernelLevel::Scalar, &src, &mut xh_s, &mut y_s, mean, inv_std, gamma, beta,
+            );
+            bn_normalize_affine(
+                KernelLevel::Avx2, &src, &mut xh_v, &mut y_v, mean, inv_std, gamma, beta,
+            );
+            assert_eq!(xh_s, xh_v, "xh is mul/sub only — exact");
+            for (a, b) in y_s.iter().zip(y_v.iter()) {
+                assert!((a - b).abs() <= 1e-6 + a.abs() * 1e-6, "len {len}");
+            }
+
+            let (mut sum_s, mut dot_s) = (0.0f32, 0.0f32);
+            let (mut sum_v, mut dot_v) = (0.0f32, 0.0f32);
+            bn_sum_and_dot(KernelLevel::Scalar, &dy, &xh_s, &mut sum_s, &mut dot_s);
+            bn_sum_and_dot(KernelLevel::Avx2, &dy, &xh_s, &mut sum_v, &mut dot_v);
+            let rtol = 1e-4 * len as f32;
+            assert!((sum_s - sum_v).abs() <= 1e-5 + sum_s.abs() * rtol);
+            assert!((dot_s - dot_v).abs() <= 1e-5 + dot_s.abs() * rtol);
+
+            let mut dx_s = vec![0.0; len];
+            let mut dx_v = vec![0.0; len];
+            bn_backward_dx(KernelLevel::Scalar, &dy, &xh_s, &mut dx_s, 1.3, 0.05, -0.02);
+            bn_backward_dx(KernelLevel::Avx2, &dy, &xh_s, &mut dx_v, 1.3, 0.05, -0.02);
+            for (a, b) in dx_s.iter().zip(dx_v.iter()) {
+                assert!((a - b).abs() <= 1e-6 + a.abs() * 1e-6, "len {len}");
+            }
+        }
+    }
+}

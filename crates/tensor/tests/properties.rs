@@ -188,8 +188,18 @@ fn resize_bilinear_preserves_range() {
 /// The determinism contract behind `--threads`: every parallel kernel is
 /// bit-identical to a naive serial reference at any pool width, because
 /// per-element accumulation order never depends on the executor.
+///
+/// Exactness against the *naive* fold is a scalar-level property (the AVX2
+/// level folds with FMA and is covered by the epsilon-tier oracle in
+/// `simd_levels.rs`), so the whole test pins `KernelLevel::Scalar`.
 #[test]
 fn parallel_kernels_bit_identical_across_thread_counts() {
+    litho_tensor::with_level(litho_tensor::KernelLevel::Scalar, || {
+        parallel_kernels_bit_identical_impl();
+    });
+}
+
+fn parallel_kernels_bit_identical_impl() {
     use litho_tensor::pool;
 
     fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {

@@ -7,8 +7,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test --workspace -q --offline
+echo "==> cargo test -q --offline (LITHO_SIMD=scalar)"
+# Both kernel levels: the scalar pass proves the portable reference paths,
+# the auto pass exercises whatever SIMD the host dispatches to.
+LITHO_SIMD=scalar cargo test --workspace -q --offline
+
+echo "==> cargo test -q --offline (LITHO_SIMD=auto)"
+LITHO_SIMD=auto cargo test --workspace -q --offline
 
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -108,8 +113,10 @@ echo "==> kernel perf gate"
 # contention washes out while a genuine regression fails every attempt.
 gate_ok=0
 for attempt in 1 2 3; do
-  cargo bench --bench nn_kernels --offline -- --quick --json-out="$work/BENCH_KERNELS.json"
-  cargo bench --bench pipeline   --offline -- --quick --json-out="$work/BENCH_KERNELS.json"
+  # Benched under LITHO_SIMD=auto explicitly: the baseline was blessed with
+  # the SIMD kernels live, so gating a scalar run would always fail.
+  LITHO_SIMD=auto cargo bench --bench nn_kernels --offline -- --quick --json-out="$work/BENCH_KERNELS.json"
+  LITHO_SIMD=auto cargo bench --bench pipeline   --offline -- --quick --json-out="$work/BENCH_KERNELS.json"
   if target/release/perf_gate --current "$work/BENCH_KERNELS.json" --baseline ci/BENCH_KERNELS.json --tol-pct 15; then
     gate_ok=1
     break
